@@ -1,0 +1,39 @@
+// Shared helpers for the table/figure reproduction harnesses: consistent
+// headers, paper-vs-measured framing, and kernel construction.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "revec/apps/arf.hpp"
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/support/table.hpp"
+
+namespace revec::bench {
+
+inline void banner(const std::string& title, const std::string& paper_context) {
+    std::cout << "================================================================\n";
+    std::cout << title << '\n';
+    std::cout << "Paper reference: " << paper_context << '\n';
+    std::cout << "================================================================\n";
+}
+
+inline void note(const std::string& text) { std::cout << "NOTE: " << text << '\n'; }
+
+/// The three kernels, pipeline-merged as the paper schedules them.
+inline ir::Graph kernel_matmul() { return ir::merge_pipeline_ops(apps::build_matmul()); }
+inline ir::Graph kernel_qrd() { return ir::merge_pipeline_ops(apps::build_qrd()); }
+inline ir::Graph kernel_arf() { return ir::merge_pipeline_ops(apps::build_arf()); }
+
+inline std::string graph_triple(const arch::ArchSpec& spec, const ir::Graph& g) {
+    const ir::GraphStats st = ir::graph_stats(spec, g);
+    return "(" + std::to_string(st.num_nodes) + ", " + std::to_string(st.num_edges) + ", " +
+           std::to_string(st.critical_path) + ")";
+}
+
+}  // namespace revec::bench

@@ -1,0 +1,58 @@
+// Extension — full-toolchain summary for every kernel: DSL trace -> IR ->
+// CP schedule + memory -> machine code -> binary encoding -> simulation,
+// with all validation gates reported. This is the closed loop the paper
+// leaves at "contains all information needed by a code generator".
+#include "common.hpp"
+
+#include "revec/apps/detect.hpp"
+#include "revec/codegen/encode.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/sched/verify.hpp"
+#include "revec/sim/simulator.hpp"
+
+using namespace revec;
+
+int main() {
+    bench::banner("Extension — end-to-end toolchain validation",
+                  "Fig. 2 flow, closed with an executing machine model");
+
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    struct K {
+        const char* name;
+        ir::Graph g;
+    } kernels[] = {{"MATMUL", bench::kernel_matmul()},
+                   {"QRD", bench::kernel_qrd()},
+                   {"ARF", bench::kernel_arf()},
+                   {"DETECT", ir::merge_pipeline_ops(apps::build_detect())}};
+
+    Table t({"kernel", "|V|", "makespan (cc)", "slots", "verify", "code (bytes)",
+             "reconfigs", "sim outputs", "max |err|"});
+    bool all_clean = true;
+    for (const K& k : kernels) {
+        sched::ScheduleOptions opts;
+        opts.spec = spec;
+        opts.timeout_ms = 30000;
+        const sched::Schedule s = sched::schedule_kernel(k.g, opts);
+        if (!s.feasible()) {
+            t.add_row({k.name, std::to_string(k.g.num_nodes()), "-", "-", "-", "-", "-",
+                       "SCHED FAIL", "-"});
+            all_clean = false;
+            continue;
+        }
+        const auto problems = sched::verify_schedule(spec, k.g, s);
+        const codegen::MachineProgram prog = codegen::generate_code(spec, k.g, s);
+        const auto bundles = codegen::encode_program(k.g, prog);
+        const sim::SimResult run = sim::simulate(spec, k.g, prog);
+        all_clean = all_clean && problems.empty() && run.clean();
+        t.add_row({k.name, std::to_string(k.g.num_nodes()), std::to_string(s.makespan),
+                   std::to_string(s.slots_used), problems.empty() ? "clean" : "FAIL",
+                   std::to_string(codegen::encoded_size_bytes(bundles)),
+                   std::to_string(run.reconfigurations),
+                   run.outputs_match ? "match" : "MISMATCH",
+                   format_fixed(run.max_output_error, 12)});
+    }
+    t.print(std::cout);
+    std::cout << (all_clean ? "\nall kernels execute bit-exactly against the DSL reference\n"
+                            : "\nVALIDATION FAILURES PRESENT\n");
+    return all_clean ? 0 : 1;
+}

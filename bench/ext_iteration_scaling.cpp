@@ -1,0 +1,67 @@
+// Extension series (no single paper figure, but §4.2-4.3's narrative):
+// throughput of QRD as a function of how many iterations run together,
+// for all three execution strategies. Shows the latency-masking knee of
+// overlapped execution at M >= pipeline depth and modulo scheduling's
+// M-independent steady-state rate.
+#include "common.hpp"
+
+#include "revec/pipeline/expand.hpp"
+#include "revec/pipeline/manual.hpp"
+#include "revec/pipeline/modulo.hpp"
+#include "revec/pipeline/overlap.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/sched/verify.hpp"
+
+using namespace revec;
+
+int main() {
+    bench::banner("Extension — throughput vs. iterations in flight (QRD)",
+                  "§4.2: single-iteration schedules under-utilize the pipeline; "
+                  "§4.3: overlapping masks latency once M >= pipeline depth; "
+                  "modulo scheduling sustains 1/II regardless of M");
+
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const ir::Graph g = bench::kernel_qrd();
+
+    sched::ScheduleOptions sopts;
+    sopts.spec = spec;
+    sopts.timeout_ms = 20000;
+    const sched::Schedule single = sched::schedule_kernel(g, sopts);
+    if (!single.feasible()) {
+        std::cout << "single-iteration scheduling failed\n";
+        return 1;
+    }
+    const pipeline::IterationSequence manual = pipeline::pack_min_instructions(spec, g);
+
+    pipeline::ModuloOptions mopts;
+    mopts.spec = spec;
+    mopts.include_reconfigs = true;
+    mopts.timeout_ms = 30000;
+    const pipeline::ModuloResult mod = pipeline::modulo_schedule(g, mopts);
+
+    Table t({"M", "back-to-back (iter/cc)", "overlapped (iter/cc)", "overlap stalls",
+             "modulo steady-state (iter/cc)"});
+    for (const int m : {1, 2, 4, 7, 8, 12, 16, 24}) {
+        const double back_to_back = static_cast<double>(m) / (m * single.makespan);
+        const pipeline::OverlapResult ov = pipeline::overlapped_execution(spec, g, manual, m);
+        // Modulo: fill + steady state; report asymptotic-aware effective rate.
+        const double modulo_rate =
+            mod.feasible()
+                ? static_cast<double>(m) /
+                      (mod.actual_ii * (m - 1) + ir::critical_path_length(spec, g))
+                : 0.0;
+        t.add_row({std::to_string(m), format_fixed(back_to_back, 4),
+                   format_fixed(ov.throughput, 4), std::to_string(ov.stalls_inserted),
+                   format_fixed(modulo_rate, 4)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npipeline depth = " << spec.pipeline_stages
+              << ": overlapping stops inserting stalls once M reaches it; modulo's "
+                 "steady-state rate is 1/"
+              << mod.actual_ii << " = " << format_fixed(1.0 / mod.actual_ii, 4) << "\n";
+    bench::note("burstiness: overlapped execution emits all outputs at the end of the "
+                "run, modulo scheduling emits one result every II cycles (the paper's "
+                "'stable throughput' argument)");
+    return 0;
+}

@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks for the CP kernel primitives: domain
+// operations, propagation throughput of the global constraints, and
+// end-to-end kernel scheduling. These are engineering benchmarks (no paper
+// counterpart); they guard the solver's performance envelope.
+#include <benchmark/benchmark.h>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/cp/cumulative.hpp"
+#include "revec/cp/diff2.hpp"
+#include "revec/cp/linear.hpp"
+#include "revec/cp/search.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/pipeline/modulo.hpp"
+#include "revec/sched/model.hpp"
+
+namespace {
+
+using namespace revec;
+
+void BM_DomainRemoveRange(benchmark::State& state) {
+    for (auto _ : state) {
+        cp::Domain d(0, 1000);
+        for (int i = 0; i < 100; ++i) d.remove_range(i * 7, i * 7 + 3);
+        benchmark::DoNotOptimize(d.size());
+    }
+}
+BENCHMARK(BM_DomainRemoveRange);
+
+void BM_StorePushPop(benchmark::State& state) {
+    cp::Store s;
+    std::vector<cp::IntVar> xs;
+    for (int i = 0; i < 64; ++i) xs.push_back(s.new_var(0, 1000));
+    for (auto _ : state) {
+        s.push_level();
+        for (const cp::IntVar x : xs) s.set_min(x, 10);
+        s.pop_level();
+    }
+}
+BENCHMARK(BM_StorePushPop);
+
+void BM_CumulativePropagation(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        cp::Store s;
+        std::vector<cp::CumulTask> tasks;
+        for (int i = 0; i < n; ++i) tasks.push_back({s.new_var(0, 2 * n), 3, 1});
+        cp::post_cumulative(s, tasks, 4);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(s.propagate());
+    }
+}
+BENCHMARK(BM_CumulativePropagation)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Diff2Propagation(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        cp::Store s;
+        std::vector<cp::Rect> rects;
+        for (int i = 0; i < n; ++i) {
+            rects.push_back({s.new_var(0, 100), s.new_var(0, 15), s.new_var(4, 8), 1});
+        }
+        cp::post_diff2(s, rects);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(s.propagate());
+    }
+}
+BENCHMARK(BM_Diff2Propagation)->Arg(16)->Arg(48);
+
+void BM_ScheduleMatmul(benchmark::State& state) {
+    const ir::Graph g = apps::build_matmul();
+    for (auto _ : state) {
+        const sched::Schedule s = sched::schedule_kernel(g);
+        benchmark::DoNotOptimize(s.makespan);
+    }
+}
+BENCHMARK(BM_ScheduleMatmul)->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleQrd(benchmark::State& state) {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_qrd());
+    for (auto _ : state) {
+        sched::ScheduleOptions opts;
+        opts.timeout_ms = 60000;
+        const sched::Schedule s = sched::schedule_kernel(g, opts);
+        benchmark::DoNotOptimize(s.makespan);
+    }
+}
+BENCHMARK(BM_ScheduleQrd)->Unit(benchmark::kMillisecond);
+
+void BM_ModuloMatmul(benchmark::State& state) {
+    const ir::Graph g = apps::build_matmul();
+    for (auto _ : state) {
+        const pipeline::ModuloResult r = pipeline::modulo_schedule(g);
+        benchmark::DoNotOptimize(r.actual_ii);
+    }
+}
+BENCHMARK(BM_ModuloMatmul)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// MIMO pre-processing scenario (the paper's motivating workload): MMSE-QRD
+// runs for every channel realization, so per-kernel throughput decides the
+// receiver's rate. This example walks the full toolchain on QRD and then
+// compares the three ways of running many iterations:
+//   1. back-to-back single-iteration schedules (latency-bound, poor
+//      utilization — §4.2's "gaps" problem),
+//   2. overlapped execution (the architects' ad-hoc method, §4.3),
+//   3. modulo scheduling, reconfiguration-aware (the paper's CSP).
+#include <iostream>
+
+#include "revec/apps/qrd.hpp"
+#include "revec/codegen/codegen.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/pipeline/manual.hpp"
+#include "revec/pipeline/modulo.hpp"
+#include "revec/pipeline/overlap.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/sim/simulator.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/support/table.hpp"
+
+using namespace revec;
+
+int main() {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_qrd());
+    const ir::GraphStats st = ir::graph_stats(spec, g);
+    std::cout << "MMSE-QRD kernel: |V|=" << st.num_nodes << " |E|=" << st.num_edges
+              << " critical path=" << st.critical_path << " cc\n";
+
+    // Single-iteration optimum.
+    sched::ScheduleOptions opts;
+    opts.spec = spec;
+    opts.timeout_ms = 30000;
+    const sched::Schedule s = sched::schedule_kernel(g, opts);
+    if (!s.feasible()) {
+        std::cout << "scheduling failed\n";
+        return 1;
+    }
+
+    // Validate end to end before talking throughput.
+    const codegen::MachineProgram prog = codegen::generate_code(spec, g, s);
+    const sim::SimResult run = sim::simulate(spec, g, prog);
+    std::cout << "one iteration: " << s.makespan << " cc, simulated outputs "
+              << (run.outputs_match ? "match the reference QR factorization" : "MISMATCH")
+              << "\n\n";
+
+    // Utilization of the single schedule (the paper's "gaps").
+    int busy = 0;
+    for (const ir::Node& n : g.nodes()) {
+        if (n.is_op() && ir::node_timing(spec, n).lanes > 0) ++busy;
+    }
+    std::cout << "vector-issue cycles: " << busy << " of " << s.makespan << " ("
+              << format_fixed(100.0 * busy / s.makespan, 1)
+              << "% issue occupancy -> the pipeline starves on dependencies)\n\n";
+
+    // Three ways to run 12 iterations.
+    const int M = 12;
+    Table t({"strategy", "cycles for 12 iterations", "throughput (iter./cc)",
+             "reconfigs / iter."});
+
+    t.add_row({"back-to-back single schedules", std::to_string(M * s.makespan),
+               format_fixed(1.0 / s.makespan, 4), "-"});
+
+    const pipeline::IterationSequence manual = pipeline::pack_min_instructions(spec, g);
+    const pipeline::OverlapResult overlap =
+        pipeline::overlapped_execution(spec, g, manual, M);
+    t.add_row({"overlapped execution (manual ordering)",
+               std::to_string(overlap.schedule_length),
+               format_fixed(overlap.throughput, 4),
+               format_fixed(overlap.reconfigs_per_iteration, 2)});
+
+    pipeline::ModuloOptions mod_opts;
+    mod_opts.spec = spec;
+    mod_opts.include_reconfigs = true;
+    mod_opts.timeout_ms = 60000;
+    const pipeline::ModuloResult modulo = pipeline::modulo_schedule(g, mod_opts);
+    t.add_row({"modulo schedule (reconfig-aware)",
+               std::to_string(modulo.actual_ii * M + st.critical_path),
+               format_fixed(modulo.throughput, 4),
+               format_fixed(static_cast<double>(modulo.reconfigs), 2)});
+    t.print(std::cout);
+
+    std::cout << "\nmodulo kernel: II=" << modulo.initial_ii << " + " << modulo.reconfigs
+              << " reconfigurations = " << modulo.actual_ii
+              << " cc steady-state; unlike overlapping, output emerges every "
+              << modulo.actual_ii << " cc instead of in one burst at the end\n";
+    return run.outputs_match ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Streaming pipeline: the most advanced flow in the repository. A QRD
+// kernel is modulo-scheduled (reconfiguration-aware), unrolled for a batch
+// of channel realizations, memory-allocated with a slot-only CP solve,
+// compiled to configuration words, and executed — every iteration's Q/R
+// outputs checked against the reference, while results stream out every
+// II cycles instead of arriving in one burst.
+#include <iostream>
+
+#include "revec/apps/qrd.hpp"
+#include "revec/codegen/codegen.hpp"
+#include "revec/codegen/encode.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/pipeline/expand.hpp"
+#include "revec/pipeline/modulo.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/sched/verify.hpp"
+#include "revec/sim/simulator.hpp"
+
+using namespace revec;
+
+int main() {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_qrd());
+    std::cout << "kernel: " << g.num_nodes() << " IR nodes, critical path "
+              << ir::critical_path_length(spec, g) << " cc\n";
+
+    // 1. Steady-state kernel: smallest II with reconfigurations minimized.
+    pipeline::ModuloOptions mopts;
+    mopts.spec = spec;
+    mopts.include_reconfigs = true;
+    mopts.timeout_ms = 30000;
+    const pipeline::ModuloResult mod = pipeline::modulo_schedule(g, mopts);
+    if (!mod.feasible()) {
+        std::cout << "modulo scheduling failed\n";
+        return 1;
+    }
+    std::cout << "steady state: II=" << mod.initial_ii << " + " << mod.reconfigs
+              << " reconfigurations = " << mod.actual_ii << " cc per result\n";
+
+    // 2. Unroll a batch of 4 channel realizations.
+    const int batch = 4;
+    const pipeline::ExpandedProgram ep = pipeline::expand_modulo(spec, g, mod, batch);
+    std::cout << "unrolled " << batch << " iterations: " << ep.graph.num_nodes()
+              << " nodes, flat makespan " << ep.schedule.makespan << " cc (vs "
+              << batch * ir::critical_path_length(spec, g) << " back-to-back)\n";
+
+    // 3. Memory allocation for the whole batch: pin the starts, let the CP
+    //    model place every vector in the banked memory.
+    sched::ScheduleOptions aopts;
+    aopts.spec = spec;
+    aopts.fixed_starts = ep.schedule.start;
+    aopts.timeout_ms = 60000;
+    const sched::Schedule allocated = sched::schedule_kernel(ep.graph, aopts);
+    if (!allocated.feasible()) {
+        std::cout << "memory allocation failed\n";
+        return 1;
+    }
+    const auto problems = sched::verify_schedule(spec, ep.graph, allocated);
+    std::cout << "allocation: " << allocated.slots_used << " of " << spec.memory.slots()
+              << " slots, verification "
+              << (problems.empty() ? "clean" : problems.front()) << "\n";
+
+    // 4. Machine code and its binary size.
+    const codegen::MachineProgram prog = codegen::generate_code(spec, ep.graph, allocated);
+    const auto bundles = codegen::encode_program(ep.graph, prog);
+    std::cout << "machine code: " << prog.instrs.size() << " instruction cycles, "
+              << codegen::encoded_size_bytes(bundles) << " bytes of configuration words\n";
+
+    // 5. Execute.
+    const sim::SimResult run = sim::simulate(spec, ep.graph, prog);
+    std::cout << "execution: " << run.cycles << " cycles, " << run.reconfigurations
+              << " reconfigurations, outputs "
+              << (run.outputs_match ? "MATCH the reference QR factorizations"
+                                    : "MISMATCH")
+              << "\n";
+    const double per_result = static_cast<double>(run.cycles) / batch;
+    std::cout << "effective cost per channel: " << per_result << " cc (steady-state bound "
+              << mod.actual_ii << " cc as the batch grows)\n";
+    return run.clean() && problems.empty() ? 0 : 1;
+}

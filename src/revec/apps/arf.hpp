@@ -1,0 +1,15 @@
+// ARF kernel: the classic auto-regression-filter dataflow graph from the
+// HLS benchmark suites, "modified to work on vectors as basic units instead
+// of scalars" (paper §4.3): 16 vector multiplications and 12 vector
+// additions in eight dependence levels, so the critical path is
+// 8 * 7 = 56 cycles, matching the paper's |Cr.P| = 56 and |V| = 88.
+#pragma once
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::apps {
+
+/// Build the vectorized ARF IR on deterministic pseudo-random inputs.
+ir::Graph build_arf(unsigned seed = 7);
+
+}  // namespace revec::apps

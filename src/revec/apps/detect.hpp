@@ -1,0 +1,19 @@
+// MIMO detection front-end kernel (the application family the paper's EIT
+// architecture was built for, §1): a matched-filter MMSE-style detector
+//   z = H^H y            (Hermitian pre-stage + matrix-vector product)
+//   e = per-stream channel energies (m_squsum of H^H)
+//   s_i = z_i / e_i      (scalar accelerator divisions, via index/merge)
+//   ranking = sort(|s|)  (post-processing sort, as in sorted-QRD detectors)
+// Exercises every unit: matrix ops with fusable pre/post stages, the
+// index/merge block, and the scalar divider.
+#pragma once
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::apps {
+
+/// Build the detection kernel on a deterministic random channel and
+/// received vector.
+ir::Graph build_detect(unsigned seed = 77);
+
+}  // namespace revec::apps

@@ -1,0 +1,17 @@
+// MATMUL kernel: listing 1 of the paper. Multiplies a 4x4 matrix with its
+// transpose via 16 vector dot products whose scalar results are merged into
+// four result vectors. The traced IR matches the paper's Fig. 3 and the
+// MATMUL row of Table 3 exactly: |V| = 44, |E| = 68, |Cr.P| = 8.
+#pragma once
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::apps {
+
+/// Build the MATMUL IR. `a` supplies the input matrix rows; defaults to the
+/// hard-coded vectors of listing 1 ((1,2,3,4), (2,3,4,5), (3,4,5,6),
+/// (4,5,6,7)).
+ir::Graph build_matmul();
+ir::Graph build_matmul(const std::array<std::array<ir::Complex, ir::kVecLen>, 4>& a);
+
+}  // namespace revec::apps

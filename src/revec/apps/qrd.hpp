@@ -1,0 +1,27 @@
+// QRD kernel: Modified Gram-Schmidt based MMSE QR decomposition (paper §4.1,
+// following Luethi et al. and Zhang's MMSE-QRD). The extended system matrix
+// [H; sigma*I] is 8x4; each column is represented as two 4-element vectors
+// (top = channel column, bottom = regularization row), so every length-8
+// inner product is two v_dotP plus a scalar add on the accelerator.
+//
+// The original DSL source (written by the architecture's designer) is not
+// available; this implementation reproduces the algorithm and the op mix.
+// Paper IR: |V| = 143, |E| = 194, |Cr.P| = 169, #v_data = 49.
+#pragma once
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::apps {
+
+/// Options for the QRD builder.
+struct QrdOptions {
+    /// MMSE regularization sigma (diagonal of the extension block).
+    double sigma = 0.5;
+    /// Seed for the deterministic pseudo-random channel matrix H.
+    unsigned seed = 2015;
+};
+
+/// Build the MMSE-QRD IR on a deterministic random 4x4 complex channel.
+ir::Graph build_qrd(const QrdOptions& options = {});
+
+}  // namespace revec::apps

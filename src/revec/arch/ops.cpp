@@ -1,0 +1,105 @@
+#include "revec/arch/ops.hpp"
+
+#include <unordered_map>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::arch {
+
+namespace {
+
+std::vector<OpInfo> make_catalogue() {
+    using enum Resource;
+    using enum Stage;
+    using enum ResultKind;
+    std::vector<OpInfo> ops;
+
+    const auto add = [&](std::string name, Resource res, Stage st, int lanes, int arity,
+                         ResultKind rk, bool matrix) {
+        ops.push_back({std::move(name), res, st, lanes, arity, rk, matrix});
+    };
+
+    // -- vector core operations (one lane each) -----------------------------
+    add("v_add", VectorCore, Core, 1, 2, VectorData, false);
+    add("v_sub", VectorCore, Core, 1, 2, VectorData, false);
+    add("v_mul", VectorCore, Core, 1, 2, VectorData, false);    // element-wise
+    add("v_cmac", VectorCore, Core, 1, 3, VectorData, false);   // a*b + c
+    add("v_scale", VectorCore, Core, 1, 2, VectorData, false);  // vector * scalar
+    add("v_axpy", VectorCore, Core, 1, 3, VectorData, false);   // y - s*x (Gram-Schmidt update)
+    add("v_dotP", VectorCore, Core, 1, 2, ScalarData, false);   // sum a_i * conj(b_i)
+    add("v_dotu", VectorCore, Core, 1, 2, ScalarData, false);   // sum a_i * b_i (no conj)
+    add("v_squsum", VectorCore, Core, 1, 1, ScalarData, false); // sum |a_i|^2
+
+    // -- vector pre-processing (PE2) ----------------------------------------
+    add("pre_conj", VectorCore, Pre, 1, 1, VectorData, false);
+    add("pre_mask", VectorCore, Pre, 1, 1, VectorData, false);  // zero upper elements
+
+    // -- vector post-processing (PE4) ---------------------------------------
+    add("post_sort", VectorCore, Post, 1, 1, VectorData, false);   // by |x|^2 ascending
+    add("post_accum", VectorCore, Post, 1, 1, ScalarData, false);  // horizontal sum
+
+    // -- matrix operations (all four lanes) ---------------------------------
+    add("m_add", VectorCore, Core, 4, 8, MatrixData, true);
+    add("m_sub", VectorCore, Core, 4, 8, MatrixData, true);
+    add("m_scale", VectorCore, Core, 4, 5, MatrixData, true);    // matrix * scalar
+    add("m_squsum", VectorCore, Core, 4, 4, VectorData, true);   // per-row |.|^2 sums
+    add("m_vmul", VectorCore, Core, 4, 5, VectorData, true);     // matrix * vector
+    add("m_hermitian", VectorCore, Pre, 4, 4, MatrixData, true); // conjugate transpose
+
+    // -- scalar accelerator ----------------------------------------------------
+    add("s_add", Scalar, NotApplicable, 0, 2, ScalarData, false);
+    add("s_sub", Scalar, NotApplicable, 0, 2, ScalarData, false);
+    add("s_mul", Scalar, NotApplicable, 0, 2, ScalarData, false);
+    add("s_div", Scalar, NotApplicable, 0, 2, ScalarData, false);
+    add("s_sqrt", Scalar, NotApplicable, 0, 1, ScalarData, false);
+    add("s_rsqrt", Scalar, NotApplicable, 0, 1, ScalarData, false);
+    add("s_cordic_mag", Scalar, NotApplicable, 0, 1, ScalarData, false);  // |x| via CORDIC
+
+    // -- index / merge unit ------------------------------------------------------
+    add("index", IndexMerge, NotApplicable, 0, 1, ScalarData, false);  // extract element
+    add("merge", IndexMerge, NotApplicable, 0, 4, VectorData, false);  // 4 scalars -> vector
+
+    return ops;
+}
+
+const std::vector<OpInfo>& catalogue() {
+    static const std::vector<OpInfo> ops = make_catalogue();
+    return ops;
+}
+
+const std::unordered_map<std::string_view, const OpInfo*>& index_by_name() {
+    static const std::unordered_map<std::string_view, const OpInfo*> map = [] {
+        std::unordered_map<std::string_view, const OpInfo*> m;
+        for (const OpInfo& op : catalogue()) m.emplace(op.name, &op);
+        return m;
+    }();
+    return map;
+}
+
+}  // namespace
+
+const OpInfo& op_info(std::string_view name) {
+    const auto it = index_by_name().find(name);
+    if (it == index_by_name().end()) {
+        throw Error("unknown operation '" + std::string(name) + "'");
+    }
+    return *it->second;
+}
+
+bool is_known_op(std::string_view name) { return index_by_name().contains(name); }
+
+const std::vector<OpInfo>& all_ops() { return catalogue(); }
+
+OpTiming op_timing(const ArchSpec& spec, const OpInfo& info) {
+    switch (info.resource) {
+        case Resource::VectorCore:
+            return {spec.vector_latency, spec.vector_duration};
+        case Resource::Scalar:
+            return {spec.scalar_latency, spec.scalar_duration};
+        case Resource::IndexMerge:
+            return {spec.index_merge_latency, spec.index_merge_duration};
+    }
+    REVEC_UNREACHABLE("bad Resource");
+}
+
+}  // namespace revec::arch

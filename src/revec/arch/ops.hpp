@@ -1,0 +1,57 @@
+// Operation catalogue: the subset of EIT operations exposed by the DSL
+// (paper §3.1: "we took a subset of the possible operations that are used in
+// the MIMO applications"). Each operation knows which resource it runs on,
+// which pipeline stage it belongs to (pre / core / post, for the merging
+// pass of §3.3.1), how many lanes it occupies, and its operand arity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+
+namespace revec::arch {
+
+/// Position of an operation inside the vector pipeline; NotApplicable for
+/// scalar and index/merge operations.
+enum class Stage {
+    Pre,   ///< PE2 pre-processing (masking, conjugation, Hermitian access)
+    Core,  ///< PE3 CMAC lanes
+    Post,  ///< PE4 post-processing (sorting, accumulation)
+    NotApplicable,
+};
+
+/// Shape of an operation's result.
+enum class ResultKind { VectorData, ScalarData, MatrixData };
+
+/// Static description of one DSL operation.
+struct OpInfo {
+    std::string name;       ///< DSL name, e.g. "v_dotP"
+    Resource resource;      ///< execution resource
+    Stage stage;            ///< vector-pipeline stage (or NotApplicable)
+    int lanes;              ///< vector lanes occupied (1 vector, 4 matrix)
+    int arity;              ///< number of operand data nodes
+    ResultKind result;      ///< what the operation produces
+    bool is_matrix_op;      ///< occupies the whole vector block
+};
+
+/// Look up an operation by DSL name; throws revec::Error for unknown names.
+const OpInfo& op_info(std::string_view name);
+
+/// True if `name` names a known operation.
+bool is_known_op(std::string_view name);
+
+/// All registered operations (stable order), for documentation and tests.
+const std::vector<OpInfo>& all_ops();
+
+/// Timing of an operation under a given architecture.
+struct OpTiming {
+    int latency;
+    int duration;
+};
+
+OpTiming op_timing(const ArchSpec& spec, const OpInfo& info);
+
+}  // namespace revec::arch

@@ -1,0 +1,93 @@
+#include "revec/arch/spec_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/xml/xml.hpp"
+
+namespace revec::arch {
+
+std::string spec_to_xml(const ArchSpec& spec) {
+    xml::Document doc("arch");
+    const auto set = [](xml::Element& e, const char* key, int value) {
+        e.set_attr(key, std::to_string(value));
+    };
+    xml::Element& vec = doc.root().add_child("vector");
+    set(vec, "lanes", spec.vector_lanes);
+    set(vec, "length", spec.vector_length);
+    set(vec, "stages", spec.pipeline_stages);
+    set(vec, "latency", spec.vector_latency);
+    set(vec, "duration", spec.vector_duration);
+    set(vec, "operands", spec.max_operands);
+    xml::Element& sca = doc.root().add_child("scalar");
+    set(sca, "units", spec.scalar_units);
+    set(sca, "latency", spec.scalar_latency);
+    set(sca, "duration", spec.scalar_duration);
+    xml::Element& ix = doc.root().add_child("index_merge");
+    set(ix, "units", spec.index_merge_units);
+    set(ix, "latency", spec.index_merge_latency);
+    set(ix, "duration", spec.index_merge_duration);
+    xml::Element& rec = doc.root().add_child("reconfig");
+    set(rec, "cycles", spec.reconfig_cycles);
+    xml::Element& mem = doc.root().add_child("memory");
+    set(mem, "banks", spec.memory.banks);
+    set(mem, "banks_per_page", spec.memory.banks_per_page);
+    set(mem, "lines", spec.memory.lines);
+    set(mem, "max_reads", spec.max_vector_reads_per_cycle);
+    set(mem, "max_writes", spec.max_vector_writes_per_cycle);
+    return doc.to_string();
+}
+
+ArchSpec spec_from_xml(std::string_view text) {
+    const xml::Document doc = xml::Document::parse(text);
+    if (doc.root().name() != "arch") {
+        throw Error("expected <arch> root, got <" + doc.root().name() + ">");
+    }
+    ArchSpec spec;  // EIT defaults
+    const auto get = [](const xml::Element* e, const char* key, int& out) {
+        if (e != nullptr && e->has_attr(key)) out = static_cast<int>(e->attr_int(key));
+    };
+    const xml::Element* vec = doc.root().child_opt("vector");
+    get(vec, "lanes", spec.vector_lanes);
+    get(vec, "length", spec.vector_length);
+    get(vec, "stages", spec.pipeline_stages);
+    get(vec, "latency", spec.vector_latency);
+    get(vec, "duration", spec.vector_duration);
+    get(vec, "operands", spec.max_operands);
+    const xml::Element* sca = doc.root().child_opt("scalar");
+    get(sca, "units", spec.scalar_units);
+    get(sca, "latency", spec.scalar_latency);
+    get(sca, "duration", spec.scalar_duration);
+    const xml::Element* ix = doc.root().child_opt("index_merge");
+    get(ix, "units", spec.index_merge_units);
+    get(ix, "latency", spec.index_merge_latency);
+    get(ix, "duration", spec.index_merge_duration);
+    const xml::Element* rec = doc.root().child_opt("reconfig");
+    get(rec, "cycles", spec.reconfig_cycles);
+    const xml::Element* mem = doc.root().child_opt("memory");
+    get(mem, "banks", spec.memory.banks);
+    get(mem, "banks_per_page", spec.memory.banks_per_page);
+    get(mem, "lines", spec.memory.lines);
+    get(mem, "max_reads", spec.max_vector_reads_per_cycle);
+    get(mem, "max_writes", spec.max_vector_writes_per_cycle);
+    spec.validate();
+    return spec;
+}
+
+void save_spec(const ArchSpec& spec, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open '" + path + "' for writing");
+    out << spec_to_xml(spec);
+}
+
+ArchSpec load_spec(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open '" + path + "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return spec_from_xml(buf.str());
+}
+
+}  // namespace revec::arch

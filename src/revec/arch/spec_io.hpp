@@ -1,0 +1,33 @@
+// ArchSpec <-> XML: lets a retargeted architecture description live in a
+// file next to the kernels it schedules (`revecc --arch=my_machine.xml`).
+//
+// Schema:
+//   <arch>
+//     <vector lanes="4" length="4" stages="7" latency="7" duration="1"
+//             operands="3"/>
+//     <scalar units="1" latency="4" duration="1"/>
+//     <index_merge units="1" latency="1" duration="1"/>
+//     <reconfig cycles="1"/>
+//     <memory banks="16" banks_per_page="4" lines="4"
+//             max_reads="8" max_writes="4"/>
+//   </arch>
+// Every attribute is optional and defaults to the EIT value.
+#pragma once
+
+#include <string>
+
+#include "revec/arch/spec.hpp"
+
+namespace revec::arch {
+
+/// Serialize a spec to the XML description.
+std::string spec_to_xml(const ArchSpec& spec);
+
+/// Parse a spec (validated); throws revec::Error on malformed input.
+ArchSpec spec_from_xml(std::string_view text);
+
+/// File helpers.
+void save_spec(const ArchSpec& spec, const std::string& path);
+ArchSpec load_spec(const std::string& path);
+
+}  // namespace revec::arch

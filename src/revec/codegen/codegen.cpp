@@ -1,0 +1,138 @@
+#include "revec/codegen/codegen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::codegen {
+
+namespace {
+
+OpIssue make_issue(const ir::Graph& g, const sched::Schedule& sched, int op) {
+    OpIssue issue;
+    issue.op_node = op;
+    for (const int d : g.preds(op)) {
+        const ir::Node& data = g.node(d);
+        if (data.cat == ir::NodeCat::VectorData) {
+            const int slot = sched.slot[static_cast<std::size_t>(d)];
+            if (slot < 0) throw Error("vector data node " + std::to_string(d) + " has no slot");
+            issue.src_slots.push_back(slot);
+        } else {
+            issue.src_scalars.push_back(d);
+        }
+    }
+    const auto& outs = g.succs(op);
+    if (outs.size() == 1) {
+        const ir::Node& data = g.node(outs[0]);
+        if (data.cat == ir::NodeCat::VectorData) {
+            issue.dst_slot = sched.slot[static_cast<std::size_t>(outs[0])];
+            if (issue.dst_slot < 0) {
+                throw Error("vector result node " + std::to_string(outs[0]) + " has no slot");
+            }
+        } else {
+            issue.dst_scalar = outs[0];
+        }
+    } else {
+        for (const int o : outs) {
+            const int slot = sched.slot[static_cast<std::size_t>(o)];
+            if (slot < 0) throw Error("matrix result node " + std::to_string(o) + " has no slot");
+            issue.dst_slots.push_back(slot);
+        }
+    }
+    return issue;
+}
+
+}  // namespace
+
+MachineProgram generate_code(const arch::ArchSpec& spec, const ir::Graph& g,
+                             const sched::Schedule& sched) {
+    if (!sched.feasible()) throw Error("cannot generate code from an infeasible schedule");
+    REVEC_EXPECTS(sched.start.size() == static_cast<std::size_t>(g.num_nodes()));
+
+    MachineProgram prog;
+    prog.slot_of_data.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+    for (const ir::Node& node : g.nodes()) {
+        if (node.cat == ir::NodeCat::VectorData) {
+            prog.slot_of_data[static_cast<std::size_t>(node.id)] =
+                sched.slot[static_cast<std::size_t>(node.id)];
+        }
+    }
+
+    std::map<int, MachineInstr> by_cycle;
+    for (const ir::Node& node : g.nodes()) {
+        if (!node.is_op()) continue;
+        const int t = sched.start[static_cast<std::size_t>(node.id)];
+        MachineInstr& instr = by_cycle[t];
+        instr.cycle = t;
+        const ir::NodeTiming timing = ir::node_timing(spec, node);
+        const OpIssue issue = make_issue(g, sched, node.id);
+        if (timing.lanes > 0) {
+            const std::string key = ir::config_key(node);
+            REVEC_ASSERT(instr.vector_config.empty() || instr.vector_config == key);
+            instr.vector_config = key;
+            instr.vector_ops.push_back(issue);
+        } else if (node.cat == ir::NodeCat::ScalarOp) {
+            instr.scalar_ops.push_back(issue);
+        } else {
+            instr.ix_ops.push_back(issue);
+        }
+    }
+
+    std::string current_config;
+    for (auto& [cycle, instr] : by_cycle) {
+        if (!instr.vector_config.empty() && instr.vector_config != current_config) {
+            ++prog.reconfigurations;
+            current_config = instr.vector_config;
+        }
+        prog.instrs.push_back(std::move(instr));
+    }
+    prog.length = sched.makespan;
+    return prog;
+}
+
+std::string MachineProgram::to_listing(const ir::Graph& g) const {
+    std::ostringstream os;
+    const auto slots = [](const std::vector<int>& xs) {
+        std::string out;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            if (i > 0) out += ",";
+            out += "M[" + std::to_string(xs[i]) + "]";
+        }
+        return out;
+    };
+    for (const MachineInstr& instr : instrs) {
+        os << "t=" << instr.cycle << ":";
+        if (!instr.vector_config.empty()) {
+            os << " vec<" << instr.vector_config << ">";
+            for (const OpIssue& op : instr.vector_ops) {
+                os << " " << g.node(op.op_node).op << "(" << slots(op.src_slots);
+                for (const int r : op.src_scalars) os << ",r" << r;
+                os << ")->";
+                if (op.dst_slot >= 0) {
+                    os << "M[" << op.dst_slot << "]";
+                } else if (!op.dst_slots.empty()) {
+                    os << slots(op.dst_slots);
+                } else {
+                    os << "r" << op.dst_scalar;
+                }
+                os << ";";
+            }
+        }
+        for (const OpIssue& op : instr.scalar_ops) {
+            os << " acc:" << g.node(op.op_node).op << "->r" << op.dst_scalar << ";";
+        }
+        for (const OpIssue& op : instr.ix_ops) {
+            os << " ix:" << g.node(op.op_node).op;
+            if (op.dst_slot >= 0) os << "->M[" << op.dst_slot << "]";
+            if (op.dst_scalar >= 0) os << "->r" << op.dst_scalar;
+            os << ";";
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace revec::codegen

@@ -1,0 +1,57 @@
+// Code generation: turn a schedule + memory allocation into machine code
+// for the EIT model — per-cycle configuration bundles naming, for every
+// resource, the operation to configure and the memory slots / operand
+// registers involved. "The output is a schedule with memory allocation that
+// contains all information needed by a code generator turning this schedule
+// into machine code" (paper §1); this module is that code generator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+#include "revec/ir/graph.hpp"
+#include "revec/sched/schedule.hpp"
+
+namespace revec::codegen {
+
+/// One operation issue: which IR op, where its vector operands live, where
+/// the result goes. Scalar operands/results are named by virtual scalar
+/// registers (the paper assumes optimal allocation for scalar data).
+struct OpIssue {
+    int op_node = -1;
+    std::vector<int> src_slots;      ///< vector operand slots (issue order)
+    std::vector<int> src_scalars;    ///< scalar operand registers (data node ids)
+    int dst_slot = -1;               ///< vector result slot (-1 if scalar result)
+    std::vector<int> dst_slots;      ///< matrix results (4 slots) when applicable
+    int dst_scalar = -1;             ///< scalar result register (-1 if vector)
+};
+
+/// Everything issued in one clock cycle.
+struct MachineInstr {
+    int cycle = 0;
+    std::string vector_config;       ///< loaded configuration ("" = none issued)
+    std::vector<OpIssue> vector_ops;
+    std::vector<OpIssue> scalar_ops;
+    std::vector<OpIssue> ix_ops;
+};
+
+/// A complete machine program for one kernel iteration.
+struct MachineProgram {
+    std::vector<MachineInstr> instrs;  ///< ascending by cycle; idle cycles omitted
+    std::vector<int> slot_of_data;     ///< per data node id; -1 for scalar data
+    int length = 0;                    ///< schedule length in cycles
+    int reconfigurations = 0;          ///< config changes over the issue sequence
+                                       ///< (including the initial load)
+
+    /// Render a human-readable assembly-like listing.
+    std::string to_listing(const ir::Graph& g) const;
+};
+
+/// Generate machine code from a memory-allocated schedule. The schedule must
+/// be feasible and verified; throws revec::Error on missing slots.
+MachineProgram generate_code(const arch::ArchSpec& spec, const ir::Graph& g,
+                             const sched::Schedule& sched);
+
+}  // namespace revec::codegen

@@ -1,0 +1,151 @@
+#include "revec/codegen/encode.hpp"
+
+#include <map>
+
+#include "revec/arch/ops.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::codegen {
+
+namespace {
+
+/// Stable opcode table: catalogue order, 1-based (0 = "no operation").
+const std::vector<std::string>& opcode_table() {
+    static const std::vector<std::string> table = [] {
+        std::vector<std::string> t;
+        t.emplace_back("");  // opcode 0 reserved
+        for (const arch::OpInfo& info : arch::all_ops()) t.push_back(info.name);
+        return t;
+    }();
+    return table;
+}
+
+std::uint64_t field(std::uint64_t value, int shift) { return value << shift; }
+
+void require_fits(std::int64_t value, std::int64_t max, const char* what) {
+    if (value < 0 || value > max) {
+        throw Error(std::string("cannot encode ") + what + " value " +
+                    std::to_string(value));
+    }
+}
+
+std::uint64_t encode_vector(const ir::Graph& g, const OpIssue& issue) {
+    const ir::Node& node = g.node(issue.op_node);
+    const std::uint8_t op = opcode_of(node.op);
+    const std::uint8_t pre = node.pre_op.empty() ? 0 : opcode_of(node.pre_op);
+    const std::uint8_t post = node.post_op.empty() ? 0 : opcode_of(node.post_op);
+    require_fits(node.imm, 255, "immediate");
+    const int lanes = arch::op_info(node.op).lanes;
+
+    const auto slot_field = [](const std::vector<int>& slots, std::size_t i) -> std::uint64_t {
+        if (i >= slots.size()) return 0;
+        require_fits(slots[i], 253, "slot");
+        return static_cast<std::uint64_t>(slots[i] + 1);
+    };
+    const std::uint64_t dst =
+        issue.dst_slot >= 0 ? static_cast<std::uint64_t>(issue.dst_slot + 1)
+        : !issue.dst_slots.empty() ? static_cast<std::uint64_t>(issue.dst_slots[0] + 1)
+                                   : 0;
+    return field(op, 56) | field(pre, 48) | field(post, 40) |
+           field(static_cast<std::uint64_t>(node.imm), 32) |
+           field(static_cast<std::uint64_t>(lanes), 24) | field(slot_field(issue.src_slots, 0), 16) |
+           field(slot_field(issue.src_slots, 1), 8) | dst;
+}
+
+std::uint64_t encode_scalar(const ir::Graph& g, const OpIssue& issue) {
+    const ir::Node& node = g.node(issue.op_node);
+    const std::uint8_t op = opcode_of(node.op);
+    const auto reg_field = [](const std::vector<int>& regs, std::size_t i) -> std::uint64_t {
+        if (i >= regs.size()) return 0;
+        require_fits(regs[i], 65534, "scalar register");
+        return static_cast<std::uint64_t>(regs[i] + 1);
+    };
+    require_fits(issue.dst_scalar, 65534, "scalar register");
+    return field(op, 56) | field(reg_field(issue.src_scalars, 0), 40) |
+           field(reg_field(issue.src_scalars, 1), 24) |
+           field(static_cast<std::uint64_t>(issue.dst_scalar + 1), 8);
+}
+
+std::uint64_t encode_ix(const ir::Graph& g, const OpIssue& issue) {
+    const ir::Node& node = g.node(issue.op_node);
+    const std::uint8_t op = opcode_of(node.op);
+    require_fits(node.imm, 255, "immediate");
+    const std::uint64_t slot =
+        issue.dst_slot >= 0   ? static_cast<std::uint64_t>(issue.dst_slot + 1)
+        : !issue.src_slots.empty() ? static_cast<std::uint64_t>(issue.src_slots[0] + 1)
+                                   : 0;
+    const std::uint64_t reg =
+        issue.dst_scalar >= 0 ? static_cast<std::uint64_t>(issue.dst_scalar + 1)
+        : !issue.src_scalars.empty() ? static_cast<std::uint64_t>(issue.src_scalars[0] + 1)
+                                     : 0;
+    return field(op, 56) | field(static_cast<std::uint64_t>(node.imm), 48) |
+           field(slot, 40) | field(reg, 24);
+}
+
+}  // namespace
+
+std::uint8_t opcode_of(const std::string& op_name) {
+    const auto& table = opcode_table();
+    for (std::size_t i = 1; i < table.size(); ++i) {
+        if (table[i] == op_name) return static_cast<std::uint8_t>(i);
+    }
+    throw Error("no opcode for operation '" + op_name + "'");
+}
+
+const std::string& op_name_of(std::uint8_t opcode) {
+    const auto& table = opcode_table();
+    if (opcode == 0 || opcode >= table.size()) {
+        throw Error("unknown opcode " + std::to_string(opcode));
+    }
+    return table[opcode];
+}
+
+std::vector<ConfigBundle> encode_program(const ir::Graph& g, const MachineProgram& prog) {
+    std::vector<ConfigBundle> bundles;
+    bundles.reserve(prog.instrs.size());
+    for (const MachineInstr& instr : prog.instrs) {
+        ConfigBundle bundle;
+        bundle.cycle = instr.cycle;
+        for (const OpIssue& issue : instr.vector_ops) {
+            bundle.vector_words.push_back(encode_vector(g, issue));
+        }
+        for (const OpIssue& issue : instr.scalar_ops) {
+            bundle.scalar_words.push_back(encode_scalar(g, issue));
+        }
+        for (const OpIssue& issue : instr.ix_ops) {
+            bundle.ix_words.push_back(encode_ix(g, issue));
+        }
+        bundles.push_back(std::move(bundle));
+    }
+    return bundles;
+}
+
+DecodedVectorWord decode_vector_word(std::uint64_t word) {
+    DecodedVectorWord d;
+    d.op = op_name_of(static_cast<std::uint8_t>(word >> 56));
+    const auto pre = static_cast<std::uint8_t>((word >> 48) & 0xff);
+    const auto post = static_cast<std::uint8_t>((word >> 40) & 0xff);
+    if (pre != 0) d.pre_op = op_name_of(pre);
+    if (post != 0) d.post_op = op_name_of(post);
+    d.imm = static_cast<int>((word >> 32) & 0xff);
+    d.lanes = static_cast<int>((word >> 24) & 0xff);
+    const auto slot = [&](int shift) {
+        const int raw = static_cast<int>((word >> shift) & 0xff);
+        return raw == 0 ? -1 : raw - 1;
+    };
+    d.src0_slot = slot(16);
+    d.src1_slot = slot(8);
+    d.dst_slot = slot(0);
+    return d;
+}
+
+std::size_t encoded_size_bytes(const std::vector<ConfigBundle>& bundles) {
+    std::size_t words = 0;
+    for (const ConfigBundle& b : bundles) {
+        words += b.vector_words.size() + b.scalar_words.size() + b.ix_words.size();
+    }
+    return words * sizeof(std::uint64_t);
+}
+
+}  // namespace revec::codegen

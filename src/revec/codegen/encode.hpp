@@ -1,0 +1,60 @@
+// Binary encoding of machine instructions into configuration words. The
+// EIT's resource elements are driven by "embedded configuration memories,
+// which are re-loadable in every clock cycle" (§1.1); this module packs a
+// MachineInstr into fixed-width words per resource element and decodes them
+// back, so generated programs have a concrete binary artifact.
+//
+// Word layout (64 bits each):
+//
+//   vector word   [63:56] opcode  [55:48] pre-op  [47:40] post-op
+//                 [39:32] imm      [31:24] lane count
+//                 [23:16] src0 slot [15:8] src1 slot [7:0] dst slot
+//                 (slot fields hold slot+1; 0 = unused/scalar operand)
+//   scalar word   [63:56] opcode  [55:40] src0 reg [39:24] src1 reg
+//                 [23:8]  dst reg [7:0] reserved
+//   ix word       [63:56] opcode  [55:48] imm [47:40] src/dst slot+1
+//                 [39:24] dst reg [23:8] src reg ... (see encode_ix)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "revec/codegen/codegen.hpp"
+
+namespace revec::codegen {
+
+/// One cycle's packed configuration: which resources are (re)configured.
+struct ConfigBundle {
+    int cycle = 0;
+    std::vector<std::uint64_t> vector_words;  ///< one per vector op issued
+    std::vector<std::uint64_t> scalar_words;
+    std::vector<std::uint64_t> ix_words;
+};
+
+/// Numeric opcode of a catalogue operation (stable across runs).
+std::uint8_t opcode_of(const std::string& op_name);
+/// Inverse of opcode_of; throws revec::Error for unknown opcodes.
+const std::string& op_name_of(std::uint8_t opcode);
+
+/// Pack a whole program. Slot and register indices must fit the fields
+/// (slots < 255, scalar registers < 65535); throws revec::Error otherwise.
+std::vector<ConfigBundle> encode_program(const ir::Graph& g, const MachineProgram& prog);
+
+/// Decoded view of one vector word (for tests and disassembly).
+struct DecodedVectorWord {
+    std::string op;
+    std::string pre_op;   // empty if none
+    std::string post_op;  // empty if none
+    int imm = 0;
+    int lanes = 0;
+    int src0_slot = -1;  // -1 = unused / scalar operand
+    int src1_slot = -1;
+    int dst_slot = -1;
+};
+
+DecodedVectorWord decode_vector_word(std::uint64_t word);
+
+/// Total size of the encoded program in bytes.
+std::size_t encoded_size_bytes(const std::vector<ConfigBundle>& bundles);
+
+}  // namespace revec::codegen

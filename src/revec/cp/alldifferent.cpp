@@ -1,0 +1,79 @@
+#include "revec/cp/alldifferent.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+class AllDifferent final : public Propagator {
+public:
+    explicit AllDifferent(std::vector<IntVar> vars) : vars_(std::move(vars)) {}
+
+    bool propagate(Store& s) override {
+        // 1. Value propagation: remove every assigned value from the others.
+        for (std::size_t i = 0; i < vars_.size(); ++i) {
+            if (!s.fixed(vars_[i])) continue;
+            const int v = s.value(vars_[i]);
+            for (std::size_t j = 0; j < vars_.size(); ++j) {
+                if (j == i) continue;
+                if (s.fixed(vars_[j]) && s.value(vars_[j]) == v) return false;
+                if (!s.fixed(vars_[j]) && !s.remove(vars_[j], v)) return false;
+            }
+        }
+
+        // 2. Hall intervals over the bounds: if the variables whose domains
+        //    lie inside [a, b] saturate it, no other variable may use it;
+        //    if they overflow it, fail.
+        std::vector<int> bounds;
+        for (const IntVar x : vars_) {
+            bounds.push_back(s.min(x));
+            bounds.push_back(s.max(x));
+        }
+        std::sort(bounds.begin(), bounds.end());
+        bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+        for (std::size_t ai = 0; ai < bounds.size(); ++ai) {
+            for (std::size_t bi = ai; bi < bounds.size(); ++bi) {
+                const int a = bounds[ai];
+                const int b = bounds[bi];
+                const std::int64_t width = static_cast<std::int64_t>(b) - a + 1;
+                int inside = 0;
+                for (const IntVar x : vars_) {
+                    if (s.min(x) >= a && s.max(x) <= b) ++inside;
+                }
+                if (inside > width) return false;
+                if (inside == width) {
+                    // Hall set: remove [a, b] from every variable outside it.
+                    for (const IntVar x : vars_) {
+                        if (s.min(x) >= a && s.max(x) <= b) continue;
+                        if (!s.remove_range(x, a, b)) return false;
+                    }
+                }
+            }
+        }
+        return true;
+    }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "all_different(" << vars_.size() << " vars)";
+        return os.str();
+    }
+
+private:
+    std::vector<IntVar> vars_;
+};
+
+}  // namespace
+
+void post_all_different(Store& store, std::vector<IntVar> vars) {
+    const std::vector<IntVar> watched = vars;
+    store.post(std::make_unique<AllDifferent>(std::move(vars)), watched);
+}
+
+}  // namespace revec::cp

@@ -1,0 +1,17 @@
+// AllDifferent global constraint with bound-consistent Hall-interval
+// reasoning plus value propagation on assigned variables. A natural
+// redundant constraint for memory-slot assignment of simultaneously-live
+// data, and a standard part of the FD kernel.
+#pragma once
+
+#include <vector>
+
+#include "revec/cp/store.hpp"
+#include "revec/cp/var.hpp"
+
+namespace revec::cp {
+
+/// Post pairwise-distinct over the variables.
+void post_all_different(Store& store, std::vector<IntVar> vars);
+
+}  // namespace revec::cp

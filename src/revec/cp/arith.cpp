@@ -1,0 +1,112 @@
+#include "revec/cp/arith.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "revec/cp/linear.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+class MaxProp final : public Propagator {
+public:
+    MaxProp(IntVar z, std::vector<IntVar> xs) : z_(z), xs_(std::move(xs)) {
+        REVEC_EXPECTS(!xs_.empty());
+    }
+
+    bool propagate(Store& s) override {
+        // z's bounds from the xs.
+        std::int64_t lb = s.min(xs_[0]);
+        std::int64_t ub = s.max(xs_[0]);
+        for (std::size_t i = 1; i < xs_.size(); ++i) {
+            lb = std::max<std::int64_t>(lb, s.min(xs_[i]));
+            ub = std::max<std::int64_t>(ub, s.max(xs_[i]));
+        }
+        if (!s.set_min(z_, lb) || !s.set_max(z_, ub)) return false;
+
+        // Every x <= z.
+        const std::int64_t zmax = s.max(z_);
+        for (const IntVar x : xs_) {
+            if (!s.set_max(x, zmax)) return false;
+        }
+
+        // If only one x can reach z's lower bound, it must.
+        const std::int64_t zmin = s.min(z_);
+        IntVar witness;
+        int candidates = 0;
+        for (const IntVar x : xs_) {
+            if (s.max(x) >= zmin) {
+                ++candidates;
+                witness = x;
+                if (candidates > 1) break;
+            }
+        }
+        if (candidates == 0) return false;
+        if (candidates == 1) {
+            if (!s.set_min(witness, zmin)) return false;
+        }
+        return true;
+    }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "max(z" << z_.index() << ", " << xs_.size() << " vars)";
+        return os.str();
+    }
+
+private:
+    IntVar z_;
+    std::vector<IntVar> xs_;
+};
+
+class UnaryFun final : public Propagator {
+public:
+    UnaryFun(IntVar x, IntVar y, std::function<int(int)> f, std::string desc)
+        : x_(x), y_(y), f_(std::move(f)), desc_(std::move(desc)) {}
+
+    bool propagate(Store& s) override {
+        // Supported y values under the current x domain.
+        std::vector<int> images;
+        s.dom(x_).for_each([&](int v) { images.push_back(f_(v)); });
+        if (!s.intersect(y_, Domain::of_values(std::move(images)))) return false;
+
+        // Remove x values whose image left y's domain.
+        const Domain& ydom = s.dom(y_);
+        std::vector<int> supported;
+        s.dom(x_).for_each([&](int v) {
+            if (ydom.contains(f_(v))) supported.push_back(v);
+        });
+        return s.intersect(x_, Domain::of_values(std::move(supported)));
+    }
+
+    std::string describe() const override { return desc_; }
+
+private:
+    IntVar x_;
+    IntVar y_;
+    std::function<int(int)> f_;
+    std::string desc_;
+};
+
+}  // namespace
+
+void post_max(Store& store, IntVar z, std::vector<IntVar> xs) {
+    std::vector<IntVar> watched = xs;
+    watched.push_back(z);
+    store.post(std::make_unique<MaxProp>(z, std::move(xs)), watched);
+}
+
+void post_unary_fun(Store& store, IntVar x, IntVar y, std::function<int(int)> f,
+                    std::string description) {
+    store.post(std::make_unique<UnaryFun>(x, y, std::move(f), std::move(description)), {x, y});
+}
+
+void post_mul_const(Store& store, IntVar x, std::int64_t k, IntVar z) {
+    REVEC_EXPECTS(k != 0);
+    post_linear_eq(store, {{k, x}, {-1, z}}, 0);
+}
+
+}  // namespace revec::cp

@@ -1,0 +1,17 @@
+// Counting constraints over boolean variables, used by the
+// reconfiguration-aware modulo scheduling model (number of configuration
+// changes around the steady-state kernel).
+#pragma once
+
+#include <vector>
+
+#include "revec/cp/store.hpp"
+#include "revec/cp/var.hpp"
+
+namespace revec::cp {
+
+/// Post total == sum(bools). Specialized counting propagator (cheaper than a
+/// general linear equality: it tracks fixed-1 and fixed-0 counts).
+void post_bool_sum(Store& store, std::vector<BoolVar> bools, IntVar total);
+
+}  // namespace revec::cp

@@ -1,0 +1,120 @@
+#include "revec/cp/cumulative.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+/// Time-table propagation: build the profile of compulsory parts
+/// (the interval [max(start), min(start)+duration) each task must occupy),
+/// fail if it exceeds capacity, and prune start times that would push any
+/// task over capacity against the profile of the *other* tasks.
+class Cumulative final : public Propagator {
+public:
+    static int dur_min(const Store& s, const CumulTask& t) {
+        return t.dur_var.valid() ? s.min(t.dur_var) : t.duration;
+    }
+
+    Cumulative(std::vector<CumulTask> tasks, int capacity)
+        : tasks_(std::move(tasks)), cap_(capacity) {
+        REVEC_EXPECTS(cap_ >= 0);
+        for (const CumulTask& t : tasks_) {
+            REVEC_EXPECTS(t.dur_var.valid() || t.duration > 0);
+            REVEC_EXPECTS(t.demand >= 0);
+        }
+    }
+
+    bool propagate(Store& s) override {
+        // Profile as a difference map over event points: profile changes by
+        // +demand at cp_begin and -demand at cp_end of each compulsory part.
+        std::map<int, int> delta;
+        for (const CumulTask& t : tasks_) {
+            if (t.demand == 0) continue;
+            const int cp_begin = s.max(t.start);
+            const int cp_end = s.min(t.start) + dur_min(s, t);
+            if (cp_begin < cp_end) {
+                delta[cp_begin] += t.demand;
+                delta[cp_end] -= t.demand;
+            }
+        }
+
+        // Materialize as step segments [from, to) -> height.
+        struct Segment {
+            int from;
+            int to;
+            int height;
+        };
+        std::vector<Segment> profile;
+        int height = 0;
+        int prev = 0;
+        bool open = false;
+        for (const auto& [at, d] : delta) {
+            if (open && height > 0 && prev < at) profile.push_back({prev, at, height});
+            height += d;
+            if (height > cap_) return false;
+            prev = at;
+            open = true;
+        }
+
+        if (profile.empty()) return true;
+
+        // Prune: for each task and each profile segment that together with
+        // the task's demand would exceed capacity, forbid start times that
+        // overlap the segment — unless the overlap is (part of) the task's
+        // own compulsory part.
+        for (const CumulTask& t : tasks_) {
+            if (t.demand == 0) continue;
+            const int own_begin = s.max(t.start);
+            const int d_min = dur_min(s, t);
+            const int own_end = s.min(t.start) + d_min;
+            const bool has_cp = own_begin < own_end;
+            for (const Segment& seg : profile) {
+                // Contribution of this task's own compulsory part to `seg`:
+                // the profile is built from *all* tasks, so subtract self
+                // where the segment lies inside the own compulsory part.
+                int seg_height = seg.height;
+                if (has_cp && seg.from >= own_begin && seg.to <= own_end) {
+                    seg_height -= t.demand;
+                }
+                if (seg_height + t.demand <= cap_) continue;
+                if (d_min == 0) continue;  // a possibly-empty task occupies nothing
+                // Starts in [seg.from - d_min + 1, seg.to - 1] overlap seg for
+                // every duration >= d_min.
+                if (!s.remove_range(t.start, seg.from - d_min + 1, seg.to - 1)) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "cumulative(" << tasks_.size() << " tasks, cap=" << cap_ << ")";
+        return os.str();
+    }
+
+private:
+    std::vector<CumulTask> tasks_;
+    int cap_;
+};
+
+}  // namespace
+
+void post_cumulative(Store& store, std::vector<CumulTask> tasks, int capacity) {
+    std::vector<IntVar> watched;
+    watched.reserve(tasks.size() * 2);
+    for (const CumulTask& t : tasks) {
+        watched.push_back(t.start);
+        if (t.dur_var.valid()) watched.push_back(t.dur_var);
+    }
+    store.post(std::make_unique<Cumulative>(std::move(tasks), capacity), watched);
+}
+
+}  // namespace revec::cp

@@ -1,0 +1,31 @@
+// Cumulative global constraint (Aggoun & Beldiceanu 1993) with variable
+// start times and constant durations/resource demands, via time-table
+// (compulsory-part) propagation. This models the paper's eq. (2): at any
+// cycle the vector lanes in use must not exceed nLanes, and likewise for the
+// scalar accelerator and the index/merge unit (capacity 1).
+#pragma once
+
+#include <vector>
+
+#include "revec/cp/store.hpp"
+#include "revec/cp/var.hpp"
+
+namespace revec::cp {
+
+/// One task of a cumulative resource. The duration is either the constant
+/// `duration` or, when `dur_var` is valid, a variable whose current minimum
+/// drives the (sound) time-table reasoning — used for the redundant
+/// "live vector data <= available slots" constraint, where a data node's
+/// lifetime is a variable.
+struct CumulTask {
+    IntVar start;
+    int duration;  ///< > 0 (ignored when dur_var is valid)
+    int demand;    ///< >= 0 resource units while running
+    IntVar dur_var{};  ///< optional variable duration (>= 0)
+};
+
+/// Post Cumulative(tasks, capacity): for every time t,
+/// sum of demand over tasks with start <= t < start+duration is <= capacity.
+void post_cumulative(Store& store, std::vector<CumulTask> tasks, int capacity);
+
+}  // namespace revec::cp

@@ -1,0 +1,99 @@
+#include "revec/cp/diff2.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+/// Pairwise constructive-disjunction propagation. For each ordered pair the
+/// four escape relations are
+///   L: i left of j   (x_i + len_i <= x_j)
+///   R: j left of i   (x_j + len_j <= x_i)
+///   B: i below j     (y_i + h_i <= y_j)
+///   A: j below i     (y_j + h_j <= y_i)
+/// plus "i or j is empty" (len 0). If only one relation stays feasible under
+/// the current bounds it is enforced with bounds propagation; if none stays
+/// feasible the constraint fails.
+class Diff2 final : public Propagator {
+public:
+    explicit Diff2(std::vector<Rect> rects) : rects_(std::move(rects)) {
+        for (const Rect& r : rects_) REVEC_EXPECTS(r.len_y >= 0);
+    }
+
+    bool propagate(Store& s) override {
+        for (std::size_t i = 0; i + 1 < rects_.size(); ++i) {
+            for (std::size_t j = i + 1; j < rects_.size(); ++j) {
+                if (!prune_pair(s, rects_[i], rects_[j])) return false;
+            }
+        }
+        return true;
+    }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "diff2(" << rects_.size() << " rects)";
+        return os.str();
+    }
+
+private:
+    // Feasibility of "a left of b" under current bounds: min(x_a)+min(len_a)
+    // <= max(x_b) must be satisfiable.
+    static bool left_feasible(const Store& s, const Rect& a, const Rect& b) {
+        return static_cast<std::int64_t>(s.min(a.x)) + s.min(a.len_x) <= s.max(b.x);
+    }
+
+    static bool below_feasible(const Store& s, const Rect& a, const Rect& b) {
+        return static_cast<std::int64_t>(s.min(a.y)) + a.len_y <= s.max(b.y);
+    }
+
+    // Enforce x_a + len_a <= x_b with bounds propagation.
+    static bool enforce_left(Store& s, const Rect& a, const Rect& b) {
+        if (!s.set_min(b.x, static_cast<std::int64_t>(s.min(a.x)) + s.min(a.len_x))) return false;
+        if (!s.set_max(a.x, static_cast<std::int64_t>(s.max(b.x)) - s.min(a.len_x))) return false;
+        return s.set_max(a.len_x, static_cast<std::int64_t>(s.max(b.x)) - s.min(a.x));
+    }
+
+    static bool enforce_below(Store& s, const Rect& a, const Rect& b) {
+        if (!s.set_min(b.y, static_cast<std::int64_t>(s.min(a.y)) + a.len_y)) return false;
+        return s.set_max(a.y, static_cast<std::int64_t>(s.max(b.y)) - a.len_y);
+    }
+
+    static bool prune_pair(Store& s, const Rect& a, const Rect& b) {
+        // A rectangle that may be empty (len 0) can always escape overlap.
+        if (s.min(a.len_x) == 0 || s.min(b.len_x) == 0 || a.len_y == 0 || b.len_y == 0) {
+            return true;
+        }
+        const bool can_l = left_feasible(s, a, b);
+        const bool can_r = left_feasible(s, b, a);
+        const bool can_b = below_feasible(s, a, b);
+        const bool can_a = below_feasible(s, b, a);
+        const int feasible = int(can_l) + int(can_r) + int(can_b) + int(can_a);
+        if (feasible == 0) return false;
+        if (feasible > 1) return true;
+        if (can_l) return enforce_left(s, a, b);
+        if (can_r) return enforce_left(s, b, a);
+        if (can_b) return enforce_below(s, a, b);
+        return enforce_below(s, b, a);
+    }
+
+    std::vector<Rect> rects_;
+};
+
+}  // namespace
+
+void post_diff2(Store& store, std::vector<Rect> rects) {
+    std::vector<IntVar> watched;
+    watched.reserve(rects.size() * 3);
+    for (const Rect& r : rects) {
+        watched.push_back(r.x);
+        watched.push_back(r.y);
+        watched.push_back(r.len_x);
+    }
+    store.post(std::make_unique<Diff2>(std::move(rects)), watched);
+}
+
+}  // namespace revec::cp

@@ -1,0 +1,28 @@
+// Diff2 global constraint (Beldiceanu & Contejean 1994): pairwise
+// non-overlap of rectangles in two dimensions. The paper uses it for memory
+// allocation with slot reuse (eq. 11): rectangle i is
+//   (origin_x = start time s_i, origin_y = slot_i,
+//    len_x = lifetime life_i (a variable), len_y = 1).
+// Here both origins and the x-length may be variables; y-lengths are
+// constant. A rectangle with zero length in some dimension overlaps nothing.
+#pragma once
+
+#include <vector>
+
+#include "revec/cp/store.hpp"
+#include "revec/cp/var.hpp"
+
+namespace revec::cp {
+
+/// One rectangle of a Diff2 constraint.
+struct Rect {
+    IntVar x;       ///< origin in dimension 1
+    IntVar y;       ///< origin in dimension 2
+    IntVar len_x;   ///< length in dimension 1 (variable, >= 0)
+    int len_y = 1;  ///< length in dimension 2 (constant, >= 0)
+};
+
+/// Post pairwise non-overlap of the rectangles.
+void post_diff2(Store& store, std::vector<Rect> rects);
+
+}  // namespace revec::cp

@@ -1,0 +1,157 @@
+#include "revec/cp/domain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+Domain::Domain(int lo, int hi) {
+    if (lo <= hi) ivs_.push_back({lo, hi});
+}
+
+Domain Domain::of_values(std::vector<int> values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    Domain d;
+    for (const int v : values) {
+        if (!d.ivs_.empty() && static_cast<std::int64_t>(d.ivs_.back().hi) + 1 == v) {
+            d.ivs_.back().hi = v;
+        } else {
+            d.ivs_.push_back({v, v});
+        }
+    }
+    return d;
+}
+
+std::int64_t Domain::size() const {
+    std::int64_t n = 0;
+    for (const Interval& iv : ivs_) n += static_cast<std::int64_t>(iv.hi) - iv.lo + 1;
+    return n;
+}
+
+int Domain::min() const {
+    REVEC_EXPECTS(!empty());
+    return ivs_.front().lo;
+}
+
+int Domain::max() const {
+    REVEC_EXPECTS(!empty());
+    return ivs_.back().hi;
+}
+
+int Domain::value() const {
+    REVEC_EXPECTS(is_fixed());
+    return ivs_[0].lo;
+}
+
+bool Domain::contains(int v) const {
+    // Binary search over intervals by lower bound.
+    auto it = std::upper_bound(ivs_.begin(), ivs_.end(), v,
+                               [](int x, const Interval& iv) { return x < iv.lo; });
+    if (it == ivs_.begin()) return false;
+    --it;
+    return v <= it->hi;
+}
+
+bool Domain::next_value(int v, int& out) const {
+    for (const Interval& iv : ivs_) {
+        if (iv.hi < v) continue;
+        out = std::max(iv.lo, v);
+        return true;
+    }
+    return false;
+}
+
+bool Domain::remove_below(int v) {
+    if (empty() || ivs_.front().lo >= v) return false;
+    std::size_t keep = 0;
+    while (keep < ivs_.size() && ivs_[keep].hi < v) ++keep;
+    ivs_.erase(ivs_.begin(), ivs_.begin() + static_cast<std::ptrdiff_t>(keep));
+    if (!ivs_.empty() && ivs_.front().lo < v) ivs_.front().lo = v;
+    return true;
+}
+
+bool Domain::remove_above(int v) {
+    if (empty() || ivs_.back().hi <= v) return false;
+    std::size_t keep = ivs_.size();
+    while (keep > 0 && ivs_[keep - 1].lo > v) --keep;
+    ivs_.erase(ivs_.begin() + static_cast<std::ptrdiff_t>(keep), ivs_.end());
+    if (!ivs_.empty() && ivs_.back().hi > v) ivs_.back().hi = v;
+    return true;
+}
+
+bool Domain::remove_value(int v) { return remove_range(v, v); }
+
+bool Domain::remove_range(int lo, int hi) {
+    if (lo > hi || empty() || hi < ivs_.front().lo || lo > ivs_.back().hi) return false;
+    std::vector<Interval> out;
+    out.reserve(ivs_.size() + 1);
+    bool changed = false;
+    for (const Interval& iv : ivs_) {
+        if (iv.hi < lo || iv.lo > hi) {
+            out.push_back(iv);
+            continue;
+        }
+        changed = true;
+        if (iv.lo < lo) out.push_back({iv.lo, lo - 1});
+        if (iv.hi > hi) out.push_back({hi + 1, iv.hi});
+    }
+    if (changed) ivs_ = std::move(out);
+    return changed;
+}
+
+bool Domain::intersect_with(const Domain& other) {
+    std::vector<Interval> out;
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < ivs_.size() && b < other.ivs_.size()) {
+        const Interval& x = ivs_[a];
+        const Interval& y = other.ivs_[b];
+        const int lo = std::max(x.lo, y.lo);
+        const int hi = std::min(x.hi, y.hi);
+        if (lo <= hi) out.push_back({lo, hi});
+        if (x.hi < y.hi) {
+            ++a;
+        } else {
+            ++b;
+        }
+    }
+    if (out == ivs_) return false;
+    ivs_ = std::move(out);
+    return true;
+}
+
+bool Domain::assign(int v) {
+    REVEC_EXPECTS(contains(v));
+    if (is_fixed()) return false;
+    ivs_.assign(1, {v, v});
+    return true;
+}
+
+std::string Domain::to_string() const {
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const Interval& iv : ivs_) {
+        if (!first) os << ", ";
+        first = false;
+        if (iv.lo == iv.hi) {
+            os << iv.lo;
+        } else {
+            os << iv.lo << ".." << iv.hi;
+        }
+    }
+    os << '}';
+    return os.str();
+}
+
+void Domain::check_invariant() const {
+    for (std::size_t i = 0; i < ivs_.size(); ++i) {
+        REVEC_ASSERT(ivs_[i].lo <= ivs_[i].hi);
+        if (i > 0) REVEC_ASSERT(static_cast<std::int64_t>(ivs_[i - 1].hi) + 1 < ivs_[i].lo);
+    }
+}
+
+}  // namespace revec::cp

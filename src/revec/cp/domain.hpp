@@ -1,0 +1,81 @@
+// Finite integer domain represented as a sorted set of disjoint,
+// non-adjacent closed intervals. This is the value type trailed by the
+// solver store; all operations are value-semantic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace revec::cp {
+
+/// One closed interval [lo, hi].
+struct Interval {
+    int lo;
+    int hi;
+    friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A finite set of integers. An empty domain represents failure.
+class Domain {
+public:
+    /// The empty domain.
+    Domain() = default;
+
+    /// The interval domain [lo, hi]; empty when lo > hi.
+    Domain(int lo, int hi);
+
+    /// Domain holding exactly the given values (any order, duplicates ok).
+    static Domain of_values(std::vector<int> values);
+
+    bool empty() const { return ivs_.empty(); }
+    bool is_fixed() const { return ivs_.size() == 1 && ivs_[0].lo == ivs_[0].hi; }
+
+    /// Number of values in the domain.
+    std::int64_t size() const;
+
+    /// Smallest value; domain must be non-empty.
+    int min() const;
+    /// Largest value; domain must be non-empty.
+    int max() const;
+    /// The single value of a fixed domain; domain must be fixed.
+    int value() const;
+
+    bool contains(int v) const;
+
+    /// Smallest domain value >= v, or nullopt-like sentinel via `found`.
+    bool next_value(int v, int& out) const;
+
+    // -- mutation; each returns true if the domain changed ------------------
+    bool remove_below(int v);
+    bool remove_above(int v);
+    bool remove_value(int v);
+    bool remove_range(int lo, int hi);
+    /// Keep only values also present in `other`.
+    bool intersect_with(const Domain& other);
+    /// Reduce to the single value v (caller guarantees contains(v)).
+    bool assign(int v);
+
+    /// Call `fn(v)` for every value in ascending order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (const Interval& iv : ivs_) {
+            for (int v = iv.lo;; ++v) {
+                fn(v);
+                if (v == iv.hi) break;  // avoids overflow at INT_MAX
+            }
+        }
+    }
+
+    const std::vector<Interval>& intervals() const { return ivs_; }
+
+    std::string to_string() const;
+
+    friend bool operator==(const Domain&, const Domain&) = default;
+
+private:
+    void check_invariant() const;
+    std::vector<Interval> ivs_;
+};
+
+}  // namespace revec::cp

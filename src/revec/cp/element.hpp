@@ -1,0 +1,19 @@
+// Element constraint: result = array[index], where the array entries are
+// themselves variables. Used for table-driven couplings (e.g. per-residue
+// configuration lookups) and provided as a standard part of the FD kernel.
+#pragma once
+
+#include <vector>
+
+#include "revec/cp/store.hpp"
+#include "revec/cp/var.hpp"
+
+namespace revec::cp {
+
+/// Post result == array[index]. `index` is confined to [0, array.size()).
+void post_element(Store& store, IntVar index, std::vector<IntVar> array, IntVar result);
+
+/// Post result == values[index] for a constant table.
+void post_element_const(Store& store, IntVar index, std::vector<int> values, IntVar result);
+
+}  // namespace revec::cp

@@ -1,0 +1,147 @@
+#include "revec/cp/linear.hpp"
+
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+std::int64_t term_min(const Store& s, const LinTerm& t) {
+    return t.coeff >= 0 ? t.coeff * s.min(t.var) : t.coeff * s.max(t.var);
+}
+
+std::int64_t term_max(const Store& s, const LinTerm& t) {
+    return t.coeff >= 0 ? t.coeff * s.max(t.var) : t.coeff * s.min(t.var);
+}
+
+/// Floor division for possibly-negative numerators.
+std::int64_t div_floor(std::int64_t a, std::int64_t b) {
+    REVEC_EXPECTS(b > 0);
+    const std::int64_t q = a / b;
+    return (a % b != 0 && a < 0) ? q - 1 : q;
+}
+
+/// Bounds propagation for sum(terms) <= c. Shared by Leq and Eq.
+bool prune_leq(Store& s, const std::vector<LinTerm>& terms, std::int64_t c) {
+    std::int64_t total_min = 0;
+    for (const LinTerm& t : terms) total_min += term_min(s, t);
+    if (total_min > c) return false;
+    for (const LinTerm& t : terms) {
+        if (t.coeff == 0) continue;
+        const std::int64_t slack = c - (total_min - term_min(s, t));
+        if (t.coeff > 0) {
+            if (!s.set_max(t.var, div_floor(slack, t.coeff))) return false;
+        } else {
+            // coeff*x <= slack with coeff < 0  <=>  x >= ceil(slack/coeff)
+            // and ceil(a / -b) == -floor(a / b) for b > 0.
+            if (!s.set_min(t.var, -div_floor(slack, -t.coeff))) return false;
+        }
+    }
+    return true;
+}
+
+class LinearLeq final : public Propagator {
+public:
+    LinearLeq(std::vector<LinTerm> terms, std::int64_t c) : terms_(std::move(terms)), c_(c) {}
+
+    bool propagate(Store& s) override { return prune_leq(s, terms_, c_); }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "linear_leq(" << terms_.size() << " terms, c=" << c_ << ")";
+        return os.str();
+    }
+
+private:
+    std::vector<LinTerm> terms_;
+    std::int64_t c_;
+};
+
+class LinearEq final : public Propagator {
+public:
+    LinearEq(std::vector<LinTerm> terms, std::int64_t c) : terms_(std::move(terms)), c_(c) {
+        neg_ = terms_;
+        for (LinTerm& t : neg_) t.coeff = -t.coeff;
+    }
+
+    bool propagate(Store& s) override {
+        return prune_leq(s, terms_, c_) && prune_leq(s, neg_, -c_);
+    }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "linear_eq(" << terms_.size() << " terms, c=" << c_ << ")";
+        return os.str();
+    }
+
+private:
+    std::vector<LinTerm> terms_;
+    std::vector<LinTerm> neg_;
+    std::int64_t c_;
+};
+
+class NotEqual final : public Propagator {
+public:
+    NotEqual(IntVar x, IntVar y, std::int64_t c) : x_(x), y_(y), c_(c) {}
+
+    // x != y + c: value-remove once either side is fixed.
+    bool propagate(Store& s) override {
+        if (s.fixed(x_)) {
+            if (!s.remove(y_, static_cast<std::int64_t>(s.value(x_)) - c_)) return false;
+        }
+        if (s.fixed(y_)) {
+            if (!s.remove(x_, static_cast<std::int64_t>(s.value(y_)) + c_)) return false;
+        }
+        return true;
+    }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "not_equal(x" << x_.index() << ", y" << y_.index() << " + " << c_ << ")";
+        return os.str();
+    }
+
+private:
+    IntVar x_;
+    IntVar y_;
+    std::int64_t c_;
+};
+
+std::vector<IntVar> vars_of(const std::vector<LinTerm>& terms) {
+    std::vector<IntVar> vs;
+    vs.reserve(terms.size());
+    for (const LinTerm& t : terms) vs.push_back(t.var);
+    return vs;
+}
+
+}  // namespace
+
+void post_linear_leq(Store& store, std::vector<LinTerm> terms, std::int64_t c) {
+    auto watched = vars_of(terms);
+    store.post(std::make_unique<LinearLeq>(std::move(terms), c), watched);
+}
+
+void post_linear_eq(Store& store, std::vector<LinTerm> terms, std::int64_t c) {
+    auto watched = vars_of(terms);
+    store.post(std::make_unique<LinearEq>(std::move(terms), c), watched);
+}
+
+void post_leq_offset(Store& store, IntVar x, std::int64_t c, IntVar y) {
+    post_linear_leq(store, {{1, x}, {-1, y}}, -c);
+}
+
+void post_eq_offset(Store& store, IntVar x, std::int64_t c, IntVar y) {
+    post_linear_eq(store, {{1, x}, {-1, y}}, -c);
+}
+
+void post_not_equal(Store& store, IntVar x, IntVar y, std::int64_t c) {
+    store.post(std::make_unique<NotEqual>(x, y, c), {x, y});
+}
+
+void post_not_value(Store& store, IntVar x, std::int64_t v) {
+    store.remove(x, v);  // immediate; failure surfaces through store.failed()
+}
+
+}  // namespace revec::cp

@@ -1,0 +1,4 @@
+#include "revec/cp/propagator.hpp"
+
+// Propagator is an interface; the out-of-line key function anchors the
+// vtable in this translation unit.

@@ -1,0 +1,34 @@
+// Propagator interface. A propagator watches a set of variables and, when
+// any of them changes, prunes inconsistent values from its variables'
+// domains via the Store modification API. Propagation must be monotone
+// (only ever remove values), which together with finite domains guarantees
+// fixpoint termination.
+#pragma once
+
+#include <string>
+
+namespace revec::cp {
+
+class Store;
+
+class Propagator {
+public:
+    virtual ~Propagator() = default;
+
+    /// Prune. Return false iff the propagator detected failure directly;
+    /// domain wipe-outs are also detected by the Store modification calls
+    /// (which return false), and implementations must forward that.
+    virtual bool propagate(Store& store) = 0;
+
+    /// Human-readable description for debugging and solver traces.
+    virtual std::string describe() const = 0;
+
+    /// Identifier assigned by the Store at post time.
+    int id() const { return id_; }
+
+private:
+    friend class Store;
+    int id_ = -1;
+};
+
+}  // namespace revec::cp

@@ -1,0 +1,152 @@
+#include "revec/cp/search.hpp"
+
+#include <algorithm>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+/// Pick the branching variable of a phase, or invalid if all are fixed.
+IntVar pick_var(const Store& s, const Phase& phase) {
+    IntVar best;
+    std::int64_t best_key = 0;
+    for (const IntVar x : phase.vars) {
+        if (s.fixed(x)) continue;
+        if (phase.var_select == VarSelect::InputOrder) return x;
+        const std::int64_t key =
+            phase.var_select == VarSelect::SmallestMin ? s.min(x) : s.dom(x).size();
+        if (!best.valid() || key < best_key) {
+            best = x;
+            best_key = key;
+        }
+    }
+    return best;
+}
+
+int pick_value(const Store& s, const Phase& phase, IntVar x) {
+    const Domain& d = s.dom(x);
+    switch (phase.val_select) {
+        case ValSelect::Min: return d.min();
+        case ValSelect::Max: return d.max();
+        case ValSelect::Median: {
+            const std::int64_t target = d.size() / 2;
+            std::int64_t i = 0;
+            int median = d.min();
+            d.for_each([&](int v) {
+                if (i++ == target) median = v;
+            });
+            return median;
+        }
+    }
+    REVEC_UNREACHABLE("bad ValSelect");
+}
+
+struct Decision {
+    IntVar var;
+    int value;
+};
+
+std::optional<Decision> choose(const Store& s, const std::vector<Phase>& phases) {
+    for (const Phase& phase : phases) {
+        const IntVar x = pick_var(s, phase);
+        if (x.valid()) return Decision{x, pick_value(s, phase, x)};
+    }
+    return std::nullopt;
+}
+
+struct Frame {
+    IntVar var;
+    int value;
+    bool tried_right = false;
+};
+
+}  // namespace
+
+SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objective,
+                  const SearchOptions& options) {
+    REVEC_EXPECTS(store.level() == 0);
+    Stopwatch watch;
+    SolveResult result;
+    std::vector<Frame> frames;
+
+    bool have_best = false;
+    std::int64_t best_obj = 0;
+
+    const auto record_solution = [&] {
+        result.best.resize(store.num_vars());
+        for (std::size_t i = 0; i < store.num_vars(); ++i) {
+            result.best[i] = store.min(IntVar(static_cast<std::int32_t>(i)));
+        }
+        ++result.stats.solutions;
+    };
+
+    const auto finish = [&](SolveStatus status) {
+        // Unwind so the caller gets the store back at root level.
+        while (store.level() > 0) store.pop_level();
+        result.status = status;
+        result.stats.time_ms = watch.elapsed_ms();
+        return result;
+    };
+
+    const auto out_of_budget = [&] {
+        if (options.deadline.expired()) return true;
+        return options.max_failures >= 0 && result.stats.failures > options.max_failures;
+    };
+
+    bool ok = store.propagate();
+    while (true) {
+        if (out_of_budget()) {
+            return finish(have_best ? SolveStatus::SatTimeout : SolveStatus::Timeout);
+        }
+        if (ok) {
+            const auto decision = choose(store, phases);
+            if (!decision.has_value()) {
+                record_solution();
+                if (!objective.valid() || options.stop_at_first_solution) {
+                    return finish(SolveStatus::Optimal);
+                }
+                best_obj = store.min(objective);
+                have_best = true;
+                ok = false;  // force backtracking to look for better solutions
+                continue;
+            }
+            ++result.stats.nodes;
+            frames.push_back({decision->var, decision->value, false});
+            store.push_level();
+            ok = store.assign(decision->var, decision->value);
+            if (ok && have_best) ok = store.set_max(objective, best_obj - 1);
+            if (ok) ok = store.propagate();
+        } else {
+            ++result.stats.failures;
+            // Backtrack to the deepest frame with an untried right branch.
+            while (true) {
+                if (frames.empty()) {
+                    return finish(have_best || result.stats.solutions > 0 ? SolveStatus::Optimal
+                                                                          : SolveStatus::Unsat);
+                }
+                Frame& f = frames.back();
+                store.pop_level();
+                if (!f.tried_right) {
+                    f.tried_right = true;
+                    ++result.stats.nodes;
+                    store.push_level();
+                    ok = store.remove(f.var, f.value);
+                    if (ok && have_best) ok = store.set_max(objective, best_obj - 1);
+                    if (ok) ok = store.propagate();
+                    break;
+                }
+                frames.pop_back();
+            }
+        }
+    }
+}
+
+SolveResult satisfy(Store& store, const std::vector<Phase>& phases, const SearchOptions& options) {
+    SearchOptions opts = options;
+    opts.stop_at_first_solution = true;
+    return solve(store, phases, IntVar(), opts);
+}
+
+}  // namespace revec::cp

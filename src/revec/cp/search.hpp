@@ -1,0 +1,88 @@
+// Depth-first search with chronological backtracking and branch-and-bound
+// minimization, plus phase-sequenced variable-selection heuristics. The
+// paper's search strategy (§3.5) is a sequence of three phases -- operation
+// start times, data start times, memory slots -- each exhausted before the
+// next begins; we model that directly as a PhasedBrancher.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "revec/cp/store.hpp"
+#include "revec/cp/var.hpp"
+#include "revec/support/stopwatch.hpp"
+
+namespace revec::cp {
+
+/// Variable-selection heuristic within a phase.
+enum class VarSelect {
+    InputOrder,   ///< first unfixed variable in phase order
+    SmallestMin,  ///< smallest lower bound (good for start times)
+    MinDomain,    ///< fewest remaining values (first-fail)
+};
+
+/// Value-selection heuristic within a phase.
+enum class ValSelect {
+    Min,     ///< smallest value
+    Max,     ///< largest value
+    Median,  ///< middle value of the domain
+};
+
+/// One search phase: a set of decision variables and how to branch on them.
+struct Phase {
+    std::vector<IntVar> vars;
+    VarSelect var_select = VarSelect::SmallestMin;
+    ValSelect val_select = ValSelect::Min;
+    std::string label;
+};
+
+/// How the search ended.
+enum class SolveStatus {
+    Optimal,     ///< search space exhausted; best solution is optimal
+    Unsat,       ///< no solution exists
+    SatTimeout,  ///< found solution(s) but hit the deadline/limit before proving optimality
+    Timeout,     ///< hit the deadline/limit before finding any solution
+};
+
+/// Search configuration.
+struct SearchOptions {
+    Deadline deadline;                 ///< wall-clock limit
+    std::int64_t max_failures = -1;    ///< failure limit, -1 = unlimited
+    bool stop_at_first_solution = false;
+};
+
+/// Search statistics.
+struct SearchStats {
+    std::int64_t nodes = 0;
+    std::int64_t failures = 0;
+    std::int64_t solutions = 0;
+    double time_ms = 0.0;
+};
+
+/// The outcome of a solve: status, statistics, and (when a solution was
+/// found) the values of all store variables in the best solution.
+struct SolveResult {
+    SolveStatus status = SolveStatus::Unsat;
+    SearchStats stats;
+    std::vector<int> best;  ///< indexed by IntVar::index(); empty when no solution
+
+    bool has_solution() const { return !best.empty(); }
+    int value_of(IntVar x) const { return best.at(static_cast<std::size_t>(x.index())); }
+};
+
+/// Minimize `objective` (or just find a first solution when `objective` is
+/// invalid) by DFS branch-and-bound over the given phases.
+///
+/// Preconditions: the store must be at root level with all constraints
+/// posted. Every variable the model requires to be decided must appear in
+/// some phase; variables fully determined by propagation need not.
+SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objective,
+                  const SearchOptions& options = {});
+
+/// Convenience: satisfy-only search (first solution).
+SolveResult satisfy(Store& store, const std::vector<Phase>& phases,
+                    const SearchOptions& options = {});
+
+}  // namespace revec::cp

@@ -1,0 +1,193 @@
+#include "revec/cp/store.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+/// Clamp a 64-bit bound into the int domain value range.
+int clamp_value(std::int64_t v) {
+    if (v < INT_MIN) return INT_MIN;
+    if (v > INT_MAX) return INT_MAX;
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+IntVar Store::new_var(int lo, int hi, std::string name) {
+    return new_var(Domain(lo, hi), std::move(name));
+}
+
+IntVar Store::new_var(Domain dom, std::string name) {
+    REVEC_EXPECTS(!dom.empty());
+    REVEC_EXPECTS(level_ == 0);  // variables are created before search starts
+    const auto idx = static_cast<std::int32_t>(doms_.size());
+    doms_.push_back(std::move(dom));
+    if (name.empty()) name = "_v" + std::to_string(idx);
+    names_.push_back(std::move(name));
+    last_saved_level_.push_back(-1);
+    watchers_.emplace_back();
+    return IntVar(idx);
+}
+
+BoolVar Store::new_bool(std::string name) { return new_var(0, 1, std::move(name)); }
+
+std::size_t Store::check(IntVar x) const {
+    REVEC_EXPECTS(x.valid() && static_cast<std::size_t>(x.index()) < doms_.size());
+    return static_cast<std::size_t>(x.index());
+}
+
+void Store::save_domain(std::size_t idx) {
+    if (level_ == 0) return;  // root-level changes are permanent
+    if (last_saved_level_[idx] == level_) return;
+    trail_.push_back({static_cast<std::int32_t>(idx), last_saved_level_[idx], doms_[idx]});
+    last_saved_level_[idx] = level_;
+}
+
+void Store::on_change(std::size_t idx) {
+    ++stats_.domain_changes;
+    if (doms_[idx].empty()) {
+        failed_ = true;
+        return;
+    }
+    for (const int p : watchers_[idx]) schedule(p);
+}
+
+void Store::schedule(int prop_id) {
+    if (queued_[static_cast<std::size_t>(prop_id)]) return;
+    queued_[static_cast<std::size_t>(prop_id)] = 1;
+    queue_.push_back(prop_id);
+}
+
+#define REVEC_STORE_MUTATE(idx, op)          \
+    do {                                     \
+        if (failed_) return false;           \
+        const std::size_t i_ = (idx);        \
+        Domain tmp_ = doms_[i_];             \
+        if (!tmp_.op) return true;           \
+        save_domain(i_);                     \
+        doms_[i_] = std::move(tmp_);         \
+        on_change(i_);                       \
+        return !failed_;                     \
+    } while (false)
+
+bool Store::set_min(IntVar x, std::int64_t v) {
+    if (v > INT_MAX) {
+        failed_ = true;
+        return false;
+    }
+    if (v <= INT_MIN) return !failed_;
+    REVEC_STORE_MUTATE(check(x), remove_below(clamp_value(v)));
+}
+
+bool Store::set_max(IntVar x, std::int64_t v) {
+    if (v < INT_MIN) {
+        failed_ = true;
+        return false;
+    }
+    if (v >= INT_MAX) return !failed_;
+    REVEC_STORE_MUTATE(check(x), remove_above(clamp_value(v)));
+}
+
+bool Store::assign(IntVar x, std::int64_t v) {
+    if (failed_) return false;
+    const std::size_t i = check(x);
+    if (v < INT_MIN || v > INT_MAX || !doms_[i].contains(static_cast<int>(v))) {
+        failed_ = true;
+        return false;
+    }
+    Domain tmp = doms_[i];
+    if (!tmp.assign(static_cast<int>(v))) return true;
+    save_domain(i);
+    doms_[i] = std::move(tmp);
+    on_change(i);
+    return !failed_;
+}
+
+bool Store::remove(IntVar x, std::int64_t v) {
+    if (v < INT_MIN || v > INT_MAX) return !failed_;
+    REVEC_STORE_MUTATE(check(x), remove_value(static_cast<int>(v)));
+}
+
+bool Store::remove_range(IntVar x, std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) return !failed_;
+    const int l = clamp_value(lo);
+    const int h = clamp_value(hi);
+    REVEC_STORE_MUTATE(check(x), remove_range(l, h));
+}
+
+bool Store::intersect(IntVar x, const Domain& d) {
+    REVEC_STORE_MUTATE(check(x), intersect_with(d));
+}
+
+#undef REVEC_STORE_MUTATE
+
+void Store::post(std::unique_ptr<Propagator> p, const std::vector<IntVar>& watched) {
+    REVEC_EXPECTS(p != nullptr);
+    const int id = static_cast<int>(props_.size());
+    p->id_ = id;
+    props_.push_back(std::move(p));
+    queued_.push_back(0);
+    for (const IntVar x : watched) {
+        auto& list = watchers_[check(x)];
+        if (std::find(list.begin(), list.end(), id) == list.end()) list.push_back(id);
+    }
+    schedule(id);
+}
+
+bool Store::propagate() {
+    while (!queue_.empty()) {
+        if (failed_) break;
+        const int id = queue_.front();
+        queue_.pop_front();
+        queued_[static_cast<std::size_t>(id)] = 0;
+        ++stats_.propagations;
+        if (!props_[static_cast<std::size_t>(id)]->propagate(*this)) {
+            failed_ = true;
+            break;
+        }
+    }
+    if (failed_) {
+        for (const int id : queue_) queued_[static_cast<std::size_t>(id)] = 0;
+        queue_.clear();
+        return false;
+    }
+    return true;
+}
+
+int Store::push_level() {
+    level_marks_.push_back(trail_.size());
+    return ++level_;
+}
+
+void Store::pop_level() {
+    REVEC_EXPECTS(level_ > 0);
+    const std::size_t mark = level_marks_.back();
+    level_marks_.pop_back();
+    while (trail_.size() > mark) {
+        TrailEntry& e = trail_.back();
+        const auto idx = static_cast<std::size_t>(e.var);
+        doms_[idx] = std::move(e.saved);
+        last_saved_level_[idx] = e.prev_saved_level;
+        trail_.pop_back();
+    }
+    --level_;
+    failed_ = false;
+    for (const int id : queue_) queued_[static_cast<std::size_t>(id)] = 0;
+    queue_.clear();
+}
+
+std::string Store::dump() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < doms_.size(); ++i) {
+        os << names_[i] << " :: " << doms_[i].to_string() << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace revec::cp

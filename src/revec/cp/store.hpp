@@ -1,0 +1,104 @@
+// The constraint store: owns variable domains and propagators, runs
+// propagation to fixpoint, and supports chronological backtracking through
+// a trail of saved domains.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "revec/cp/domain.hpp"
+#include "revec/cp/propagator.hpp"
+#include "revec/cp/var.hpp"
+
+namespace revec::cp {
+
+/// Counters describing the work a store (and the search on top of it) did.
+struct PropagationStats {
+    std::int64_t propagations = 0;  ///< propagator executions
+    std::int64_t domain_changes = 0;
+};
+
+class Store {
+public:
+    Store() = default;
+    Store(const Store&) = delete;
+    Store& operator=(const Store&) = delete;
+
+    // -- variables -----------------------------------------------------------
+    IntVar new_var(int lo, int hi, std::string name = {});
+    IntVar new_var(Domain dom, std::string name = {});
+    BoolVar new_bool(std::string name = {});
+
+    std::size_t num_vars() const { return doms_.size(); }
+    const Domain& dom(IntVar x) const { return doms_[check(x)]; }
+    const std::string& name(IntVar x) const { return names_[check(x)]; }
+
+    int min(IntVar x) const { return dom(x).min(); }
+    int max(IntVar x) const { return dom(x).max(); }
+    bool fixed(IntVar x) const { return dom(x).is_fixed(); }
+    int value(IntVar x) const { return dom(x).value(); }
+
+    // -- domain modification (propagator + search API) -----------------------
+    // Each returns false iff the domain became empty (failure). All record
+    // the previous domain on the trail so backtracking restores it.
+    bool set_min(IntVar x, std::int64_t v);
+    bool set_max(IntVar x, std::int64_t v);
+    bool assign(IntVar x, std::int64_t v);
+    bool remove(IntVar x, std::int64_t v);
+    bool remove_range(IntVar x, std::int64_t lo, std::int64_t hi);
+    bool intersect(IntVar x, const Domain& d);
+
+    // -- propagators ----------------------------------------------------------
+    /// Take ownership of `p`, subscribe it to `watched`, and schedule it.
+    void post(std::unique_ptr<Propagator> p, const std::vector<IntVar>& watched);
+
+    /// Run the propagation queue to fixpoint. Returns false on failure.
+    bool propagate();
+
+    bool failed() const { return failed_; }
+
+    // -- search support --------------------------------------------------------
+    /// Open a new choice level. Returns the new level number.
+    int push_level();
+    /// Undo all domain changes made since the matching push_level, clear the
+    /// failure flag and the propagation queue.
+    void pop_level();
+    int level() const { return level_; }
+
+    const PropagationStats& stats() const { return stats_; }
+
+    /// Debug helper: render all variables and their domains.
+    std::string dump() const;
+
+private:
+    std::size_t check(IntVar x) const;
+    void save_domain(std::size_t idx);
+    void on_change(std::size_t idx);
+    void schedule(int prop_id);
+
+    struct TrailEntry {
+        std::int32_t var;
+        std::int32_t prev_saved_level;
+        Domain saved;
+    };
+
+    std::vector<Domain> doms_;
+    std::vector<std::string> names_;
+    std::vector<std::int32_t> last_saved_level_;
+    std::vector<std::vector<int>> watchers_;
+
+    std::vector<std::unique_ptr<Propagator>> props_;
+    std::deque<int> queue_;
+    std::vector<char> queued_;
+
+    std::vector<TrailEntry> trail_;
+    std::vector<std::size_t> level_marks_;
+    int level_ = 0;
+    bool failed_ = false;
+
+    PropagationStats stats_;
+};
+
+}  // namespace revec::cp

@@ -1,0 +1,27 @@
+// Lightweight handles to variables owned by a Store.
+#pragma once
+
+#include <cstdint>
+
+namespace revec::cp {
+
+/// Handle to a finite-domain integer variable. Cheap to copy; only valid for
+/// the Store that created it.
+class IntVar {
+public:
+    IntVar() = default;
+    explicit IntVar(std::int32_t index) : index_(index) {}
+
+    std::int32_t index() const { return index_; }
+    bool valid() const { return index_ >= 0; }
+
+    friend bool operator==(IntVar, IntVar) = default;
+
+private:
+    std::int32_t index_ = -1;
+};
+
+/// A 0/1 variable; by convention created with domain {0,1}.
+using BoolVar = IntVar;
+
+}  // namespace revec::cp

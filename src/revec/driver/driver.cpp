@@ -1,0 +1,206 @@
+#include "revec/driver/driver.hpp"
+
+#include <ostream>
+
+#include "revec/arch/spec_io.hpp"
+#include "revec/codegen/codegen.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/dot.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/ir/xml_io.hpp"
+#include "revec/pipeline/modulo.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/sched/schedule_io.hpp"
+#include "revec/sched/verify.hpp"
+#include "revec/sim/simulator.hpp"
+#include "revec/support/assert.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/support/table.hpp"
+
+namespace revec::driver {
+
+std::string usage() {
+    return R"(usage: revecc <ir.xml> [options]
+
+Schedules an IR file (the XML a DSL program run emits) for the EIT
+reconfigurable vector architecture.
+
+options:
+  --emit=WHAT        schedule (default) | listing | dot | stats | modulo
+  --slots=N          memory slots available (default: full memory)
+  --timeout-ms=N     solver budget per solve (default 30000)
+  --no-merge         skip the pipeline-merging pass
+  --no-memory        schedule without memory allocation
+  --include-reconfigs  reconfiguration-aware modulo model (with --emit=modulo)
+  --simulate         execute the generated code and check the outputs
+  --lanes=N          override the number of vector lanes
+  --arch=FILE        architecture description XML (see arch/spec_io.hpp)
+  --save-schedule=F  write the schedule artifact XML to F
+  --help             this text
+)";
+}
+
+std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& out) {
+    Options opts;
+    for (const std::string& arg : args) {
+        if (arg == "--help" || arg == "-h") {
+            out << usage();
+            return std::nullopt;
+        }
+        if (arg == "--no-merge") {
+            opts.merge_pass = false;
+        } else if (arg == "--no-memory") {
+            opts.memory = false;
+        } else if (arg == "--include-reconfigs") {
+            opts.include_reconfigs = true;
+        } else if (arg == "--simulate") {
+            opts.simulate = true;
+        } else if (starts_with(arg, "--emit=")) {
+            opts.emit = arg.substr(7);
+            if (opts.emit != "schedule" && opts.emit != "listing" && opts.emit != "dot" &&
+                opts.emit != "stats" && opts.emit != "modulo") {
+                throw Error("unknown --emit value '" + opts.emit + "'");
+            }
+        } else if (starts_with(arg, "--slots=")) {
+            opts.num_slots = static_cast<int>(parse_int(arg.substr(8)));
+        } else if (starts_with(arg, "--timeout-ms=")) {
+            opts.timeout_ms = parse_int(arg.substr(13));
+        } else if (starts_with(arg, "--lanes=")) {
+            opts.lanes = static_cast<int>(parse_int(arg.substr(8)));
+        } else if (starts_with(arg, "--arch=")) {
+            opts.arch_path = arg.substr(7);
+        } else if (starts_with(arg, "--save-schedule=")) {
+            opts.save_schedule_path = arg.substr(16);
+        } else if (starts_with(arg, "--")) {
+            throw Error("unknown option '" + arg + "' (try --help)");
+        } else if (opts.input_path.empty()) {
+            opts.input_path = arg;
+        } else {
+            throw Error("multiple input files given: '" + opts.input_path + "' and '" + arg +
+                        "'");
+        }
+    }
+    if (opts.input_path.empty()) throw Error("no input file (try --help)");
+    return opts;
+}
+
+namespace {
+
+arch::ArchSpec spec_for(const Options& options) {
+    arch::ArchSpec spec = options.arch_path.empty() ? arch::ArchSpec::eit()
+                                                    : arch::load_spec(options.arch_path);
+    if (options.lanes > 0) spec.vector_lanes = options.lanes;
+    spec.validate();
+    return spec;
+}
+
+int emit_stats(const arch::ArchSpec& spec, const ir::Graph& g, std::ostream& out) {
+    const ir::GraphStats st = ir::graph_stats(spec, g);
+    Table t({"property", "value"});
+    t.add_row({"name", g.name()});
+    t.add_row({"|V|", std::to_string(st.num_nodes)});
+    t.add_row({"|E|", std::to_string(st.num_edges)});
+    t.add_row({"|Cr.P| (cc)", std::to_string(st.critical_path)});
+    t.add_row({"vector ops", std::to_string(st.num_vector_ops)});
+    t.add_row({"matrix ops", std::to_string(st.num_matrix_ops)});
+    t.add_row({"scalar ops", std::to_string(st.num_scalar_ops)});
+    t.add_row({"index/merge ops", std::to_string(st.num_index_merge)});
+    t.add_row({"vector data", std::to_string(st.num_vector_data)});
+    t.add_row({"scalar data", std::to_string(st.num_scalar_data)});
+    t.print(out);
+    return 0;
+}
+
+int emit_modulo(const Options& options, const arch::ArchSpec& spec, const ir::Graph& g,
+                std::ostream& out) {
+    pipeline::ModuloOptions mopts;
+    mopts.spec = spec;
+    mopts.include_reconfigs = options.include_reconfigs;
+    mopts.timeout_ms = options.timeout_ms;
+    const pipeline::ModuloResult r = pipeline::modulo_schedule(g, mopts);
+    if (!r.feasible()) {
+        out << "modulo scheduling failed (status "
+            << (r.status == cp::SolveStatus::Unsat ? "UNSAT" : "timeout") << ")\n";
+        return 1;
+    }
+    out << "II lower bound: " << r.ii_lower_bound << "\n";
+    out << "initial II:     " << r.initial_ii << "\n";
+    out << "reconfigs:      " << r.reconfigs << "\n";
+    out << "actual II:      " << r.actual_ii << "\n";
+    out << "throughput:     " << format_fixed(r.throughput, 4) << " iterations/cc\n";
+    out << "solve time:     " << format_fixed(r.time_ms, 0) << " ms\n";
+    return 0;
+}
+
+}  // namespace
+
+int run(const Options& options, std::ostream& out) {
+    const arch::ArchSpec spec = spec_for(options);
+    ir::Graph g = ir::load_xml(options.input_path);
+    if (options.merge_pass) g = ir::merge_pipeline_ops(g);
+
+    if (options.emit == "stats") return emit_stats(spec, g, out);
+    if (options.emit == "dot") {
+        out << ir::to_dot(g);
+        return 0;
+    }
+    if (options.emit == "modulo") return emit_modulo(options, spec, g, out);
+
+    sched::ScheduleOptions sopts;
+    sopts.spec = spec;
+    sopts.num_slots = options.num_slots;
+    sopts.timeout_ms = options.timeout_ms;
+    sopts.memory_allocation = options.memory;
+    const sched::Schedule s = sched::schedule_kernel(g, sopts);
+    if (!s.feasible()) {
+        out << "scheduling failed: "
+            << (s.status == cp::SolveStatus::Unsat ? "no schedule exists (UNSAT)"
+                                                   : "timeout without a solution")
+            << "\n";
+        return 1;
+    }
+    sched::VerifyOptions vo;
+    vo.check_memory = options.memory;
+    const auto problems = sched::verify_schedule(spec, g, s, vo);
+    if (!problems.empty()) {
+        out << "internal error: schedule failed verification: " << problems.front() << "\n";
+        return 2;
+    }
+
+    if (!options.save_schedule_path.empty()) {
+        save_schedule(g, s, options.save_schedule_path);
+        out << "schedule written to " << options.save_schedule_path << "\n";
+    }
+
+    if (options.emit == "schedule") {
+        out << "makespan:    " << s.makespan << " cc ("
+            << (s.proven_optimal() ? "proven optimal" : "best found") << ")\n";
+        out << "slots used:  " << s.slots_used << "\n";
+        out << "solve:       " << s.stats.nodes << " nodes, " << s.stats.failures
+            << " failures, " << format_fixed(s.stats.time_ms, 0) << " ms\n";
+    }
+
+    if (options.emit == "listing" || options.simulate) {
+        if (!options.memory) {
+            out << "machine code requires memory allocation (omit --no-memory)\n";
+            return 1;
+        }
+        const codegen::MachineProgram prog = codegen::generate_code(spec, g, s);
+        if (options.emit == "listing") out << prog.to_listing(g);
+        if (options.simulate) {
+            const sim::SimResult result = sim::simulate(spec, g, prog);
+            out << "simulation:  " << result.cycles << " cycles, "
+                << result.reconfigurations << " reconfigurations, outputs "
+                << (result.outputs_match ? "match" : "MISMATCH") << " (max error "
+                << result.max_output_error << ")\n";
+            if (!result.violations.empty()) {
+                out << "memory-rule violations: " << result.violations.front() << "\n";
+                return 3;
+            }
+            if (!result.outputs_match) return 3;
+        }
+    }
+    return 0;
+}
+
+}  // namespace revec::driver

@@ -1,0 +1,44 @@
+// The command-line driver logic behind tools/revecc: the paper's Fig. 2
+// flow as a library. Takes an IR file (the XML a DSL run emits), runs
+// scheduling + memory allocation, optionally pipelines, and renders the
+// outputs (schedule report, machine listing, DOT). Kept as a library so
+// the driver is unit-testable.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+
+namespace revec::driver {
+
+/// Parsed command line.
+struct Options {
+    std::string input_path;           ///< IR XML ("-" reads stdin is not supported)
+    std::string emit = "schedule";    ///< schedule | listing | dot | stats | modulo
+    int num_slots = -1;               ///< -1 = full memory
+    std::int64_t timeout_ms = 30000;
+    bool merge_pass = true;           ///< run merge_pipeline_ops first
+    bool memory = true;               ///< allocate memory slots
+    bool include_reconfigs = false;   ///< for --emit=modulo
+    bool simulate = false;            ///< run the simulator after codegen
+    int lanes = -1;                   ///< override vector lanes (-1 = EIT)
+    std::string arch_path;            ///< architecture description XML ("" = EIT)
+    std::string save_schedule_path;   ///< write the schedule artifact here ("" = no)
+};
+
+/// Parse argv-style arguments (excluding argv[0]). Throws revec::Error on
+/// malformed input; returns nullopt when help was requested (usage already
+/// printed to `out`).
+std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& out);
+
+/// Run the flow and write the requested artifact to `out`.
+/// Returns a process exit code (0 success).
+int run(const Options& options, std::ostream& out);
+
+/// Usage text.
+std::string usage();
+
+}  // namespace revec::driver

@@ -1,0 +1,304 @@
+#include "revec/dsl/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "revec/arch/ops.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::dsl {
+
+namespace {
+
+using ir::Complex;
+using ir::kVecLen;
+using ir::Value;
+
+[[noreturn]] void semantic_error(std::string_view op, const std::string& what) {
+    throw Error("op '" + std::string(op) + "': " + what);
+}
+
+const Value& expect_kind(std::string_view op, std::span<const Value> args, std::size_t i,
+                         Value::Kind kind) {
+    if (i >= args.size()) semantic_error(op, "missing operand " + std::to_string(i));
+    if (args[i].kind != kind) {
+        semantic_error(op, "operand " + std::to_string(i) + " has the wrong kind");
+    }
+    return args[i];
+}
+
+const Value& vec_arg(std::string_view op, std::span<const Value> args, std::size_t i) {
+    return expect_kind(op, args, i, Value::Kind::Vector);
+}
+
+const Value& sca_arg(std::string_view op, std::span<const Value> args, std::size_t i) {
+    return expect_kind(op, args, i, Value::Kind::Scalar);
+}
+
+Value map2(std::string_view op, std::span<const Value> args, auto&& fn) {
+    const Value& a = vec_arg(op, args, 0);
+    const Value& b = vec_arg(op, args, 1);
+    Value out = Value::vector({});
+    for (int i = 0; i < kVecLen; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        out.elems[k] = fn(a.elems[k], b.elems[k]);
+    }
+    return out;
+}
+
+double squ(Complex c) { return std::norm(c); }
+
+Value sort_by_norm(const Value& v) {
+    std::array<Complex, kVecLen> elems = v.elems;
+    std::stable_sort(elems.begin(), elems.end(),
+                     [](Complex a, Complex b) { return squ(a) < squ(b); });
+    return Value::vector(elems);
+}
+
+}  // namespace
+
+std::vector<Value> apply_op(std::string_view op, std::span<const Value> args, int imm) {
+    const arch::OpInfo& info = arch::op_info(op);
+    if (static_cast<int>(args.size()) != info.arity) {
+        semantic_error(op, "expected " + std::to_string(info.arity) + " operands, got " +
+                               std::to_string(args.size()));
+    }
+
+    // -- vector core -----------------------------------------------------------
+    if (op == "v_add") return {map2(op, args, [](Complex a, Complex b) { return a + b; })};
+    if (op == "v_sub") return {map2(op, args, [](Complex a, Complex b) { return a - b; })};
+    if (op == "v_mul") return {map2(op, args, [](Complex a, Complex b) { return a * b; })};
+    if (op == "v_cmac") {
+        const Value& a = vec_arg(op, args, 0);
+        const Value& b = vec_arg(op, args, 1);
+        const Value& c = vec_arg(op, args, 2);
+        Value out = Value::vector({});
+        for (std::size_t i = 0; i < kVecLen; ++i) {
+            out.elems[i] = a.elems[i] * b.elems[i] + c.elems[i];
+        }
+        return {out};
+    }
+    if (op == "v_scale") {
+        const Value& a = vec_arg(op, args, 0);
+        const Complex s = sca_arg(op, args, 1).s();
+        Value out = Value::vector({});
+        for (std::size_t i = 0; i < kVecLen; ++i) out.elems[i] = a.elems[i] * s;
+        return {out};
+    }
+    if (op == "v_axpy") {
+        // y - s*x: the Gram-Schmidt column update.
+        const Value& y = vec_arg(op, args, 0);
+        const Complex s = sca_arg(op, args, 1).s();
+        const Value& x = vec_arg(op, args, 2);
+        Value out = Value::vector({});
+        for (std::size_t i = 0; i < kVecLen; ++i) out.elems[i] = y.elems[i] - s * x.elems[i];
+        return {out};
+    }
+    if (op == "v_dotP" || op == "v_dotu") {
+        const Value& a = vec_arg(op, args, 0);
+        const Value& b = vec_arg(op, args, 1);
+        Complex acc = 0;
+        for (std::size_t i = 0; i < kVecLen; ++i) {
+            acc += a.elems[i] * (op == "v_dotP" ? std::conj(b.elems[i]) : b.elems[i]);
+        }
+        return {Value::scalar(acc)};
+    }
+    if (op == "v_squsum") {
+        const Value& a = vec_arg(op, args, 0);
+        double acc = 0;
+        for (std::size_t i = 0; i < kVecLen; ++i) acc += squ(a.elems[i]);
+        return {Value::scalar(acc)};
+    }
+
+    // -- vector pre-processing ---------------------------------------------------
+    if (op == "pre_conj") {
+        const Value& a = vec_arg(op, args, 0);
+        Value out = Value::vector({});
+        for (std::size_t i = 0; i < kVecLen; ++i) out.elems[i] = std::conj(a.elems[i]);
+        return {out};
+    }
+    if (op == "pre_mask") {
+        const Value& a = vec_arg(op, args, 0);
+        Value out = Value::vector({});
+        for (int i = 0; i < kVecLen; ++i) {
+            if ((imm >> i) & 1) out.elems[static_cast<std::size_t>(i)] = a.elems[static_cast<std::size_t>(i)];
+        }
+        return {out};
+    }
+
+    // -- vector post-processing ---------------------------------------------------
+    if (op == "post_sort") return {sort_by_norm(vec_arg(op, args, 0))};
+    if (op == "post_accum") {
+        const Value& a = vec_arg(op, args, 0);
+        Complex acc = 0;
+        for (std::size_t i = 0; i < kVecLen; ++i) acc += a.elems[i];
+        return {Value::scalar(acc)};
+    }
+
+    // -- matrix operations ----------------------------------------------------------
+    if (op == "m_add" || op == "m_sub") {
+        std::vector<Value> rows;
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Value& a = vec_arg(op, args, i);
+            const Value& b = vec_arg(op, args, i + 4);
+            Value out = Value::vector({});
+            for (std::size_t k = 0; k < kVecLen; ++k) {
+                out.elems[k] = op == "m_add" ? a.elems[k] + b.elems[k] : a.elems[k] - b.elems[k];
+            }
+            rows.push_back(out);
+        }
+        return rows;
+    }
+    if (op == "m_scale") {
+        const Complex s = sca_arg(op, args, 4).s();
+        std::vector<Value> rows;
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Value& a = vec_arg(op, args, i);
+            Value out = Value::vector({});
+            for (std::size_t k = 0; k < kVecLen; ++k) out.elems[k] = a.elems[k] * s;
+            rows.push_back(out);
+        }
+        return rows;
+    }
+    if (op == "m_squsum") {
+        Value out = Value::vector({});
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Value& a = vec_arg(op, args, i);
+            double acc = 0;
+            for (std::size_t k = 0; k < kVecLen; ++k) acc += squ(a.elems[k]);
+            out.elems[i] = acc;
+        }
+        return {out};
+    }
+    if (op == "m_vmul") {
+        const Value& x = vec_arg(op, args, 4);
+        Value out = Value::vector({});
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Value& row = vec_arg(op, args, i);
+            Complex acc = 0;
+            for (std::size_t k = 0; k < kVecLen; ++k) acc += row.elems[k] * x.elems[k];
+            out.elems[i] = acc;
+        }
+        return {out};
+    }
+    if (op == "m_hermitian") {
+        std::vector<Value> rows(4, Value::vector({}));
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Value& row = vec_arg(op, args, i);
+            for (std::size_t j = 0; j < 4; ++j) {
+                rows[j].elems[i] = std::conj(row.elems[j]);
+            }
+        }
+        return rows;
+    }
+
+    // -- scalar accelerator -------------------------------------------------------------
+    if (op == "s_add") return {Value::scalar(sca_arg(op, args, 0).s() + sca_arg(op, args, 1).s())};
+    if (op == "s_sub") return {Value::scalar(sca_arg(op, args, 0).s() - sca_arg(op, args, 1).s())};
+    if (op == "s_mul") return {Value::scalar(sca_arg(op, args, 0).s() * sca_arg(op, args, 1).s())};
+    if (op == "s_div") {
+        const Complex d = sca_arg(op, args, 1).s();
+        if (d == Complex(0, 0)) semantic_error(op, "division by zero");
+        return {Value::scalar(sca_arg(op, args, 0).s() / d)};
+    }
+    if (op == "s_sqrt") return {Value::scalar(std::sqrt(sca_arg(op, args, 0).s()))};
+    if (op == "s_rsqrt") {
+        const Complex r = std::sqrt(sca_arg(op, args, 0).s());
+        if (r == Complex(0, 0)) semantic_error(op, "rsqrt of zero");
+        return {Value::scalar(Complex(1, 0) / r)};
+    }
+    if (op == "s_cordic_mag") return {Value::scalar(std::abs(sca_arg(op, args, 0).s()))};
+
+    // -- index / merge --------------------------------------------------------------------
+    if (op == "index") {
+        if (imm < 0 || imm >= kVecLen) semantic_error(op, "index immediate out of range");
+        return {Value::scalar(vec_arg(op, args, 0).elems[static_cast<std::size_t>(imm)])};
+    }
+    if (op == "merge") {
+        Value out = Value::vector({});
+        for (std::size_t i = 0; i < 4; ++i) out.elems[i] = sca_arg(op, args, i).s();
+        return {out};
+    }
+
+    semantic_error(op, "no semantics registered");
+}
+
+std::vector<Value> apply_node(const ir::Node& node, std::span<const Value> args) {
+    REVEC_EXPECTS(node.is_op());
+    std::vector<Value> operands(args.begin(), args.end());
+
+    if (!node.pre_op.empty()) {
+        const arch::OpInfo& pre = arch::op_info(node.pre_op);
+        if (pre.is_matrix_op) {
+            // Matrix pre-processing (m_hermitian) transforms the leading
+            // four row operands in place.
+            if (operands.size() < 4) {
+                semantic_error(node.pre_op, "matrix pre-stage needs 4 row operands");
+            }
+            const std::vector<Value> rows =
+                apply_op(node.pre_op, std::span<const Value>(operands.data(), 4), node.imm);
+            for (std::size_t i = 0; i < 4; ++i) operands[i] = rows[i];
+        } else {
+            const auto k = static_cast<std::size_t>(node.pre_arg);
+            if (k >= operands.size()) semantic_error(node.pre_op, "pre_arg out of range");
+            operands[k] =
+                apply_op(node.pre_op, std::span<const Value>(&operands[k], 1), node.imm).front();
+        }
+    }
+
+    std::vector<Value> results =
+        apply_op(node.op, std::span<const Value>(operands.data(), operands.size()), node.imm);
+
+    if (!node.post_op.empty()) {
+        if (results.size() != 1) {
+            semantic_error(node.post_op, "post-stage requires a single core result");
+        }
+        results = apply_op(node.post_op, std::span<const Value>(results.data(), 1), node.imm);
+    }
+    return results;
+}
+
+std::vector<Value> evaluate(const ir::Graph& g, const std::map<int, Value>& overrides) {
+    std::vector<Value> values(static_cast<std::size_t>(g.num_nodes()));
+    std::vector<char> have(static_cast<std::size_t>(g.num_nodes()), 0);
+
+    for (const int v : ir::topo_order(g)) {
+        const ir::Node& n = g.node(v);
+        if (n.is_data()) {
+            if (g.preds(v).empty()) {
+                if (const auto it = overrides.find(v); it != overrides.end()) {
+                    values[static_cast<std::size_t>(v)] = it->second;
+                } else if (n.input_value.has_value()) {
+                    values[static_cast<std::size_t>(v)] = *n.input_value;
+                } else {
+                    throw Error("input data node " + std::to_string(v) + " ('" + n.label +
+                                "') has no value");
+                }
+                have[static_cast<std::size_t>(v)] = 1;
+            }
+            // Produced data nodes are filled in when their producer runs.
+            continue;
+        }
+        std::vector<Value> args;
+        args.reserve(g.preds(v).size());
+        for (const int p : g.preds(v)) {
+            REVEC_ASSERT(have[static_cast<std::size_t>(p)]);
+            args.push_back(values[static_cast<std::size_t>(p)]);
+        }
+        const std::vector<Value> results = apply_node(n, args);
+        const auto& outs = g.succs(v);
+        if (results.size() != outs.size()) {
+            throw Error("op node " + std::to_string(v) + " produced " +
+                        std::to_string(results.size()) + " values for " +
+                        std::to_string(outs.size()) + " outputs");
+        }
+        for (std::size_t i = 0; i < outs.size(); ++i) {
+            values[static_cast<std::size_t>(outs[i])] = results[i];
+            have[static_cast<std::size_t>(outs[i])] = 1;
+        }
+    }
+    return values;
+}
+
+}  // namespace revec::dsl

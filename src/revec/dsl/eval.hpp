@@ -1,0 +1,33 @@
+// Operation semantics and the reference IR evaluator. The same semantics
+// back three things: the DSL's eager evaluation (functional debugging), the
+// pass-preservation property tests, and the simulator's output check.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::dsl {
+
+/// Apply one catalogue operation to its operand values. Most operations
+/// return a single value; matrix-producing operations return four row
+/// vectors. `imm` carries the immediate (index position, mask bits).
+/// Throws revec::Error on arity or kind mismatches.
+std::vector<ir::Value> apply_op(std::string_view op, std::span<const ir::Value> args, int imm);
+
+/// Apply a (possibly fused) operation node: the fused pre-processing stage
+/// is applied to the designated operand, then the core operation, then the
+/// fused post-processing stage to the result.
+std::vector<ir::Value> apply_node(const ir::Node& node, std::span<const ir::Value> args);
+
+/// Evaluate the whole graph. Input data nodes take their value from
+/// `overrides` when present, otherwise from their embedded input_value;
+/// unbound inputs are an error. Returns a value for every *data* node,
+/// indexed by node id (operation slots are default-constructed).
+std::vector<ir::Value> evaluate(const ir::Graph& g,
+                                const std::map<int, ir::Value>& overrides = {});
+
+}  // namespace revec::dsl

@@ -1,0 +1,267 @@
+#include "revec/dsl/ops.hpp"
+
+#include <vector>
+
+#include "revec/dsl/eval.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::dsl {
+
+namespace {
+
+using ir::NodeCat;
+using ir::Value;
+
+Program& owner(const Vector& v) {
+    if (!v.bound()) throw Error("use of an unbound (default-constructed) DSL vector");
+    return *v.program();
+}
+
+Program& owner(const Scalar& s) {
+    if (!s.bound()) throw Error("use of an unbound (default-constructed) DSL scalar");
+    return *s.program();
+}
+
+Value val(const Vector& v) { return Value::vector(v.value()); }
+Value val(const Scalar& s) { return Value::scalar(s.value()); }
+
+/// Trace + evaluate a single-result operation.
+template <typename Result>
+Result emit(Program& p, NodeCat op_cat, const char* op, const std::vector<int>& arg_nodes,
+            const std::vector<Value>& arg_values, int imm = 0) {
+    const Value result = apply_op(op, arg_values, imm).front();
+    constexpr NodeCat result_cat =
+        std::is_same_v<Result, Scalar> ? NodeCat::ScalarData : NodeCat::VectorData;
+    const int node = p.trace(op_cat, op, arg_nodes, result_cat, imm);
+    if constexpr (std::is_same_v<Result, Scalar>) {
+        return Scalar(&p, node, result.s());
+    } else {
+        return Vector(&p, node, result.elems);
+    }
+}
+
+/// Trace + evaluate a matrix-result operation.
+Matrix emit_matrix(Program& p, const char* op, const std::vector<int>& arg_nodes,
+                   const std::vector<Value>& arg_values) {
+    const std::vector<Value> rows = apply_op(op, arg_values, 0);
+    REVEC_ASSERT(rows.size() == 4);
+    const std::array<int, 4> outs = p.trace_matrix_result(op, arg_nodes);
+    std::array<Vector, 4> result;
+    for (std::size_t i = 0; i < 4; ++i) {
+        result[i] = Vector(&p, outs[i], rows[i].elems);
+    }
+    return Matrix(std::move(result));
+}
+
+std::vector<int> matrix_nodes(Program& p, const Matrix& m) {
+    std::vector<int> nodes;
+    for (const Vector& r : m.rows()) {
+        p.check_owns(r);
+        nodes.push_back(r.node());
+    }
+    return nodes;
+}
+
+std::vector<Value> matrix_values(const Matrix& m) {
+    std::vector<Value> values;
+    for (const Vector& r : m.rows()) values.push_back(val(r));
+    return values;
+}
+
+}  // namespace
+
+// -- vector core ---------------------------------------------------------------
+
+Vector v_add(const Vector& a, const Vector& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Vector>(p, NodeCat::VectorOp, "v_add", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Vector v_sub(const Vector& a, const Vector& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Vector>(p, NodeCat::VectorOp, "v_sub", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Vector v_mul(const Vector& a, const Vector& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Vector>(p, NodeCat::VectorOp, "v_mul", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Vector v_cmac(const Vector& a, const Vector& b, const Vector& c) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    p.check_owns(c);
+    return emit<Vector>(p, NodeCat::VectorOp, "v_cmac", {a.node(), b.node(), c.node()},
+                        {val(a), val(b), val(c)});
+}
+
+Vector v_scale(const Vector& a, const Scalar& s) {
+    Program& p = owner(a);
+    p.check_owns(s);
+    return emit<Vector>(p, NodeCat::VectorOp, "v_scale", {a.node(), s.node()}, {val(a), val(s)});
+}
+
+Vector v_axpy(const Vector& y, const Scalar& s, const Vector& x) {
+    Program& p = owner(y);
+    p.check_owns(s);
+    p.check_owns(x);
+    return emit<Vector>(p, NodeCat::VectorOp, "v_axpy", {y.node(), s.node(), x.node()},
+                        {val(y), val(s), val(x)});
+}
+
+Scalar v_dotP(const Vector& a, const Vector& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Scalar>(p, NodeCat::VectorOp, "v_dotP", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Scalar v_dotu(const Vector& a, const Vector& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Scalar>(p, NodeCat::VectorOp, "v_dotu", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Scalar v_squsum(const Vector& a) {
+    Program& p = owner(a);
+    return emit<Scalar>(p, NodeCat::VectorOp, "v_squsum", {a.node()}, {val(a)});
+}
+
+// -- vector pre-/post-processing ---------------------------------------------------
+
+Vector pre_conj(const Vector& a) {
+    Program& p = owner(a);
+    return emit<Vector>(p, NodeCat::VectorOp, "pre_conj", {a.node()}, {val(a)});
+}
+
+Vector pre_mask(const Vector& a, int mask_bits) {
+    REVEC_EXPECTS(mask_bits > 0 && mask_bits < (1 << ir::kVecLen));
+    Program& p = owner(a);
+    return emit<Vector>(p, NodeCat::VectorOp, "pre_mask", {a.node()}, {val(a)}, mask_bits);
+}
+
+Vector post_sort(const Vector& a) {
+    Program& p = owner(a);
+    return emit<Vector>(p, NodeCat::VectorOp, "post_sort", {a.node()}, {val(a)});
+}
+
+Scalar post_accum(const Vector& a) {
+    Program& p = owner(a);
+    return emit<Scalar>(p, NodeCat::VectorOp, "post_accum", {a.node()}, {val(a)});
+}
+
+// -- matrix operations ----------------------------------------------------------------
+
+Matrix m_add(const Matrix& a, const Matrix& b) {
+    Program& p = owner(a.row(0));
+    std::vector<int> nodes = matrix_nodes(p, a);
+    const std::vector<int> bn = matrix_nodes(p, b);
+    nodes.insert(nodes.end(), bn.begin(), bn.end());
+    std::vector<Value> values = matrix_values(a);
+    const std::vector<Value> bv = matrix_values(b);
+    values.insert(values.end(), bv.begin(), bv.end());
+    return emit_matrix(p, "m_add", nodes, values);
+}
+
+Matrix m_sub(const Matrix& a, const Matrix& b) {
+    Program& p = owner(a.row(0));
+    std::vector<int> nodes = matrix_nodes(p, a);
+    const std::vector<int> bn = matrix_nodes(p, b);
+    nodes.insert(nodes.end(), bn.begin(), bn.end());
+    std::vector<Value> values = matrix_values(a);
+    const std::vector<Value> bv = matrix_values(b);
+    values.insert(values.end(), bv.begin(), bv.end());
+    return emit_matrix(p, "m_sub", nodes, values);
+}
+
+Matrix m_scale(const Matrix& a, const Scalar& s) {
+    Program& p = owner(a.row(0));
+    p.check_owns(s);
+    std::vector<int> nodes = matrix_nodes(p, a);
+    nodes.push_back(s.node());
+    std::vector<Value> values = matrix_values(a);
+    values.push_back(val(s));
+    return emit_matrix(p, "m_scale", nodes, values);
+}
+
+Vector m_squsum(const Matrix& a) {
+    Program& p = owner(a.row(0));
+    return emit<Vector>(p, NodeCat::MatrixOp, "m_squsum", matrix_nodes(p, a), matrix_values(a));
+}
+
+Vector m_vmul(const Matrix& a, const Vector& x) {
+    Program& p = owner(a.row(0));
+    p.check_owns(x);
+    std::vector<int> nodes = matrix_nodes(p, a);
+    nodes.push_back(x.node());
+    std::vector<Value> values = matrix_values(a);
+    values.push_back(val(x));
+    return emit<Vector>(p, NodeCat::MatrixOp, "m_vmul", nodes, values);
+}
+
+Matrix m_hermitian(const Matrix& a) {
+    Program& p = owner(a.row(0));
+    return emit_matrix(p, "m_hermitian", matrix_nodes(p, a), matrix_values(a));
+}
+
+// -- scalar accelerator ---------------------------------------------------------------
+
+Scalar s_add(const Scalar& a, const Scalar& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Scalar>(p, NodeCat::ScalarOp, "s_add", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Scalar s_sub(const Scalar& a, const Scalar& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Scalar>(p, NodeCat::ScalarOp, "s_sub", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Scalar s_mul(const Scalar& a, const Scalar& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Scalar>(p, NodeCat::ScalarOp, "s_mul", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Scalar s_div(const Scalar& a, const Scalar& b) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    return emit<Scalar>(p, NodeCat::ScalarOp, "s_div", {a.node(), b.node()}, {val(a), val(b)});
+}
+
+Scalar s_sqrt(const Scalar& a) {
+    Program& p = owner(a);
+    return emit<Scalar>(p, NodeCat::ScalarOp, "s_sqrt", {a.node()}, {val(a)});
+}
+
+Scalar s_rsqrt(const Scalar& a) {
+    Program& p = owner(a);
+    return emit<Scalar>(p, NodeCat::ScalarOp, "s_rsqrt", {a.node()}, {val(a)});
+}
+
+Scalar s_cordic_mag(const Scalar& a) {
+    Program& p = owner(a);
+    return emit<Scalar>(p, NodeCat::ScalarOp, "s_cordic_mag", {a.node()}, {val(a)});
+}
+
+// -- index / merge ----------------------------------------------------------------------
+
+Scalar index(const Vector& v, int position) {
+    REVEC_EXPECTS(position >= 0 && position < ir::kVecLen);
+    Program& p = owner(v);
+    return emit<Scalar>(p, NodeCat::IndexOp, "index", {v.node()}, {val(v)}, position);
+}
+
+Vector merge(const Scalar& a, const Scalar& b, const Scalar& c, const Scalar& d) {
+    Program& p = owner(a);
+    p.check_owns(b);
+    p.check_owns(c);
+    p.check_owns(d);
+    return emit<Vector>(p, NodeCat::MergeOp, "merge", {a.node(), b.node(), c.node(), d.node()},
+                        {val(a), val(b), val(c), val(d)});
+}
+
+}  // namespace revec::dsl

@@ -1,0 +1,50 @@
+// The DSL operation library (paper §3.1). Each function computes its result
+// eagerly (functional debugging) and traces an operation node plus result
+// data node(s) into the owning Program's IR. Operand order in the IR matches
+// parameter order.
+#pragma once
+
+#include "revec/dsl/program.hpp"
+#include "revec/dsl/value.hpp"
+
+namespace revec::dsl {
+
+// -- vector core --------------------------------------------------------------
+Vector v_add(const Vector& a, const Vector& b);
+Vector v_sub(const Vector& a, const Vector& b);
+Vector v_mul(const Vector& a, const Vector& b);              // element-wise
+Vector v_cmac(const Vector& a, const Vector& b, const Vector& c);  // a*b + c
+Vector v_scale(const Vector& a, const Scalar& s);
+Vector v_axpy(const Vector& y, const Scalar& s, const Vector& x);  // y - s*x
+Scalar v_dotP(const Vector& a, const Vector& b);  // sum a_i * conj(b_i)
+Scalar v_dotu(const Vector& a, const Vector& b);  // sum a_i * b_i
+Scalar v_squsum(const Vector& a);                 // sum |a_i|^2
+
+// -- vector pre-/post-processing (standalone; the merging pass may fuse them) --
+Vector pre_conj(const Vector& a);
+Vector pre_mask(const Vector& a, int mask_bits);  // keep element i iff bit i set
+Vector post_sort(const Vector& a);                // ascending by |x|^2
+Scalar post_accum(const Vector& a);               // horizontal sum
+
+// -- matrix operations -----------------------------------------------------------
+Matrix m_add(const Matrix& a, const Matrix& b);
+Matrix m_sub(const Matrix& a, const Matrix& b);
+Matrix m_scale(const Matrix& a, const Scalar& s);
+Vector m_squsum(const Matrix& a);                // per-row sum |.|^2
+Vector m_vmul(const Matrix& a, const Vector& x); // per-row unconjugated dot
+Matrix m_hermitian(const Matrix& a);             // conjugate transpose
+
+// -- scalar accelerator -------------------------------------------------------------
+Scalar s_add(const Scalar& a, const Scalar& b);
+Scalar s_sub(const Scalar& a, const Scalar& b);
+Scalar s_mul(const Scalar& a, const Scalar& b);
+Scalar s_div(const Scalar& a, const Scalar& b);
+Scalar s_sqrt(const Scalar& a);
+Scalar s_rsqrt(const Scalar& a);
+Scalar s_cordic_mag(const Scalar& a);
+
+// -- index / merge ---------------------------------------------------------------------
+Scalar index(const Vector& v, int position);
+Vector merge(const Scalar& a, const Scalar& b, const Scalar& c, const Scalar& d);
+
+}  // namespace revec::dsl

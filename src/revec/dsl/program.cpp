@@ -1,0 +1,91 @@
+#include "revec/dsl/program.hpp"
+
+#include "revec/arch/ops.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::dsl {
+
+Scalar Program::in_scalar(ir::Complex v, std::string label) {
+    const int id = graph_.add_data(ir::NodeCat::ScalarData, std::move(label));
+    graph_.node(id).input_value = ir::Value::scalar(v);
+    return Scalar(this, id, v);
+}
+
+Vector Program::in_vector(Vector::Elems v, std::string label) {
+    const int id = graph_.add_data(ir::NodeCat::VectorData, std::move(label));
+    graph_.node(id).input_value = ir::Value::vector(v);
+    return Vector(this, id, v);
+}
+
+Vector Program::in_vector(double a, double b, double c, double d, std::string label) {
+    return in_vector(Vector::Elems{ir::Complex(a, 0), ir::Complex(b, 0), ir::Complex(c, 0),
+                                   ir::Complex(d, 0)},
+                     std::move(label));
+}
+
+Matrix Program::in_matrix(std::array<Vector, 4> rows) {
+    for (const Vector& r : rows) check_owns(r);
+    return Matrix(std::move(rows));
+}
+
+Matrix Program::in_matrix(std::array<Vector::Elems, 4> rows, std::string label) {
+    std::array<Vector, 4> vs;
+    for (int i = 0; i < 4; ++i) {
+        vs[static_cast<std::size_t>(i)] =
+            in_vector(rows[static_cast<std::size_t>(i)],
+                      label.empty() ? std::string{} : label + "[" + std::to_string(i) + "]");
+    }
+    return Matrix(std::move(vs));
+}
+
+void Program::mark_output(const Scalar& s) {
+    check_owns(s);
+    graph_.node(s.node()).is_output = true;
+}
+
+void Program::mark_output(const Vector& v) {
+    check_owns(v);
+    graph_.node(v.node()).is_output = true;
+}
+
+void Program::mark_output(const Matrix& m) {
+    for (const Vector& r : m.rows()) mark_output(r);
+}
+
+int Program::trace(ir::NodeCat op_cat, const std::string& op, const std::vector<int>& args,
+                   ir::NodeCat result_cat, int imm, const std::string& label) {
+    REVEC_EXPECTS(arch::is_known_op(op));
+    const int op_id = graph_.add_op(op_cat, op, label);
+    graph_.node(op_id).imm = imm;
+    for (const int a : args) graph_.add_edge(a, op_id);
+    const int out_id = graph_.add_data(result_cat, label.empty() ? "" : label + ".out");
+    graph_.add_edge(op_id, out_id);
+    return out_id;
+}
+
+std::array<int, 4> Program::trace_matrix_result(const std::string& op,
+                                                const std::vector<int>& args,
+                                                const std::string& label) {
+    REVEC_EXPECTS(arch::is_known_op(op));
+    const int op_id = graph_.add_op(ir::NodeCat::MatrixOp, op, label);
+    for (const int a : args) graph_.add_edge(a, op_id);
+    std::array<int, 4> outs{};
+    for (int i = 0; i < 4; ++i) {
+        const int out_id = graph_.add_data(
+            ir::NodeCat::VectorData,
+            label.empty() ? "" : label + ".r" + std::to_string(i));
+        graph_.add_edge(op_id, out_id);
+        outs[static_cast<std::size_t>(i)] = out_id;
+    }
+    return outs;
+}
+
+void Program::check_owns(const Scalar& s) const {
+    if (s.program() != this) throw Error("scalar value does not belong to this Program");
+}
+
+void Program::check_owns(const Vector& v) const {
+    if (v.program() != this) throw Error("vector value does not belong to this Program");
+}
+
+}  // namespace revec::dsl

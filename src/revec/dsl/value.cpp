@@ -1,0 +1,17 @@
+#include "revec/dsl/value.hpp"
+
+#include "revec/support/assert.hpp"
+
+namespace revec::dsl {
+
+ir::Complex Vector::operator[](int i) const {
+    REVEC_EXPECTS(i >= 0 && i < ir::kVecLen);
+    return value_[static_cast<std::size_t>(i)];
+}
+
+const Vector& Matrix::row(int i) const {
+    REVEC_EXPECTS(i >= 0 && i < 4);
+    return rows_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace revec::dsl

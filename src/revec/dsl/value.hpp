@@ -1,0 +1,69 @@
+// DSL value types (paper §3.1: EITScalar / EITVector / EITMatrix). Each
+// value carries both its computed contents (so a DSL program can be debugged
+// functionally by just running it) and the id of the IR data node it traces
+// to. A matrix is four row vectors — the IR never has matrix data nodes
+// (§3.2.1: matrix data is expanded into four vector data nodes).
+#pragma once
+
+#include <array>
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::dsl {
+
+class Program;
+
+/// A traced complex scalar.
+class Scalar {
+public:
+    Scalar() = default;
+    Scalar(Program* prog, int node, ir::Complex value)
+        : prog_(prog), node_(node), value_(value) {}
+
+    ir::Complex value() const { return value_; }
+    int node() const { return node_; }
+    Program* program() const { return prog_; }
+    bool bound() const { return prog_ != nullptr; }
+
+private:
+    Program* prog_ = nullptr;
+    int node_ = -1;
+    ir::Complex value_{};
+};
+
+/// A traced vector of four complex elements.
+class Vector {
+public:
+    using Elems = std::array<ir::Complex, ir::kVecLen>;
+
+    Vector() = default;
+    Vector(Program* prog, int node, Elems value) : prog_(prog), node_(node), value_(value) {}
+
+    const Elems& value() const { return value_; }
+    ir::Complex operator[](int i) const;
+    int node() const { return node_; }
+    Program* program() const { return prog_; }
+    bool bound() const { return prog_ != nullptr; }
+
+private:
+    Program* prog_ = nullptr;
+    int node_ = -1;
+    Elems value_{};
+};
+
+/// A 4x4 complex matrix: four traced row vectors.
+class Matrix {
+public:
+    Matrix() = default;
+    explicit Matrix(std::array<Vector, 4> rows) : rows_(std::move(rows)) {}
+
+    const Vector& row(int i) const;
+    /// Row access in the DSL style of listing 1: A(i).
+    const Vector& operator()(int i) const { return row(i); }
+    const std::array<Vector, 4>& rows() const { return rows_; }
+
+private:
+    std::array<Vector, 4> rows_{};
+};
+
+}  // namespace revec::dsl

@@ -1,0 +1,101 @@
+#include "revec/ir/analysis.hpp"
+
+#include <algorithm>
+
+#include "revec/arch/ops.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+
+NodeTiming node_timing(const arch::ArchSpec& spec, const Node& node) {
+    if (node.is_data()) return {};
+    const arch::OpInfo& info = arch::op_info(node.op);
+    const arch::OpTiming t = arch::op_timing(spec, info);
+    const int lanes = info.resource == arch::Resource::VectorCore ? info.lanes : 0;
+    return {t.latency, t.duration, lanes};
+}
+
+std::vector<int> topo_order(const Graph& g) {
+    const int n = g.num_nodes();
+    std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+    for (int v = 0; v < n; ++v) {
+        indegree[static_cast<std::size_t>(v)] = static_cast<int>(g.preds(v).size());
+    }
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<int> ready;
+    for (int v = 0; v < n; ++v) {
+        if (indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+    while (!ready.empty()) {
+        const int v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (const int w : g.succs(v)) {
+            if (--indegree[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+        }
+    }
+    if (static_cast<int>(order.size()) != n) {
+        throw Error("graph '" + g.name() + "' contains a cycle");
+    }
+    return order;
+}
+
+std::vector<int> asap_times(const arch::ArchSpec& spec, const Graph& g) {
+    std::vector<int> asap(static_cast<std::size_t>(g.num_nodes()), 0);
+    for (const int v : topo_order(g)) {
+        int start = 0;
+        for (const int p : g.preds(v)) {
+            const NodeTiming t = node_timing(spec, g.node(p));
+            start = std::max(start, asap[static_cast<std::size_t>(p)] + t.latency);
+        }
+        asap[static_cast<std::size_t>(v)] = start;
+    }
+    return asap;
+}
+
+std::vector<int> alap_times(const arch::ArchSpec& spec, const Graph& g, int horizon) {
+    std::vector<int> alap(static_cast<std::size_t>(g.num_nodes()), 0);
+    const std::vector<int> order = topo_order(g);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const int v = *it;
+        const NodeTiming tv = node_timing(spec, g.node(v));
+        int latest = horizon - tv.latency;
+        for (const int s : g.succs(v)) {
+            latest = std::min(latest, alap[static_cast<std::size_t>(s)] - tv.latency);
+        }
+        alap[static_cast<std::size_t>(v)] = latest;
+    }
+    return alap;
+}
+
+int critical_path_length(const arch::ArchSpec& spec, const Graph& g) {
+    const std::vector<int> asap = asap_times(spec, g);
+    int cp = 0;
+    for (const Node& n : g.nodes()) {
+        const NodeTiming t = node_timing(spec, n);
+        cp = std::max(cp, asap[static_cast<std::size_t>(n.id)] + t.latency);
+    }
+    return cp;
+}
+
+GraphStats graph_stats(const arch::ArchSpec& spec, const Graph& g) {
+    GraphStats st;
+    st.num_nodes = g.num_nodes();
+    st.num_edges = g.num_edges();
+    st.critical_path = critical_path_length(spec, g);
+    for (const Node& n : g.nodes()) {
+        switch (n.cat) {
+            case NodeCat::VectorData: ++st.num_vector_data; break;
+            case NodeCat::ScalarData: ++st.num_scalar_data; break;
+            case NodeCat::VectorOp: ++st.num_vector_ops; break;
+            case NodeCat::MatrixOp: ++st.num_matrix_ops; break;
+            case NodeCat::ScalarOp: ++st.num_scalar_ops; break;
+            case NodeCat::IndexOp:
+            case NodeCat::MergeOp: ++st.num_index_merge; break;
+        }
+    }
+    return st;
+}
+
+}  // namespace revec::ir

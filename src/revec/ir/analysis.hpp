@@ -1,0 +1,54 @@
+// Static analyses over the IR: topological order, per-node timing under an
+// architecture, ASAP/ALAP times, critical path, and the graph statistics
+// reported in the paper's result tables (|V|, |E|, |Cr.P|, #v_data).
+#pragma once
+
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+#include "revec/ir/graph.hpp"
+
+namespace revec::ir {
+
+/// Timing/resource footprint of a node under a given architecture.
+/// Data nodes have zero latency and duration and no resource.
+struct NodeTiming {
+    int latency = 0;
+    int duration = 0;
+    int lanes = 0;  ///< vector lanes occupied (0 for non-vector-core nodes)
+};
+
+NodeTiming node_timing(const arch::ArchSpec& spec, const Node& node);
+
+/// Node ids in a topological order (inputs first).
+/// Throws revec::Error if the graph has a cycle.
+std::vector<int> topo_order(const Graph& g);
+
+/// Earliest start time of every node assuming unlimited resources
+/// (longest-path over latencies from the inputs).
+std::vector<int> asap_times(const arch::ArchSpec& spec, const Graph& g);
+
+/// Latest start time of every node such that everything completes by
+/// `horizon` (assuming unlimited resources).
+std::vector<int> alap_times(const arch::ArchSpec& spec, const Graph& g, int horizon);
+
+/// Length of the critical path in clock cycles: the resource-unconstrained
+/// makespan, max over nodes of asap + latency. This is |Cr.P| in the paper.
+int critical_path_length(const arch::ArchSpec& spec, const Graph& g);
+
+/// Graph statistics as reported in the paper's tables.
+struct GraphStats {
+    int num_nodes = 0;          ///< |V|
+    int num_edges = 0;          ///< |E|
+    int critical_path = 0;      ///< |Cr.P| in clock cycles
+    int num_vector_data = 0;    ///< #v_data
+    int num_scalar_data = 0;
+    int num_vector_ops = 0;     ///< includes fused vector ops
+    int num_matrix_ops = 0;
+    int num_scalar_ops = 0;
+    int num_index_merge = 0;
+};
+
+GraphStats graph_stats(const arch::ArchSpec& spec, const Graph& g);
+
+}  // namespace revec::ir

@@ -1,0 +1,60 @@
+#include "revec/ir/dot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string node_text(const Node& n) {
+    if (n.is_data()) {
+        return n.label.empty() ? "d" + std::to_string(n.id) : n.label;
+    }
+    std::string text;
+    if (!n.pre_op.empty()) text += n.pre_op + "+";
+    text += n.op;
+    if (!n.post_op.empty()) text += "+" + n.post_op;
+    if (!n.label.empty()) text += "\\n" + n.label;
+    return text;
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g) {
+    std::ostringstream os;
+    os << "digraph \"" << dot_escape(g.name()) << "\" {\n";
+    os << "  rankdir=TB;\n";
+    os << "  node [fontsize=10];\n";
+    for (const Node& n : g.nodes()) {
+        os << "  n" << n.id << " [label=\"" << dot_escape(node_text(n)) << "\", shape=";
+        os << (n.is_data() ? "box" : "ellipse");
+        if (n.cat == NodeCat::MatrixOp) os << ", peripheries=2";
+        if (n.is_output) os << ", style=bold";
+        os << "];\n";
+    }
+    for (const Node& n : g.nodes()) {
+        for (const int s : g.succs(n.id)) os << "  n" << n.id << " -> n" << s << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void save_dot(const Graph& g, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open '" + path + "' for writing");
+    out << to_dot(g);
+}
+
+}  // namespace revec::ir

@@ -1,0 +1,17 @@
+// Graphviz DOT export: data nodes drawn as rectangles, operations as ovals,
+// matching the visual convention of the paper's Fig. 3.
+#pragma once
+
+#include <string>
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::ir {
+
+/// Render the graph in Graphviz DOT syntax.
+std::string to_dot(const Graph& g);
+
+/// Write DOT to a file; throws revec::Error on I/O failure.
+void save_dot(const Graph& g, const std::string& path);
+
+}  // namespace revec::ir

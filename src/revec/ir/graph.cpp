@@ -1,0 +1,164 @@
+#include "revec/ir/graph.hpp"
+
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+
+bool is_op_cat(NodeCat cat) {
+    switch (cat) {
+        case NodeCat::VectorOp:
+        case NodeCat::MatrixOp:
+        case NodeCat::ScalarOp:
+        case NodeCat::IndexOp:
+        case NodeCat::MergeOp:
+            return true;
+        case NodeCat::VectorData:
+        case NodeCat::ScalarData:
+            return false;
+    }
+    REVEC_UNREACHABLE("bad NodeCat");
+}
+
+bool is_data_cat(NodeCat cat) { return !is_op_cat(cat); }
+
+std::string_view cat_name(NodeCat cat) {
+    switch (cat) {
+        case NodeCat::VectorOp: return "vector_op";
+        case NodeCat::MatrixOp: return "matrix_op";
+        case NodeCat::ScalarOp: return "scalar_op";
+        case NodeCat::IndexOp: return "index";
+        case NodeCat::MergeOp: return "merge";
+        case NodeCat::VectorData: return "vector_data";
+        case NodeCat::ScalarData: return "scalar_data";
+    }
+    REVEC_UNREACHABLE("bad NodeCat");
+}
+
+NodeCat cat_from_name(std::string_view name) {
+    if (name == "vector_op") return NodeCat::VectorOp;
+    if (name == "matrix_op") return NodeCat::MatrixOp;
+    if (name == "scalar_op") return NodeCat::ScalarOp;
+    if (name == "index") return NodeCat::IndexOp;
+    if (name == "merge") return NodeCat::MergeOp;
+    if (name == "vector_data") return NodeCat::VectorData;
+    if (name == "scalar_data") return NodeCat::ScalarData;
+    throw Error("unknown node category '" + std::string(name) + "'");
+}
+
+std::string config_key(const Node& node) {
+    REVEC_EXPECTS(node.is_op());
+    std::string key;
+    key.reserve(node.pre_op.size() + node.op.size() + node.post_op.size() + 8);
+    key += node.pre_op;
+    key += '|';
+    key += node.op;
+    key += '|';
+    key += node.post_op;
+    if (node.imm != 0) {
+        key += '#';
+        key += std::to_string(node.imm);
+    }
+    return key;
+}
+
+int Graph::add_node(Node n) {
+    n.id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return nodes_.back().id;
+}
+
+int Graph::add_op(NodeCat cat, std::string op, std::string label) {
+    REVEC_EXPECTS(is_op_cat(cat));
+    REVEC_EXPECTS(!op.empty());
+    Node n;
+    n.cat = cat;
+    n.op = std::move(op);
+    n.label = std::move(label);
+    return add_node(std::move(n));
+}
+
+int Graph::add_data(NodeCat cat, std::string label) {
+    REVEC_EXPECTS(is_data_cat(cat));
+    Node n;
+    n.cat = cat;
+    n.label = std::move(label);
+    return add_node(std::move(n));
+}
+
+void Graph::add_edge(int from, int to) {
+    REVEC_EXPECTS(from >= 0 && from < num_nodes());
+    REVEC_EXPECTS(to >= 0 && to < num_nodes());
+    REVEC_EXPECTS(from != to);
+    REVEC_EXPECTS(nodes_[static_cast<std::size_t>(from)].is_op() !=
+                  nodes_[static_cast<std::size_t>(to)].is_op());
+    succs_[static_cast<std::size_t>(from)].push_back(to);
+    preds_[static_cast<std::size_t>(to)].push_back(from);
+    ++num_edges_;
+}
+
+const Node& Graph::node(int id) const {
+    REVEC_EXPECTS(id >= 0 && id < num_nodes());
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Graph::node(int id) {
+    REVEC_EXPECTS(id >= 0 && id < num_nodes());
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& Graph::preds(int id) const {
+    REVEC_EXPECTS(id >= 0 && id < num_nodes());
+    return preds_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& Graph::succs(int id) const {
+    REVEC_EXPECTS(id >= 0 && id < num_nodes());
+    return succs_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Graph::nodes_of(NodeCat cat) const {
+    std::vector<int> out;
+    for (const Node& n : nodes_) {
+        if (n.cat == cat) out.push_back(n.id);
+    }
+    return out;
+}
+
+std::vector<int> Graph::op_nodes() const {
+    std::vector<int> out;
+    for (const Node& n : nodes_) {
+        if (n.is_op()) out.push_back(n.id);
+    }
+    return out;
+}
+
+std::vector<int> Graph::data_nodes() const {
+    std::vector<int> out;
+    for (const Node& n : nodes_) {
+        if (n.is_data()) out.push_back(n.id);
+    }
+    return out;
+}
+
+std::vector<int> Graph::input_nodes() const {
+    std::vector<int> out;
+    for (const Node& n : nodes_) {
+        if (n.is_data() && preds(n.id).empty()) out.push_back(n.id);
+    }
+    return out;
+}
+
+std::vector<int> Graph::output_nodes() const {
+    std::vector<int> marked;
+    std::vector<int> sinks;
+    for (const Node& n : nodes_) {
+        if (!n.is_data()) continue;
+        if (n.is_output) marked.push_back(n.id);
+        if (succs(n.id).empty()) sinks.push_back(n.id);
+    }
+    return marked.empty() ? sinks : marked;
+}
+
+}  // namespace revec::ir

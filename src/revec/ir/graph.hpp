@@ -1,0 +1,123 @@
+// The intermediate representation (paper §3.2): a bipartite directed acyclic
+// dataflow graph of operation nodes and data nodes. Every non-input data
+// node is produced by exactly one operation node; operations read data nodes
+// and produce data nodes. Matrix data is always expanded into four vector
+// data nodes (§3.2.1); matrix *operations* remain single nodes.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revec::ir {
+
+/// Complex element type used throughout the IR and the reference evaluator.
+using Complex = std::complex<double>;
+
+/// Fixed EIT vector length (four complex elements, one per CMAC).
+inline constexpr int kVecLen = 4;
+
+/// A runtime value: a scalar or a 4-element vector.
+struct Value {
+    enum class Kind { Scalar, Vector };
+    Kind kind = Kind::Scalar;
+    std::array<Complex, kVecLen> elems{};  ///< scalar stored in elems[0]
+
+    static Value scalar(Complex v) { return {Kind::Scalar, {v, {}, {}, {}}}; }
+    static Value vector(std::array<Complex, kVecLen> v) { return {Kind::Vector, v}; }
+
+    Complex s() const { return elems[0]; }
+    bool is_scalar() const { return kind == Kind::Scalar; }
+};
+
+/// Node categories, mirroring the paper's cat(i) values.
+enum class NodeCat {
+    VectorOp,    // "vector_op"
+    MatrixOp,    // "matrix_op"
+    ScalarOp,    // "scalar_op"
+    IndexOp,     // "index"
+    MergeOp,     // "merge"
+    VectorData,  // "vector_data"
+    ScalarData,  // "scalar_data"
+};
+
+bool is_op_cat(NodeCat cat);
+bool is_data_cat(NodeCat cat);
+std::string_view cat_name(NodeCat cat);
+NodeCat cat_from_name(std::string_view name);
+
+/// One IR node. Operation nodes carry the DSL operation name in `op` and,
+/// after the pipeline-merging pass (§3.3.1, Fig. 6), possibly a fused
+/// pre-processing and/or post-processing operation.
+struct Node {
+    int id = -1;
+    NodeCat cat = NodeCat::VectorData;
+    std::string op;       ///< core operation name; empty for data nodes
+    std::string pre_op;   ///< fused pre-processing operation (may be empty)
+    int pre_arg = 0;      ///< operand index the fused pre-processing applies to
+    std::string post_op;  ///< fused post-processing operation (may be empty)
+    std::string label;    ///< human-readable name for dumps and DOT output
+    int imm = 0;          ///< immediate operand (index position, mask bits)
+    bool is_output = false;               ///< data node marked as program output
+    std::optional<Value> input_value;     ///< initial value for input data nodes
+
+    bool is_op() const { return is_op_cat(cat); }
+    bool is_data() const { return is_data_cat(cat); }
+};
+
+/// The configuration identity of an operation node: two vector operations
+/// with different keys cannot execute in the same cycle (paper eq. 3) and
+/// switching between them costs a reconfiguration.
+std::string config_key(const Node& node);
+
+/// Bipartite dataflow DAG with stable integer node ids.
+class Graph {
+public:
+    explicit Graph(std::string name = "graph") : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /// Add an operation node; returns its id.
+    int add_op(NodeCat cat, std::string op, std::string label = {});
+    /// Add a data node; returns its id.
+    int add_data(NodeCat cat, std::string label = {});
+    /// Add a dependency edge `from -> to`; both ids must exist, and the edge
+    /// must connect an operation node with a data node (bipartite).
+    void add_edge(int from, int to);
+
+    int num_nodes() const { return static_cast<int>(nodes_.size()); }
+    int num_edges() const { return num_edges_; }
+
+    const Node& node(int id) const;
+    Node& node(int id);
+    const std::vector<Node>& nodes() const { return nodes_; }
+
+    const std::vector<int>& preds(int id) const;
+    const std::vector<int>& succs(int id) const;
+
+    /// Ids of all nodes with the given category.
+    std::vector<int> nodes_of(NodeCat cat) const;
+    /// Ids of all operation nodes.
+    std::vector<int> op_nodes() const;
+    /// Ids of all data nodes.
+    std::vector<int> data_nodes() const;
+    /// Data nodes with no producer (program inputs).
+    std::vector<int> input_nodes() const;
+    /// Data nodes marked as outputs (or, if none are marked, all sinks).
+    std::vector<int> output_nodes() const;
+
+private:
+    int add_node(Node n);
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<std::vector<int>> preds_;
+    std::vector<std::vector<int>> succs_;
+    int num_edges_ = 0;
+};
+
+}  // namespace revec::ir

@@ -1,0 +1,144 @@
+#include "revec/ir/validate.hpp"
+
+#include <sstream>
+
+#include "revec/arch/ops.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+
+namespace {
+
+std::string node_desc(const Node& n) {
+    std::ostringstream os;
+    os << "node " << n.id << " (" << cat_name(n.cat);
+    if (!n.op.empty()) os << " " << n.op;
+    if (!n.label.empty()) os << " '" << n.label << "'";
+    os << ")";
+    return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> check_graph(const Graph& g) {
+    std::vector<std::string> problems;
+    const auto report = [&](const std::string& msg) { problems.push_back(msg); };
+
+    try {
+        (void)topo_order(g);
+    } catch (const Error& e) {
+        report(e.what());
+    }
+
+    for (const Node& n : g.nodes()) {
+        const auto& preds = g.preds(n.id);
+        const auto& succs = g.succs(n.id);
+
+        // Bipartiteness (add_edge enforces it, but graphs can also come from
+        // XML import paths in the future).
+        for (const int p : preds) {
+            if (g.node(p).is_op() == n.is_op()) {
+                report(node_desc(n) + ": edge from same-kind " + node_desc(g.node(p)));
+            }
+        }
+
+        if (n.is_data()) {
+            if (preds.size() > 1) {
+                report(node_desc(n) + ": data node with " + std::to_string(preds.size()) +
+                       " producers");
+            }
+            if (!n.op.empty()) report(node_desc(n) + ": data node carries an operation name");
+            continue;
+        }
+
+        // Operation nodes.
+        if (preds.empty()) report(node_desc(n) + ": operation with no inputs");
+        if (succs.empty()) report(node_desc(n) + ": operation with no outputs");
+        if (!arch::is_known_op(n.op)) {
+            report(node_desc(n) + ": unknown operation");
+            continue;
+        }
+        const arch::OpInfo& info = arch::op_info(n.op);
+        if (static_cast<int>(preds.size()) != info.arity) {
+            report(node_desc(n) + ": arity " + std::to_string(preds.size()) + ", catalogue says " +
+                   std::to_string(info.arity));
+        }
+        // Category consistency with the catalogue.
+        const NodeCat expect_cat = [&] {
+            switch (info.resource) {
+                case arch::Resource::VectorCore:
+                    return info.is_matrix_op ? NodeCat::MatrixOp : NodeCat::VectorOp;
+                case arch::Resource::Scalar:
+                    return NodeCat::ScalarOp;
+                case arch::Resource::IndexMerge:
+                    return n.op == "merge" ? NodeCat::MergeOp : NodeCat::IndexOp;
+            }
+            REVEC_UNREACHABLE("bad Resource");
+        }();
+        if (n.cat != expect_cat) {
+            report(node_desc(n) + ": category should be " + std::string(cat_name(expect_cat)));
+        }
+        // Result shape. A fused post-processing stage determines the final
+        // result kind (e.g. post_accum turns a vector result into a scalar).
+        const arch::ResultKind effective_result =
+            !n.post_op.empty() && arch::is_known_op(n.post_op) ? arch::op_info(n.post_op).result
+                                                               : info.result;
+        switch (effective_result) {
+            case arch::ResultKind::ScalarData:
+                if (succs.size() != 1 || g.node(succs[0]).cat != NodeCat::ScalarData) {
+                    report(node_desc(n) + ": must produce exactly one scalar_data node");
+                }
+                break;
+            case arch::ResultKind::VectorData:
+                if (succs.size() != 1 || g.node(succs[0]).cat != NodeCat::VectorData) {
+                    report(node_desc(n) + ": must produce exactly one vector_data node");
+                }
+                break;
+            case arch::ResultKind::MatrixData:
+                if (succs.size() != 4) {
+                    report(node_desc(n) + ": matrix-producing op must have 4 vector_data outputs");
+                } else {
+                    for (const int s : succs) {
+                        if (g.node(s).cat != NodeCat::VectorData) {
+                            report(node_desc(n) + ": matrix output " + node_desc(g.node(s)) +
+                                   " is not vector_data");
+                        }
+                    }
+                }
+                break;
+        }
+        // Fused stage operations.
+        if (!n.pre_op.empty()) {
+            if (!arch::is_known_op(n.pre_op) ||
+                arch::op_info(n.pre_op).stage != arch::Stage::Pre) {
+                report(node_desc(n) + ": fused pre_op '" + n.pre_op +
+                       "' is not a pre-processing operation");
+            }
+        }
+        if (!n.post_op.empty()) {
+            if (!arch::is_known_op(n.post_op) ||
+                arch::op_info(n.post_op).stage != arch::Stage::Post) {
+                report(node_desc(n) + ": fused post_op '" + n.post_op +
+                       "' is not a post-processing operation");
+            }
+        }
+        if ((!n.pre_op.empty() || !n.post_op.empty()) &&
+            info.resource != arch::Resource::VectorCore) {
+            report(node_desc(n) + ": only vector-pipeline operations can carry fused stages");
+        }
+    }
+    return problems;
+}
+
+void validate_graph(const Graph& g) {
+    const std::vector<std::string> problems = check_graph(g);
+    if (!problems.empty()) {
+        std::ostringstream os;
+        os << "invalid IR graph '" << g.name() << "': " << problems.front();
+        if (problems.size() > 1) os << " (and " << problems.size() - 1 << " more)";
+        throw Error(os.str());
+    }
+}
+
+}  // namespace revec::ir

@@ -1,0 +1,26 @@
+// Structural validation of IR graphs: the invariants of §3.2 plus
+// catalogue-based arity/result checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "revec/ir/graph.hpp"
+
+namespace revec::ir {
+
+/// All detected structural problems (empty when the graph is well-formed):
+///  - acyclicity
+///  - bipartiteness (enforced on edge insertion, re-checked here)
+///  - every non-input data node has exactly one producer
+///  - operation nodes have at least one input and at least one output
+///  - operation names are known, arity matches the catalogue
+///  - result kinds match: scalar-producing ops feed scalar_data, vector ops
+///    feed vector_data, matrix ops feed four vector_data nodes
+///  - fused pre/post operations are valid stage-compatible operations
+std::vector<std::string> check_graph(const Graph& g);
+
+/// Throws revec::Error with the first problem when check_graph is non-empty.
+void validate_graph(const Graph& g);
+
+}  // namespace revec::ir

@@ -1,0 +1,145 @@
+#include "revec/ir/xml_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "revec/ir/validate.hpp"
+#include "revec/support/assert.hpp"
+#include "revec/support/strings.hpp"
+
+namespace revec::ir {
+
+namespace {
+
+std::string value_to_string(const Value& v) {
+    std::ostringstream os;
+    const int n = v.is_scalar() ? 1 : kVecLen;
+    for (int i = 0; i < n; ++i) {
+        if (i > 0) os << ';';
+        os << v.elems[static_cast<std::size_t>(i)].real() << ','
+           << v.elems[static_cast<std::size_t>(i)].imag();
+    }
+    return os.str();
+}
+
+Value value_from_string(std::string_view text, Value::Kind kind) {
+    Value v;
+    v.kind = kind;
+    const auto parts = split(text, ';');
+    const std::size_t expect = kind == Value::Kind::Scalar ? 1 : kVecLen;
+    if (parts.size() != expect) {
+        throw Error("value '" + std::string(text) + "' has " + std::to_string(parts.size()) +
+                    " elements, expected " + std::to_string(expect));
+    }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        const auto re_im = split(parts[i], ',');
+        if (re_im.size() != 2) throw Error("malformed complex element '" + parts[i] + "'");
+        v.elems[i] = Complex(parse_double(re_im[0]), parse_double(re_im[1]));
+    }
+    return v;
+}
+
+}  // namespace
+
+xml::Document to_xml(const Graph& g) {
+    xml::Document doc("graph");
+    doc.root().set_attr("name", g.name());
+    for (const Node& n : g.nodes()) {
+        xml::Element& e = doc.root().add_child("node");
+        e.set_attr("id", std::to_string(n.id));
+        e.set_attr("cat", std::string(cat_name(n.cat)));
+        if (!n.op.empty()) e.set_attr("op", n.op);
+        if (!n.pre_op.empty()) {
+            e.set_attr("pre", n.pre_op);
+            e.set_attr("pre_arg", std::to_string(n.pre_arg));
+        }
+        if (!n.post_op.empty()) e.set_attr("post", n.post_op);
+        if (n.imm != 0) e.set_attr("imm", std::to_string(n.imm));
+        if (!n.label.empty()) e.set_attr("label", n.label);
+        if (n.is_output) e.set_attr("output", "1");
+        if (n.input_value.has_value()) {
+            e.set_attr("kind", n.input_value->is_scalar() ? "scalar" : "vector");
+            e.set_attr("value", value_to_string(*n.input_value));
+        }
+    }
+    // Emit edges grouped by consumer, in operand order: reloading then
+    // reconstructs each operation's pred list in the same order, which is
+    // semantically significant (e.g. v_sub, v_axpy operands).
+    for (const Node& n : g.nodes()) {
+        for (const int p : g.preds(n.id)) {
+            xml::Element& e = doc.root().add_child("edge");
+            e.set_attr("from", std::to_string(p));
+            e.set_attr("to", std::to_string(n.id));
+        }
+    }
+    return doc;
+}
+
+Graph from_xml(const xml::Document& doc) {
+    const xml::Element& root = doc.root();
+    if (root.name() != "graph") throw Error("expected <graph> root, got <" + root.name() + ">");
+    Graph g(root.attr_or("name", "graph"));
+
+    const auto node_elems = root.children_named("node");
+    for (std::size_t i = 0; i < node_elems.size(); ++i) {
+        const xml::Element& e = *node_elems[i];
+        if (e.attr_int("id") != static_cast<long long>(i)) {
+            throw Error("node ids must be dense and in order; found id " + e.attr("id") +
+                        " at position " + std::to_string(i));
+        }
+        const NodeCat cat = cat_from_name(e.attr("cat"));
+        int id;
+        if (is_op_cat(cat)) {
+            id = g.add_op(cat, e.attr("op"), e.attr_or("label", ""));
+            Node& n = g.node(id);
+            n.pre_op = e.attr_or("pre", "");
+            n.pre_arg = static_cast<int>(parse_int(e.attr_or("pre_arg", "0")));
+            n.post_op = e.attr_or("post", "");
+            n.imm = static_cast<int>(parse_int(e.attr_or("imm", "0")));
+        } else {
+            id = g.add_data(cat, e.attr_or("label", ""));
+            Node& n = g.node(id);
+            n.imm = static_cast<int>(parse_int(e.attr_or("imm", "0")));
+            if (e.has_attr("value")) {
+                const Value::Kind kind =
+                    e.attr_or("kind", "scalar") == "vector" ? Value::Kind::Vector
+                                                            : Value::Kind::Scalar;
+                n.input_value = value_from_string(e.attr("value"), kind);
+            }
+        }
+        g.node(id).is_output = e.attr_or("output", "0") == "1";
+    }
+
+    for (const xml::Element* e : root.children_named("edge")) {
+        const auto from = e->attr_int("from");
+        const auto to = e->attr_int("to");
+        if (from < 0 || from >= g.num_nodes() || to < 0 || to >= g.num_nodes()) {
+            throw Error("edge endpoint out of range: " + std::to_string(from) + " -> " +
+                        std::to_string(to));
+        }
+        g.add_edge(static_cast<int>(from), static_cast<int>(to));
+    }
+
+    validate_graph(g);
+    return g;
+}
+
+std::string to_xml_string(const Graph& g) { return to_xml(g).to_string(); }
+
+Graph from_xml_string(std::string_view text) { return from_xml(xml::Document::parse(text)); }
+
+void save_xml(const Graph& g, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open '" + path + "' for writing");
+    to_xml(g).write(out);
+}
+
+Graph load_xml(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open '" + path + "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return from_xml_string(buf.str());
+}
+
+}  // namespace revec::ir

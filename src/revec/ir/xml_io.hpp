@@ -1,0 +1,35 @@
+// IR <-> XML serialization (the paper's DSL emits the dataflow graph "in XML
+// format, which is later on input to the code generation tool chain").
+//
+// Schema:
+//   <graph name="...">
+//     <node id="0" cat="vector_op" op="v_dotP" [pre="pre_conj" pre_arg="1"]
+//           [post="post_sort"] [imm="3"] [label="..."] [output="1"]
+//           [value="re,im;re,im;re,im;re,im" kind="vector"]/>
+//     <edge from="0" to="1"/>
+//   </graph>
+#pragma once
+
+#include <string>
+
+#include "revec/ir/graph.hpp"
+#include "revec/xml/xml.hpp"
+
+namespace revec::ir {
+
+/// Serialize a graph to an XML document.
+xml::Document to_xml(const Graph& g);
+
+/// Parse a graph from an XML document; throws revec::Error on schema
+/// violations. The result is validated structurally.
+Graph from_xml(const xml::Document& doc);
+
+/// Convenience: serialize to / parse from a string.
+std::string to_xml_string(const Graph& g);
+Graph from_xml_string(std::string_view text);
+
+/// File I/O helpers.
+void save_xml(const Graph& g, const std::string& path);
+Graph load_xml(const std::string& path);
+
+}  // namespace revec::ir

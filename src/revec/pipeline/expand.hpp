@@ -1,0 +1,55 @@
+// Multi-iteration expansion: unroll an overlapped-execution or
+// modulo-scheduled kernel into a flat M-iteration program (replicated
+// graph + flat schedule), so the single-schedule verifier and the
+// machine-level simulator can check the pipelined execution end to end.
+// This mechanizes the paper's §4.3 note that, given enough memory,
+// "memory allocation boils down to repeating the allocation of the
+// original schedule for each iteration, with a certain offset".
+#pragma once
+
+#include "revec/pipeline/modulo.hpp"
+#include "revec/pipeline/overlap.hpp"
+#include "revec/sched/schedule.hpp"
+
+namespace revec::pipeline {
+
+/// A flat multi-iteration program.
+struct ExpandedProgram {
+    ir::Graph graph;          ///< M independent copies of the kernel
+    sched::Schedule schedule; ///< flat starts (+ slots when allocated)
+    int iterations = 0;
+    /// node id of iteration m's copy of original node v.
+    int node_of(int iteration, int original) const {
+        return iteration * stride_nodes + original;
+    }
+    int stride_nodes = 0;
+};
+
+/// Replicate the kernel M times. Each copy's input values are scaled by
+/// (1 + iteration * 0.125) so a simulation failure cannot hide behind
+/// identical per-iteration values.
+ir::Graph replicate_graph(const ir::Graph& g, int iterations);
+
+/// Unroll a single-iteration schedule M times with iteration m issued at
+/// time offset m*delta and (when the schedule carries an allocation and
+/// slot_stride >= 0) iteration m's data placed at slot + m*slot_stride.
+/// Pass slot_stride < 0 to drop the allocation (scheduling-only check).
+/// Throws revec::Error when the strided slots exceed the memory.
+ExpandedProgram expand_uniform(const arch::ArchSpec& spec, const ir::Graph& g,
+                               const sched::Schedule& single, int iterations, int delta,
+                               int slot_stride);
+
+/// Unroll an overlapped execution: iteration m's copy of the op at
+/// instruction position k issues at block_base[k] + m (§4.3's two-phase
+/// scheme). No memory allocation (the manual method does not produce one).
+ExpandedProgram expand_overlap(const arch::ArchSpec& spec, const ir::Graph& g,
+                               const IterationSequence& seq, const OverlapResult& overlap);
+
+/// Unroll a modulo schedule: iteration m's copy of op i issues at
+/// stage_i * II + residue_i + m * II. Steady-state resource feasibility in
+/// every residue class implies the flat unrolling is conflict-free; the
+/// expansion lets the verifier confirm it. No memory allocation.
+ExpandedProgram expand_modulo(const arch::ArchSpec& spec, const ir::Graph& g,
+                              const ModuloResult& modulo, int iterations);
+
+}  // namespace revec::pipeline

@@ -1,0 +1,101 @@
+#include "revec/pipeline/manual.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::pipeline {
+
+IterationSequence pack_min_instructions(const arch::ArchSpec& spec, const ir::Graph& g) {
+    const int n = g.num_nodes();
+
+    // Remaining unscheduled predecessors per op (through data nodes).
+    std::vector<int> waiting(static_cast<std::size_t>(n), 0);
+    for (const ir::Node& node : g.nodes()) {
+        if (!node.is_op()) continue;
+        for (const int d : g.preds(node.id)) {
+            if (!g.preds(d).empty()) ++waiting[static_cast<std::size_t>(node.id)];
+        }
+    }
+
+    std::vector<char> done(static_cast<std::size_t>(n), 0);
+    int remaining = static_cast<int>(g.op_nodes().size());
+
+    IterationSequence seq;
+    std::string current_config;
+
+    while (remaining > 0) {
+        // Ready vector ops grouped by configuration; ready scalar / ix ops.
+        std::map<std::string, std::vector<int>> vector_ready;
+        std::vector<int> scalar_ready;
+        std::vector<int> ix_ready;
+        for (const ir::Node& node : g.nodes()) {
+            if (!node.is_op() || done[static_cast<std::size_t>(node.id)] ||
+                waiting[static_cast<std::size_t>(node.id)] > 0) {
+                continue;
+            }
+            const ir::NodeTiming t = ir::node_timing(spec, node);
+            if (t.lanes > 0) {
+                vector_ready[ir::config_key(node)].push_back(node.id);
+            } else if (node.cat == ir::NodeCat::ScalarOp) {
+                scalar_ready.push_back(node.id);
+            } else {
+                ix_ready.push_back(node.id);
+            }
+        }
+
+        InstructionSlot slot;
+
+        // Pick the vector configuration: stick with the loaded one while it
+        // has ready work (minimizes reconfigurations), otherwise switch to
+        // the configuration with the most ready operations (minimizes
+        // instruction count).
+        std::string chosen;
+        if (vector_ready.contains(current_config)) {
+            chosen = current_config;
+        } else {
+            std::size_t best = 0;
+            for (const auto& [cfg, ops] : vector_ready) {
+                if (ops.size() > best) {
+                    best = ops.size();
+                    chosen = cfg;
+                }
+            }
+        }
+        if (!chosen.empty()) {
+            int lanes_free = spec.vector_lanes;
+            for (const int op : vector_ready[chosen]) {
+                const int lanes = ir::node_timing(spec, g.node(op)).lanes;
+                if (lanes > lanes_free) continue;
+                lanes_free -= lanes;
+                slot.ops.push_back(op);
+            }
+            slot.vector_config = chosen;
+            current_config = chosen;
+        }
+        for (int i = 0; i < spec.scalar_units && i < static_cast<int>(scalar_ready.size()); ++i) {
+            slot.ops.push_back(scalar_ready[static_cast<std::size_t>(i)]);
+        }
+        for (int i = 0; i < spec.index_merge_units && i < static_cast<int>(ix_ready.size());
+             ++i) {
+            slot.ops.push_back(ix_ready[static_cast<std::size_t>(i)]);
+        }
+
+        REVEC_ASSERT(!slot.ops.empty());  // a DAG always has ready work
+        for (const int op : slot.ops) {
+            done[static_cast<std::size_t>(op)] = 1;
+            --remaining;
+            for (const int d : g.succs(op)) {
+                for (const int consumer : g.succs(d)) {
+                    --waiting[static_cast<std::size_t>(consumer)];
+                }
+            }
+        }
+        seq.slots.push_back(std::move(slot));
+    }
+    return seq;
+}
+
+}  // namespace revec::pipeline

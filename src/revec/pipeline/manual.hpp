@@ -1,0 +1,23 @@
+// The "manual" baseline: a mechanization of how the EIT architects program
+// the machine by hand (paper §4.3, first phase of overlapped execution).
+// Instructions for a single iteration are selected and *ordered* — not
+// latency-scheduled — "with the objective of minimizing the number of
+// effective (non-nop) instructions". Pipeline latency is ignored because
+// the second phase (overlapping M iterations) masks it; only dependence
+// order matters. Grouping same-configuration operations contiguously also
+// minimizes reconfigurations, which is the hand-coders' other concern.
+// The paper notes this method "does not include memory allocation".
+#pragma once
+
+#include "revec/pipeline/overlap.hpp"
+
+namespace revec::pipeline {
+
+/// Pack the kernel's operations into a minimal-length instruction sequence:
+/// per slot up to vector_lanes same-configuration vector ops (or one matrix
+/// op), one scalar op, and one index/merge op; dependence order respected;
+/// ready operations of the currently loaded configuration are preferred to
+/// keep reconfigurations low.
+IterationSequence pack_min_instructions(const arch::ArchSpec& spec, const ir::Graph& g);
+
+}  // namespace revec::pipeline

@@ -1,0 +1,132 @@
+#include "revec/pipeline/overlap.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::pipeline {
+
+int IterationSequence::config_changes() const {
+    int changes = 0;
+    std::string current;
+    for (const InstructionSlot& slot : slots) {
+        if (slot.vector_config.empty()) continue;
+        if (!current.empty() && current != slot.vector_config) ++changes;
+        current = slot.vector_config;
+    }
+    return changes;
+}
+
+IterationSequence sequence_from_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
+                                         const std::vector<int>& op_start) {
+    REVEC_EXPECTS(op_start.size() == static_cast<std::size_t>(g.num_nodes()));
+    std::map<int, InstructionSlot> by_cycle;
+    for (const ir::Node& node : g.nodes()) {
+        if (!node.is_op()) continue;
+        InstructionSlot& slot = by_cycle[op_start[static_cast<std::size_t>(node.id)]];
+        slot.ops.push_back(node.id);
+        if (ir::node_timing(spec, node).lanes > 0) {
+            const std::string key = ir::config_key(node);
+            REVEC_ASSERT(slot.vector_config.empty() || slot.vector_config == key);
+            slot.vector_config = key;
+        }
+    }
+    IterationSequence seq;
+    seq.slots.reserve(by_cycle.size());
+    for (auto& [cycle, slot] : by_cycle) seq.slots.push_back(std::move(slot));
+    return seq;
+}
+
+OverlapResult overlapped_execution(const arch::ArchSpec& spec, const ir::Graph& g,
+                                   const IterationSequence& seq, int iterations) {
+    REVEC_EXPECTS(iterations >= 1);
+    const int K = seq.num_instructions();
+    REVEC_EXPECTS(K > 0);
+
+    // Which instruction position issues each op.
+    std::vector<int> position(static_cast<std::size_t>(g.num_nodes()), -1);
+    for (int k = 0; k < K; ++k) {
+        for (const int op : seq.slots[static_cast<std::size_t>(k)].ops) {
+            position[static_cast<std::size_t>(op)] = k;
+        }
+    }
+    for (const ir::Node& node : g.nodes()) {
+        if (node.is_op()) {
+            REVEC_EXPECTS(position[static_cast<std::size_t>(node.id)] >= 0);
+        }
+    }
+
+    OverlapResult result;
+    result.iterations = iterations;
+
+    // Base cycle of each block: M issue cycles per block, plus the
+    // reconfiguration penalty where the configuration changes.
+    std::vector<int> base(static_cast<std::size_t>(K), 0);
+    int reconfigs = 0;
+    std::string current_config;
+    {
+        int cycle = 0;
+        for (int k = 0; k < K; ++k) {
+            const std::string& cfg = seq.slots[static_cast<std::size_t>(k)].vector_config;
+            if (!cfg.empty() && cfg != current_config) {
+                ++reconfigs;  // includes the initial configuration load
+                if (!current_config.empty()) cycle += spec.reconfig_cycles;
+                current_config = cfg;
+            }
+            base[static_cast<std::size_t>(k)] = cycle;
+            cycle += iterations;
+        }
+    }
+
+    // Dependence check: a producer at block k1 and consumer at block k2 in
+    // the same iteration are spaced base[k2] - base[k1] cycles apart; that
+    // must cover the producer's latency. Insert stalls where it does not
+    // (only possible when M is smaller than the pipeline depth).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const ir::Node& node : g.nodes()) {
+            if (!node.is_op()) continue;
+            const int k1 = position[static_cast<std::size_t>(node.id)];
+            const int latency = ir::node_timing(spec, node).latency;
+            for (const int d : g.succs(node.id)) {
+                for (const int consumer : g.succs(d)) {
+                    const int k2 = position[static_cast<std::size_t>(consumer)];
+                    REVEC_ASSERT(k2 > k1);
+                    const int gap = base[static_cast<std::size_t>(k2)] -
+                                    base[static_cast<std::size_t>(k1)];
+                    if (gap < latency) {
+                        const int need = latency - gap;
+                        for (int k = k2; k < K; ++k) {
+                            base[static_cast<std::size_t>(k)] += need;
+                        }
+                        result.stalls_inserted += need;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Total length: the last completion over all iterations.
+    int length = 0;
+    for (const ir::Node& node : g.nodes()) {
+        if (!node.is_op()) continue;
+        const int k = position[static_cast<std::size_t>(node.id)];
+        const int latency = ir::node_timing(spec, node).latency;
+        length = std::max(length,
+                          base[static_cast<std::size_t>(k)] + (iterations - 1) + latency);
+    }
+
+    result.schedule_length = length;
+    result.reconfigurations = reconfigs;
+    result.reconfigs_per_iteration =
+        static_cast<double>(reconfigs) / static_cast<double>(iterations);
+    result.throughput = static_cast<double>(iterations) / static_cast<double>(length);
+    result.block_base = std::move(base);
+    return result;
+}
+
+}  // namespace revec::pipeline

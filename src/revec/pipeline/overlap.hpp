@@ -1,0 +1,65 @@
+// Overlapped execution (paper §4.3): the architects' ad-hoc two-phase
+// technique. Phase one orders the instructions of a single iteration
+// (either from a CP schedule — "automated" — or from the instruction-count-
+// minimizing packer in manual.hpp — "manual"); phase two executes the same
+// instruction from M iterations back to back, masking the pipeline latency
+// when M is at least the pipeline depth, and paying one reconfiguration per
+// configuration change between adjacent instruction positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+#include "revec/ir/graph.hpp"
+#include "revec/sched/schedule.hpp"
+
+namespace revec::pipeline {
+
+/// One instruction of the single-iteration sequence: everything issued in
+/// the same cycle (up to four same-configuration vector ops plus scalar and
+/// index/merge operations on their own units).
+struct InstructionSlot {
+    std::vector<int> ops;       ///< op node ids issued together
+    std::string vector_config;  ///< config key of the slot's vector ops ("" = none)
+};
+
+/// An ordered single-iteration instruction sequence.
+struct IterationSequence {
+    std::vector<InstructionSlot> slots;
+
+    int num_instructions() const { return static_cast<int>(slots.size()); }
+
+    /// Configuration changes between adjacent instruction positions
+    /// (vector pipeline only; empty-config slots keep the last
+    /// configuration loaded). The initial configuration load is not
+    /// counted.
+    int config_changes() const;
+};
+
+/// Compress a (memory-aware or not) schedule into its issue sequence:
+/// one slot per cycle that issues at least one operation, in time order.
+IterationSequence sequence_from_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
+                                         const std::vector<int>& op_start);
+
+/// Result of overlapping M iterations of a sequence.
+struct OverlapResult {
+    int iterations = 0;
+    int schedule_length = 0;   ///< total clock cycles for all M iterations
+    int reconfigurations = 0;  ///< including the initial configuration load
+    double reconfigs_per_iteration = 0.0;
+    double throughput = 0.0;   ///< iterations per clock cycle
+    int stalls_inserted = 0;   ///< extra cycles when M is too small to mask latency
+
+    /// Issue cycle of instruction position k, iteration m:
+    /// cycle = block_base[k] + m.
+    std::vector<int> block_base;
+};
+
+/// Overlap M iterations of the sequence (M >= 1). Dependencies that the
+/// M-wide spacing cannot mask are honoured by inserting stall cycles at the
+/// violating block boundary.
+OverlapResult overlapped_execution(const arch::ArchSpec& spec, const ir::Graph& g,
+                                   const IterationSequence& seq, int iterations);
+
+}  // namespace revec::pipeline

@@ -1,0 +1,70 @@
+// The paper's unified constraint model (§3.3-§3.5): instruction scheduling
+// combined with vector-memory allocation, solved by branch-and-bound with
+// the three-phase search heuristic (operation starts -> data starts ->
+// memory slots).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+#include "revec/ir/graph.hpp"
+#include "revec/sched/schedule.hpp"
+
+namespace revec::sched {
+
+/// Scheduling options.
+struct ScheduleOptions {
+    arch::ArchSpec spec = arch::ArchSpec::eit();
+
+    /// Number of memory slots available ("#slots available" in Table 1).
+    /// -1 means the architecture's full memory (banks * lines).
+    int num_slots = -1;
+
+    /// Wall-clock budget in milliseconds; -1 = unlimited.
+    std::int64_t timeout_ms = -1;
+
+    /// Schedule horizon (exclusive upper bound on completion times).
+    /// -1 derives it from a greedy list schedule plus slack.
+    int horizon = -1;
+
+    /// Include the memory-allocation part of the model (eqs. 6-11).
+    /// Disabling reproduces a pure scheduler (used by ablations and by the
+    /// manual-baseline comparison, which the paper notes "does not include
+    /// memory allocation").
+    bool memory_allocation = true;
+
+    /// Use the paper's three sequential search phases (§3.5). When false, a
+    /// single first-fail phase over all decision variables is used instead
+    /// (ablation).
+    bool three_phase_search = true;
+
+    /// Enforce the physical memory-port limits (at most 8 vector reads and
+    /// 4 vector writes per cycle — "two matrices read, one written"). The
+    /// paper's model leaves this implicit; the EIT op set can exceed it
+    /// (four 3-operand ops would read 12 vectors), so it defaults on.
+    bool enforce_port_limits = true;
+
+    /// Pin every node's start time (slot-only solve). When non-empty, must
+    /// hold a valid start per node; the model then only assigns memory
+    /// slots — used to allocate memory for externally produced schedules
+    /// such as unrolled modulo kernels (§4.3's closing remark).
+    std::vector<int> fixed_starts;
+
+    /// Lifetime definition. The paper's eq. (10) ends a lifetime at the
+    /// start of the last consumer, which admits zero-width lifetimes whose
+    /// values can only exist in forwarding paths — legal in the model but
+    /// not executable as stored machine code. The default (true) includes
+    /// the last read in the occupied interval, which the code generator and
+    /// simulator require; set false for the paper-literal model (used by
+    /// the Table 1 reproduction for comparison).
+    bool lifetime_includes_last_read = true;
+};
+
+/// Solve the scheduling (+ memory allocation) problem for one iteration of
+/// the kernel in `g`. The IR should already be normalized with
+/// ir::merge_pipeline_ops for best results (the paper always schedules the
+/// merged graph).
+Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options = {});
+
+}  // namespace revec::sched

@@ -1,0 +1,91 @@
+#include "revec/sched/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::sched {
+
+ListScheduleResult list_schedule(const arch::ArchSpec& spec, const ir::Graph& g) {
+    const int n = g.num_nodes();
+    ListScheduleResult result;
+    result.start.assign(static_cast<std::size_t>(n), 0);
+
+    // Priority: smaller ALAP first (more critical first).
+    const int cp = ir::critical_path_length(spec, g);
+    const std::vector<int> alap = ir::alap_times(spec, g, cp);
+
+    // Data availability time; -1 = not yet produced.
+    std::vector<int> avail(static_cast<std::size_t>(n), -1);
+    for (const int d : g.input_nodes()) avail[static_cast<std::size_t>(d)] = 0;
+
+    std::vector<int> pending = g.op_nodes();
+    std::sort(pending.begin(), pending.end(), [&](int a, int b) {
+        return alap[static_cast<std::size_t>(a)] < alap[static_cast<std::size_t>(b)];
+    });
+
+    int t = 0;
+    int scheduled = 0;
+    const int total_ops = static_cast<int>(pending.size());
+    std::vector<char> done(static_cast<std::size_t>(n), 0);
+
+    while (scheduled < total_ops) {
+        int lanes_free = spec.vector_lanes;
+        std::string cycle_config;  // config key issued this cycle ("" = none)
+        int scalar_free = spec.scalar_units;
+        int ixmerge_free = spec.index_merge_units;
+
+        for (const int op : pending) {
+            if (done[static_cast<std::size_t>(op)]) continue;
+            const ir::Node& node = g.node(op);
+            // Dependency readiness at cycle t.
+            bool ready = true;
+            for (const int d : g.preds(op)) {
+                const int a = avail[static_cast<std::size_t>(d)];
+                if (a < 0 || a > t) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) continue;
+
+            const ir::NodeTiming timing = ir::node_timing(spec, node);
+            if (timing.lanes > 0) {
+                if (timing.lanes > lanes_free) continue;
+                const std::string key = ir::config_key(node);
+                if (!cycle_config.empty() && cycle_config != key) continue;
+                cycle_config = key;
+                lanes_free -= timing.lanes;
+            } else if (node.cat == ir::NodeCat::ScalarOp) {
+                if (scalar_free == 0) continue;
+                --scalar_free;
+            } else {
+                if (ixmerge_free == 0) continue;
+                --ixmerge_free;
+            }
+
+            result.start[static_cast<std::size_t>(op)] = t;
+            done[static_cast<std::size_t>(op)] = 1;
+            ++scheduled;
+            for (const int d : g.succs(op)) {
+                avail[static_cast<std::size_t>(d)] = t + timing.latency;
+                result.start[static_cast<std::size_t>(d)] = t + timing.latency;
+            }
+        }
+        ++t;
+        REVEC_ASSERT(t < 100000);  // progress guard
+    }
+
+    int makespan = 0;
+    for (const ir::Node& node : g.nodes()) {
+        const ir::NodeTiming timing = ir::node_timing(spec, node);
+        makespan = std::max(makespan, result.start[static_cast<std::size_t>(node.id)] +
+                                          timing.latency);
+    }
+    result.makespan = makespan;
+    return result;
+}
+
+}  // namespace revec::sched

@@ -1,0 +1,75 @@
+#include "revec/sched/schedule_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/xml/xml.hpp"
+
+namespace revec::sched {
+
+std::string schedule_to_xml(const ir::Graph& g, const Schedule& s) {
+    if (!s.feasible()) throw Error("cannot serialize an infeasible schedule");
+    REVEC_EXPECTS(s.start.size() == static_cast<std::size_t>(g.num_nodes()));
+
+    xml::Document doc("schedule");
+    doc.root().set_attr("graph", g.name());
+    doc.root().set_attr("makespan", std::to_string(s.makespan));
+    doc.root().set_attr("slots_used", std::to_string(s.slots_used));
+    for (const ir::Node& n : g.nodes()) {
+        xml::Element& e = doc.root().add_child("node");
+        e.set_attr("id", std::to_string(n.id));
+        e.set_attr("start", std::to_string(s.start[static_cast<std::size_t>(n.id)]));
+        if (!s.slot.empty() && s.slot[static_cast<std::size_t>(n.id)] >= 0) {
+            e.set_attr("slot", std::to_string(s.slot[static_cast<std::size_t>(n.id)]));
+        }
+    }
+    return doc.to_string();
+}
+
+Schedule schedule_from_xml(const ir::Graph& g, std::string_view text) {
+    const xml::Document doc = xml::Document::parse(text);
+    if (doc.root().name() != "schedule") {
+        throw Error("expected <schedule> root, got <" + doc.root().name() + ">");
+    }
+    Schedule s;
+    s.status = cp::SolveStatus::Optimal;  // trust level decided by the verifier
+    s.makespan = static_cast<int>(doc.root().attr_int("makespan"));
+    s.slots_used = static_cast<int>(parse_int(doc.root().attr_or("slots_used", "0")));
+    s.start.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+    s.slot.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+
+    const auto nodes = doc.root().children_named("node");
+    if (nodes.size() != static_cast<std::size_t>(g.num_nodes())) {
+        throw Error("schedule has " + std::to_string(nodes.size()) + " nodes, graph has " +
+                    std::to_string(g.num_nodes()));
+    }
+    for (const xml::Element* e : nodes) {
+        const auto id = e->attr_int("id");
+        if (id < 0 || id >= g.num_nodes()) {
+            throw Error("schedule node id " + std::to_string(id) + " out of range");
+        }
+        const auto i = static_cast<std::size_t>(id);
+        if (s.start[i] != -1) throw Error("duplicate schedule entry for node " + std::to_string(id));
+        s.start[i] = static_cast<int>(e->attr_int("start"));
+        if (e->has_attr("slot")) s.slot[i] = static_cast<int>(e->attr_int("slot"));
+    }
+    return s;
+}
+
+void save_schedule(const ir::Graph& g, const Schedule& s, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open '" + path + "' for writing");
+    out << schedule_to_xml(g, s);
+}
+
+Schedule load_schedule(const ir::Graph& g, const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open '" + path + "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return schedule_from_xml(g, buf.str());
+}
+
+}  // namespace revec::sched

@@ -1,0 +1,32 @@
+// Schedule <-> XML: the paper's §1 output artifact ("a schedule with memory
+// allocation that contains all information needed by a code generator") as
+// a file. Stored next to the IR it schedules; reloading re-verifies it
+// against the graph.
+//
+// Schema:
+//   <schedule makespan="142" slots_used="8">
+//     <node id="0" start="0" [slot="5"]/>
+//     ...
+//   </schedule>
+#pragma once
+
+#include <string>
+
+#include "revec/ir/graph.hpp"
+#include "revec/sched/schedule.hpp"
+
+namespace revec::sched {
+
+/// Serialize a feasible schedule. Throws revec::Error when infeasible.
+std::string schedule_to_xml(const ir::Graph& g, const Schedule& s);
+
+/// Parse a schedule for `g`; throws revec::Error on malformed input or when
+/// the node set does not match the graph. The result is NOT verified —
+/// call verify_schedule to trust it.
+Schedule schedule_from_xml(const ir::Graph& g, std::string_view text);
+
+/// File helpers.
+void save_schedule(const ir::Graph& g, const Schedule& s, const std::string& path);
+Schedule load_schedule(const ir::Graph& g, const std::string& path);
+
+}  // namespace revec::sched

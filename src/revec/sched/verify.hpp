@@ -1,0 +1,29 @@
+// Independent schedule verification: re-checks every constraint of the
+// paper's model (eqs. 1-11) directly against a Schedule, without going
+// through the CP solver. Used by tests (the solver must never emit a
+// schedule this rejects) and by the benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+#include "revec/ir/graph.hpp"
+#include "revec/sched/schedule.hpp"
+
+namespace revec::sched {
+
+/// What to verify.
+struct VerifyOptions {
+    bool check_memory = true;  ///< eqs. 6-11 (slots must be assigned)
+    bool lifetime_includes_last_read = true;  ///< must match the model option
+    /// Per-cycle vector read/write port limits (slot-independent counts);
+    /// matches ScheduleOptions::enforce_port_limits.
+    bool check_port_limits = true;
+};
+
+/// All violations found (empty = schedule is valid).
+std::vector<std::string> verify_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
+                                         const Schedule& sched, const VerifyOptions& options = {});
+
+}  // namespace revec::sched

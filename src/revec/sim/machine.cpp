@@ -1,0 +1,56 @@
+#include "revec/sim/machine.hpp"
+
+#include "revec/support/assert.hpp"
+
+namespace revec::sim {
+
+VectorMemory::VectorMemory(const arch::MemoryGeometry& geom)
+    : cells_(static_cast<std::size_t>(geom.slots())) {}
+
+void VectorMemory::write(int slot, int producer, const ir::Value& value) {
+    REVEC_EXPECTS(slot >= 0 && slot < num_slots());
+    REVEC_EXPECTS(producer >= 0);
+    cells_[static_cast<std::size_t>(slot)] = {producer, value};
+}
+
+const ir::Value& VectorMemory::read(int slot, int expected_producer) const {
+    REVEC_EXPECTS(slot >= 0 && slot < num_slots());
+    const Cell& cell = cells_[static_cast<std::size_t>(slot)];
+    if (cell.producer < 0) {
+        throw Error("read of empty memory slot " + std::to_string(slot));
+    }
+    if (cell.producer != expected_producer) {
+        throw Error("memory slot " + std::to_string(slot) + " holds data node " +
+                    std::to_string(cell.producer) + " but data node " +
+                    std::to_string(expected_producer) + " was expected (premature reuse)");
+    }
+    return cell.value;
+}
+
+int VectorMemory::owner(int slot) const {
+    REVEC_EXPECTS(slot >= 0 && slot < num_slots());
+    return cells_[static_cast<std::size_t>(slot)].producer;
+}
+
+ScalarRegs::ScalarRegs(int num_nodes) : regs_(static_cast<std::size_t>(num_nodes)) {}
+
+void ScalarRegs::write(int data_node, const ir::Value& value) {
+    REVEC_EXPECTS(data_node >= 0 && data_node < static_cast<int>(regs_.size()));
+    regs_[static_cast<std::size_t>(data_node)] = value;
+}
+
+const ir::Value& ScalarRegs::read(int data_node) const {
+    REVEC_EXPECTS(data_node >= 0 && data_node < static_cast<int>(regs_.size()));
+    const auto& reg = regs_[static_cast<std::size_t>(data_node)];
+    if (!reg.has_value()) {
+        throw Error("read of unwritten scalar register r" + std::to_string(data_node));
+    }
+    return *reg;
+}
+
+bool ScalarRegs::has(int data_node) const {
+    return data_node >= 0 && data_node < static_cast<int>(regs_.size()) &&
+           regs_[static_cast<std::size_t>(data_node)].has_value();
+}
+
+}  // namespace revec::sim

@@ -1,0 +1,55 @@
+// Machine state for the EIT simulator: the banked vector memory (slots
+// holding vectors, with ownership tracked over time) and the virtual scalar
+// register file.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+#include "revec/ir/graph.hpp"
+
+namespace revec::sim {
+
+/// The vector memory: each slot holds at most one vector value, tagged with
+/// the IR data node that produced it, so stale reads are detectable.
+class VectorMemory {
+public:
+    explicit VectorMemory(const arch::MemoryGeometry& geom);
+
+    /// Store `value` produced by data node `producer` into `slot`.
+    void write(int slot, int producer, const ir::Value& value);
+
+    /// Read `slot` expecting the value of data node `expected_producer`;
+    /// throws revec::Error when the slot holds something else (the
+    /// allocation reused it too early) or nothing.
+    const ir::Value& read(int slot, int expected_producer) const;
+
+    /// Current producer tag of a slot (-1 when empty).
+    int owner(int slot) const;
+
+    int num_slots() const { return static_cast<int>(cells_.size()); }
+
+private:
+    struct Cell {
+        int producer = -1;
+        ir::Value value;
+    };
+    std::vector<Cell> cells_;
+};
+
+/// Scalar register file keyed by IR data node id (the paper assumes optimal
+/// allocation and access for scalar data).
+class ScalarRegs {
+public:
+    explicit ScalarRegs(int num_nodes);
+
+    void write(int data_node, const ir::Value& value);
+    const ir::Value& read(int data_node) const;
+    bool has(int data_node) const;
+
+private:
+    std::vector<std::optional<ir::Value>> regs_;
+};
+
+}  // namespace revec::sim

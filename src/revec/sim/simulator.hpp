@@ -1,0 +1,48 @@
+// Cycle-level simulator for generated machine code. Executes a
+// MachineProgram against the EIT machine model: real values flow through
+// memory slots and scalar registers, writes land at the producer's
+// write-back cycle, reads check availability and slot ownership, and the
+// banked-memory access rules are checked every cycle. The run's outputs are
+// compared against the DSL reference evaluation, closing the loop
+// DSL -> IR -> CP schedule -> code generation -> execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "revec/codegen/codegen.hpp"
+#include "revec/ir/graph.hpp"
+
+namespace revec::sim {
+
+struct SimOptions {
+    /// Record a per-issue execution trace (one line per executed operation)
+    /// in SimResult::trace — for debugging schedules and for documentation.
+    bool record_trace = false;
+
+    /// Mirror the paper's model exactly (reads of one issue group checked
+    /// together; writes of one write-back group checked together). When
+    /// true, additionally check *all* memory traffic of each cycle jointly
+    /// (reads of newly issued ops + writes landing from earlier issues),
+    /// a stricter rule the paper's model does not impose.
+    bool strict_memory_check = false;
+};
+
+struct SimResult {
+    int cycles = 0;                        ///< completion time observed
+    int reconfigurations = 0;              ///< vector config changes (incl. initial load)
+    std::vector<std::string> violations;   ///< memory-rule violations observed
+    std::vector<std::string> trace;         ///< per-issue log (when requested)
+    bool outputs_match = false;            ///< outputs equal the DSL reference
+    double max_output_error = 0.0;         ///< max |simulated - reference|
+
+    bool clean() const { return violations.empty() && outputs_match; }
+};
+
+/// Run the program. Throws revec::Error on hard faults (reads of values not
+/// yet available, premature slot reuse) — those indicate scheduler or
+/// code-generator bugs, not tunable rule violations.
+SimResult simulate(const arch::ArchSpec& spec, const ir::Graph& g,
+                   const codegen::MachineProgram& prog, const SimOptions& options = {});
+
+}  // namespace revec::sim

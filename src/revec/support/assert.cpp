@@ -1,0 +1,24 @@
+#include "revec/support/assert.hpp"
+
+#include <sstream>
+
+namespace revec {
+
+ContractViolation::ContractViolation(const char* kind, const char* expr, const char* file,
+                                     int line, std::string detail)
+    : std::logic_error([&] {
+          std::ostringstream os;
+          os << kind << " failed: " << expr << " at " << file << ":" << line;
+          if (!detail.empty()) os << " (" << detail << ")";
+          return os.str();
+      }()),
+      detail_(std::move(detail)) {}
+
+namespace detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file, int line) {
+    throw ContractViolation(kind, expr, file, line);
+}
+
+}  // namespace detail
+}  // namespace revec

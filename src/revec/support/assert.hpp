@@ -1,0 +1,53 @@
+// Contract-checking macros in the style of the C++ Core Guidelines GSL
+// (Expects/Ensures). Violations throw revec::ContractViolation so tests can
+// assert on them; they are never compiled out, because this library's
+// correctness (schedules that real hardware would execute) matters more than
+// the nanoseconds saved.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace revec {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+public:
+    ContractViolation(const char* kind, const char* expr, const char* file, int line,
+                      std::string detail = {});
+    const std::string& detail() const noexcept { return detail_; }
+
+private:
+    std::string detail_;
+};
+
+/// Thrown for errors caused by user input (bad IR files, infeasible models
+/// requested with contradictory parameters, ...), as opposed to library bugs.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace revec
+
+#define REVEC_EXPECTS(cond)                                                          \
+    do {                                                                             \
+        if (!(cond)) ::revec::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define REVEC_ENSURES(cond)                                                          \
+    do {                                                                             \
+        if (!(cond)) ::revec::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define REVEC_ASSERT(cond)                                                           \
+    do {                                                                             \
+        if (!(cond)) ::revec::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define REVEC_UNREACHABLE(msg) \
+    ::revec::detail::contract_fail("Unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,33 @@
+// Deterministic xorshift RNG shared by the kernel builders and the random
+// workload generator. Not cryptographic; chosen for exact reproducibility
+// across platforms (no <random> distribution variability).
+#pragma once
+
+#include <cstdint>
+
+namespace revec {
+
+class XorShift {
+public:
+    explicit XorShift(std::uint32_t seed) : state_(seed == 0 ? 0x9e3779b9u : seed) {}
+
+    std::uint32_t next() {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        return state_;
+    }
+
+    /// Uniform in [0, n).
+    int below(int n) { return static_cast<int>(next() % static_cast<std::uint32_t>(n)); }
+
+    /// Uniform in [-1, 1).
+    double unit() {
+        return static_cast<double>(next() >> 1) / static_cast<double>(1u << 30) - 1.0;
+    }
+
+private:
+    std::uint32_t state_;
+};
+
+}  // namespace revec

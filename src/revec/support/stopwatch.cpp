@@ -1,0 +1,24 @@
+#include "revec/support/stopwatch.hpp"
+
+namespace revec {
+
+double Stopwatch::elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+}
+
+std::int64_t Stopwatch::elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start_).count();
+}
+
+Deadline Deadline::after_ms(std::int64_t ms) {
+    Deadline d;
+    if (ms >= 0) {
+        d.armed_ = true;
+        d.when_ = Stopwatch::clock::now() + std::chrono::milliseconds(ms);
+    }
+    return d;
+}
+
+bool Deadline::expired() const { return armed_ && Stopwatch::clock::now() >= when_; }
+
+}  // namespace revec

@@ -1,0 +1,46 @@
+// Wall-clock stopwatch and deadline helpers used by the CP search (solver
+// timeouts) and by the benchmark harnesses (optimization-time columns).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace revec {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+public:
+    using clock = std::chrono::steady_clock;
+
+    Stopwatch() : start_(clock::now()) {}
+
+    void restart() { start_ = clock::now(); }
+
+    /// Elapsed time in milliseconds since construction/restart.
+    double elapsed_ms() const;
+
+    /// Elapsed time in microseconds since construction/restart.
+    std::int64_t elapsed_us() const;
+
+private:
+    clock::time_point start_;
+};
+
+/// A point in time after which long-running work should stop. A
+/// default-constructed deadline never expires.
+class Deadline {
+public:
+    Deadline() = default;
+
+    /// Deadline `ms` milliseconds from now; `ms < 0` means "never".
+    static Deadline after_ms(std::int64_t ms);
+
+    bool expired() const;
+    bool never_expires() const { return !armed_; }
+
+private:
+    bool armed_ = false;
+    Stopwatch::clock::time_point when_{};
+};
+
+}  // namespace revec

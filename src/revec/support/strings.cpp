@@ -1,0 +1,68 @@
+#include "revec/support/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "revec/support/assert.hpp"
+
+namespace revec {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, begin);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(begin));
+            return out;
+        }
+        out.emplace_back(s.substr(begin, pos - begin));
+        begin = pos + 1;
+    }
+}
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+long long parse_int(std::string_view s) {
+    s = trim(s);
+    long long value = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+        throw Error("malformed integer: '" + std::string(s) + "'");
+    }
+    return value;
+}
+
+double parse_double(std::string_view s) {
+    s = trim(s);
+    // std::from_chars for doubles is not available on all libstdc++ configs;
+    // go through a bounded sscanf instead.
+    const std::string buf(s);
+    double value = 0;
+    int consumed = 0;
+    if (std::sscanf(buf.c_str(), "%lf%n", &value, &consumed) != 1 ||
+        static_cast<std::size_t>(consumed) != buf.size()) {
+        throw Error("malformed number: '" + buf + "'");
+    }
+    return value;
+}
+
+std::string format_fixed(double v, int prec) {
+    REVEC_EXPECTS(prec >= 0 && prec <= 17);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+}  // namespace revec

@@ -1,0 +1,29 @@
+// Small string helpers shared by the XML module, IR I/O, and the benchmark
+// table printers. Deliberately minimal: only what the library actually uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revec {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a decimal integer; throws revec::Error on malformed input.
+long long parse_int(std::string_view s);
+
+/// Parse a floating-point number; throws revec::Error on malformed input.
+double parse_double(std::string_view s);
+
+/// Format a double with `prec` significant decimal digits after the point.
+std::string format_fixed(double v, int prec);
+
+}  // namespace revec

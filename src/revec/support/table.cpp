@@ -1,0 +1,61 @@
+#include "revec/support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    REVEC_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    REVEC_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    const auto print_rule = [&] {
+        os << '+';
+        for (const std::size_t w : width) {
+            for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+            os << '+';
+        }
+        os << '\n';
+    };
+    const auto print_cells = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c];
+            for (std::size_t i = cells[c].size(); i < width[c] + 1; ++i) os << ' ';
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    print_rule();
+    print_cells(header_);
+    print_rule();
+    for (const auto& row : rows_) {
+        if (row.empty()) {
+            print_rule();
+        } else {
+            print_cells(row);
+        }
+    }
+    print_rule();
+}
+
+}  // namespace revec

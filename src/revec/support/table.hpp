@@ -1,0 +1,34 @@
+// Aligned console-table printer used by the benchmark harnesses so that the
+// reproduced tables read like the ones in the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace revec {
+
+/// Collects rows of string cells and prints them with aligned columns.
+///
+///     Table t({"Application", "II (cc)", "throughput"});
+///     t.add_row({"QRD", "46", "0.022"});
+///     t.print(std::cout);
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Insert a horizontal rule before the next added row.
+    void add_rule();
+
+    void print(std::ostream& os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;  // empty vector encodes a rule
+};
+
+}  // namespace revec

@@ -1,0 +1,315 @@
+#include "revec/xml/xml.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+#include "revec/support/strings.hpp"
+
+namespace revec::xml {
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+void Element::set_attr(std::string key, std::string value) {
+    for (auto& [k, v] : attrs_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+bool Element::has_attr(std::string_view key) const {
+    for (const auto& [k, v] : attrs_) {
+        if (k == key) return true;
+    }
+    return false;
+}
+
+const std::string& Element::attr(std::string_view key) const {
+    for (const auto& [k, v] : attrs_) {
+        if (k == key) return v;
+    }
+    throw Error("<" + name_ + ">: missing attribute '" + std::string(key) + "'");
+}
+
+std::string Element::attr_or(std::string_view key, std::string_view fallback) const {
+    for (const auto& [k, v] : attrs_) {
+        if (k == key) return v;
+    }
+    return std::string(fallback);
+}
+
+long long Element::attr_int(std::string_view key) const { return parse_int(attr(key)); }
+
+Element& Element::add_child(std::string name) {
+    children_.push_back(std::make_unique<Element>(std::move(name)));
+    return *children_.back();
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+    std::vector<const Element*> out;
+    for (const auto& c : children_) {
+        if (c->name() == name) out.push_back(c.get());
+    }
+    return out;
+}
+
+const Element& Element::child(std::string_view name) const {
+    const Element* found = child_opt(name);
+    if (found == nullptr) throw Error("<" + name_ + ">: missing child <" + std::string(name) + ">");
+    return *found;
+}
+
+const Element* Element::child_opt(std::string_view name) const {
+    const Element* found = nullptr;
+    for (const auto& c : children_) {
+        if (c->name() == name) {
+            if (found != nullptr) {
+                throw Error("<" + name_ + ">: multiple <" + std::string(name) + "> children");
+            }
+            found = c.get();
+        }
+    }
+    return found;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string escape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char ch : raw) {
+        switch (ch) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            case '\'': out += "&apos;"; break;
+            default: out += ch;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void write_element(std::ostream& os, const Element& e, int depth) {
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    os << indent << '<' << e.name();
+    for (const auto& [k, v] : e.attrs()) os << ' ' << k << "=\"" << escape(v) << '"';
+    const bool has_text = !e.text().empty();
+    if (e.children().empty() && !has_text) {
+        os << "/>\n";
+        return;
+    }
+    os << '>';
+    if (has_text) os << escape(e.text());
+    if (!e.children().empty()) {
+        os << '\n';
+        for (const auto& c : e.children()) write_element(os, *c, depth + 1);
+        os << indent;
+    }
+    os << "</" << e.name() << ">\n";
+}
+
+}  // namespace
+
+void Document::write(std::ostream& os) const {
+    os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+    write_element(os, *root_, 0);
+}
+
+std::string Document::to_string() const {
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser over a string_view with line tracking for errors.
+class Parser {
+public:
+    explicit Parser(std::string_view input) : in_(input) {}
+
+    std::unique_ptr<Element> parse_document() {
+        skip_prolog();
+        auto root = parse_element();
+        skip_misc();
+        if (!at_end()) fail("trailing content after root element");
+        return root;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw Error("xml parse error at line " + std::to_string(line_) + ": " + msg);
+    }
+
+    bool at_end() const { return pos_ >= in_.size(); }
+
+    char peek() const {
+        if (at_end()) fail("unexpected end of input");
+        return in_[pos_];
+    }
+
+    char advance() {
+        const char c = peek();
+        ++pos_;
+        if (c == '\n') ++line_;
+        return c;
+    }
+
+    bool consume(std::string_view token) {
+        if (in_.substr(pos_).substr(0, token.size()) != token) return false;
+        for (std::size_t i = 0; i < token.size(); ++i) advance();
+        return true;
+    }
+
+    void expect(std::string_view token) {
+        if (!consume(token)) fail("expected '" + std::string(token) + "'");
+    }
+
+    void skip_ws() {
+        while (!at_end() && std::isspace(static_cast<unsigned char>(in_[pos_]))) advance();
+    }
+
+    void skip_comment() {
+        // positioned after "<!--"
+        while (!consume("-->")) advance();
+    }
+
+    void skip_misc() {
+        while (true) {
+            skip_ws();
+            if (consume("<!--")) {
+                skip_comment();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void skip_prolog() {
+        skip_ws();
+        if (consume("<?")) {
+            while (!consume("?>")) advance();
+        }
+        skip_misc();
+    }
+
+    static bool is_name_char(char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+               c == ':';
+    }
+
+    std::string parse_name() {
+        std::string name;
+        while (!at_end() && is_name_char(in_[pos_])) name += advance();
+        if (name.empty()) fail("expected a name");
+        return name;
+    }
+
+    std::string parse_entity() {
+        // positioned after '&'
+        std::string ent;
+        while (peek() != ';') ent += advance();
+        advance();  // ';'
+        if (ent == "amp") return "&";
+        if (ent == "lt") return "<";
+        if (ent == "gt") return ">";
+        if (ent == "quot") return "\"";
+        if (ent == "apos") return "'";
+        fail("unknown entity '&" + ent + ";'");
+    }
+
+    std::string parse_attr_value() {
+        const char quote = advance();
+        if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+        std::string value;
+        while (peek() != quote) {
+            if (peek() == '&') {
+                advance();
+                value += parse_entity();
+            } else {
+                value += advance();
+            }
+        }
+        advance();  // closing quote
+        return value;
+    }
+
+    std::unique_ptr<Element> parse_element() {
+        expect("<");
+        auto elem = std::make_unique<Element>(parse_name());
+        while (true) {
+            skip_ws();
+            if (consume("/>")) return elem;
+            if (consume(">")) break;
+            std::string key = parse_name();
+            skip_ws();
+            expect("=");
+            skip_ws();
+            elem->set_attr(std::move(key), parse_attr_value());
+        }
+        parse_content(*elem);
+        return elem;
+    }
+
+    void parse_content(Element& elem) {
+        while (true) {
+            if (at_end()) fail("unterminated element <" + elem.name() + ">");
+            if (consume("<!--")) {
+                skip_comment();
+            } else if (in_.substr(pos_).substr(0, 2) == "</") {
+                expect("</");
+                const std::string closing = parse_name();
+                if (closing != elem.name()) {
+                    fail("mismatched closing tag </" + closing + "> for <" + elem.name() + ">");
+                }
+                skip_ws();
+                expect(">");
+                return;
+            } else if (peek() == '<') {
+                auto child = parse_element();
+                // Transfer ownership into the tree via add_child + move.
+                Element& slot = elem.add_child(child->name());
+                slot = std::move(*child);
+            } else if (peek() == '&') {
+                advance();
+                elem.append_text(parse_entity());
+            } else {
+                std::string run;
+                while (!at_end() && peek() != '<' && peek() != '&') run += advance();
+                // Keep only runs that contain non-whitespace, to avoid
+                // indentation noise accumulating as text.
+                if (trim(run) != "") elem.append_text(run);
+            }
+        }
+    }
+
+    std::string_view in_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+}  // namespace
+
+Document Document::parse(std::string_view input) {
+    Parser parser(input);
+    Document doc;
+    doc.root_ = parser.parse_document();
+    return doc;
+}
+
+}  // namespace revec::xml

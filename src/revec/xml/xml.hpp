@@ -1,0 +1,78 @@
+// Minimal XML substrate for IR serialization (the paper's DSL emits the
+// dataflow graph "in XML format"). Supports the subset the IR schema needs:
+// elements, attributes, text content, comments, and an XML declaration.
+// No namespaces, DTDs, or entities beyond the five predefined ones.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revec::xml {
+
+/// An XML element: tag name, attributes in document order, child elements,
+/// and (concatenated) text content.
+class Element {
+public:
+    explicit Element(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    // -- attributes --------------------------------------------------------
+    void set_attr(std::string key, std::string value);
+    bool has_attr(std::string_view key) const;
+    /// Attribute value; throws revec::Error if absent.
+    const std::string& attr(std::string_view key) const;
+    /// Attribute value or `fallback` if absent.
+    std::string attr_or(std::string_view key, std::string_view fallback) const;
+    long long attr_int(std::string_view key) const;
+    const std::vector<std::pair<std::string, std::string>>& attrs() const { return attrs_; }
+
+    // -- children ----------------------------------------------------------
+    Element& add_child(std::string name);
+    const std::vector<std::unique_ptr<Element>>& children() const { return children_; }
+    /// All direct children with the given tag name.
+    std::vector<const Element*> children_named(std::string_view name) const;
+    /// The unique direct child with the given tag; throws if 0 or >1 exist.
+    const Element& child(std::string_view name) const;
+    /// Pointer to the unique direct child, or nullptr when absent; throws on >1.
+    const Element* child_opt(std::string_view name) const;
+
+    // -- text ---------------------------------------------------------------
+    void append_text(std::string_view text) { text_ += text; }
+    const std::string& text() const { return text_; }
+
+private:
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> attrs_;
+    std::vector<std::unique_ptr<Element>> children_;
+    std::string text_;
+};
+
+/// A document owning a single root element.
+class Document {
+public:
+    explicit Document(std::string root_name) : root_(std::make_unique<Element>(std::move(root_name))) {}
+
+    Element& root() { return *root_; }
+    const Element& root() const { return *root_; }
+
+    /// Serialize with 2-space indentation and an XML declaration.
+    void write(std::ostream& os) const;
+    std::string to_string() const;
+
+    /// Parse a document; throws revec::Error with line information on
+    /// malformed input.
+    static Document parse(std::string_view input);
+
+private:
+    Document() = default;
+    std::unique_ptr<Element> root_;
+};
+
+/// Escape `&<>"'` for use in text or attribute values.
+std::string escape(std::string_view raw);
+
+}  // namespace revec::xml

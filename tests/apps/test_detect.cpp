@@ -1,0 +1,93 @@
+#include "revec/apps/detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/dsl/eval.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/ir/validate.hpp"
+
+namespace revec::apps {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+TEST(Detect, GraphWellFormed) {
+    const ir::Graph g = build_detect();
+    EXPECT_TRUE(ir::check_graph(g).empty());
+    const ir::GraphStats st = ir::graph_stats(kSpec, g);
+    EXPECT_EQ(st.num_matrix_ops, 3);  // hermitian, vmul, squsum
+    EXPECT_EQ(st.num_scalar_ops, 4);  // four divisions
+    EXPECT_EQ(st.num_index_merge, 9);  // 8 index + 1 merge
+    EXPECT_EQ(st.num_vector_ops, 1);   // post_sort
+}
+
+TEST(Detect, MatchedFilterValuesCorrect) {
+    // Reference: z = H^H y, e_i = ||h_col_i||^2, s_i = z_i / e_i.
+    const ir::Graph g = build_detect(123);
+    const auto values = dsl::evaluate(g);
+
+    // Recover H and y from the embedded inputs (first five vector inputs).
+    std::array<std::array<ir::Complex, 4>, 4> h;
+    std::array<ir::Complex, 4> y;
+    int row = 0;
+    for (const int d : g.input_nodes()) {
+        const ir::Value& v = *g.node(d).input_value;
+        if (g.node(d).label == "y") {
+            for (int k = 0; k < 4; ++k) y[static_cast<std::size_t>(k)] = v.elems[static_cast<std::size_t>(k)];
+        } else {
+            for (int k = 0; k < 4; ++k) {
+                h[static_cast<std::size_t>(row)][static_cast<std::size_t>(k)] =
+                    v.elems[static_cast<std::size_t>(k)];
+            }
+            ++row;
+        }
+    }
+    ASSERT_EQ(row, 4);
+
+    // Expected estimates.
+    std::array<ir::Complex, 4> expect;
+    for (int i = 0; i < 4; ++i) {
+        ir::Complex z = 0;
+        double e = 0;
+        for (int k = 0; k < 4; ++k) {
+            // column i of H = h[k][i]; z_i = sum_k conj(H[k][i]) * y[k]
+            z += std::conj(h[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)]) *
+                 y[static_cast<std::size_t>(k)];
+            e += std::norm(h[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)]);
+        }
+        expect[static_cast<std::size_t>(i)] = z / e;
+    }
+
+    const int symbols = g.output_nodes()[0];
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(std::abs(values[static_cast<std::size_t>(symbols)]
+                                 .elems[static_cast<std::size_t>(i)] -
+                             expect[static_cast<std::size_t>(i)]),
+                    0.0, 1e-9)
+            << i;
+    }
+}
+
+TEST(Detect, RankingIsSortedByEnergy) {
+    const ir::Graph g = build_detect();
+    const auto values = dsl::evaluate(g);
+    const int ranking = g.output_nodes()[1];
+    const ir::Value& r = values[static_cast<std::size_t>(ranking)];
+    for (int i = 0; i + 1 < 4; ++i) {
+        EXPECT_LE(std::norm(r.elems[static_cast<std::size_t>(i)]),
+                  std::norm(r.elems[static_cast<std::size_t>(i) + 1]));
+    }
+}
+
+TEST(Detect, HermitianSharedNotFused) {
+    // The hermitian has two consumers, so the merging pass must keep it.
+    const ir::Graph g = build_detect();
+    ir::PassStats st;
+    const ir::Graph merged = ir::merge_pipeline_ops(g, &st);
+    EXPECT_EQ(st.fused_pre, 0);
+    EXPECT_EQ(merged.num_nodes(), g.num_nodes());
+}
+
+}  // namespace
+}  // namespace revec::apps

@@ -1,0 +1,86 @@
+// Stress/property sweep: every randomly generated kernel must survive the
+// entire toolchain — validation, merging, scheduling, verification, code
+// generation, encoding, and simulation with bit-exact outputs.
+#include "revec/apps/random_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/codegen/encode.hpp"
+#include "revec/dsl/eval.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/ir/validate.hpp"
+#include "revec/ir/xml_io.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/sched/verify.hpp"
+#include "revec/sim/simulator.hpp"
+
+namespace revec::apps {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+TEST(RandomKernel, DeterministicPerSeed) {
+    RandomKernelOptions opts;
+    opts.seed = 9;
+    const ir::Graph a = build_random_kernel(opts);
+    const ir::Graph b = build_random_kernel(opts);
+    EXPECT_EQ(a.num_nodes(), b.num_nodes());
+    EXPECT_EQ(a.num_edges(), b.num_edges());
+    opts.seed = 10;
+    const ir::Graph c = build_random_kernel(opts);
+    EXPECT_NE(a.num_nodes(), c.num_nodes());
+}
+
+class RandomKernelPipeline : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomKernelPipeline, FullToolchain) {
+    RandomKernelOptions opts;
+    opts.seed = GetParam();
+    opts.num_ops = 25 + static_cast<int>(GetParam() % 3) * 10;
+    const ir::Graph raw = build_random_kernel(opts);
+    const ir::Graph g = ir::merge_pipeline_ops(raw);
+    ASSERT_TRUE(ir::check_graph(g).empty());
+
+    // The merge pass must preserve the program's meaning.
+    const auto before = dsl::evaluate(raw);
+    const auto after = dsl::evaluate(g);
+    const auto outs_raw = raw.output_nodes();
+    const auto outs = g.output_nodes();
+    ASSERT_EQ(outs_raw.size(), outs.size());
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+        for (std::size_t k = 0; k < 4; ++k) {
+            ASSERT_NEAR(std::abs(before[static_cast<std::size_t>(outs_raw[i])].elems[k] -
+                                 after[static_cast<std::size_t>(outs[i])].elems[k]),
+                        0.0, 1e-9);
+        }
+    }
+
+    // XML round trip.
+    const ir::Graph reloaded = ir::from_xml_string(ir::to_xml_string(g));
+    ASSERT_EQ(reloaded.num_nodes(), g.num_nodes());
+
+    // Schedule + verify.
+    sched::ScheduleOptions sopts;
+    sopts.timeout_ms = 6000;
+    const sched::Schedule s = sched::schedule_kernel(g, sopts);
+    ASSERT_TRUE(s.feasible()) << "seed " << GetParam();
+    const auto problems = sched::verify_schedule(kSpec, g, s);
+    ASSERT_TRUE(problems.empty()) << "seed " << GetParam() << ": " << problems.front();
+    EXPECT_GE(s.makespan, ir::critical_path_length(kSpec, g));
+
+    // Codegen + encode + simulate.
+    const codegen::MachineProgram prog = codegen::generate_code(kSpec, g, s);
+    const auto bundles = codegen::encode_program(g, prog);
+    EXPECT_EQ(bundles.size(), prog.instrs.size());
+    const sim::SimResult run = sim::simulate(kSpec, g, prog);
+    EXPECT_TRUE(run.outputs_match)
+        << "seed " << GetParam() << " max err " << run.max_output_error;
+    EXPECT_TRUE(run.violations.empty()) << "seed " << GetParam() << ": "
+                                        << run.violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelPipeline, ::testing::Range(1u, 25u));
+
+}  // namespace
+}  // namespace revec::apps

@@ -1,0 +1,167 @@
+#include "revec/arch/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace revec::arch {
+namespace {
+
+// Default geometry: 16 banks, 4 banks/page, 4 lines => 64 slots.
+TEST(MemoryGeometry, LinearEnumeration) {
+    const MemoryGeometry g;
+    EXPECT_EQ(g.slots(), 64);
+    EXPECT_EQ(g.pages(), 4);
+    // Paper's numbering: slot 0 = bank 0 line 0, slot 1 = bank 1 line 0,
+    // slot 17 = bank 1 line 1.
+    EXPECT_EQ(g.bank_of(0), 0);
+    EXPECT_EQ(g.line_of(0), 0);
+    EXPECT_EQ(g.bank_of(1), 1);
+    EXPECT_EQ(g.bank_of(17), 1);
+    EXPECT_EQ(g.line_of(17), 1);
+    EXPECT_EQ(g.slot_at(1, 1), 17);
+}
+
+TEST(MemoryGeometry, PageOfSlot) {
+    const MemoryGeometry g;
+    EXPECT_EQ(g.page_of(0), 0);
+    EXPECT_EQ(g.page_of(3), 0);
+    EXPECT_EQ(g.page_of(4), 1);
+    EXPECT_EQ(g.page_of(8), 2);
+    EXPECT_EQ(g.page_of(15), 3);
+    EXPECT_EQ(g.page_of(16), 0);  // next line wraps to page 0
+}
+
+TEST(MemoryGeometry, RoundTripSlotBankLine) {
+    const MemoryGeometry g;
+    for (int s = 0; s < g.slots(); ++s) {
+        EXPECT_EQ(g.slot_at(g.bank_of(s), g.line_of(s)), s);
+        EXPECT_TRUE(g.valid_slot(s));
+    }
+    EXPECT_FALSE(g.valid_slot(-1));
+    EXPECT_FALSE(g.valid_slot(g.slots()));
+}
+
+TEST(AccessCheck, SameLineSamePageOk) {
+    const MemoryGeometry g;
+    // Four slots in page 0, all on line 1: banks 0..3 at line 1.
+    const std::vector<int> reads = {g.slot_at(0, 1), g.slot_at(1, 1), g.slot_at(2, 1),
+                                    g.slot_at(3, 1)};
+    EXPECT_TRUE(check_simultaneous_access(g, reads, {}).ok);
+}
+
+TEST(AccessCheck, SamePageDifferentLineRejected) {
+    const MemoryGeometry g;
+    const std::vector<int> reads = {g.slot_at(0, 0), g.slot_at(1, 2)};  // page 0, lines 0 and 2
+    const AccessCheck c = check_simultaneous_access(g, reads, {});
+    EXPECT_FALSE(c.ok);
+    EXPECT_NE(c.reason.find("page"), std::string::npos);
+}
+
+TEST(AccessCheck, DifferentPagesDifferentLinesOk) {
+    const MemoryGeometry g;
+    const std::vector<int> reads = {g.slot_at(0, 0), g.slot_at(5, 2)};  // pages 0 and 1
+    EXPECT_TRUE(check_simultaneous_access(g, reads, {}).ok);
+}
+
+TEST(AccessCheck, BankReadConflictRejected) {
+    const MemoryGeometry g;
+    // Same bank, different lines — also a page violation, but with a
+    // one-bank page geometry it is purely a port conflict.
+    const MemoryGeometry g1{.banks = 4, .banks_per_page = 1, .lines = 4};
+    const std::vector<int> reads = {g1.slot_at(2, 0), g1.slot_at(2, 3)};
+    const AccessCheck c = check_simultaneous_access(g1, reads, {});
+    EXPECT_FALSE(c.ok);
+    EXPECT_NE(c.reason.find("bank"), std::string::npos);
+    (void)g;
+}
+
+TEST(AccessCheck, ReadAndWriteSameBankOk) {
+    const MemoryGeometry g;
+    // One read port and one write port per bank: same-line accesses in one
+    // bank, one read + one write, are legal.
+    const std::vector<int> reads = {g.slot_at(2, 1)};
+    const std::vector<int> writes = {g.slot_at(2, 1)};
+    EXPECT_TRUE(check_simultaneous_access(g, reads, writes).ok);
+}
+
+TEST(AccessCheck, ReadAndWriteDifferentLinesSamePageRejected) {
+    const MemoryGeometry g;
+    // Reads and writes share the page descriptor: mixing lines within a page
+    // is illegal even across ports.
+    const std::vector<int> reads = {g.slot_at(0, 0)};
+    const std::vector<int> writes = {g.slot_at(1, 1)};
+    EXPECT_FALSE(check_simultaneous_access(g, reads, writes).ok);
+}
+
+TEST(AccessCheck, DuplicateReadIsBroadcast) {
+    const MemoryGeometry g;
+    const std::vector<int> reads = {5, 5, 5};
+    EXPECT_TRUE(check_simultaneous_access(g, reads, {}).ok);
+}
+
+TEST(AccessCheck, ReadLimitEnforced) {
+    const MemoryGeometry g;
+    // Nine distinct slots on the same line: legal page-wise, over the 8-read
+    // limit.
+    std::vector<int> reads;
+    for (int b = 0; b < 9; ++b) reads.push_back(g.slot_at(b, 0));
+    const AccessCheck c = check_simultaneous_access(g, reads, {});
+    EXPECT_FALSE(c.ok);
+    EXPECT_NE(c.reason.find("read"), std::string::npos);
+}
+
+TEST(AccessCheck, WriteLimitEnforced) {
+    const MemoryGeometry g;
+    std::vector<int> writes;
+    for (int b = 0; b < 5; ++b) writes.push_back(g.slot_at(b, 0));
+    const AccessCheck c = check_simultaneous_access(g, std::vector<int>{}, writes);
+    EXPECT_FALSE(c.ok);
+    EXPECT_NE(c.reason.find("write"), std::string::npos);
+}
+
+TEST(AccessCheck, TwoMatricesReadOneWritten) {
+    // The paper's headline capability: two 4x4 matrices read and one written
+    // per cycle. Matrix k occupies page k, line 0.
+    const MemoryGeometry g;
+    std::vector<int> reads;
+    for (int b = 0; b < 4; ++b) reads.push_back(g.slot_at(b, 0));      // page 0
+    for (int b = 4; b < 8; ++b) reads.push_back(g.slot_at(b, 0));      // page 1
+    std::vector<int> writes;
+    for (int b = 8; b < 12; ++b) writes.push_back(g.slot_at(b, 0));    // page 2
+    EXPECT_TRUE(check_simultaneous_access(g, reads, writes).ok);
+}
+
+TEST(AccessCheck, OutOfRangeSlotRejected) {
+    const MemoryGeometry g;
+    const std::vector<int> reads = {64};
+    const AccessCheck c = check_simultaneous_access(g, reads, {});
+    EXPECT_FALSE(c.ok);
+    EXPECT_NE(c.reason.find("out of range"), std::string::npos);
+}
+
+// The paper's Fig. 8: small memory with 3 slots per bank. Matrix A has two
+// vectors sharing a bank; B has two vectors in the same page on different
+// lines; C is conflict-free.
+TEST(AccessCheck, Figure8Examples) {
+    const MemoryGeometry g{.banks = 16, .banks_per_page = 4, .lines = 3};
+
+    // A: A1 and A3 in bank 0 (lines 0, 1); A2 and A4 in bank 1 (lines 0, 1).
+    const std::vector<int> a = {g.slot_at(0, 0), g.slot_at(1, 0), g.slot_at(0, 1),
+                                g.slot_at(1, 1)};
+    EXPECT_FALSE(check_simultaneous_access(g, a, {}).ok);
+
+    // B: B1,B2 in page 1 line 0 (banks 4,5); B3 in page 2 line 0 (bank 8);
+    // B4 in page 2 line 1 (bank 9): same page, different lines.
+    const std::vector<int> b = {g.slot_at(4, 0), g.slot_at(5, 0), g.slot_at(8, 0),
+                                g.slot_at(9, 1)};
+    EXPECT_FALSE(check_simultaneous_access(g, b, {}).ok);
+
+    // C: four banks of page 3, all on line 2.
+    const std::vector<int> c = {g.slot_at(12, 2), g.slot_at(13, 2), g.slot_at(14, 2),
+                                g.slot_at(15, 2)};
+    EXPECT_TRUE(check_simultaneous_access(g, c, {}).ok);
+}
+
+}  // namespace
+}  // namespace revec::arch

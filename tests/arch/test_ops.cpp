@@ -1,0 +1,94 @@
+#include "revec/arch/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::arch {
+namespace {
+
+TEST(Ops, LookupKnownOps) {
+    EXPECT_TRUE(is_known_op("v_dotP"));
+    EXPECT_TRUE(is_known_op("m_squsum"));
+    EXPECT_TRUE(is_known_op("s_sqrt"));
+    EXPECT_TRUE(is_known_op("merge"));
+    EXPECT_FALSE(is_known_op("v_bogus"));
+}
+
+TEST(Ops, UnknownOpThrows) { EXPECT_THROW(op_info("v_bogus"), Error); }
+
+TEST(Ops, VectorOpShape) {
+    const OpInfo& info = op_info("v_dotP");
+    EXPECT_EQ(info.resource, Resource::VectorCore);
+    EXPECT_EQ(info.stage, Stage::Core);
+    EXPECT_EQ(info.lanes, 1);
+    EXPECT_EQ(info.arity, 2);
+    EXPECT_EQ(info.result, ResultKind::ScalarData);
+    EXPECT_FALSE(info.is_matrix_op);
+}
+
+TEST(Ops, MatrixOpOccupiesAllLanes) {
+    for (const char* name : {"m_add", "m_sub", "m_scale", "m_squsum", "m_vmul", "m_hermitian"}) {
+        const OpInfo& info = op_info(name);
+        EXPECT_EQ(info.lanes, 4) << name;
+        EXPECT_TRUE(info.is_matrix_op) << name;
+        EXPECT_EQ(info.resource, Resource::VectorCore) << name;
+    }
+}
+
+TEST(Ops, StageClassification) {
+    EXPECT_EQ(op_info("pre_conj").stage, Stage::Pre);
+    EXPECT_EQ(op_info("pre_mask").stage, Stage::Pre);
+    EXPECT_EQ(op_info("m_hermitian").stage, Stage::Pre);
+    EXPECT_EQ(op_info("post_sort").stage, Stage::Post);
+    EXPECT_EQ(op_info("post_accum").stage, Stage::Post);
+    EXPECT_EQ(op_info("v_add").stage, Stage::Core);
+    EXPECT_EQ(op_info("s_div").stage, Stage::NotApplicable);
+    EXPECT_EQ(op_info("index").stage, Stage::NotApplicable);
+}
+
+TEST(Ops, ScalarAcceleratorOps) {
+    for (const char* name : {"s_add", "s_sub", "s_mul", "s_div", "s_sqrt", "s_rsqrt",
+                             "s_cordic_mag"}) {
+        const OpInfo& info = op_info(name);
+        EXPECT_EQ(info.resource, Resource::Scalar) << name;
+        EXPECT_EQ(info.result, ResultKind::ScalarData) << name;
+    }
+}
+
+TEST(Ops, IndexMergeUnit) {
+    EXPECT_EQ(op_info("index").resource, Resource::IndexMerge);
+    EXPECT_EQ(op_info("merge").resource, Resource::IndexMerge);
+    EXPECT_EQ(op_info("merge").arity, 4);
+    EXPECT_EQ(op_info("merge").result, ResultKind::VectorData);
+}
+
+TEST(Ops, CatalogueNamesAreUnique) {
+    std::set<std::string> names;
+    for (const OpInfo& op : all_ops()) {
+        EXPECT_TRUE(names.insert(op.name).second) << "duplicate " << op.name;
+    }
+    EXPECT_GE(names.size(), 25u);
+}
+
+TEST(Ops, TimingByResource) {
+    const ArchSpec spec = ArchSpec::eit();
+    EXPECT_EQ(op_timing(spec, op_info("v_dotP")).latency, 7);
+    EXPECT_EQ(op_timing(spec, op_info("v_dotP")).duration, 1);
+    EXPECT_EQ(op_timing(spec, op_info("m_squsum")).latency, 7);
+    EXPECT_EQ(op_timing(spec, op_info("s_sqrt")).latency, spec.scalar_latency);
+    EXPECT_EQ(op_timing(spec, op_info("merge")).latency, spec.index_merge_latency);
+}
+
+TEST(Ops, TimingFollowsCustomSpec) {
+    ArchSpec spec;
+    spec.vector_latency = 11;
+    spec.scalar_latency = 2;
+    EXPECT_EQ(op_timing(spec, op_info("v_add")).latency, 11);
+    EXPECT_EQ(op_timing(spec, op_info("s_add")).latency, 2);
+}
+
+}  // namespace
+}  // namespace revec::arch

@@ -1,0 +1,68 @@
+#include "revec/arch/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::arch {
+namespace {
+
+TEST(ArchSpec, EitDefaultsMatchPaper) {
+    const ArchSpec spec = ArchSpec::eit();
+    EXPECT_EQ(spec.vector_lanes, 4);
+    EXPECT_EQ(spec.vector_length, 4);
+    EXPECT_EQ(spec.pipeline_stages, 7);
+    EXPECT_EQ(spec.vector_latency, 7);
+    EXPECT_EQ(spec.vector_duration, 1);
+    EXPECT_EQ(spec.memory.banks, 16);
+    EXPECT_EQ(spec.memory.banks_per_page, 4);
+    EXPECT_EQ(spec.memory.pages(), 4);
+    EXPECT_EQ(spec.max_vector_reads_per_cycle, 8);
+    EXPECT_EQ(spec.max_vector_writes_per_cycle, 4);
+}
+
+TEST(ArchSpec, ValidateAcceptsDefault) { EXPECT_NO_THROW(ArchSpec{}.validate()); }
+
+TEST(ArchSpec, ValidateRejectsBadLanes) {
+    ArchSpec s;
+    s.vector_lanes = 0;
+    EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(ArchSpec, ValidateRejectsNegativeReconfig) {
+    ArchSpec s;
+    s.reconfig_cycles = -1;
+    EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(ArchSpec, ValidateRejectsUnevenPages) {
+    ArchSpec s;
+    s.memory.banks = 14;  // not divisible by banks_per_page = 4
+    EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(ArchSpec, ValidateRejectsZeroLatency) {
+    ArchSpec s;
+    s.vector_latency = 0;
+    EXPECT_THROW(s.validate(), Error);
+    s = ArchSpec{};
+    s.scalar_latency = 0;
+    EXPECT_THROW(s.validate(), Error);
+    s = ArchSpec{};
+    s.index_merge_latency = 0;
+    EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(ArchSpec, CustomConfigurationsValidate) {
+    // Retargeting to a wider machine must be allowed.
+    ArchSpec s;
+    s.vector_lanes = 8;
+    s.memory.banks = 32;
+    s.memory.banks_per_page = 8;
+    s.memory.lines = 8;
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_EQ(s.memory.slots(), 256);
+}
+
+}  // namespace
+}  // namespace revec::arch

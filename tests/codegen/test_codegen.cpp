@@ -1,0 +1,126 @@
+#include "revec/codegen/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::codegen {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+MachineProgram matmul_program(const ir::Graph& g) {
+    const sched::Schedule s = sched::schedule_kernel(g);
+    return generate_code(kSpec, g, s);
+}
+
+TEST(Codegen, EveryOpIssuedExactlyOnce) {
+    const ir::Graph g = apps::build_matmul();
+    const MachineProgram prog = matmul_program(g);
+    std::set<int> issued;
+    for (const MachineInstr& instr : prog.instrs) {
+        for (const auto* group : {&instr.vector_ops, &instr.scalar_ops, &instr.ix_ops}) {
+            for (const OpIssue& op : *group) {
+                EXPECT_TRUE(issued.insert(op.op_node).second) << op.op_node;
+            }
+        }
+    }
+    EXPECT_EQ(issued.size(), g.op_nodes().size());
+}
+
+TEST(Codegen, CyclesAscendAndMatchSchedule) {
+    const ir::Graph g = apps::build_matmul();
+    const sched::Schedule s = sched::schedule_kernel(g);
+    const MachineProgram prog = generate_code(kSpec, g, s);
+    int prev = -1;
+    for (const MachineInstr& instr : prog.instrs) {
+        EXPECT_GT(instr.cycle, prev);
+        prev = instr.cycle;
+        for (const OpIssue& op : instr.vector_ops) {
+            EXPECT_EQ(s.start[static_cast<std::size_t>(op.op_node)], instr.cycle);
+        }
+    }
+    EXPECT_EQ(prog.length, s.makespan);
+}
+
+TEST(Codegen, OperandSlotsComeFromAllocation) {
+    const ir::Graph g = apps::build_matmul();
+    const sched::Schedule s = sched::schedule_kernel(g);
+    const MachineProgram prog = generate_code(kSpec, g, s);
+    for (const MachineInstr& instr : prog.instrs) {
+        for (const OpIssue& op : instr.vector_ops) {
+            std::size_t vec_idx = 0;
+            for (const int d : g.preds(op.op_node)) {
+                if (g.node(d).cat != ir::NodeCat::VectorData) continue;
+                EXPECT_EQ(op.src_slots[vec_idx], s.slot[static_cast<std::size_t>(d)]);
+                ++vec_idx;
+            }
+        }
+    }
+}
+
+TEST(Codegen, ScalarResultsGetRegisters) {
+    const ir::Graph g = apps::build_matmul();
+    const MachineProgram prog = matmul_program(g);
+    for (const MachineInstr& instr : prog.instrs) {
+        for (const OpIssue& op : instr.vector_ops) {
+            // v_dotP results are scalars.
+            EXPECT_EQ(op.dst_slot, -1);
+            EXPECT_GE(op.dst_scalar, 0);
+        }
+        for (const OpIssue& op : instr.ix_ops) {
+            // merge produces a vector in memory.
+            EXPECT_GE(op.dst_slot, 0);
+        }
+    }
+}
+
+TEST(Codegen, ReconfigurationsCounted) {
+    // MATMUL has a single vector configuration: exactly the initial load.
+    const ir::Graph g = apps::build_matmul();
+    const MachineProgram prog = matmul_program(g);
+    EXPECT_EQ(prog.reconfigurations, 1);
+
+    // QRD alternates configurations: strictly more.
+    const ir::Graph q = ir::merge_pipeline_ops(apps::build_qrd());
+    sched::ScheduleOptions opts;
+    opts.timeout_ms = 30000;
+    const sched::Schedule s = sched::schedule_kernel(q, opts);
+    const MachineProgram qprog = generate_code(kSpec, q, s);
+    EXPECT_GT(qprog.reconfigurations, 1);
+}
+
+TEST(Codegen, InfeasibleScheduleRejected) {
+    const ir::Graph g = apps::build_matmul();
+    sched::Schedule bad;
+    bad.status = cp::SolveStatus::Unsat;
+    EXPECT_THROW(generate_code(kSpec, g, bad), Error);
+}
+
+TEST(Codegen, MissingSlotsRejected) {
+    const ir::Graph g = apps::build_matmul();
+    sched::ScheduleOptions opts;
+    opts.memory_allocation = false;  // schedule without slots
+    const sched::Schedule s = sched::schedule_kernel(g, opts);
+    EXPECT_THROW(generate_code(kSpec, g, s), Error);
+}
+
+TEST(Codegen, ListingMentionsOpsAndSlots) {
+    const ir::Graph g = apps::build_matmul();
+    const MachineProgram prog = matmul_program(g);
+    const std::string listing = prog.to_listing(g);
+    EXPECT_NE(listing.find("v_dotP"), std::string::npos);
+    EXPECT_NE(listing.find("M["), std::string::npos);
+    EXPECT_NE(listing.find("t=0:"), std::string::npos);
+    EXPECT_NE(listing.find("ix:merge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace revec::codegen

@@ -1,0 +1,126 @@
+#include "revec/codegen/encode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "revec/apps/detect.hpp"
+#include "revec/apps/matmul.hpp"
+#include "revec/arch/ops.hpp"
+#include "revec/dsl/ops.hpp"
+#include "revec/dsl/program.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::codegen {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+TEST(Opcodes, RoundTripAllCatalogueOps) {
+    for (const arch::OpInfo& info : arch::all_ops()) {
+        const std::uint8_t code = opcode_of(info.name);
+        EXPECT_NE(code, 0);
+        EXPECT_EQ(op_name_of(code), info.name);
+    }
+}
+
+TEST(Opcodes, UnknownRejected) {
+    EXPECT_THROW(opcode_of("v_bogus"), Error);
+    EXPECT_THROW(op_name_of(0), Error);
+    EXPECT_THROW(op_name_of(250), Error);
+}
+
+TEST(Encode, MatmulProgramRoundTrips) {
+    const ir::Graph g = apps::build_matmul();
+    const sched::Schedule s = sched::schedule_kernel(g);
+    const MachineProgram prog = generate_code(kSpec, g, s);
+    const std::vector<ConfigBundle> bundles = encode_program(g, prog);
+    ASSERT_EQ(bundles.size(), prog.instrs.size());
+
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+        const MachineInstr& instr = prog.instrs[i];
+        const ConfigBundle& bundle = bundles[i];
+        EXPECT_EQ(bundle.cycle, instr.cycle);
+        ASSERT_EQ(bundle.vector_words.size(), instr.vector_ops.size());
+        for (std::size_t k = 0; k < bundle.vector_words.size(); ++k) {
+            const DecodedVectorWord d = decode_vector_word(bundle.vector_words[k]);
+            const ir::Node& node = g.node(instr.vector_ops[k].op_node);
+            EXPECT_EQ(d.op, node.op);
+            EXPECT_EQ(d.pre_op, node.pre_op);
+            EXPECT_EQ(d.post_op, node.post_op);
+            EXPECT_EQ(d.lanes, arch::op_info(node.op).lanes);
+            // v_dotP reads two vector slots and writes a scalar.
+            EXPECT_EQ(d.src0_slot, instr.vector_ops[k].src_slots[0]);
+            EXPECT_EQ(d.src1_slot, instr.vector_ops[k].src_slots[1]);
+            EXPECT_EQ(d.dst_slot, -1);
+        }
+    }
+}
+
+TEST(Encode, FusedStagesSurviveEncoding) {
+    dsl::Program p("fused_enc");
+    const auto a = p.in_vector(1, 2, 3, 4, "a");
+    const auto b = p.in_vector(4, 3, 2, 1, "b");
+    const auto cb = dsl::pre_conj(b);
+    const auto prod = dsl::v_mul(a, cb);
+    const auto sorted = dsl::post_sort(prod);
+    p.mark_output(sorted);
+    const ir::Graph g = ir::merge_pipeline_ops(p.ir());
+
+    const sched::Schedule s = sched::schedule_kernel(g);
+    const MachineProgram prog = generate_code(kSpec, g, s);
+    const std::vector<ConfigBundle> bundles = encode_program(g, prog);
+    bool found = false;
+    for (const ConfigBundle& bundle : bundles) {
+        for (const std::uint64_t word : bundle.vector_words) {
+            const DecodedVectorWord d = decode_vector_word(word);
+            if (d.op == "v_mul") {
+                EXPECT_EQ(d.pre_op, "pre_conj");
+                EXPECT_EQ(d.post_op, "post_sort");
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Encode, DistinctConfigsGiveDistinctWords) {
+    // The config identity that drives reconfiguration counting must be
+    // visible in the words: different ops encode differently.
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_detect());
+    sched::ScheduleOptions opts;
+    opts.timeout_ms = 20000;
+    const sched::Schedule s = sched::schedule_kernel(g, opts);
+    ASSERT_TRUE(s.feasible());
+    const MachineProgram prog = generate_code(kSpec, g, s);
+    const std::vector<ConfigBundle> bundles = encode_program(g, prog);
+    std::map<std::string, std::uint64_t> opcode_bits;
+    for (const ConfigBundle& bundle : bundles) {
+        for (const std::uint64_t word : bundle.vector_words) {
+            const DecodedVectorWord d = decode_vector_word(word);
+            const std::uint64_t key = word >> 40;  // opcode+pre+post fields
+            const auto [it, inserted] = opcode_bits.emplace(
+                d.pre_op + "|" + d.op + "|" + d.post_op, key);
+            EXPECT_EQ(it->second, key);
+        }
+    }
+    // Opcode-field keys are injective over the distinct configurations.
+    std::set<std::uint64_t> values;
+    for (const auto& [name, bits] : opcode_bits) values.insert(bits);
+    EXPECT_EQ(values.size(), opcode_bits.size());
+}
+
+TEST(Encode, SizeAccounting) {
+    const ir::Graph g = apps::build_matmul();
+    const sched::Schedule s = sched::schedule_kernel(g);
+    const MachineProgram prog = generate_code(kSpec, g, s);
+    const std::vector<ConfigBundle> bundles = encode_program(g, prog);
+    // 16 dotP + 4 merge = 20 words of 8 bytes.
+    EXPECT_EQ(encoded_size_bytes(bundles), 20u * 8u);
+}
+
+}  // namespace
+}  // namespace revec::codegen

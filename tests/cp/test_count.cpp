@@ -1,0 +1,66 @@
+#include "revec/cp/count.hpp"
+
+#include <gtest/gtest.h>
+
+namespace revec::cp {
+namespace {
+
+TEST(BoolSum, BoundsFollowFixedBools) {
+    Store s;
+    std::vector<BoolVar> bs;
+    for (int i = 0; i < 4; ++i) bs.push_back(s.new_bool());
+    const IntVar total = s.new_var(0, 4);
+    post_bool_sum(s, bs, total);
+    ASSERT_TRUE(s.assign(bs[0], 1));
+    ASSERT_TRUE(s.assign(bs[1], 0));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(total), 1);
+    EXPECT_EQ(s.max(total), 3);
+}
+
+TEST(BoolSum, TightLowerBoundForcesOnes) {
+    Store s;
+    std::vector<BoolVar> bs;
+    for (int i = 0; i < 3; ++i) bs.push_back(s.new_bool());
+    const IntVar total = s.new_var(3, 3);
+    post_bool_sum(s, bs, total);
+    ASSERT_TRUE(s.propagate());
+    for (const BoolVar b : bs) EXPECT_EQ(s.value(b), 1);
+}
+
+TEST(BoolSum, TightUpperBoundForcesZeros) {
+    Store s;
+    std::vector<BoolVar> bs;
+    for (int i = 0; i < 3; ++i) bs.push_back(s.new_bool());
+    const IntVar total = s.new_var(0, 0);
+    post_bool_sum(s, bs, total);
+    ASSERT_TRUE(s.propagate());
+    for (const BoolVar b : bs) EXPECT_EQ(s.value(b), 0);
+}
+
+TEST(BoolSum, MixedForcing) {
+    Store s;
+    std::vector<BoolVar> bs;
+    for (int i = 0; i < 4; ++i) bs.push_back(s.new_bool());
+    const IntVar total = s.new_var(0, 1);
+    post_bool_sum(s, bs, total);
+    ASSERT_TRUE(s.assign(bs[2], 1));
+    ASSERT_TRUE(s.propagate());
+    // total must be 1, all others 0.
+    EXPECT_EQ(s.value(total), 1);
+    EXPECT_EQ(s.value(bs[0]), 0);
+    EXPECT_EQ(s.value(bs[1]), 0);
+    EXPECT_EQ(s.value(bs[3]), 0);
+}
+
+TEST(BoolSum, FailsOnOverflow) {
+    Store s;
+    std::vector<BoolVar> bs;
+    for (int i = 0; i < 2; ++i) bs.push_back(s.new_bool());
+    const IntVar total = s.new_var(3, 5);
+    post_bool_sum(s, bs, total);
+    EXPECT_FALSE(s.propagate());
+}
+
+}  // namespace
+}  // namespace revec::cp

@@ -1,0 +1,187 @@
+#include "revec/cp/cumulative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "revec/cp/arith.hpp"
+#include "revec/cp/search.hpp"
+
+namespace revec::cp {
+namespace {
+
+TEST(Cumulative, CompulsoryOverloadFails) {
+    Store s;
+    // Two tasks pinned to overlap, each needing 3 of capacity 4.
+    const IntVar a = s.new_var(0, 0);
+    const IntVar b = s.new_var(0, 0);
+    post_cumulative(s, {{a, 2, 3}, {b, 2, 3}}, 4);
+    EXPECT_FALSE(s.propagate());
+}
+
+TEST(Cumulative, FitsWithinCapacity) {
+    Store s;
+    const IntVar a = s.new_var(0, 0);
+    const IntVar b = s.new_var(0, 0);
+    post_cumulative(s, {{a, 2, 2}, {b, 2, 2}}, 4);
+    EXPECT_TRUE(s.propagate());
+}
+
+TEST(Cumulative, PrunesStartsAgainstFixedProfile) {
+    Store s;
+    // Task a fixed at [2,5) using full capacity; b (duration 2) must avoid it.
+    const IntVar a = s.new_var(2, 2);
+    const IntVar b = s.new_var(0, 10);
+    post_cumulative(s, {{a, 3, 4}, {b, 2, 1}}, 4);
+    ASSERT_TRUE(s.propagate());
+    // b cannot start at 1..4 (would overlap [2,5)).
+    for (int t = 1; t <= 4; ++t) EXPECT_FALSE(s.dom(b).contains(t)) << t;
+    EXPECT_TRUE(s.dom(b).contains(0));
+    EXPECT_TRUE(s.dom(b).contains(5));
+}
+
+TEST(Cumulative, ZeroDemandTasksUnconstrained) {
+    Store s;
+    const IntVar a = s.new_var(0, 0);
+    const IntVar b = s.new_var(0, 0);
+    post_cumulative(s, {{a, 5, 4}, {b, 5, 0}}, 4);
+    EXPECT_TRUE(s.propagate());
+}
+
+TEST(Cumulative, VectorLaneScenario) {
+    // Four vector ops (1 lane each) and one matrix op (4 lanes), all
+    // duration 1, capacity 4 — the paper's eq. (2) setting.
+    Store s;
+    std::vector<CumulTask> tasks;
+    std::vector<IntVar> starts;
+    for (int i = 0; i < 4; ++i) {
+        starts.push_back(s.new_var(0, 1));
+        tasks.push_back({starts.back(), 1, 1});
+    }
+    const IntVar matrix = s.new_var(0, 1);
+    tasks.push_back({matrix, 1, 4});
+    post_cumulative(s, tasks, 4);
+    ASSERT_TRUE(s.propagate());
+    // Pin the matrix op at 0: all vector ops move to cycle 1.
+    ASSERT_TRUE(s.assign(matrix, 0));
+    ASSERT_TRUE(s.propagate());
+    for (const IntVar v : starts) {
+        EXPECT_TRUE(s.fixed(v));
+        EXPECT_EQ(s.value(v), 1);
+    }
+}
+
+TEST(Cumulative, TaskForcedAwayFromOwnInfeasibleRegionFails) {
+    Store s;
+    // Task with compulsory part that cannot coexist with a fixed blocker.
+    const IntVar blocker = s.new_var(1, 1);
+    const IntVar t = s.new_var(0, 1);  // cp = [1, 3): overlaps blocker at 1..2
+    post_cumulative(s, {{blocker, 2, 3}, {t, 3, 2}}, 4);
+    EXPECT_FALSE(s.propagate());
+}
+
+// Exhaustive property check: on a small instance, the set of fully assigned
+// start vectors accepted by propagation equals the set accepted by a direct
+// profile computation.
+TEST(CumulativeProperty, MatchesBruteForceAcceptance) {
+    const int durations[3] = {2, 3, 1};
+    const int demands[3] = {2, 1, 3};
+    const int cap = 3;
+    const int horizon = 4;
+
+    const auto feasible = [&](int s0, int s1, int s2) {
+        const int starts[3] = {s0, s1, s2};
+        for (int t = 0; t <= horizon + 3; ++t) {
+            int use = 0;
+            for (int i = 0; i < 3; ++i) {
+                if (starts[i] <= t && t < starts[i] + durations[i]) use += demands[i];
+            }
+            if (use > cap) return false;
+        }
+        return true;
+    };
+
+    for (int s0 = 0; s0 <= horizon; ++s0) {
+        for (int s1 = 0; s1 <= horizon; ++s1) {
+            for (int s2 = 0; s2 <= horizon; ++s2) {
+                Store s;
+                const IntVar a = s.new_var(s0, s0);
+                const IntVar b = s.new_var(s1, s1);
+                const IntVar c = s.new_var(s2, s2);
+                post_cumulative(
+                    s, {{a, durations[0], demands[0]}, {b, durations[1], demands[1]},
+                        {c, durations[2], demands[2]}},
+                    cap);
+                EXPECT_EQ(s.propagate(), feasible(s0, s1, s2))
+                    << s0 << "," << s1 << "," << s2;
+            }
+        }
+    }
+}
+
+// Property: propagation never removes a start that participates in some
+// full solution (checked by brute force on a small instance).
+TEST(CumulativeProperty, NeverRemovesSupportedStarts) {
+    const int durations[3] = {2, 2, 2};
+    const int demands[3] = {2, 2, 2};
+    const int cap = 3;
+    const int horizon = 3;
+
+    Store s;
+    const IntVar a = s.new_var(0, horizon);
+    const IntVar b = s.new_var(0, horizon);
+    const IntVar c = s.new_var(0, horizon);
+    post_cumulative(s,
+                    {{a, durations[0], demands[0]},
+                     {b, durations[1], demands[1]},
+                     {c, durations[2], demands[2]}},
+                    cap);
+    ASSERT_TRUE(s.propagate());
+
+    const auto feasible = [&](int s0, int s1, int s2) {
+        const int starts[3] = {s0, s1, s2};
+        for (int t = 0; t <= horizon + 2; ++t) {
+            int use = 0;
+            for (int i = 0; i < 3; ++i) {
+                if (starts[i] <= t && t < starts[i] + durations[i]) use += demands[i];
+            }
+            if (use > cap) return false;
+        }
+        return true;
+    };
+
+    for (int s0 = 0; s0 <= horizon; ++s0) {
+        bool supported = false;
+        for (int s1 = 0; s1 <= horizon && !supported; ++s1) {
+            for (int s2 = 0; s2 <= horizon && !supported; ++s2) {
+                supported = feasible(s0, s1, s2);
+            }
+        }
+        if (supported) {
+            EXPECT_TRUE(s.dom(a).contains(s0)) << s0;
+        }
+    }
+}
+
+// Integration: minimal makespan of 6 unit tasks with demand 1 on capacity 2
+// must be 3 issue slots (search over starts).
+TEST(CumulativeSearch, MinimalMakespan) {
+    Store s;
+    std::vector<IntVar> starts;
+    std::vector<CumulTask> tasks;
+    for (int i = 0; i < 6; ++i) {
+        starts.push_back(s.new_var(0, 10));
+        tasks.push_back({starts.back(), 1, 1});
+    }
+    post_cumulative(s, tasks, 2);
+    const IntVar makespan = s.new_var(0, 20);
+    post_max(s, makespan, starts);
+
+    Phase phase{starts, VarSelect::SmallestMin, ValSelect::Min, "starts"};
+    const SolveResult r = solve(s, {phase}, makespan);
+    ASSERT_EQ(r.status, SolveStatus::Optimal);
+    EXPECT_EQ(r.value_of(makespan), 2);  // slots 0,1,2 with 2 tasks each
+}
+
+}  // namespace
+}  // namespace revec::cp

@@ -1,0 +1,221 @@
+#include "revec/cp/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+namespace {
+
+std::vector<int> values_of(const Domain& d) {
+    std::vector<int> out;
+    d.for_each([&](int v) { out.push_back(v); });
+    return out;
+}
+
+TEST(Domain, EmptyByDefault) {
+    const Domain d;
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.size(), 0);
+}
+
+TEST(Domain, IntervalConstruction) {
+    const Domain d(2, 5);
+    EXPECT_FALSE(d.empty());
+    EXPECT_EQ(d.min(), 2);
+    EXPECT_EQ(d.max(), 5);
+    EXPECT_EQ(d.size(), 4);
+    EXPECT_FALSE(d.is_fixed());
+}
+
+TEST(Domain, InvertedIntervalIsEmpty) {
+    const Domain d(5, 2);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(Domain, SingletonIsFixed) {
+    const Domain d(7, 7);
+    EXPECT_TRUE(d.is_fixed());
+    EXPECT_EQ(d.value(), 7);
+}
+
+TEST(Domain, OfValuesMergesAdjacent) {
+    const Domain d = Domain::of_values({5, 1, 2, 3, 9, 2});
+    EXPECT_EQ(d.intervals().size(), 3u);  // {1..3, 5, 9}
+    EXPECT_EQ(d.size(), 5);
+    EXPECT_TRUE(d.contains(2));
+    EXPECT_FALSE(d.contains(4));
+    EXPECT_TRUE(d.contains(9));
+}
+
+TEST(Domain, ContainsAtBoundaries) {
+    const Domain d = Domain::of_values({1, 2, 3, 7, 8});
+    EXPECT_TRUE(d.contains(1));
+    EXPECT_TRUE(d.contains(3));
+    EXPECT_TRUE(d.contains(7));
+    EXPECT_TRUE(d.contains(8));
+    EXPECT_FALSE(d.contains(0));
+    EXPECT_FALSE(d.contains(5));
+    EXPECT_FALSE(d.contains(9));
+}
+
+TEST(Domain, RemoveBelow) {
+    Domain d = Domain::of_values({1, 2, 3, 7, 8});
+    EXPECT_TRUE(d.remove_below(3));
+    EXPECT_EQ(values_of(d), (std::vector<int>{3, 7, 8}));
+    EXPECT_FALSE(d.remove_below(3));  // no-op reports no change
+    EXPECT_TRUE(d.remove_below(100));
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(Domain, RemoveAbove) {
+    Domain d = Domain::of_values({1, 2, 3, 7, 8});
+    EXPECT_TRUE(d.remove_above(5));
+    EXPECT_EQ(values_of(d), (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(d.remove_above(3));
+    EXPECT_TRUE(d.remove_above(0));
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(Domain, RemoveValueSplitsInterval) {
+    Domain d(1, 5);
+    EXPECT_TRUE(d.remove_value(3));
+    EXPECT_EQ(values_of(d), (std::vector<int>{1, 2, 4, 5}));
+    EXPECT_EQ(d.intervals().size(), 2u);
+    EXPECT_FALSE(d.remove_value(3));
+}
+
+TEST(Domain, RemoveRangeAcrossIntervals) {
+    Domain d = Domain::of_values({1, 2, 3, 7, 8, 12});
+    EXPECT_TRUE(d.remove_range(2, 7));
+    EXPECT_EQ(values_of(d), (std::vector<int>{1, 8, 12}));
+}
+
+TEST(Domain, RemoveRangeOutsideIsNoop) {
+    Domain d(5, 9);
+    EXPECT_FALSE(d.remove_range(20, 30));
+    EXPECT_FALSE(d.remove_range(30, 20));
+    EXPECT_EQ(d.size(), 5);
+}
+
+TEST(Domain, IntersectWith) {
+    Domain a = Domain::of_values({1, 2, 3, 8, 9});
+    const Domain b = Domain::of_values({2, 3, 4, 9, 10});
+    EXPECT_TRUE(a.intersect_with(b));
+    EXPECT_EQ(values_of(a), (std::vector<int>{2, 3, 9}));
+    EXPECT_FALSE(a.intersect_with(b));  // already a subset
+}
+
+TEST(Domain, IntersectDisjointIsEmpty) {
+    Domain a(1, 3);
+    EXPECT_TRUE(a.intersect_with(Domain(5, 9)));
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(Domain, AssignReducesToSingleton) {
+    Domain d(1, 9);
+    EXPECT_TRUE(d.assign(4));
+    EXPECT_TRUE(d.is_fixed());
+    EXPECT_EQ(d.value(), 4);
+    EXPECT_FALSE(d.assign(4));  // already fixed: no change
+}
+
+TEST(Domain, AssignOutsideDomainViolatesContract) {
+    Domain d(1, 3);
+    EXPECT_THROW(d.assign(9), ContractViolation);
+}
+
+TEST(Domain, NextValue) {
+    const Domain d = Domain::of_values({2, 3, 8});
+    int out = 0;
+    EXPECT_TRUE(d.next_value(0, out));
+    EXPECT_EQ(out, 2);
+    EXPECT_TRUE(d.next_value(3, out));
+    EXPECT_EQ(out, 3);
+    EXPECT_TRUE(d.next_value(4, out));
+    EXPECT_EQ(out, 8);
+    EXPECT_FALSE(d.next_value(9, out));
+}
+
+TEST(Domain, ToString) {
+    EXPECT_EQ(Domain(1, 3).to_string(), "{1..3}");
+    EXPECT_EQ(Domain::of_values({5}).to_string(), "{5}");
+    EXPECT_EQ(Domain::of_values({1, 3}).to_string(), "{1, 3}");
+    EXPECT_EQ(Domain().to_string(), "{}");
+}
+
+// Property test: Domain operations agree with std::set reference semantics
+// under a randomized op sequence.
+TEST(DomainProperty, AgreesWithReferenceSet) {
+    std::mt19937 rng(20150207);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::set<int> ref;
+        std::vector<int> init;
+        std::uniform_int_distribution<int> val(-20, 20);
+        for (int i = 0; i < 25; ++i) {
+            const int v = val(rng);
+            ref.insert(v);
+            init.push_back(v);
+        }
+        Domain dom = Domain::of_values(init);
+        for (int step = 0; step < 30; ++step) {
+            const int v = val(rng);
+            switch (rng() % 4) {
+                case 0:
+                    dom.remove_below(v);
+                    std::erase_if(ref, [&](int x) { return x < v; });
+                    break;
+                case 1:
+                    dom.remove_above(v);
+                    std::erase_if(ref, [&](int x) { return x > v; });
+                    break;
+                case 2:
+                    dom.remove_value(v);
+                    ref.erase(v);
+                    break;
+                case 3: {
+                    const int w = val(rng);
+                    dom.remove_range(std::min(v, w), std::max(v, w));
+                    std::erase_if(ref, [&](int x) {
+                        return x >= std::min(v, w) && x <= std::max(v, w);
+                    });
+                    break;
+                }
+            }
+            ASSERT_EQ(values_of(dom), std::vector<int>(ref.begin(), ref.end()))
+                << "trial " << trial << " step " << step;
+            ASSERT_EQ(dom.size(), static_cast<std::int64_t>(ref.size()));
+            if (!ref.empty()) {
+                ASSERT_EQ(dom.min(), *ref.begin());
+                ASSERT_EQ(dom.max(), *ref.rbegin());
+            }
+        }
+    }
+}
+
+// Property: intersect_with equals set_intersection.
+TEST(DomainProperty, IntersectionMatchesReference) {
+    std::mt19937 rng(42);
+    std::uniform_int_distribution<int> val(-15, 15);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<int> av, bv;
+        for (int i = 0; i < 12; ++i) av.push_back(val(rng));
+        for (int i = 0; i < 12; ++i) bv.push_back(val(rng));
+        Domain a = Domain::of_values(av);
+        const Domain b = Domain::of_values(bv);
+        const std::set<int> sa(av.begin(), av.end());
+        const std::set<int> sb(bv.begin(), bv.end());
+        std::vector<int> expect;
+        std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                              std::back_inserter(expect));
+        a.intersect_with(b);
+        ASSERT_EQ(values_of(a), expect);
+    }
+}
+
+}  // namespace
+}  // namespace revec::cp

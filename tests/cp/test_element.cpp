@@ -1,0 +1,111 @@
+#include "revec/cp/element.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/cp/search.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::cp {
+namespace {
+
+TEST(Element, IndexConfinedToArray) {
+    Store s;
+    const IntVar idx = s.new_var(-5, 99);
+    std::vector<IntVar> arr = {s.new_var(1, 2), s.new_var(3, 4)};
+    const IntVar res = s.new_var(0, 10);
+    post_element(s, idx, arr, res);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(idx), 0);
+    EXPECT_EQ(s.max(idx), 1);
+}
+
+TEST(Element, ResultHullFromCandidates) {
+    Store s;
+    const IntVar idx = s.new_var(0, 2);
+    std::vector<IntVar> arr = {s.new_var(5, 6), s.new_var(10, 12), s.new_var(7, 7)};
+    const IntVar res = s.new_var(-100, 100);
+    post_element(s, idx, arr, res);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(res), 5);
+    EXPECT_EQ(s.max(res), 12);
+}
+
+TEST(Element, IncompatibleIndicesPruned) {
+    Store s;
+    const IntVar idx = s.new_var(0, 2);
+    std::vector<IntVar> arr = {s.new_var(5, 6), s.new_var(10, 12), s.new_var(7, 7)};
+    const IntVar res = s.new_var(7, 8);
+    post_element(s, idx, arr, res);
+    ASSERT_TRUE(s.propagate());
+    // Only arr[2] = 7 is compatible with res in [7, 8].
+    EXPECT_TRUE(s.fixed(idx));
+    EXPECT_EQ(s.value(idx), 2);
+    EXPECT_EQ(s.value(res), 7);
+}
+
+TEST(Element, FixedIndexChannelsBothWays) {
+    Store s;
+    const IntVar idx = s.new_var(1, 1);
+    std::vector<IntVar> arr = {s.new_var(0, 9), s.new_var(0, 9)};
+    const IntVar res = s.new_var(4, 6);
+    post_element(s, idx, arr, res);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(arr[1]), 4);
+    EXPECT_EQ(s.max(arr[1]), 6);
+    EXPECT_EQ(s.max(arr[0]), 9);  // untouched
+    ASSERT_TRUE(s.assign(arr[1], 5));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(res), 5);
+}
+
+TEST(Element, NoCandidateFails) {
+    Store s;
+    const IntVar idx = s.new_var(0, 1);
+    std::vector<IntVar> arr = {s.new_var(1, 2), s.new_var(3, 4)};
+    const IntVar res = s.new_var(50, 60);
+    post_element(s, idx, arr, res);
+    EXPECT_FALSE(s.propagate());
+}
+
+TEST(ElementConst, LookupTable) {
+    Store s;
+    const IntVar idx = s.new_var(0, 3);
+    const IntVar res = s.new_var(0, 100);
+    post_element_const(s, idx, {7, 7, 42, 9}, res);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(res), 7);
+    EXPECT_EQ(s.max(res), 42);
+    ASSERT_TRUE(s.assign(res, 42));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(idx), 2);
+}
+
+TEST(ElementConst, SharedValuesKeepIndexOpen) {
+    Store s;
+    const IntVar idx = s.new_var(0, 3);
+    const IntVar res = s.new_var(0, 100);
+    post_element_const(s, idx, {7, 7, 42, 9}, res);
+    ASSERT_TRUE(s.assign(res, 7));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.dom(idx).to_string(), "{0..1}");
+}
+
+TEST(Element, SearchSolvesPuzzle) {
+    // res = arr[idx], arr entries distinct offsets of idx: pick assignments
+    // by search and cross-check the relation.
+    Store s;
+    const IntVar idx = s.new_var(0, 2);
+    std::vector<IntVar> arr = {s.new_var(0, 5), s.new_var(0, 5), s.new_var(0, 5)};
+    const IntVar res = s.new_var(0, 5);
+    post_element(s, idx, arr, res);
+    std::vector<IntVar> all = arr;
+    all.push_back(idx);
+    all.push_back(res);
+    const SolveResult r = satisfy(s, {Phase{all, VarSelect::InputOrder, ValSelect::Min, ""}});
+    ASSERT_EQ(r.status, SolveStatus::Optimal);
+    EXPECT_EQ(r.value_of(res),
+              r.value_of(arr[static_cast<std::size_t>(r.value_of(idx))]));
+}
+
+}  // namespace
+}  // namespace revec::cp

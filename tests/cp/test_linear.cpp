@@ -1,0 +1,187 @@
+#include "revec/cp/linear.hpp"
+
+#include <gtest/gtest.h>
+
+namespace revec::cp {
+namespace {
+
+TEST(LinearLeq, PrunesUpperBounds) {
+    Store s;
+    const IntVar x = s.new_var(0, 10);
+    const IntVar y = s.new_var(0, 10);
+    post_linear_leq(s, {{1, x}, {1, y}}, 6);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.max(x), 6);
+    EXPECT_EQ(s.max(y), 6);
+    ASSERT_TRUE(s.set_min(y, 4));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.max(x), 2);
+}
+
+TEST(LinearLeq, FailsWhenMinExceedsBound) {
+    Store s;
+    const IntVar x = s.new_var(4, 10);
+    const IntVar y = s.new_var(5, 10);
+    post_linear_leq(s, {{1, x}, {1, y}}, 6);
+    EXPECT_FALSE(s.propagate());
+}
+
+TEST(LinearLeq, NegativeCoefficients) {
+    Store s;
+    const IntVar x = s.new_var(0, 10);
+    const IntVar y = s.new_var(0, 10);
+    // x - y <= -3  i.e.  x + 3 <= y
+    post_linear_leq(s, {{1, x}, {-1, y}}, -3);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.max(x), 7);
+    EXPECT_EQ(s.min(y), 3);
+}
+
+TEST(LinearLeq, CoefficientRounding) {
+    Store s;
+    const IntVar x = s.new_var(0, 10);
+    // 3x <= 10  =>  x <= 3
+    post_linear_leq(s, {{3, x}}, 10);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.max(x), 3);
+}
+
+TEST(LinearLeq, NegativeCoefficientRounding) {
+    Store s;
+    const IntVar x = s.new_var(-10, 10);
+    // -3x <= 10  =>  x >= -10/3  =>  x >= -3
+    post_linear_leq(s, {{-3, x}}, 10);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(x), -3);
+}
+
+TEST(LinearEq, PropagatesBothDirections) {
+    Store s;
+    const IntVar x = s.new_var(0, 10);
+    const IntVar y = s.new_var(0, 10);
+    post_linear_eq(s, {{1, x}, {1, y}}, 10);
+    ASSERT_TRUE(s.propagate());
+    ASSERT_TRUE(s.assign(x, 3));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_TRUE(s.fixed(y));
+    EXPECT_EQ(s.value(y), 7);
+}
+
+TEST(LinearEq, BoundsTighten) {
+    Store s;
+    const IntVar x = s.new_var(0, 4);
+    const IntVar y = s.new_var(0, 4);
+    post_linear_eq(s, {{1, x}, {1, y}}, 6);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(x), 2);
+    EXPECT_EQ(s.min(y), 2);
+}
+
+TEST(LinearEq, InfeasibleFails) {
+    Store s;
+    const IntVar x = s.new_var(0, 2);
+    const IntVar y = s.new_var(0, 2);
+    post_linear_eq(s, {{1, x}, {1, y}}, 9);
+    EXPECT_FALSE(s.propagate());
+}
+
+TEST(LeqOffset, PrecedenceForm) {
+    Store s;
+    const IntVar x = s.new_var(0, 100);
+    const IntVar y = s.new_var(0, 100);
+    post_leq_offset(s, x, 7, y);  // x + 7 <= y : a vector op's latency edge
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(y), 7);
+    EXPECT_EQ(s.max(x), 93);
+    ASSERT_TRUE(s.assign(x, 10));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(y), 17);
+}
+
+TEST(EqOffset, DataNodeStart) {
+    Store s;
+    const IntVar op = s.new_var(0, 50);
+    const IntVar data = s.new_var(0, 100);
+    post_eq_offset(s, op, 7, data);  // data = op + 7 (eq. 4 with latency 7)
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.max(data), 57);
+    ASSERT_TRUE(s.assign(op, 12));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(data), 19);
+}
+
+TEST(NotEqual, RemovesOnFix) {
+    Store s;
+    const IntVar x = s.new_var(0, 5);
+    const IntVar y = s.new_var(0, 5);
+    post_not_equal(s, x, y);
+    ASSERT_TRUE(s.propagate());
+    ASSERT_TRUE(s.assign(x, 3));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_FALSE(s.dom(y).contains(3));
+    EXPECT_EQ(s.dom(y).size(), 5);
+}
+
+TEST(NotEqual, WithOffset) {
+    Store s;
+    const IntVar x = s.new_var(0, 5);
+    const IntVar y = s.new_var(0, 5);
+    post_not_equal(s, x, y, 2);  // x != y + 2
+    ASSERT_TRUE(s.assign(y, 1));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_FALSE(s.dom(x).contains(3));
+}
+
+TEST(NotEqual, FailsWhenForcedEqual) {
+    Store s;
+    const IntVar x = s.new_var(4, 4);
+    const IntVar y = s.new_var(4, 4);
+    post_not_equal(s, x, y);
+    EXPECT_FALSE(s.propagate());
+}
+
+TEST(NotValue, RemovesImmediately) {
+    Store s;
+    const IntVar x = s.new_var(0, 3);
+    post_not_value(s, x, 2);
+    EXPECT_FALSE(s.dom(x).contains(2));
+}
+
+// Property: exhaustive check that LinearEq propagation never removes a
+// supported value and that all solutions satisfy the equation.
+TEST(LinearProperty, EqKeepsExactlySupportedBounds) {
+    for (int c = 0; c <= 12; ++c) {
+        Store s;
+        const IntVar x = s.new_var(0, 6);
+        const IntVar y = s.new_var(0, 6);
+        const IntVar z = s.new_var(0, 6);
+        post_linear_eq(s, {{1, x}, {2, y}, {-1, z}}, c);
+        const bool ok = s.propagate();
+        // reference: which bounds are actually supported
+        int cnt = 0;
+        int min_x = 99, max_x = -99;
+        for (int xv = 0; xv <= 6; ++xv) {
+            for (int yv = 0; yv <= 6; ++yv) {
+                for (int zv = 0; zv <= 6; ++zv) {
+                    if (xv + 2 * yv - zv == c) {
+                        ++cnt;
+                        min_x = std::min(min_x, xv);
+                        max_x = std::max(max_x, xv);
+                    }
+                }
+            }
+        }
+        if (cnt == 0) {
+            EXPECT_FALSE(ok) << "c=" << c;
+            continue;
+        }
+        ASSERT_TRUE(ok) << "c=" << c;
+        // Bounds consistency: propagated bounds are no tighter than the true
+        // support and no looser than the initial domain.
+        EXPECT_LE(s.min(x), min_x) << "c=" << c;
+        EXPECT_GE(s.max(x), max_x) << "c=" << c;
+    }
+}
+
+}  // namespace
+}  // namespace revec::cp

@@ -1,0 +1,197 @@
+#include "revec/cp/reified.hpp"
+
+#include <gtest/gtest.h>
+
+namespace revec::cp {
+namespace {
+
+TEST(ReifiedEq, EntailedSetsBoolTrue) {
+    Store s;
+    const IntVar x = s.new_var(4, 4);
+    const IntVar y = s.new_var(4, 4);
+    const BoolVar b = s.new_bool();
+    post_reified_eq(s, b, x, y);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(b), 1);
+}
+
+TEST(ReifiedEq, DisjointBoundsSetBoolFalse) {
+    Store s;
+    const IntVar x = s.new_var(0, 3);
+    const IntVar y = s.new_var(5, 9);
+    const BoolVar b = s.new_bool();
+    post_reified_eq(s, b, x, y);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(b), 0);
+}
+
+TEST(ReifiedEq, BoolTrueEnforcesEquality) {
+    Store s;
+    const IntVar x = s.new_var(2, 8);
+    const IntVar y = s.new_var(5, 12);
+    const BoolVar b = s.new_bool();
+    post_reified_eq(s, b, x, y);
+    ASSERT_TRUE(s.assign(b, 1));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.min(x), 5);
+    EXPECT_EQ(s.max(x), 8);
+    EXPECT_EQ(s.min(y), 5);
+    EXPECT_EQ(s.max(y), 8);
+    ASSERT_TRUE(s.assign(x, 6));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(y), 6);
+}
+
+TEST(ReifiedEq, BoolFalseEnforcesDisequality) {
+    Store s;
+    const IntVar x = s.new_var(0, 5);
+    const IntVar y = s.new_var(0, 5);
+    const BoolVar b = s.new_bool();
+    post_reified_eq(s, b, x, y);
+    ASSERT_TRUE(s.assign(b, 0));
+    ASSERT_TRUE(s.assign(x, 2));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_FALSE(s.dom(y).contains(2));
+}
+
+TEST(ReifiedEq, ContradictionFails) {
+    Store s;
+    const IntVar x = s.new_var(3, 3);
+    const IntVar y = s.new_var(3, 3);
+    const BoolVar b = s.new_bool();
+    post_reified_eq(s, b, x, y);
+    ASSERT_TRUE(s.assign(b, 0));
+    EXPECT_FALSE(s.propagate());
+}
+
+TEST(ReifiedEqConst, Basics) {
+    Store s;
+    const IntVar x = s.new_var(0, 9);
+    const BoolVar b = s.new_bool();
+    post_reified_eq_const(s, b, x, 4);
+    ASSERT_TRUE(s.propagate());
+    EXPECT_FALSE(s.fixed(b));
+    ASSERT_TRUE(s.assign(b, 1));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(x), 4);
+}
+
+TEST(ReifiedEqConst, ValueRemovedSetsFalse) {
+    Store s;
+    const IntVar x = s.new_var(0, 9);
+    const BoolVar b = s.new_bool();
+    post_reified_eq_const(s, b, x, 4);
+    ASSERT_TRUE(s.remove(x, 4));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(b), 0);
+}
+
+TEST(ReifiedEqConst, FalseRemovesValue) {
+    Store s;
+    const IntVar x = s.new_var(0, 9);
+    const BoolVar b = s.new_bool();
+    post_reified_eq_const(s, b, x, 4);
+    ASSERT_TRUE(s.assign(b, 0));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_FALSE(s.dom(x).contains(4));
+}
+
+TEST(Clause, SatisfiedByAnyTrueLiteral) {
+    Store s;
+    const BoolVar a = s.new_bool();
+    const BoolVar b = s.new_bool();
+    post_clause(s, {pos(a), pos(b)});
+    ASSERT_TRUE(s.assign(a, 1));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_FALSE(s.fixed(b));  // no forcing needed
+}
+
+TEST(Clause, UnitPropagation) {
+    Store s;
+    const BoolVar a = s.new_bool();
+    const BoolVar b = s.new_bool();
+    post_clause(s, {pos(a), pos(b)});
+    ASSERT_TRUE(s.assign(a, 0));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(b), 1);
+}
+
+TEST(Clause, NegativeLiterals) {
+    Store s;
+    const BoolVar a = s.new_bool();
+    const BoolVar b = s.new_bool();
+    post_clause(s, {neg(a), neg(b)});  // not both
+    ASSERT_TRUE(s.assign(a, 1));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(b), 0);
+}
+
+TEST(Clause, AllFalseFails) {
+    Store s;
+    const BoolVar a = s.new_bool();
+    const BoolVar b = s.new_bool();
+    post_clause(s, {pos(a), pos(b)});
+    ASSERT_TRUE(s.assign(a, 0));
+    ASSERT_TRUE(s.assign(b, 0));
+    EXPECT_FALSE(s.propagate());
+}
+
+TEST(Implies, ForwardAndContrapositive) {
+    {
+        Store s;
+        const BoolVar a = s.new_bool();
+        const BoolVar b = s.new_bool();
+        post_implies(s, a, b);
+        ASSERT_TRUE(s.assign(a, 1));
+        ASSERT_TRUE(s.propagate());
+        EXPECT_EQ(s.value(b), 1);
+    }
+    {
+        Store s;
+        const BoolVar a = s.new_bool();
+        const BoolVar b = s.new_bool();
+        post_implies(s, a, b);
+        ASSERT_TRUE(s.assign(b, 0));
+        ASSERT_TRUE(s.propagate());
+        EXPECT_EQ(s.value(a), 0);
+    }
+}
+
+// The paper's memory-rule pattern (eq. 7): page_d = page_e => line_d = line_e.
+TEST(Reified, PageImpliesLinePattern) {
+    Store s;
+    const IntVar page_d = s.new_var(0, 3);
+    const IntVar page_e = s.new_var(0, 3);
+    const IntVar line_d = s.new_var(0, 3);
+    const IntVar line_e = s.new_var(0, 3);
+    const BoolVar bp = s.new_bool();
+    const BoolVar bl = s.new_bool();
+    post_reified_eq(s, bp, page_d, page_e);
+    post_reified_eq(s, bl, line_d, line_e);
+    post_implies(s, bp, bl);
+
+    ASSERT_TRUE(s.assign(page_d, 2));
+    ASSERT_TRUE(s.assign(page_e, 2));
+    ASSERT_TRUE(s.assign(line_d, 1));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_EQ(s.value(line_e), 1);  // same page forces same line
+}
+
+TEST(Reified, DifferentLinesForceDifferentPages) {
+    Store s;
+    const IntVar page_d = s.new_var(0, 3);
+    const IntVar page_e = s.new_var(0, 3);
+    const IntVar line_d = s.new_var(1, 1);
+    const IntVar line_e = s.new_var(2, 2);
+    const BoolVar bp = s.new_bool();
+    const BoolVar bl = s.new_bool();
+    post_reified_eq(s, bp, page_d, page_e);
+    post_reified_eq(s, bl, line_d, line_e);
+    post_implies(s, bp, bl);
+    ASSERT_TRUE(s.assign(page_d, 3));
+    ASSERT_TRUE(s.propagate());
+    EXPECT_FALSE(s.dom(page_e).contains(3));
+}
+
+}  // namespace
+}  // namespace revec::cp

@@ -1,0 +1,211 @@
+#include "revec/driver/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/xml_io.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::driver {
+namespace {
+
+std::string write_kernel(const ir::Graph& g, const std::string& name) {
+    const std::string path = testing::TempDir() + "/" + name;
+    ir::save_xml(g, path);
+    return path;
+}
+
+TEST(ParseArgs, Defaults) {
+    std::ostringstream out;
+    const auto opts = parse_args({"kernel.xml"}, out);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->input_path, "kernel.xml");
+    EXPECT_EQ(opts->emit, "schedule");
+    EXPECT_TRUE(opts->memory);
+    EXPECT_TRUE(opts->merge_pass);
+    EXPECT_FALSE(opts->simulate);
+}
+
+TEST(ParseArgs, AllOptions) {
+    std::ostringstream out;
+    const auto opts = parse_args({"--emit=listing", "k.xml", "--slots=16", "--arch=a.xml",
+                                  "--timeout-ms=5000", "--no-merge", "--no-memory",
+                                  "--include-reconfigs", "--simulate", "--lanes=8"},
+                                 out);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->emit, "listing");
+    EXPECT_EQ(opts->num_slots, 16);
+    EXPECT_EQ(opts->timeout_ms, 5000);
+    EXPECT_FALSE(opts->merge_pass);
+    EXPECT_FALSE(opts->memory);
+    EXPECT_TRUE(opts->include_reconfigs);
+    EXPECT_TRUE(opts->simulate);
+    EXPECT_EQ(opts->lanes, 8);
+    EXPECT_EQ(opts->arch_path, "a.xml");
+}
+
+TEST(ParseArgs, HelpShortCircuits) {
+    std::ostringstream out;
+    EXPECT_FALSE(parse_args({"--help"}, out).has_value());
+    EXPECT_NE(out.str().find("usage: revecc"), std::string::npos);
+}
+
+TEST(ParseArgs, Rejections) {
+    std::ostringstream out;
+    EXPECT_THROW(parse_args({}, out), Error);                       // no input
+    EXPECT_THROW(parse_args({"a.xml", "b.xml"}, out), Error);       // two inputs
+    EXPECT_THROW(parse_args({"a.xml", "--bogus"}, out), Error);     // unknown flag
+    EXPECT_THROW(parse_args({"a.xml", "--emit=magic"}, out), Error);
+    EXPECT_THROW(parse_args({"a.xml", "--slots=abc"}, out), Error);
+}
+
+TEST(Run, StatsOnMatmul) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.emit = "stats";
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("|V|"), std::string::npos);
+    EXPECT_NE(out.str().find("44"), std::string::npos);
+}
+
+TEST(Run, ScheduleReport) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul2.xml");
+    Options opts;
+    opts.input_path = path;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("makespan"), std::string::npos);
+    EXPECT_NE(out.str().find("proven optimal"), std::string::npos);
+}
+
+TEST(Run, ListingWithSimulation) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul3.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.emit = "listing";
+    opts.simulate = true;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("v_dotP"), std::string::npos);
+    EXPECT_NE(out.str().find("outputs match"), std::string::npos);
+}
+
+TEST(Run, DotOutput) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul4.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.emit = "dot";
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("digraph"), std::string::npos);
+}
+
+TEST(Run, ModuloReport) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul5.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.emit = "modulo";
+    opts.include_reconfigs = true;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("actual II:      4"), std::string::npos);
+}
+
+TEST(Run, UnsatReportsFailure) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul6.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.num_slots = 2;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 1);
+    EXPECT_NE(out.str().find("UNSAT"), std::string::npos);
+}
+
+TEST(Run, SimulateRequiresMemory) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul7.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.memory = false;
+    opts.simulate = true;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 1);
+    EXPECT_NE(out.str().find("requires memory allocation"), std::string::npos);
+}
+
+TEST(Run, MissingFileFails) {
+    Options opts;
+    opts.input_path = "/nonexistent/kernel.xml";
+    std::ostringstream out;
+    EXPECT_THROW(run(opts, out), Error);
+}
+
+TEST(Run, SaveScheduleArtifact) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul10.xml");
+    const std::string sched_path = testing::TempDir() + "/drv_sched.xml";
+    Options opts;
+    opts.input_path = path;
+    opts.save_schedule_path = sched_path;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("schedule written"), std::string::npos);
+    std::ifstream in(sched_path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("<schedule"), std::string::npos);
+    EXPECT_NE(content.find("makespan"), std::string::npos);
+}
+
+TEST(Run, ArchFileRetargets) {
+    // Write a slow-pipeline architecture and confirm the driver uses it.
+    const std::string arch_path = testing::TempDir() + "/drv_arch.xml";
+    {
+        std::ofstream out(arch_path);
+        out << "<arch><vector latency=\"9\"/></arch>";
+    }
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul8.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.arch_path = arch_path;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    // Critical path becomes 9 (pipeline) + 1 (merge) = 10; optimum >= 13.
+    EXPECT_EQ(out.str().find("makespan:    11"), std::string::npos);
+}
+
+TEST(Run, BadArchFileRejected) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul9.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.arch_path = "/nonexistent/arch.xml";
+    std::ostringstream out;
+    EXPECT_THROW(run(opts, out), Error);
+}
+
+TEST(Run, LaneOverrideChangesSchedule) {
+    // 8 same-type independent ops: 4 lanes need >= 2 issue cycles, 8 lanes
+    // take one.
+    const std::string path = write_kernel(apps::build_qrd(), "drv_qrd.xml");
+    Options narrow;
+    narrow.input_path = path;
+    narrow.timeout_ms = 20000;
+    std::ostringstream out1;
+    EXPECT_EQ(run(narrow, out1), 0);
+
+    Options wide = narrow;
+    wide.lanes = 8;
+    std::ostringstream out2;
+    EXPECT_EQ(run(wide, out2), 0);
+    // Both run; QRD is latency-bound so the makespan stays the same.
+    EXPECT_NE(out1.str().find("142"), std::string::npos);
+    EXPECT_NE(out2.str().find("142"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace revec::driver

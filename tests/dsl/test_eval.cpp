@@ -1,0 +1,138 @@
+#include "revec/dsl/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/dsl/ops.hpp"
+#include "revec/dsl/program.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::dsl {
+namespace {
+
+using ir::Complex;
+using ir::Value;
+
+TEST(ApplyOp, ArityChecked) {
+    const Value v = Value::vector({Complex(1, 0), Complex(2, 0), Complex(3, 0), Complex(4, 0)});
+    EXPECT_THROW(apply_op("v_add", std::vector<Value>{v}, 0), Error);
+    EXPECT_NO_THROW(apply_op("v_add", std::vector<Value>{v, v}, 0));
+}
+
+TEST(ApplyOp, KindChecked) {
+    const Value s = Value::scalar(Complex(1, 0));
+    EXPECT_THROW(apply_op("v_add", std::vector<Value>{s, s}, 0), Error);
+}
+
+TEST(ApplyOp, MatrixOpsReturnFourRows) {
+    std::vector<Value> rows;
+    for (int i = 0; i < 8; ++i) {
+        rows.push_back(Value::vector({Complex(i, 0), Complex(i, 0), Complex(i, 0), Complex(i, 0)}));
+    }
+    const auto result = apply_op("m_add", rows, 0);
+    ASSERT_EQ(result.size(), 4u);
+    EXPECT_EQ(result[0].elems[0], Complex(4, 0));
+    EXPECT_EQ(result[3].elems[0], Complex(10, 0));
+}
+
+TEST(ApplyNode, FusedPreAppliesToDesignatedOperand) {
+    ir::Node n;
+    n.cat = ir::NodeCat::VectorOp;
+    n.op = "v_dotu";
+    n.pre_op = "pre_conj";
+    n.pre_arg = 1;
+    const Value a = Value::vector({Complex(0, 1), {}, {}, {}});
+    const Value b = Value::vector({Complex(0, 1), {}, {}, {}});
+    // dotu(a, conj(b)) = i * (-i) = 1.
+    const auto result = apply_node(n, std::vector<Value>{a, b});
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].s(), Complex(1, 0));
+}
+
+TEST(ApplyNode, FusedPostAppliesToResult) {
+    ir::Node n;
+    n.cat = ir::NodeCat::VectorOp;
+    n.op = "v_add";
+    n.post_op = "post_accum";
+    const Value a = Value::vector({Complex(1, 0), Complex(2, 0), Complex(3, 0), Complex(4, 0)});
+    const auto result = apply_node(n, std::vector<Value>{a, a});
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].s(), Complex(20, 0));
+    EXPECT_TRUE(result[0].is_scalar());
+}
+
+TEST(Evaluate, UsesEmbeddedInputValues) {
+    Program p("t");
+    const Vector a = p.in_vector(1, 2, 3, 4);
+    const Scalar s = v_squsum(a);
+    p.mark_output(s);
+    const auto values = evaluate(p.ir());
+    EXPECT_EQ(values[static_cast<std::size_t>(s.node())].s(), Complex(30, 0));
+}
+
+TEST(Evaluate, OverridesReplaceInputs) {
+    Program p("t");
+    const Vector a = p.in_vector(1, 2, 3, 4);
+    const Scalar s = v_squsum(a);
+    p.mark_output(s);
+    std::map<int, Value> overrides;
+    overrides[a.node()] =
+        Value::vector({Complex(2, 0), Complex(0, 0), Complex(0, 0), Complex(0, 0)});
+    const auto values = evaluate(p.ir(), overrides);
+    EXPECT_EQ(values[static_cast<std::size_t>(s.node())].s(), Complex(4, 0));
+}
+
+TEST(Evaluate, MissingInputValueThrows) {
+    ir::Graph g("manual");
+    const int a = g.add_data(ir::NodeCat::VectorData, "unbound");
+    const int op = g.add_op(ir::NodeCat::VectorOp, "v_squsum");
+    const int out = g.add_data(ir::NodeCat::ScalarData);
+    g.add_edge(a, op);
+    g.add_edge(op, out);
+    EXPECT_THROW(evaluate(g), Error);
+    // But an override makes it evaluable.
+    std::map<int, Value> overrides;
+    overrides[a] = Value::vector({Complex(1, 0), {}, {}, {}});
+    EXPECT_NO_THROW(evaluate(g, overrides));
+}
+
+TEST(Evaluate, DslEagerValuesMatchGraphEvaluation) {
+    // The central DSL property: running the program eagerly gives the same
+    // values the IR evaluator computes from the traced graph.
+    Program p("t");
+    const Vector a = p.in_vector({Complex(1, 1), Complex(2, -1), Complex(0, 3), Complex(4, 0)});
+    const Vector b = p.in_vector({Complex(2, 0), Complex(1, 1), Complex(1, -2), Complex(0, 1)});
+    const Scalar dot = v_dotP(a, b);
+    const Scalar norm = v_squsum(a);
+    const Scalar ratio = s_div(dot, norm);
+    const Vector scaled = v_scale(b, ratio);
+    const Vector diff = v_sub(a, scaled);
+    const Vector sorted = post_sort(diff);
+    p.mark_output(sorted);
+
+    const auto values = evaluate(p.ir());
+    for (int k = 0; k < ir::kVecLen; ++k) {
+        const Complex expect = sorted[k];
+        const Complex got = values[static_cast<std::size_t>(sorted.node())]
+                                .elems[static_cast<std::size_t>(k)];
+        EXPECT_NEAR(std::abs(expect - got), 0.0, 1e-12) << k;
+    }
+}
+
+TEST(Evaluate, QrFactorizationPropertyViaDsl) {
+    // Build one Gram-Schmidt step in the DSL and check orthogonality:
+    // q = a / ||a||, r = <b, q>, b' = b - r q  =>  <b', q> == 0.
+    Program p("gs");
+    const Vector a = p.in_vector({Complex(1, 2), Complex(3, -1), Complex(0, 1), Complex(2, 0)});
+    const Vector b = p.in_vector({Complex(2, 1), Complex(1, 1), Complex(1, 0), Complex(0, 2)});
+    const Scalar n2 = v_squsum(a);
+    const Scalar inv = s_rsqrt(n2);
+    const Vector q = v_scale(a, inv);
+    const Scalar r = v_dotP(b, q);
+    const Vector b2 = v_axpy(b, r, q);
+    const Scalar check = v_dotP(b2, q);
+    p.mark_output(b2);
+    EXPECT_NEAR(std::abs(check.value()), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace revec::dsl

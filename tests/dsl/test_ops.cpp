@@ -1,0 +1,263 @@
+#include "revec/dsl/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/validate.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::dsl {
+namespace {
+
+using ir::Complex;
+
+constexpr double kEps = 1e-12;
+
+void expect_complex_near(Complex a, Complex b) {
+    EXPECT_NEAR(a.real(), b.real(), kEps);
+    EXPECT_NEAR(a.imag(), b.imag(), kEps);
+}
+
+TEST(VectorOps, AddSubMul) {
+    Program p("t");
+    const Vector a = p.in_vector(1, 2, 3, 4);
+    const Vector b = p.in_vector(5, 6, 7, 8);
+    expect_complex_near(v_add(a, b)[2], Complex(10, 0));
+    expect_complex_near(v_sub(a, b)[0], Complex(-4, 0));
+    expect_complex_near(v_mul(a, b)[3], Complex(32, 0));
+}
+
+TEST(VectorOps, ComplexMultiply) {
+    Program p("t");
+    const Vector a = p.in_vector({Complex(1, 1), Complex(0, 2), Complex(3, 0), Complex(1, -1)});
+    const Vector b = p.in_vector({Complex(1, -1), Complex(0, 1), Complex(0, 0), Complex(2, 2)});
+    const Vector c = v_mul(a, b);
+    expect_complex_near(c[0], Complex(2, 0));   // (1+i)(1-i) = 2
+    expect_complex_near(c[1], Complex(-2, 0));  // (2i)(i) = -2
+    expect_complex_near(c[2], Complex(0, 0));
+    expect_complex_near(c[3], Complex(4, 0));   // (1-i)(2+2i) = 4
+}
+
+TEST(VectorOps, CmacComputesMulAdd) {
+    Program p("t");
+    const Vector a = p.in_vector(1, 2, 3, 4);
+    const Vector b = p.in_vector(2, 2, 2, 2);
+    const Vector c = p.in_vector(10, 10, 10, 10);
+    const Vector r = v_cmac(a, b, c);
+    expect_complex_near(r[0], Complex(12, 0));
+    expect_complex_near(r[3], Complex(18, 0));
+}
+
+TEST(VectorOps, ScaleAndAxpy) {
+    Program p("t");
+    const Vector a = p.in_vector(1, 2, 3, 4);
+    const Scalar s = p.in_scalar(Complex(0, 1));
+    expect_complex_near(v_scale(a, s)[1], Complex(0, 2));
+    const Vector y = p.in_vector(10, 10, 10, 10);
+    // y - s*x with s = i.
+    expect_complex_near(v_axpy(y, s, a)[2], Complex(10, -3));
+}
+
+TEST(VectorOps, DotProductConjugatesSecond) {
+    Program p("t");
+    const Vector a = p.in_vector({Complex(0, 1), Complex(0, 0), Complex(0, 0), Complex(0, 0)});
+    const Vector b = p.in_vector({Complex(0, 1), Complex(0, 0), Complex(0, 0), Complex(0, 0)});
+    // i * conj(i) = 1 for dotP; i * i = -1 for dotu.
+    expect_complex_near(v_dotP(a, b).value(), Complex(1, 0));
+    expect_complex_near(v_dotu(a, b).value(), Complex(-1, 0));
+}
+
+TEST(VectorOps, SqusumIsRealNormSquared) {
+    Program p("t");
+    const Vector a = p.in_vector({Complex(3, 4), Complex(0, 0), Complex(1, 0), Complex(0, 2)});
+    expect_complex_near(v_squsum(a).value(), Complex(25 + 1 + 4, 0));
+}
+
+TEST(PrePostOps, ConjMaskSortAccum) {
+    Program p("t");
+    const Vector a = p.in_vector({Complex(1, 2), Complex(-3, 0), Complex(0, -1), Complex(2, 2)});
+    expect_complex_near(pre_conj(a)[0], Complex(1, -2));
+    const Vector masked = pre_mask(a, 0b0101);  // keep elements 0 and 2
+    expect_complex_near(masked[0], Complex(1, 2));
+    expect_complex_near(masked[1], Complex(0, 0));
+    expect_complex_near(masked[3], Complex(0, 0));
+
+    const Vector sorted = post_sort(a);  // by |x|^2: 1(|.|=1), 1+2i(5), 2+2i(8), -3(9)
+    expect_complex_near(sorted[0], Complex(0, -1));
+    expect_complex_near(sorted[1], Complex(1, 2));
+    expect_complex_near(sorted[2], Complex(2, 2));
+    expect_complex_near(sorted[3], Complex(-3, 0));
+
+    expect_complex_near(post_accum(a).value(), Complex(0, 3));
+}
+
+TEST(PrePostOps, MaskRejectsBadImmediate) {
+    Program p("t");
+    const Vector a = p.in_vector(1, 2, 3, 4);
+    EXPECT_THROW(pre_mask(a, 0), ContractViolation);
+    EXPECT_THROW(pre_mask(a, 16), ContractViolation);
+}
+
+TEST(MatrixOps, AddScaleSqusum) {
+    Program p("t");
+    const Matrix a = p.in_matrix({Vector::Elems{1, 2, 3, 4}, Vector::Elems{5, 6, 7, 8},
+                                  Vector::Elems{9, 10, 11, 12}, Vector::Elems{13, 14, 15, 16}},
+                                 "A");
+    const Matrix b = p.in_matrix({Vector::Elems{1, 1, 1, 1}, Vector::Elems{1, 1, 1, 1},
+                                  Vector::Elems{1, 1, 1, 1}, Vector::Elems{1, 1, 1, 1}},
+                                 "B");
+    const Matrix c = m_add(a, b);
+    expect_complex_near(c(0)[0], Complex(2, 0));
+    expect_complex_near(c(3)[3], Complex(17, 0));
+    const Matrix d = m_sub(a, b);
+    expect_complex_near(d(1)[1], Complex(5, 0));
+
+    const Scalar s = p.in_scalar(Complex(2, 0));
+    expect_complex_near(m_scale(a, s)(2)[0], Complex(18, 0));
+
+    const Vector sums = m_squsum(a);
+    expect_complex_near(sums[0], Complex(1 + 4 + 9 + 16, 0));
+    expect_complex_near(sums[3], Complex(169 + 196 + 225 + 256, 0));
+}
+
+TEST(MatrixOps, VmulAndHermitian) {
+    Program p("t");
+    const Matrix a = p.in_matrix({Vector::Elems{1, 0, 0, 0}, Vector::Elems{0, Complex(0, 1), 0, 0},
+                                  Vector::Elems{0, 0, 2, 0}, Vector::Elems{0, 0, 0, -1}},
+                                 "A");
+    const Vector x = p.in_vector(1, 2, 3, 4);
+    const Vector y = m_vmul(a, x);
+    expect_complex_near(y[0], Complex(1, 0));
+    expect_complex_near(y[1], Complex(0, 2));
+    expect_complex_near(y[2], Complex(6, 0));
+    expect_complex_near(y[3], Complex(-4, 0));
+
+    const Matrix h = m_hermitian(a);
+    expect_complex_near(h(1)[1], Complex(0, -1));  // conj of (1,1) element
+    expect_complex_near(h(0)[0], Complex(1, 0));
+}
+
+TEST(MatrixOps, HermitianTransposes) {
+    Program p("t");
+    const Matrix a = p.in_matrix({Vector::Elems{1, 2, 3, 4}, Vector::Elems{5, 6, 7, 8},
+                                  Vector::Elems{9, 10, 11, 12}, Vector::Elems{13, 14, 15, 16}},
+                                 "A");
+    const Matrix h = m_hermitian(a);
+    expect_complex_near(h(0)[3], Complex(13, 0));
+    expect_complex_near(h(3)[0], Complex(4, 0));
+}
+
+TEST(ScalarOps, Arithmetic) {
+    Program p("t");
+    const Scalar a = p.in_scalar(Complex(3, 4));
+    const Scalar b = p.in_scalar(Complex(1, -2));
+    expect_complex_near(s_add(a, b).value(), Complex(4, 2));
+    expect_complex_near(s_sub(a, b).value(), Complex(2, 6));
+    expect_complex_near(s_mul(a, b).value(), Complex(11, -2));
+    expect_complex_near(s_div(a, b).value(), Complex(-1, 2));
+    expect_complex_near(s_cordic_mag(a).value(), Complex(5, 0));
+}
+
+TEST(ScalarOps, SqrtFamily) {
+    Program p("t");
+    const Scalar a = p.in_scalar(Complex(16, 0));
+    expect_complex_near(s_sqrt(a).value(), Complex(4, 0));
+    expect_complex_near(s_rsqrt(a).value(), Complex(0.25, 0));
+}
+
+TEST(ScalarOps, DivisionByZeroThrows) {
+    Program p("t");
+    const Scalar a = p.in_scalar(Complex(1, 0));
+    const Scalar z = p.in_scalar(Complex(0, 0));
+    EXPECT_THROW(s_div(a, z), Error);
+    EXPECT_THROW(s_rsqrt(z), Error);
+}
+
+TEST(IndexMergeOps, RoundTrip) {
+    Program p("t");
+    const Vector v = p.in_vector(7, 8, 9, 10);
+    const Scalar e2 = index(v, 2);
+    expect_complex_near(e2.value(), Complex(9, 0));
+    EXPECT_THROW(index(v, 4), ContractViolation);
+
+    const Scalar a = p.in_scalar(Complex(1, 0));
+    const Scalar b = p.in_scalar(Complex(2, 0));
+    const Scalar c = p.in_scalar(Complex(3, 0));
+    const Vector m = merge(a, b, c, e2);
+    expect_complex_near(m[3], Complex(9, 0));
+}
+
+TEST(Tracing, OpsProduceValidBipartiteIR) {
+    Program p("trace");
+    const Vector a = p.in_vector(1, 2, 3, 4);
+    const Vector b = p.in_vector(4, 3, 2, 1);
+    const Scalar d = v_dotP(a, b);
+    const Scalar r = s_sqrt(d);
+    const Vector q = v_scale(a, r);
+    p.mark_output(q);
+
+    const ir::Graph& g = p.ir();
+    EXPECT_TRUE(ir::check_graph(g).empty());
+    // 2 inputs + 3 ops + 3 results.
+    EXPECT_EQ(g.num_nodes(), 8);
+    // Operand order: v_scale preds are [a, r].
+    bool checked = false;
+    for (const ir::Node& n : g.nodes()) {
+        if (n.is_op() && n.op == "v_scale") {
+            EXPECT_EQ(g.preds(n.id)[0], a.node());
+            EXPECT_EQ(g.preds(n.id)[1], r.node());
+            checked = true;
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(Tracing, MatrixOpsProduceFourOutputs) {
+    Program p("trace_m");
+    const Matrix a = p.in_matrix({Vector::Elems{1, 2, 3, 4}, Vector::Elems{5, 6, 7, 8},
+                                  Vector::Elems{9, 10, 11, 12}, Vector::Elems{13, 14, 15, 16}},
+                                 "A");
+    const Matrix h = m_hermitian(a);
+    p.mark_output(h);
+    const ir::Graph& g = p.ir();
+    EXPECT_TRUE(ir::check_graph(g).empty());
+    // 4 inputs + 1 op + 4 outputs.
+    EXPECT_EQ(g.num_nodes(), 9);
+    EXPECT_EQ(g.nodes_of(ir::NodeCat::MatrixOp).size(), 1u);
+}
+
+TEST(Tracing, CrossProgramOperandsRejected) {
+    Program p1("a");
+    Program p2("b");
+    const Vector v1 = p1.in_vector(1, 2, 3, 4);
+    const Vector v2 = p2.in_vector(1, 2, 3, 4);
+    EXPECT_THROW(v_add(v1, v2), Error);
+}
+
+TEST(Tracing, MatmulListing1Shape) {
+    // Listing 1: multiply a 4x4 matrix with its transpose via 16 dot
+    // products and 4 merges. IR size must match the paper's Fig. 3 /
+    // Table 3 MATMUL row: |V| = 44, |E| = 68.
+    Program p("matmul");
+    const Matrix a = p.in_matrix({Vector::Elems{1, 2, 3, 4}, Vector::Elems{2, 3, 4, 5},
+                                  Vector::Elems{3, 4, 5, 6}, Vector::Elems{4, 5, 6, 7}},
+                                 "A");
+    std::vector<Vector> result_rows;
+    for (int i = 0; i < 4; ++i) {
+        std::array<Scalar, 4> scalars;
+        for (int j = 0; j < 4; ++j) {
+            scalars[static_cast<std::size_t>(j)] = v_dotP(a(i), a(j));
+        }
+        result_rows.push_back(merge(scalars[0], scalars[1], scalars[2], scalars[3]));
+    }
+    for (const Vector& r : result_rows) p.mark_output(r);
+
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const ir::GraphStats st = ir::graph_stats(spec, p.ir());
+    EXPECT_EQ(st.num_nodes, 44);
+    EXPECT_EQ(st.num_edges, 68);
+    EXPECT_EQ(st.critical_path, 8);  // 7 (vector pipeline) + 1 (merge)
+}
+
+}  // namespace
+}  // namespace revec::dsl

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "revec/dsl/program.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::dsl {
+namespace {
+
+TEST(ProgramInputs, ScalarCarriesValueAndNode) {
+    Program p("t");
+    const Scalar s = p.in_scalar(ir::Complex(2, -3), "sigma");
+    EXPECT_EQ(s.value(), ir::Complex(2, -3));
+    EXPECT_TRUE(s.bound());
+    const ir::Node& n = p.ir().node(s.node());
+    EXPECT_EQ(n.cat, ir::NodeCat::ScalarData);
+    EXPECT_EQ(n.label, "sigma");
+    ASSERT_TRUE(n.input_value.has_value());
+    EXPECT_EQ(n.input_value->s(), ir::Complex(2, -3));
+}
+
+TEST(ProgramInputs, VectorFromReals) {
+    Program p("t");
+    const Vector v = p.in_vector(1, 2, 3, 4, "v");
+    EXPECT_EQ(v[0], ir::Complex(1, 0));
+    EXPECT_EQ(v[3], ir::Complex(4, 0));
+    EXPECT_THROW(v[4], ContractViolation);
+    EXPECT_THROW(v[-1], ContractViolation);
+}
+
+TEST(ProgramInputs, MatrixIsFourRows) {
+    Program p("t");
+    const Matrix m = p.in_matrix({Vector::Elems{1, 2, 3, 4}, Vector::Elems{5, 6, 7, 8},
+                                  Vector::Elems{9, 10, 11, 12}, Vector::Elems{13, 14, 15, 16}},
+                                 "A");
+    EXPECT_EQ(m(0)[0], ir::Complex(1, 0));
+    EXPECT_EQ(m(2)[3], ir::Complex(12, 0));
+    EXPECT_THROW(m(4), ContractViolation);
+    // Rows are distinct vector_data nodes labelled A[i].
+    EXPECT_NE(m(0).node(), m(1).node());
+    EXPECT_EQ(p.ir().node(m(1).node()).label, "A[1]");
+}
+
+TEST(ProgramInputs, EachInputIsAGraphNode) {
+    Program p("t");
+    p.in_vector(1, 1, 1, 1);
+    p.in_scalar(ir::Complex(5, 0));
+    EXPECT_EQ(p.ir().num_nodes(), 2);
+    EXPECT_EQ(p.ir().input_nodes().size(), 2u);
+}
+
+TEST(ProgramOutputs, MarkingSetsFlag) {
+    Program p("t");
+    const Vector v = p.in_vector(1, 2, 3, 4);
+    p.mark_output(v);
+    EXPECT_TRUE(p.ir().node(v.node()).is_output);
+    EXPECT_EQ(p.ir().output_nodes(), (std::vector<int>{v.node()}));
+}
+
+TEST(ProgramOutputs, MatrixMarksAllRows) {
+    Program p("t");
+    const Matrix m = p.in_matrix({Vector::Elems{1, 0, 0, 0}, Vector::Elems{0, 1, 0, 0},
+                                  Vector::Elems{0, 0, 1, 0}, Vector::Elems{0, 0, 0, 1}},
+                                 "I");
+    p.mark_output(m);
+    EXPECT_EQ(p.ir().output_nodes().size(), 4u);
+}
+
+TEST(ProgramOwnership, CrossProgramValueRejected) {
+    Program p1("a");
+    Program p2("b");
+    const Vector v = p1.in_vector(1, 2, 3, 4);
+    EXPECT_THROW(p2.mark_output(v), Error);
+    EXPECT_THROW(p2.check_owns(v), Error);
+}
+
+TEST(ProgramOwnership, UnboundValueRejected) {
+    Program p("a");
+    const Vector v;  // default-constructed
+    EXPECT_FALSE(v.bound());
+    EXPECT_THROW(p.mark_output(v), Error);
+}
+
+}  // namespace
+}  // namespace revec::dsl

@@ -1,0 +1,154 @@
+#include "revec/ir/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+namespace {
+
+// a, b --v_add--> d1 --v_squsum--> s1 --s_sqrt--> s2
+Graph chain_graph() {
+    Graph g("chain");
+    const int a = g.add_data(NodeCat::VectorData, "a");
+    const int b = g.add_data(NodeCat::VectorData, "b");
+    const int add = g.add_op(NodeCat::VectorOp, "v_add");
+    const int d1 = g.add_data(NodeCat::VectorData, "d1");
+    const int sq = g.add_op(NodeCat::VectorOp, "v_squsum");
+    const int s1 = g.add_data(NodeCat::ScalarData, "s1");
+    const int rt = g.add_op(NodeCat::ScalarOp, "s_sqrt");
+    const int s2 = g.add_data(NodeCat::ScalarData, "s2");
+    g.add_edge(a, add);
+    g.add_edge(b, add);
+    g.add_edge(add, d1);
+    g.add_edge(d1, sq);
+    g.add_edge(sq, s1);
+    g.add_edge(s1, rt);
+    g.add_edge(rt, s2);
+    return g;
+}
+
+TEST(TopoOrder, RespectsEdges) {
+    const Graph g = chain_graph();
+    const std::vector<int> order = topo_order(g);
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(g.num_nodes()));
+    std::vector<int> pos(static_cast<std::size_t>(g.num_nodes()));
+    for (std::size_t i = 0; i < order.size(); ++i) pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+    for (const Node& n : g.nodes()) {
+        for (const int s : g.succs(n.id)) {
+            EXPECT_LT(pos[static_cast<std::size_t>(n.id)], pos[static_cast<std::size_t>(s)]);
+        }
+    }
+}
+
+TEST(NodeTimingLookup, ByCategory) {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    Node v;
+    v.cat = NodeCat::VectorOp;
+    v.op = "v_add";
+    EXPECT_EQ(node_timing(spec, v).latency, 7);
+    EXPECT_EQ(node_timing(spec, v).lanes, 1);
+    Node m;
+    m.cat = NodeCat::MatrixOp;
+    m.op = "m_squsum";
+    EXPECT_EQ(node_timing(spec, m).lanes, 4);
+    Node s;
+    s.cat = NodeCat::ScalarData;
+    EXPECT_EQ(node_timing(spec, s).latency, 0);
+    EXPECT_EQ(node_timing(spec, s).duration, 0);
+}
+
+TEST(Asap, ChainAccumulatesLatencies) {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const Graph g = chain_graph();
+    const std::vector<int> asap = asap_times(spec, g);
+    // inputs at 0; v_add at 0; d1 at 7; v_squsum at 7; s1 at 14; s_sqrt at 14;
+    // s2 at 14 + scalar_latency.
+    EXPECT_EQ(asap[0], 0);
+    EXPECT_EQ(asap[2], 0);
+    EXPECT_EQ(asap[3], 7);
+    EXPECT_EQ(asap[4], 7);
+    EXPECT_EQ(asap[5], 14);
+    EXPECT_EQ(asap[7], 14 + spec.scalar_latency);
+}
+
+TEST(CriticalPath, ChainLength) {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const Graph g = chain_graph();
+    EXPECT_EQ(critical_path_length(spec, g), 14 + spec.scalar_latency);
+}
+
+TEST(Alap, ComplementsAsapOnChain) {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const Graph g = chain_graph();
+    const int cp = critical_path_length(spec, g);
+    const std::vector<int> asap = asap_times(spec, g);
+    const std::vector<int> alap = alap_times(spec, g, cp);
+    for (const Node& n : g.nodes()) {
+        EXPECT_LE(asap[static_cast<std::size_t>(n.id)], alap[static_cast<std::size_t>(n.id)])
+            << n.id;
+    }
+    // On a pure chain every node is critical: asap == alap.
+    for (const Node& n : g.nodes()) {
+        EXPECT_EQ(asap[static_cast<std::size_t>(n.id)], alap[static_cast<std::size_t>(n.id)])
+            << n.id;
+    }
+}
+
+TEST(Alap, SlackAppearsOffCriticalPath) {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    // Two parallel chains of different depth joining at a 2-input op.
+    Graph g("diamond");
+    const int a = g.add_data(NodeCat::VectorData, "a");
+    const int long1 = g.add_op(NodeCat::VectorOp, "v_squsum");
+    const int s1 = g.add_data(NodeCat::ScalarData);
+    const int long2 = g.add_op(NodeCat::ScalarOp, "s_sqrt");
+    const int s2 = g.add_data(NodeCat::ScalarData);
+    const int b = g.add_data(NodeCat::VectorData, "b");
+    const int short1 = g.add_op(NodeCat::VectorOp, "v_squsum");
+    const int s3 = g.add_data(NodeCat::ScalarData);
+    const int join = g.add_op(NodeCat::ScalarOp, "s_add");
+    const int s4 = g.add_data(NodeCat::ScalarData);
+    g.add_edge(a, long1);
+    g.add_edge(long1, s1);
+    g.add_edge(s1, long2);
+    g.add_edge(long2, s2);
+    g.add_edge(b, short1);
+    g.add_edge(short1, s3);
+    g.add_edge(s2, join);
+    g.add_edge(s3, join);
+    g.add_edge(join, s4);
+
+    const int cp = critical_path_length(spec, g);
+    const std::vector<int> asap = asap_times(spec, g);
+    const std::vector<int> alap = alap_times(spec, g, cp);
+    // The shorter branch has slack equal to the scalar latency.
+    EXPECT_EQ(alap[static_cast<std::size_t>(short1)] - asap[static_cast<std::size_t>(short1)],
+              spec.scalar_latency);
+    // Critical nodes have none.
+    EXPECT_EQ(alap[static_cast<std::size_t>(long1)], asap[static_cast<std::size_t>(long1)]);
+}
+
+TEST(GraphStatsTest, CountsCategories) {
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    const Graph g = chain_graph();
+    const GraphStats st = graph_stats(spec, g);
+    EXPECT_EQ(st.num_nodes, 8);
+    EXPECT_EQ(st.num_edges, 7);
+    EXPECT_EQ(st.num_vector_data, 3);
+    EXPECT_EQ(st.num_scalar_data, 2);
+    EXPECT_EQ(st.num_vector_ops, 2);
+    EXPECT_EQ(st.num_scalar_ops, 1);
+    EXPECT_EQ(st.critical_path, 14 + spec.scalar_latency);
+}
+
+TEST(TopoOrder, EmptyGraph) {
+    const Graph g;
+    EXPECT_TRUE(topo_order(g).empty());
+    EXPECT_EQ(critical_path_length(arch::ArchSpec::eit(), g), 0);
+}
+
+}  // namespace
+}  // namespace revec::ir

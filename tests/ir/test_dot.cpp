@@ -1,0 +1,59 @@
+#include "revec/ir/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/dsl/ops.hpp"
+#include "revec/dsl/program.hpp"
+
+namespace revec::ir {
+namespace {
+
+TEST(Dot, RendersShapesByNodeKind) {
+    dsl::Program p("shapes");
+    const auto a = p.in_vector(1, 2, 3, 4, "veca");
+    const auto s = dsl::v_squsum(a);
+    p.mark_output(s);
+    const std::string dot = to_dot(p.ir());
+    EXPECT_NE(dot.find("digraph \"shapes\""), std::string::npos);
+    EXPECT_NE(dot.find("shape=box"), std::string::npos);      // data nodes
+    EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // op nodes
+    EXPECT_NE(dot.find("veca"), std::string::npos);
+    EXPECT_NE(dot.find("v_squsum"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, MatrixOpsDoubleBordered) {
+    dsl::Program p("matrix");
+    const auto m = p.in_matrix({dsl::Vector::Elems{1, 2, 3, 4}, dsl::Vector::Elems{5, 6, 7, 8},
+                                dsl::Vector::Elems{9, 10, 11, 12},
+                                dsl::Vector::Elems{13, 14, 15, 16}},
+                               "m");
+    p.mark_output(dsl::m_squsum(m));
+    const std::string dot = to_dot(p.ir());
+    EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+    EXPECT_NE(dot.find("style=bold"), std::string::npos);  // marked output
+}
+
+TEST(Dot, FusedOpsShowAllStages) {
+    Graph g("fused");
+    const int a = g.add_data(NodeCat::VectorData, "a");
+    const int op = g.add_op(NodeCat::VectorOp, "v_mul");
+    g.node(op).pre_op = "pre_conj";
+    g.node(op).post_op = "post_sort";
+    const int b = g.add_data(NodeCat::VectorData, "b");
+    const int out = g.add_data(NodeCat::VectorData, "out");
+    g.add_edge(a, op);
+    g.add_edge(b, op);
+    g.add_edge(op, out);
+    const std::string dot = to_dot(g);
+    EXPECT_NE(dot.find("pre_conj+v_mul+post_sort"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes) {
+    Graph g("has\"quote");
+    const std::string dot = to_dot(g);
+    EXPECT_NE(dot.find("has\\\"quote"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace revec::ir

@@ -1,0 +1,124 @@
+#include "revec/ir/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+namespace {
+
+TEST(NodeCatHelpers, OpVsData) {
+    EXPECT_TRUE(is_op_cat(NodeCat::VectorOp));
+    EXPECT_TRUE(is_op_cat(NodeCat::MatrixOp));
+    EXPECT_TRUE(is_op_cat(NodeCat::ScalarOp));
+    EXPECT_TRUE(is_op_cat(NodeCat::IndexOp));
+    EXPECT_TRUE(is_op_cat(NodeCat::MergeOp));
+    EXPECT_TRUE(is_data_cat(NodeCat::VectorData));
+    EXPECT_TRUE(is_data_cat(NodeCat::ScalarData));
+}
+
+TEST(NodeCatHelpers, NameRoundTrip) {
+    for (const NodeCat cat :
+         {NodeCat::VectorOp, NodeCat::MatrixOp, NodeCat::ScalarOp, NodeCat::IndexOp,
+          NodeCat::MergeOp, NodeCat::VectorData, NodeCat::ScalarData}) {
+        EXPECT_EQ(cat_from_name(cat_name(cat)), cat);
+    }
+    EXPECT_THROW(cat_from_name("nonsense"), Error);
+}
+
+TEST(Graph, BuildSmallGraph) {
+    Graph g("tiny");
+    const int a = g.add_data(NodeCat::VectorData, "a");
+    const int b = g.add_data(NodeCat::VectorData, "b");
+    const int op = g.add_op(NodeCat::VectorOp, "v_add", "sum");
+    const int out = g.add_data(NodeCat::VectorData, "out");
+    g.add_edge(a, op);
+    g.add_edge(b, op);
+    g.add_edge(op, out);
+
+    EXPECT_EQ(g.num_nodes(), 4);
+    EXPECT_EQ(g.num_edges(), 3);
+    EXPECT_EQ(g.preds(op), (std::vector<int>{a, b}));
+    EXPECT_EQ(g.succs(op), (std::vector<int>{out}));
+    EXPECT_EQ(g.node(op).op, "v_add");
+    EXPECT_TRUE(g.node(op).is_op());
+    EXPECT_TRUE(g.node(a).is_data());
+}
+
+TEST(Graph, BipartiteEdgeEnforced) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    const int b = g.add_data(NodeCat::VectorData);
+    const int op1 = g.add_op(NodeCat::VectorOp, "v_add");
+    const int op2 = g.add_op(NodeCat::VectorOp, "v_sub");
+    EXPECT_THROW(g.add_edge(a, b), ContractViolation);
+    EXPECT_THROW(g.add_edge(op1, op2), ContractViolation);
+}
+
+TEST(Graph, SelfEdgeRejected) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    EXPECT_THROW(g.add_edge(a, a), ContractViolation);
+}
+
+TEST(Graph, NodeSelectors) {
+    Graph g;
+    const int in1 = g.add_data(NodeCat::VectorData, "in1");
+    const int in2 = g.add_data(NodeCat::ScalarData, "in2");
+    const int op = g.add_op(NodeCat::VectorOp, "v_scale");
+    const int out = g.add_data(NodeCat::VectorData, "out");
+    g.add_edge(in1, op);
+    g.add_edge(in2, op);
+    g.add_edge(op, out);
+
+    EXPECT_EQ(g.op_nodes(), (std::vector<int>{op}));
+    EXPECT_EQ(g.data_nodes(), (std::vector<int>{in1, in2, out}));
+    EXPECT_EQ(g.input_nodes(), (std::vector<int>{in1, in2}));
+    EXPECT_EQ(g.nodes_of(NodeCat::ScalarData), (std::vector<int>{in2}));
+    // Without marked outputs, sinks are the outputs.
+    EXPECT_EQ(g.output_nodes(), (std::vector<int>{out}));
+    // Marked outputs win.
+    g.node(in1).is_output = true;
+    EXPECT_EQ(g.output_nodes(), (std::vector<int>{in1}));
+}
+
+TEST(Graph, ConfigKeyDistinguishesOpsAndFusions) {
+    Node plain;
+    plain.cat = NodeCat::VectorOp;
+    plain.op = "v_add";
+    Node fused = plain;
+    fused.pre_op = "pre_conj";
+    Node posted = plain;
+    posted.post_op = "post_sort";
+    Node masked = plain;
+    masked.imm = 3;
+    EXPECT_NE(config_key(plain), config_key(fused));
+    EXPECT_NE(config_key(plain), config_key(posted));
+    EXPECT_NE(config_key(fused), config_key(posted));
+    EXPECT_NE(config_key(plain), config_key(masked));
+    EXPECT_EQ(config_key(plain), config_key(Node{plain}));
+}
+
+TEST(Graph, ConfigKeyRequiresOpNode) {
+    Node data;
+    data.cat = NodeCat::VectorData;
+    EXPECT_THROW(config_key(data), ContractViolation);
+}
+
+TEST(Graph, InvalidAccessRejected) {
+    Graph g;
+    EXPECT_THROW(g.node(0), ContractViolation);
+    EXPECT_THROW(g.preds(-1), ContractViolation);
+    const int a = g.add_data(NodeCat::VectorData);
+    EXPECT_THROW(g.add_edge(a, 7), ContractViolation);
+}
+
+TEST(Graph, AddOpRequiresOpCategoryAndName) {
+    Graph g;
+    EXPECT_THROW(g.add_op(NodeCat::VectorData, "v_add"), ContractViolation);
+    EXPECT_THROW(g.add_op(NodeCat::VectorOp, ""), ContractViolation);
+    EXPECT_THROW(g.add_data(NodeCat::VectorOp), ContractViolation);
+}
+
+}  // namespace
+}  // namespace revec::ir

@@ -1,0 +1,173 @@
+#include "revec/ir/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+namespace {
+
+Graph valid_add_graph() {
+    Graph g("ok");
+    const int a = g.add_data(NodeCat::VectorData, "a");
+    const int b = g.add_data(NodeCat::VectorData, "b");
+    const int op = g.add_op(NodeCat::VectorOp, "v_add");
+    const int out = g.add_data(NodeCat::VectorData, "out");
+    g.add_edge(a, op);
+    g.add_edge(b, op);
+    g.add_edge(op, out);
+    return g;
+}
+
+TEST(Validate, AcceptsWellFormedGraph) {
+    const Graph g = valid_add_graph();
+    EXPECT_TRUE(check_graph(g).empty());
+    EXPECT_NO_THROW(validate_graph(g));
+}
+
+TEST(Validate, RejectsUnknownOp) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    const int op = g.add_op(NodeCat::VectorOp, "v_nonsense");
+    const int out = g.add_data(NodeCat::VectorData);
+    g.add_edge(a, op);
+    g.add_edge(op, out);
+    const auto problems = check_graph(g);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("unknown operation"), std::string::npos);
+    EXPECT_THROW(validate_graph(g), Error);
+}
+
+TEST(Validate, RejectsWrongArity) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    const int op = g.add_op(NodeCat::VectorOp, "v_add");  // needs 2 inputs
+    const int out = g.add_data(NodeCat::VectorData);
+    g.add_edge(a, op);
+    g.add_edge(op, out);
+    const auto problems = check_graph(g);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("arity"), std::string::npos);
+}
+
+TEST(Validate, RejectsTwoProducers) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    const int op1 = g.add_op(NodeCat::VectorOp, "v_squsum");
+    const int op2 = g.add_op(NodeCat::VectorOp, "v_squsum");
+    const int out = g.add_data(NodeCat::ScalarData);
+    g.add_edge(a, op1);
+    g.add_edge(a, op2);
+    g.add_edge(op1, out);
+    g.add_edge(op2, out);
+    bool found = false;
+    for (const auto& p : check_graph(g)) found = found || p.find("producers") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, RejectsOpWithoutOutputs) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    const int op = g.add_op(NodeCat::VectorOp, "v_squsum");
+    g.add_edge(a, op);
+    bool found = false;
+    for (const auto& p : check_graph(g)) found = found || p.find("no outputs") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, RejectsWrongResultKind) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    const int op = g.add_op(NodeCat::VectorOp, "v_squsum");  // produces scalar
+    const int out = g.add_data(NodeCat::VectorData);         // wrong kind
+    g.add_edge(a, op);
+    g.add_edge(op, out);
+    bool found = false;
+    for (const auto& p : check_graph(g)) {
+        found = found || p.find("scalar_data") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, RejectsWrongCategory) {
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    // m_squsum is a matrix op but declared as a vector op node.
+    const int op = g.add_op(NodeCat::VectorOp, "m_squsum");
+    const int out = g.add_data(NodeCat::VectorData);
+    g.add_edge(a, op);
+    g.add_edge(a, op);
+    g.add_edge(a, op);
+    g.add_edge(a, op);
+    g.add_edge(op, out);
+    bool found = false;
+    for (const auto& p : check_graph(g)) {
+        found = found || p.find("category should be matrix_op") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, MatrixOpNeedsFourOutputs) {
+    Graph g;
+    std::vector<int> ins;
+    for (int i = 0; i < 8; ++i) ins.push_back(g.add_data(NodeCat::VectorData));
+    const int op = g.add_op(NodeCat::MatrixOp, "m_add");
+    for (const int i : ins) g.add_edge(i, op);
+    const int out = g.add_data(NodeCat::VectorData);
+    g.add_edge(op, out);
+    bool found = false;
+    for (const auto& p : check_graph(g)) {
+        found = found || p.find("4 vector_data outputs") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, FusedStagesChecked) {
+    Graph g = valid_add_graph();
+    g.node(2).pre_op = "post_sort";  // a post op in the pre slot
+    bool found = false;
+    for (const auto& p : check_graph(g)) {
+        found = found || p.find("not a pre-processing operation") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+
+    Graph g2 = valid_add_graph();
+    g2.node(2).post_op = "pre_conj";
+    found = false;
+    for (const auto& p : check_graph(g2)) {
+        found = found || p.find("not a post-processing operation") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, FusedPostChangesExpectedResultKind) {
+    // v_add fused with post_accum now legitimately produces scalar_data.
+    Graph g;
+    const int a = g.add_data(NodeCat::VectorData);
+    const int b = g.add_data(NodeCat::VectorData);
+    const int op = g.add_op(NodeCat::VectorOp, "v_add");
+    g.node(op).post_op = "post_accum";
+    const int out = g.add_data(NodeCat::ScalarData);
+    g.add_edge(a, op);
+    g.add_edge(b, op);
+    g.add_edge(op, out);
+    EXPECT_TRUE(check_graph(g).empty()) << check_graph(g).front();
+}
+
+TEST(Validate, ScalarOpsCannotCarryFusedStages) {
+    Graph g;
+    const int a = g.add_data(NodeCat::ScalarData);
+    const int op = g.add_op(NodeCat::ScalarOp, "s_sqrt");
+    g.node(op).post_op = "post_sort";
+    const int out = g.add_data(NodeCat::ScalarData);
+    g.add_edge(a, op);
+    g.add_edge(op, out);
+    bool found = false;
+    for (const auto& p : check_graph(g)) {
+        found = found || p.find("vector-pipeline") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace revec::ir

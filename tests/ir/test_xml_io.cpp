@@ -1,0 +1,147 @@
+#include "revec/ir/xml_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/dsl/eval.hpp"
+#include "revec/dsl/ops.hpp"
+#include "revec/dsl/program.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::ir {
+namespace {
+
+Graph sample_graph() {
+    dsl::Program p("sample");
+    const auto a = p.in_vector(1, 2, 3, 4, "a");
+    const auto b = p.in_vector({Complex(0, 1), Complex(1, -1), Complex(2, 0), Complex(0, 0)}, "b");
+    const auto dot = dsl::v_dotP(a, b);
+    const auto n = dsl::v_squsum(a);
+    const auto r = dsl::s_add(dot, n);
+    const auto q = dsl::s_sqrt(r);
+    const auto scaled = dsl::v_scale(b, q);
+    const auto third = dsl::index(scaled, 2);
+    const auto merged = dsl::merge(dot, n, r, third);
+    p.mark_output(merged);
+    return p.ir();
+}
+
+void expect_same_structure(const Graph& a, const Graph& b) {
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    ASSERT_EQ(a.name(), b.name());
+    for (int i = 0; i < a.num_nodes(); ++i) {
+        const Node& x = a.node(i);
+        const Node& y = b.node(i);
+        EXPECT_EQ(x.cat, y.cat) << i;
+        EXPECT_EQ(x.op, y.op) << i;
+        EXPECT_EQ(x.pre_op, y.pre_op) << i;
+        EXPECT_EQ(x.pre_arg, y.pre_arg) << i;
+        EXPECT_EQ(x.post_op, y.post_op) << i;
+        EXPECT_EQ(x.imm, y.imm) << i;
+        EXPECT_EQ(x.label, y.label) << i;
+        EXPECT_EQ(x.is_output, y.is_output) << i;
+        EXPECT_EQ(x.input_value.has_value(), y.input_value.has_value()) << i;
+        EXPECT_EQ(a.preds(i), b.preds(i)) << i;
+        EXPECT_EQ(a.succs(i), b.succs(i)) << i;
+    }
+}
+
+TEST(XmlIo, RoundTripPreservesStructure) {
+    const Graph g = sample_graph();
+    const Graph back = from_xml_string(to_xml_string(g));
+    expect_same_structure(g, back);
+}
+
+TEST(XmlIo, RoundTripPreservesValues) {
+    const Graph g = sample_graph();
+    const Graph back = from_xml_string(to_xml_string(g));
+    const auto v1 = dsl::evaluate(g);
+    const auto v2 = dsl::evaluate(back);
+    for (const int out : g.output_nodes()) {
+        for (std::size_t k = 0; k < 4; ++k) {
+            EXPECT_NEAR(std::abs(v1[static_cast<std::size_t>(out)].elems[k] -
+                                 v2[static_cast<std::size_t>(out)].elems[k]),
+                        0.0, 1e-12);
+        }
+    }
+}
+
+TEST(XmlIo, RoundTripPreservesFusedOps) {
+    dsl::Program p("fused");
+    const auto a = p.in_vector(1, 2, 3, 4, "a");
+    const auto b = p.in_vector(4, 3, 2, 1, "b");
+    const auto cb = dsl::pre_conj(b);
+    const auto prod = dsl::v_mul(a, cb);
+    const auto sorted = dsl::post_sort(prod);
+    p.mark_output(sorted);
+    const Graph merged = merge_pipeline_ops(p.ir());
+
+    const Graph back = from_xml_string(to_xml_string(merged));
+    expect_same_structure(merged, back);
+}
+
+TEST(XmlIo, OperandOrderSurvives) {
+    // v_sub(a, b) != v_sub(b, a): operand order must round-trip.
+    dsl::Program p("order");
+    const auto a = p.in_vector(9, 9, 9, 9, "a");
+    const auto b = p.in_vector(1, 2, 3, 4, "b");
+    const auto d = dsl::v_sub(a, b);
+    p.mark_output(d);
+    const Graph back = from_xml_string(to_xml_string(p.ir()));
+    const auto vals = dsl::evaluate(back);
+    const int out = back.output_nodes()[0];
+    EXPECT_NEAR(vals[static_cast<std::size_t>(out)].elems[0].real(), 8.0, 1e-12);
+    EXPECT_NEAR(vals[static_cast<std::size_t>(out)].elems[3].real(), 5.0, 1e-12);
+}
+
+TEST(XmlIo, RejectsWrongRoot) {
+    EXPECT_THROW(from_xml_string("<nodes/>"), Error);
+}
+
+TEST(XmlIo, RejectsNonDenseIds) {
+    const char* text = R"(<graph name="g">
+      <node id="1" cat="vector_data"/>
+    </graph>)";
+    EXPECT_THROW(from_xml_string(text), Error);
+}
+
+TEST(XmlIo, RejectsOutOfRangeEdges) {
+    const char* text = R"(<graph name="g">
+      <node id="0" cat="vector_data"/>
+      <edge from="0" to="9"/>
+    </graph>)";
+    EXPECT_THROW(from_xml_string(text), Error);
+}
+
+TEST(XmlIo, RejectsInvalidGraphStructure) {
+    // An op with no outputs fails validation on load.
+    const char* text = R"(<graph name="g">
+      <node id="0" cat="vector_data"/>
+      <node id="1" cat="vector_op" op="v_squsum"/>
+      <edge from="0" to="1"/>
+    </graph>)";
+    EXPECT_THROW(from_xml_string(text), Error);
+}
+
+TEST(XmlIo, RejectsMalformedValues) {
+    const char* text = R"(<graph name="g">
+      <node id="0" cat="vector_data" kind="vector" value="1,2;3,4"/>
+    </graph>)";
+    EXPECT_THROW(from_xml_string(text), Error);
+}
+
+TEST(XmlIo, FileRoundTrip) {
+    const Graph g = sample_graph();
+    const std::string path = testing::TempDir() + "/revec_xmlio_test.xml";
+    save_xml(g, path);
+    const Graph back = load_xml(path);
+    expect_same_structure(g, back);
+}
+
+TEST(XmlIo, MissingFileThrows) {
+    EXPECT_THROW(load_xml("/nonexistent/dir/graph.xml"), Error);
+}
+
+}  // namespace
+}  // namespace revec::ir

@@ -1,0 +1,124 @@
+#include "revec/pipeline/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::pipeline {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+IterationSequence matmul_sequence() {
+    const ir::Graph g = apps::build_matmul();
+    const sched::Schedule s = sched::schedule_kernel(g);
+    return sequence_from_schedule(kSpec, g, s.start);
+}
+
+TEST(SequenceFromSchedule, CompressesOccupiedCycles) {
+    const ir::Graph g = apps::build_matmul();
+    const sched::Schedule s = sched::schedule_kernel(g);
+    const IterationSequence seq = sequence_from_schedule(kSpec, g, s.start);
+    // Every op appears exactly once.
+    int total_ops = 0;
+    for (const InstructionSlot& slot : seq.slots) total_ops += static_cast<int>(slot.ops.size());
+    EXPECT_EQ(total_ops, static_cast<int>(g.op_nodes().size()));
+    // Number of instructions is at most the makespan and at least
+    // ceil(16 dotP / 4 lanes) = 4.
+    EXPECT_GE(seq.num_instructions(), 4);
+    EXPECT_LE(seq.num_instructions(), s.makespan);
+}
+
+TEST(SequenceFromSchedule, SlotOrderFollowsTime) {
+    const ir::Graph g = apps::build_matmul();
+    const sched::Schedule s = sched::schedule_kernel(g);
+    const IterationSequence seq = sequence_from_schedule(kSpec, g, s.start);
+    int prev = -1;
+    for (const InstructionSlot& slot : seq.slots) {
+        const int t = s.start[static_cast<std::size_t>(slot.ops.front())];
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(ConfigChanges, CountsTransitions) {
+    IterationSequence seq;
+    seq.slots.push_back({{0}, "a"});
+    seq.slots.push_back({{1}, "a"});
+    seq.slots.push_back({{2}, ""});   // scalar-only slot holds config
+    seq.slots.push_back({{3}, "a"});
+    seq.slots.push_back({{4}, "b"});
+    seq.slots.push_back({{5}, "a"});
+    EXPECT_EQ(seq.config_changes(), 2);  // a->b, b->a
+}
+
+TEST(Overlap, MasksLatencyWithEnoughIterations) {
+    const ir::Graph g = apps::build_matmul();
+    const IterationSequence seq = matmul_sequence();
+    const OverlapResult r = overlapped_execution(kSpec, g, seq, 12);
+    EXPECT_EQ(r.iterations, 12);
+    EXPECT_EQ(r.stalls_inserted, 0);  // M = 12 > 7-stage pipeline
+    // Length ~ K*M + drain.
+    const int k = seq.num_instructions();
+    EXPECT_GE(r.schedule_length, k * 12);
+    EXPECT_LE(r.schedule_length, k * 12 + 20 + r.reconfigurations);
+    EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(Overlap, SingleIterationInsertsStalls) {
+    // M = 1 cannot mask the 7-cycle latency: stalls must appear.
+    const ir::Graph g = apps::build_matmul();
+    const IterationSequence seq = matmul_sequence();
+    const OverlapResult r = overlapped_execution(kSpec, g, seq, 1);
+    EXPECT_GT(r.stalls_inserted, 0);
+}
+
+TEST(Overlap, ThroughputImprovesWithIterations) {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_qrd());
+    sched::ScheduleOptions opts;
+    opts.timeout_ms = 30000;
+    const sched::Schedule s = sched::schedule_kernel(g, opts);
+    const IterationSequence seq = sequence_from_schedule(kSpec, g, s.start);
+    const OverlapResult r1 = overlapped_execution(kSpec, g, seq, 1);
+    const OverlapResult r12 = overlapped_execution(kSpec, g, seq, 12);
+    EXPECT_GT(r12.throughput, r1.throughput);
+    // Single-iteration throughput ~ 1/makespan; overlapping should beat the
+    // unpipelined latency-bound schedule clearly.
+    EXPECT_GT(r12.throughput, 1.5 / static_cast<double>(s.makespan));
+}
+
+TEST(Overlap, ReconfigsIndependentOfIterationCount) {
+    // The whole point of the technique: reconfigurations depend on the
+    // instruction sequence, not on M.
+    const ir::Graph g = apps::build_matmul();
+    const IterationSequence seq = matmul_sequence();
+    const OverlapResult r4 = overlapped_execution(kSpec, g, seq, 8);
+    const OverlapResult r12 = overlapped_execution(kSpec, g, seq, 12);
+    EXPECT_EQ(r4.reconfigurations, r12.reconfigurations);
+    EXPECT_GT(r12.reconfigs_per_iteration, 0.0);
+    EXPECT_LT(r12.reconfigs_per_iteration, r4.reconfigs_per_iteration + 1e-9);
+}
+
+TEST(Overlap, BlockBasesAreMonotone) {
+    const ir::Graph g = apps::build_matmul();
+    const IterationSequence seq = matmul_sequence();
+    const OverlapResult r = overlapped_execution(kSpec, g, seq, 12);
+    for (std::size_t k = 1; k < r.block_base.size(); ++k) {
+        EXPECT_GE(r.block_base[k], r.block_base[k - 1] + 12);
+    }
+}
+
+TEST(Overlap, RejectsBadArguments) {
+    const ir::Graph g = apps::build_matmul();
+    const IterationSequence seq = matmul_sequence();
+    EXPECT_THROW(overlapped_execution(kSpec, g, seq, 0), ContractViolation);
+    EXPECT_THROW(overlapped_execution(kSpec, g, IterationSequence{}, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace revec::pipeline

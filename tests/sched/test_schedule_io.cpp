@@ -1,0 +1,82 @@
+#include "revec/sched/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/sched/verify.hpp"
+#include "revec/sim/simulator.hpp"
+#include "revec/codegen/codegen.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::sched {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+TEST(ScheduleIo, RoundTripPreservesEverything) {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_qrd());
+    ScheduleOptions opts;
+    opts.timeout_ms = 30000;
+    const Schedule s = schedule_kernel(g, opts);
+    ASSERT_TRUE(s.feasible());
+
+    const Schedule back = schedule_from_xml(g, schedule_to_xml(g, s));
+    EXPECT_EQ(back.start, s.start);
+    EXPECT_EQ(back.slot, s.slot);
+    EXPECT_EQ(back.makespan, s.makespan);
+    EXPECT_EQ(back.slots_used, s.slots_used);
+    // A reloaded schedule passes the verifier and still drives codegen+sim.
+    EXPECT_TRUE(verify_schedule(kSpec, g, back).empty());
+    const codegen::MachineProgram prog = codegen::generate_code(kSpec, g, back);
+    EXPECT_TRUE(sim::simulate(kSpec, g, prog).outputs_match);
+}
+
+TEST(ScheduleIo, InfeasibleRejected) {
+    const ir::Graph g = apps::build_matmul();
+    Schedule bad;
+    bad.status = cp::SolveStatus::Unsat;
+    EXPECT_THROW(schedule_to_xml(g, bad), Error);
+}
+
+TEST(ScheduleIo, WrongGraphRejected) {
+    const ir::Graph g = apps::build_matmul();
+    const Schedule s = schedule_kernel(g);
+    const std::string xml = schedule_to_xml(g, s);
+    const ir::Graph other = ir::merge_pipeline_ops(apps::build_qrd());
+    EXPECT_THROW(schedule_from_xml(other, xml), Error);
+}
+
+TEST(ScheduleIo, TamperedScheduleCaughtByVerifier) {
+    const ir::Graph g = apps::build_matmul();
+    const Schedule s = schedule_kernel(g);
+    std::string xml = schedule_to_xml(g, s);
+    // Move one start time: parse succeeds, verification must fail.
+    const auto pos = xml.find("start=\"0\"");
+    ASSERT_NE(pos, std::string::npos);
+    xml.replace(pos, 9, "start=\"9\"");
+    const Schedule tampered = schedule_from_xml(g, xml);
+    EXPECT_FALSE(verify_schedule(kSpec, g, tampered).empty());
+}
+
+TEST(ScheduleIo, MalformedInputsRejected) {
+    const ir::Graph g = apps::build_matmul();
+    EXPECT_THROW(schedule_from_xml(g, "<sched/>"), Error);
+    EXPECT_THROW(schedule_from_xml(g, "<schedule makespan=\"1\"/>"), Error);
+    EXPECT_THROW(schedule_from_xml(g, "not xml"), Error);
+}
+
+TEST(ScheduleIo, FileRoundTrip) {
+    const ir::Graph g = apps::build_matmul();
+    const Schedule s = schedule_kernel(g);
+    const std::string path = testing::TempDir() + "/revec_schedule.xml";
+    save_schedule(g, s, path);
+    const Schedule back = load_schedule(g, path);
+    EXPECT_EQ(back.start, s.start);
+    EXPECT_THROW(load_schedule(g, "/nonexistent/sched.xml"), Error);
+}
+
+}  // namespace
+}  // namespace revec::sched

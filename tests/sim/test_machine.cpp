@@ -1,0 +1,53 @@
+#include "revec/sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::sim {
+namespace {
+
+TEST(VectorMemoryState, WriteReadRoundTrip) {
+    VectorMemory mem(arch::MemoryGeometry{});
+    const ir::Value v = ir::Value::vector({ir::Complex(1, 2), {}, {}, {}});
+    mem.write(5, 42, v);
+    EXPECT_EQ(mem.owner(5), 42);
+    EXPECT_EQ(mem.read(5, 42).elems[0], ir::Complex(1, 2));
+}
+
+TEST(VectorMemoryState, EmptySlotReadFails) {
+    VectorMemory mem(arch::MemoryGeometry{});
+    EXPECT_EQ(mem.owner(3), -1);
+    EXPECT_THROW(mem.read(3, 42), Error);
+}
+
+TEST(VectorMemoryState, StaleReadDetected) {
+    VectorMemory mem(arch::MemoryGeometry{});
+    mem.write(5, 42, ir::Value::vector({}));
+    mem.write(5, 43, ir::Value::vector({}));  // reuse by another data node
+    EXPECT_THROW(mem.read(5, 42), Error);
+    EXPECT_NO_THROW(mem.read(5, 43));
+}
+
+TEST(VectorMemoryState, BoundsChecked) {
+    VectorMemory mem(arch::MemoryGeometry{});
+    EXPECT_EQ(mem.num_slots(), 64);
+    EXPECT_THROW(mem.write(64, 1, ir::Value::vector({})), ContractViolation);
+    EXPECT_THROW(mem.read(-1, 1), ContractViolation);
+}
+
+TEST(ScalarRegsState, WriteReadRoundTrip) {
+    ScalarRegs regs(10);
+    regs.write(7, ir::Value::scalar(ir::Complex(3, -1)));
+    EXPECT_TRUE(regs.has(7));
+    EXPECT_EQ(regs.read(7).s(), ir::Complex(3, -1));
+}
+
+TEST(ScalarRegsState, UnwrittenReadFails) {
+    ScalarRegs regs(10);
+    EXPECT_FALSE(regs.has(3));
+    EXPECT_THROW(regs.read(3), Error);
+}
+
+}  // namespace
+}  // namespace revec::sim

@@ -1,0 +1,40 @@
+#include "revec/support/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace revec {
+namespace {
+
+TEST(Assert, ExpectsPassesOnTrue) { EXPECT_NO_THROW(REVEC_EXPECTS(1 + 1 == 2)); }
+
+TEST(Assert, ExpectsThrowsOnFalse) {
+    EXPECT_THROW(REVEC_EXPECTS(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Assert, EnsuresThrowsOnFalse) { EXPECT_THROW(REVEC_ENSURES(false), ContractViolation); }
+
+TEST(Assert, AssertThrowsOnFalse) { EXPECT_THROW(REVEC_ASSERT(false), ContractViolation); }
+
+TEST(Assert, MessageNamesKindAndExpression) {
+    try {
+        REVEC_EXPECTS(2 < 1);
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("Precondition"), std::string::npos);
+        EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+        EXPECT_NE(msg.find("test_assert.cpp"), std::string::npos);
+    }
+}
+
+TEST(Assert, UnreachableThrows) {
+    EXPECT_THROW(REVEC_UNREACHABLE("should not happen"), ContractViolation);
+}
+
+TEST(Assert, ErrorCarriesMessage) {
+    const Error e("bad input file");
+    EXPECT_STREQ(e.what(), "bad input file");
+}
+
+}  // namespace
+}  // namespace revec

@@ -1,0 +1,57 @@
+#include "revec/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace revec {
+namespace {
+
+TEST(XorShiftRng, DeterministicPerSeed) {
+    XorShift a(42);
+    XorShift b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XorShiftRng, SeedsDiffer) {
+    XorShift a(1);
+    XorShift b(2);
+    bool differ = false;
+    for (int i = 0; i < 10; ++i) differ = differ || (a.next() != b.next());
+    EXPECT_TRUE(differ);
+}
+
+TEST(XorShiftRng, ZeroSeedUsable) {
+    XorShift a(0);
+    EXPECT_NE(a.next(), 0u);  // zero state would be a fixed point
+}
+
+TEST(XorShiftRng, BelowStaysInRange) {
+    XorShift a(7);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int v = a.below(13);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 13);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 13u);  // all values hit over 1000 draws
+}
+
+TEST(XorShiftRng, UnitStaysInRange) {
+    XorShift a(9);
+    double lo = 1;
+    double hi = -1;
+    for (int i = 0; i < 1000; ++i) {
+        const double u = a.unit();
+        ASSERT_GE(u, -1.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, -0.5);  // spread sanity
+    EXPECT_GT(hi, 0.5);
+}
+
+}  // namespace
+}  // namespace revec

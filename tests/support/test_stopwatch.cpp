@@ -1,0 +1,50 @@
+#include "revec/support/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace revec {
+namespace {
+
+TEST(Stopwatch, ElapsedIsMonotone) {
+    Stopwatch w;
+    const double t1 = w.elapsed_ms();
+    const double t2 = w.elapsed_ms();
+    EXPECT_GE(t1, 0.0);
+    EXPECT_GE(t2, t1);
+}
+
+TEST(Stopwatch, RestartResets) {
+    Stopwatch w;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    w.restart();
+    EXPECT_LT(w.elapsed_ms(), 5.0);
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+    const Deadline d;
+    EXPECT_TRUE(d.never_expires());
+    EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, NegativeMeansNever) {
+    const Deadline d = Deadline::after_ms(-1);
+    EXPECT_TRUE(d.never_expires());
+    EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, ZeroExpiresImmediately) {
+    const Deadline d = Deadline::after_ms(0);
+    EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, FutureDeadlineExpiresAfterSleep) {
+    const Deadline d = Deadline::after_ms(2);
+    EXPECT_FALSE(d.never_expires());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(d.expired());
+}
+
+}  // namespace
+}  // namespace revec

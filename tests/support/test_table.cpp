@@ -1,0 +1,58 @@
+#include "revec/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+#include "revec/support/strings.hpp"
+
+namespace revec {
+namespace {
+
+TEST(Table, AlignsColumns) {
+    Table t({"Application", "II"});
+    t.add_row({"QRD", "46"});
+    t.add_row({"MATMUL", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Every data line has the same width as the header line.
+    const auto lines = split(out, '\n');
+    ASSERT_GE(lines.size(), 5u);
+    const std::size_t width = lines[0].size();
+    for (const auto& line : lines) {
+        if (!line.empty()) {
+            EXPECT_EQ(line.size(), width) << line;
+        }
+    }
+    EXPECT_NE(out.find("QRD"), std::string::npos);
+    EXPECT_NE(out.find("MATMUL"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, RuleInsertsSeparator) {
+    Table t({"h"});
+    t.add_row({"x"});
+    t.add_rule();
+    t.add_row({"y"});
+    std::ostringstream os;
+    t.print(os);
+    // header rule + top + bottom + inner = 4 dashes lines
+    int rules = 0;
+    for (const auto& line : split(os.str(), '\n')) {
+        if (!line.empty() && line[0] == '+') ++rules;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+    EXPECT_THROW(Table t({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace revec

@@ -1,0 +1,149 @@
+#include "revec/xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::xml {
+namespace {
+
+TEST(XmlWrite, EmptyRootSelfCloses) {
+    Document doc("graph");
+    EXPECT_NE(doc.to_string().find("<graph/>"), std::string::npos);
+}
+
+TEST(XmlWrite, AttributesAndChildren) {
+    Document doc("graph");
+    auto& node = doc.root().add_child("node");
+    node.set_attr("id", "3");
+    node.set_attr("cat", "vector_op");
+    const std::string s = doc.to_string();
+    EXPECT_NE(s.find("<node id=\"3\" cat=\"vector_op\"/>"), std::string::npos);
+    EXPECT_NE(s.find("<graph>"), std::string::npos);
+    EXPECT_NE(s.find("</graph>"), std::string::npos);
+}
+
+TEST(XmlWrite, EscapesSpecialCharacters) {
+    Document doc("r");
+    doc.root().set_attr("v", "a<b&\"c\"");
+    const std::string s = doc.to_string();
+    EXPECT_NE(s.find("a&lt;b&amp;&quot;c&quot;"), std::string::npos);
+}
+
+TEST(XmlWrite, SetAttrOverwrites) {
+    Element e("x");
+    e.set_attr("k", "1");
+    e.set_attr("k", "2");
+    EXPECT_EQ(e.attr("k"), "2");
+    EXPECT_EQ(e.attrs().size(), 1u);
+}
+
+TEST(XmlElement, AttrAccessors) {
+    Element e("x");
+    e.set_attr("n", "42");
+    EXPECT_TRUE(e.has_attr("n"));
+    EXPECT_FALSE(e.has_attr("m"));
+    EXPECT_EQ(e.attr_int("n"), 42);
+    EXPECT_EQ(e.attr_or("m", "d"), "d");
+    EXPECT_THROW(e.attr("m"), Error);
+}
+
+TEST(XmlElement, ChildLookup) {
+    Element e("root");
+    e.add_child("a");
+    e.add_child("b");
+    e.add_child("b");
+    EXPECT_EQ(e.children_named("b").size(), 2u);
+    EXPECT_NO_THROW(e.child("a"));
+    EXPECT_THROW(e.child("b"), Error);   // ambiguous
+    EXPECT_THROW(e.child("c"), Error);   // missing
+    EXPECT_EQ(e.child_opt("c"), nullptr);
+}
+
+TEST(XmlParse, RoundTripsDocument) {
+    Document doc("graph");
+    doc.root().set_attr("name", "matmul");
+    auto& n1 = doc.root().add_child("node");
+    n1.set_attr("id", "0");
+    n1.set_attr("op", "v_dotP");
+    auto& e1 = doc.root().add_child("edge");
+    e1.set_attr("from", "0");
+    e1.set_attr("to", "1");
+
+    const Document parsed = Document::parse(doc.to_string());
+    EXPECT_EQ(parsed.root().name(), "graph");
+    EXPECT_EQ(parsed.root().attr("name"), "matmul");
+    ASSERT_EQ(parsed.root().children().size(), 2u);
+    EXPECT_EQ(parsed.root().children_named("node")[0]->attr("op"), "v_dotP");
+    EXPECT_EQ(parsed.root().children_named("edge")[0]->attr_int("to"), 1);
+}
+
+TEST(XmlParse, TextContent) {
+    const Document d = Document::parse("<a>hello <b/> world</a>");
+    EXPECT_EQ(d.root().text(), "hello  world");
+    EXPECT_EQ(d.root().children().size(), 1u);
+}
+
+TEST(XmlParse, EntitiesDecoded) {
+    const Document d = Document::parse("<a v='&lt;&amp;&gt;&quot;&apos;'>&amp;</a>");
+    EXPECT_EQ(d.root().attr("v"), "<&>\"'");
+    EXPECT_EQ(d.root().text(), "&");
+}
+
+TEST(XmlParse, SkipsPrologAndComments) {
+    const Document d = Document::parse(
+        "<?xml version=\"1.0\"?>\n<!-- a comment -->\n<r><!-- inner --><c/></r>\n<!-- after -->");
+    EXPECT_EQ(d.root().name(), "r");
+    EXPECT_EQ(d.root().children().size(), 1u);
+}
+
+TEST(XmlParse, SingleQuotedAttributes) {
+    const Document d = Document::parse("<a k='v'/>");
+    EXPECT_EQ(d.root().attr("k"), "v");
+}
+
+TEST(XmlParse, RejectsMismatchedTags) {
+    EXPECT_THROW(Document::parse("<a><b></a></b>"), Error);
+}
+
+TEST(XmlParse, RejectsTruncatedInput) {
+    EXPECT_THROW(Document::parse("<a><b>"), Error);
+    EXPECT_THROW(Document::parse("<a"), Error);
+    EXPECT_THROW(Document::parse(""), Error);
+}
+
+TEST(XmlParse, RejectsTrailingContent) {
+    EXPECT_THROW(Document::parse("<a/><b/>"), Error);
+}
+
+TEST(XmlParse, RejectsUnknownEntity) {
+    EXPECT_THROW(Document::parse("<a>&bogus;</a>"), Error);
+}
+
+TEST(XmlParse, ErrorMentionsLineNumber) {
+    try {
+        Document::parse("<a>\n<b>\n</c>\n</a>");
+        FAIL() << "should have thrown";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    }
+}
+
+TEST(XmlParse, DeeplyNestedRoundTrip) {
+    Document doc("l0");
+    Element* cur = &doc.root();
+    for (int i = 1; i < 40; ++i) {
+        cur = &cur->add_child("l" + std::to_string(i));
+        cur->set_attr("depth", std::to_string(i));
+    }
+    const Document parsed = Document::parse(doc.to_string());
+    const Element* walk = &parsed.root();
+    for (int i = 1; i < 40; ++i) {
+        ASSERT_EQ(walk->children().size(), 1u);
+        walk = walk->children()[0].get();
+        EXPECT_EQ(walk->attr_int("depth"), i);
+    }
+}
+
+}  // namespace
+}  // namespace revec::xml

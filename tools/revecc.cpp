@@ -1,0 +1,19 @@
+// revecc — the toolchain driver (paper Fig. 2): IR XML in, schedule /
+// machine listing / statistics / modulo kernel out.
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "revec/driver/driver.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        const auto options = revec::driver::parse_args(args, std::cout);
+        if (!options.has_value()) return 0;  // --help
+        return revec::driver::run(*options, std::cout);
+    } catch (const std::exception& e) {
+        std::cerr << "revecc: " << e.what() << '\n';
+        return 2;
+    }
+}
