@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_end_to_end.dir/ext_end_to_end.cpp.o"
+  "CMakeFiles/ext_end_to_end.dir/ext_end_to_end.cpp.o.d"
+  "ext_end_to_end"
+  "ext_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

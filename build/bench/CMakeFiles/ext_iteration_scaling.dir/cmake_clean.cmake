@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_iteration_scaling.dir/ext_iteration_scaling.cpp.o"
+  "CMakeFiles/ext_iteration_scaling.dir/ext_iteration_scaling.cpp.o.d"
+  "ext_iteration_scaling"
+  "ext_iteration_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_iteration_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_retarget_lanes.dir/ext_retarget_lanes.cpp.o"
+  "CMakeFiles/ext_retarget_lanes.dir/ext_retarget_lanes.cpp.o.d"
+  "ext_retarget_lanes"
+  "ext_retarget_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_retarget_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_matmul_ir.dir/fig3_matmul_ir.cpp.o"
+  "CMakeFiles/fig3_matmul_ir.dir/fig3_matmul_ir.cpp.o.d"
+  "fig3_matmul_ir"
+  "fig3_matmul_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_matmul_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

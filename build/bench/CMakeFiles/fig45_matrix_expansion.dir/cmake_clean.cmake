@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig45_matrix_expansion.dir/fig45_matrix_expansion.cpp.o"
+  "CMakeFiles/fig45_matrix_expansion.dir/fig45_matrix_expansion.cpp.o.d"
+  "fig45_matrix_expansion"
+  "fig45_matrix_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig45_matrix_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig45_matrix_expansion.
+# This may be replaced when dependencies are built.

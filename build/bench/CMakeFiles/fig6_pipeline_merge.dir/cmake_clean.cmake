@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pipeline_merge.dir/fig6_pipeline_merge.cpp.o"
+  "CMakeFiles/fig6_pipeline_merge.dir/fig6_pipeline_merge.cpp.o.d"
+  "fig6_pipeline_merge"
+  "fig6_pipeline_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pipeline_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_cp_kernel.cpp" "bench/CMakeFiles/micro_cp_kernel.dir/micro_cp_kernel.cpp.o" "gcc" "bench/CMakeFiles/micro_cp_kernel.dir/micro_cp_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cp_kernel.dir/micro_cp_kernel.cpp.o"
+  "CMakeFiles/micro_cp_kernel.dir/micro_cp_kernel.cpp.o.d"
+  "micro_cp_kernel"
+  "micro_cp_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_modulo.dir/table3_modulo.cpp.o"
+  "CMakeFiles/table3_modulo.dir/table3_modulo.cpp.o.d"
+  "table3_modulo"
+  "table3_modulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_modulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

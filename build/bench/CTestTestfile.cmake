@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig3_matmul_ir "/root/repo/build/bench/fig3_matmul_ir")
+set_tests_properties(bench_fig3_matmul_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig45_matrix_expansion "/root/repo/build/bench/fig45_matrix_expansion")
+set_tests_properties(bench_fig45_matrix_expansion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig6_pipeline_merge "/root/repo/build/bench/fig6_pipeline_merge")
+set_tests_properties(bench_fig6_pipeline_merge PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig78_memory_access "/root/repo/build/bench/fig78_memory_access")
+set_tests_properties(bench_fig78_memory_access PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ext_end_to_end "/root/repo/build/bench/ext_end_to_end")
+set_tests_properties(bench_ext_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")

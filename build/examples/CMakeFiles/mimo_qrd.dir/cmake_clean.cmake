@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimo_qrd.dir/mimo_qrd.cpp.o"
+  "CMakeFiles/mimo_qrd.dir/mimo_qrd.cpp.o.d"
+  "mimo_qrd"
+  "mimo_qrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimo_qrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

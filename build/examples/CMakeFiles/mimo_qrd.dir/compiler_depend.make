@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mimo_qrd.
+# This may be replaced when dependencies are built.

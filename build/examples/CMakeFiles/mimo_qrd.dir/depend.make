@@ -1,0 +1,2 @@
+# Empty dependencies file for mimo_qrd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/apps/arf.cpp" "src/CMakeFiles/revec_apps.dir/revec/apps/arf.cpp.o" "gcc" "src/CMakeFiles/revec_apps.dir/revec/apps/arf.cpp.o.d"
+  "/root/repo/src/revec/apps/detect.cpp" "src/CMakeFiles/revec_apps.dir/revec/apps/detect.cpp.o" "gcc" "src/CMakeFiles/revec_apps.dir/revec/apps/detect.cpp.o.d"
+  "/root/repo/src/revec/apps/matmul.cpp" "src/CMakeFiles/revec_apps.dir/revec/apps/matmul.cpp.o" "gcc" "src/CMakeFiles/revec_apps.dir/revec/apps/matmul.cpp.o.d"
+  "/root/repo/src/revec/apps/qrd.cpp" "src/CMakeFiles/revec_apps.dir/revec/apps/qrd.cpp.o" "gcc" "src/CMakeFiles/revec_apps.dir/revec/apps/qrd.cpp.o.d"
+  "/root/repo/src/revec/apps/random_kernel.cpp" "src/CMakeFiles/revec_apps.dir/revec/apps/random_kernel.cpp.o" "gcc" "src/CMakeFiles/revec_apps.dir/revec/apps/random_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_apps.dir/revec/apps/arf.cpp.o"
+  "CMakeFiles/revec_apps.dir/revec/apps/arf.cpp.o.d"
+  "CMakeFiles/revec_apps.dir/revec/apps/detect.cpp.o"
+  "CMakeFiles/revec_apps.dir/revec/apps/detect.cpp.o.d"
+  "CMakeFiles/revec_apps.dir/revec/apps/matmul.cpp.o"
+  "CMakeFiles/revec_apps.dir/revec/apps/matmul.cpp.o.d"
+  "CMakeFiles/revec_apps.dir/revec/apps/qrd.cpp.o"
+  "CMakeFiles/revec_apps.dir/revec/apps/qrd.cpp.o.d"
+  "CMakeFiles/revec_apps.dir/revec/apps/random_kernel.cpp.o"
+  "CMakeFiles/revec_apps.dir/revec/apps/random_kernel.cpp.o.d"
+  "librevec_apps.a"
+  "librevec_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/arch/memory.cpp" "src/CMakeFiles/revec_arch.dir/revec/arch/memory.cpp.o" "gcc" "src/CMakeFiles/revec_arch.dir/revec/arch/memory.cpp.o.d"
+  "/root/repo/src/revec/arch/ops.cpp" "src/CMakeFiles/revec_arch.dir/revec/arch/ops.cpp.o" "gcc" "src/CMakeFiles/revec_arch.dir/revec/arch/ops.cpp.o.d"
+  "/root/repo/src/revec/arch/spec.cpp" "src/CMakeFiles/revec_arch.dir/revec/arch/spec.cpp.o" "gcc" "src/CMakeFiles/revec_arch.dir/revec/arch/spec.cpp.o.d"
+  "/root/repo/src/revec/arch/spec_io.cpp" "src/CMakeFiles/revec_arch.dir/revec/arch/spec_io.cpp.o" "gcc" "src/CMakeFiles/revec_arch.dir/revec/arch/spec_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

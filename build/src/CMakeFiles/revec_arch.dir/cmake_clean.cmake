@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_arch.dir/revec/arch/memory.cpp.o"
+  "CMakeFiles/revec_arch.dir/revec/arch/memory.cpp.o.d"
+  "CMakeFiles/revec_arch.dir/revec/arch/ops.cpp.o"
+  "CMakeFiles/revec_arch.dir/revec/arch/ops.cpp.o.d"
+  "CMakeFiles/revec_arch.dir/revec/arch/spec.cpp.o"
+  "CMakeFiles/revec_arch.dir/revec/arch/spec.cpp.o.d"
+  "CMakeFiles/revec_arch.dir/revec/arch/spec_io.cpp.o"
+  "CMakeFiles/revec_arch.dir/revec/arch/spec_io.cpp.o.d"
+  "librevec_arch.a"
+  "librevec_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

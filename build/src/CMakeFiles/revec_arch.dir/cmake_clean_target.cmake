@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librevec_arch.a"
+)

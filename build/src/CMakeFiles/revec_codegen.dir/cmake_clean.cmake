@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_codegen.dir/revec/codegen/codegen.cpp.o"
+  "CMakeFiles/revec_codegen.dir/revec/codegen/codegen.cpp.o.d"
+  "CMakeFiles/revec_codegen.dir/revec/codegen/encode.cpp.o"
+  "CMakeFiles/revec_codegen.dir/revec/codegen/encode.cpp.o.d"
+  "librevec_codegen.a"
+  "librevec_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

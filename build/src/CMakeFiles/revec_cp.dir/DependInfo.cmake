@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/cp/alldifferent.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/alldifferent.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/alldifferent.cpp.o.d"
+  "/root/repo/src/revec/cp/arith.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/arith.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/arith.cpp.o.d"
+  "/root/repo/src/revec/cp/count.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/count.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/count.cpp.o.d"
+  "/root/repo/src/revec/cp/cumulative.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/cumulative.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/cumulative.cpp.o.d"
+  "/root/repo/src/revec/cp/diff2.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/diff2.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/diff2.cpp.o.d"
+  "/root/repo/src/revec/cp/domain.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/domain.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/domain.cpp.o.d"
+  "/root/repo/src/revec/cp/element.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/element.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/element.cpp.o.d"
+  "/root/repo/src/revec/cp/linear.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/linear.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/linear.cpp.o.d"
+  "/root/repo/src/revec/cp/propagator.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/propagator.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/propagator.cpp.o.d"
+  "/root/repo/src/revec/cp/reified.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/reified.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/reified.cpp.o.d"
+  "/root/repo/src/revec/cp/search.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/search.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/search.cpp.o.d"
+  "/root/repo/src/revec/cp/store.cpp" "src/CMakeFiles/revec_cp.dir/revec/cp/store.cpp.o" "gcc" "src/CMakeFiles/revec_cp.dir/revec/cp/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_cp.dir/revec/cp/alldifferent.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/alldifferent.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/arith.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/arith.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/count.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/count.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/cumulative.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/cumulative.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/diff2.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/diff2.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/domain.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/domain.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/element.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/element.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/linear.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/linear.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/propagator.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/propagator.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/reified.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/reified.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/search.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/search.cpp.o.d"
+  "CMakeFiles/revec_cp.dir/revec/cp/store.cpp.o"
+  "CMakeFiles/revec_cp.dir/revec/cp/store.cpp.o.d"
+  "librevec_cp.a"
+  "librevec_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

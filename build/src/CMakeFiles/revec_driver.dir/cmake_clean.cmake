@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_driver.dir/revec/driver/driver.cpp.o"
+  "CMakeFiles/revec_driver.dir/revec/driver/driver.cpp.o.d"
+  "librevec_driver.a"
+  "librevec_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/dsl/eval.cpp" "src/CMakeFiles/revec_dsl.dir/revec/dsl/eval.cpp.o" "gcc" "src/CMakeFiles/revec_dsl.dir/revec/dsl/eval.cpp.o.d"
+  "/root/repo/src/revec/dsl/ops.cpp" "src/CMakeFiles/revec_dsl.dir/revec/dsl/ops.cpp.o" "gcc" "src/CMakeFiles/revec_dsl.dir/revec/dsl/ops.cpp.o.d"
+  "/root/repo/src/revec/dsl/program.cpp" "src/CMakeFiles/revec_dsl.dir/revec/dsl/program.cpp.o" "gcc" "src/CMakeFiles/revec_dsl.dir/revec/dsl/program.cpp.o.d"
+  "/root/repo/src/revec/dsl/value.cpp" "src/CMakeFiles/revec_dsl.dir/revec/dsl/value.cpp.o" "gcc" "src/CMakeFiles/revec_dsl.dir/revec/dsl/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_dsl.dir/revec/dsl/eval.cpp.o"
+  "CMakeFiles/revec_dsl.dir/revec/dsl/eval.cpp.o.d"
+  "CMakeFiles/revec_dsl.dir/revec/dsl/ops.cpp.o"
+  "CMakeFiles/revec_dsl.dir/revec/dsl/ops.cpp.o.d"
+  "CMakeFiles/revec_dsl.dir/revec/dsl/program.cpp.o"
+  "CMakeFiles/revec_dsl.dir/revec/dsl/program.cpp.o.d"
+  "CMakeFiles/revec_dsl.dir/revec/dsl/value.cpp.o"
+  "CMakeFiles/revec_dsl.dir/revec/dsl/value.cpp.o.d"
+  "librevec_dsl.a"
+  "librevec_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/ir/analysis.cpp" "src/CMakeFiles/revec_ir.dir/revec/ir/analysis.cpp.o" "gcc" "src/CMakeFiles/revec_ir.dir/revec/ir/analysis.cpp.o.d"
+  "/root/repo/src/revec/ir/dot.cpp" "src/CMakeFiles/revec_ir.dir/revec/ir/dot.cpp.o" "gcc" "src/CMakeFiles/revec_ir.dir/revec/ir/dot.cpp.o.d"
+  "/root/repo/src/revec/ir/graph.cpp" "src/CMakeFiles/revec_ir.dir/revec/ir/graph.cpp.o" "gcc" "src/CMakeFiles/revec_ir.dir/revec/ir/graph.cpp.o.d"
+  "/root/repo/src/revec/ir/passes.cpp" "src/CMakeFiles/revec_ir.dir/revec/ir/passes.cpp.o" "gcc" "src/CMakeFiles/revec_ir.dir/revec/ir/passes.cpp.o.d"
+  "/root/repo/src/revec/ir/validate.cpp" "src/CMakeFiles/revec_ir.dir/revec/ir/validate.cpp.o" "gcc" "src/CMakeFiles/revec_ir.dir/revec/ir/validate.cpp.o.d"
+  "/root/repo/src/revec/ir/xml_io.cpp" "src/CMakeFiles/revec_ir.dir/revec/ir/xml_io.cpp.o" "gcc" "src/CMakeFiles/revec_ir.dir/revec/ir/xml_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_ir.dir/revec/ir/analysis.cpp.o"
+  "CMakeFiles/revec_ir.dir/revec/ir/analysis.cpp.o.d"
+  "CMakeFiles/revec_ir.dir/revec/ir/dot.cpp.o"
+  "CMakeFiles/revec_ir.dir/revec/ir/dot.cpp.o.d"
+  "CMakeFiles/revec_ir.dir/revec/ir/graph.cpp.o"
+  "CMakeFiles/revec_ir.dir/revec/ir/graph.cpp.o.d"
+  "CMakeFiles/revec_ir.dir/revec/ir/passes.cpp.o"
+  "CMakeFiles/revec_ir.dir/revec/ir/passes.cpp.o.d"
+  "CMakeFiles/revec_ir.dir/revec/ir/validate.cpp.o"
+  "CMakeFiles/revec_ir.dir/revec/ir/validate.cpp.o.d"
+  "CMakeFiles/revec_ir.dir/revec/ir/xml_io.cpp.o"
+  "CMakeFiles/revec_ir.dir/revec/ir/xml_io.cpp.o.d"
+  "librevec_ir.a"
+  "librevec_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/pipeline/expand.cpp" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/expand.cpp.o" "gcc" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/expand.cpp.o.d"
+  "/root/repo/src/revec/pipeline/manual.cpp" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/manual.cpp.o" "gcc" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/manual.cpp.o.d"
+  "/root/repo/src/revec/pipeline/modulo.cpp" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/modulo.cpp.o" "gcc" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/modulo.cpp.o.d"
+  "/root/repo/src/revec/pipeline/overlap.cpp" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/overlap.cpp.o" "gcc" "src/CMakeFiles/revec_pipeline.dir/revec/pipeline/overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

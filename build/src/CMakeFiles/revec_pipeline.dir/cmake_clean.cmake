@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/expand.cpp.o"
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/expand.cpp.o.d"
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/manual.cpp.o"
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/manual.cpp.o.d"
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/modulo.cpp.o"
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/modulo.cpp.o.d"
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/overlap.cpp.o"
+  "CMakeFiles/revec_pipeline.dir/revec/pipeline/overlap.cpp.o.d"
+  "librevec_pipeline.a"
+  "librevec_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

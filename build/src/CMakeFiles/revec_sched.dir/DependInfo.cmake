@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/sched/model.cpp" "src/CMakeFiles/revec_sched.dir/revec/sched/model.cpp.o" "gcc" "src/CMakeFiles/revec_sched.dir/revec/sched/model.cpp.o.d"
+  "/root/repo/src/revec/sched/schedule.cpp" "src/CMakeFiles/revec_sched.dir/revec/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/revec_sched.dir/revec/sched/schedule.cpp.o.d"
+  "/root/repo/src/revec/sched/schedule_io.cpp" "src/CMakeFiles/revec_sched.dir/revec/sched/schedule_io.cpp.o" "gcc" "src/CMakeFiles/revec_sched.dir/revec/sched/schedule_io.cpp.o.d"
+  "/root/repo/src/revec/sched/verify.cpp" "src/CMakeFiles/revec_sched.dir/revec/sched/verify.cpp.o" "gcc" "src/CMakeFiles/revec_sched.dir/revec/sched/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_sched.dir/revec/sched/model.cpp.o"
+  "CMakeFiles/revec_sched.dir/revec/sched/model.cpp.o.d"
+  "CMakeFiles/revec_sched.dir/revec/sched/schedule.cpp.o"
+  "CMakeFiles/revec_sched.dir/revec/sched/schedule.cpp.o.d"
+  "CMakeFiles/revec_sched.dir/revec/sched/schedule_io.cpp.o"
+  "CMakeFiles/revec_sched.dir/revec/sched/schedule_io.cpp.o.d"
+  "CMakeFiles/revec_sched.dir/revec/sched/verify.cpp.o"
+  "CMakeFiles/revec_sched.dir/revec/sched/verify.cpp.o.d"
+  "librevec_sched.a"
+  "librevec_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

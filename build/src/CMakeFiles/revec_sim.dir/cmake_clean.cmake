@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_sim.dir/revec/sim/machine.cpp.o"
+  "CMakeFiles/revec_sim.dir/revec/sim/machine.cpp.o.d"
+  "CMakeFiles/revec_sim.dir/revec/sim/simulator.cpp.o"
+  "CMakeFiles/revec_sim.dir/revec/sim/simulator.cpp.o.d"
+  "librevec_sim.a"
+  "librevec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revec/support/assert.cpp" "src/CMakeFiles/revec_support.dir/revec/support/assert.cpp.o" "gcc" "src/CMakeFiles/revec_support.dir/revec/support/assert.cpp.o.d"
+  "/root/repo/src/revec/support/stopwatch.cpp" "src/CMakeFiles/revec_support.dir/revec/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/revec_support.dir/revec/support/stopwatch.cpp.o.d"
+  "/root/repo/src/revec/support/strings.cpp" "src/CMakeFiles/revec_support.dir/revec/support/strings.cpp.o" "gcc" "src/CMakeFiles/revec_support.dir/revec/support/strings.cpp.o.d"
+  "/root/repo/src/revec/support/table.cpp" "src/CMakeFiles/revec_support.dir/revec/support/table.cpp.o" "gcc" "src/CMakeFiles/revec_support.dir/revec/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

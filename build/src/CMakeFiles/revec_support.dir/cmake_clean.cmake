@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_support.dir/revec/support/assert.cpp.o"
+  "CMakeFiles/revec_support.dir/revec/support/assert.cpp.o.d"
+  "CMakeFiles/revec_support.dir/revec/support/stopwatch.cpp.o"
+  "CMakeFiles/revec_support.dir/revec/support/stopwatch.cpp.o.d"
+  "CMakeFiles/revec_support.dir/revec/support/strings.cpp.o"
+  "CMakeFiles/revec_support.dir/revec/support/strings.cpp.o.d"
+  "CMakeFiles/revec_support.dir/revec/support/table.cpp.o"
+  "CMakeFiles/revec_support.dir/revec/support/table.cpp.o.d"
+  "librevec_support.a"
+  "librevec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revec_xml.dir/revec/xml/xml.cpp.o"
+  "CMakeFiles/revec_xml.dir/revec/xml/xml.cpp.o.d"
+  "librevec_xml.a"
+  "librevec_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revec_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_memory.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_memory.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_ops.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_ops.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_spec.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_spec.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_spec_io.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_spec_io.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

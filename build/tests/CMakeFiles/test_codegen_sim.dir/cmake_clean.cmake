@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_sim.dir/codegen/test_codegen.cpp.o"
+  "CMakeFiles/test_codegen_sim.dir/codegen/test_codegen.cpp.o.d"
+  "CMakeFiles/test_codegen_sim.dir/codegen/test_encode.cpp.o"
+  "CMakeFiles/test_codegen_sim.dir/codegen/test_encode.cpp.o.d"
+  "CMakeFiles/test_codegen_sim.dir/sim/test_machine.cpp.o"
+  "CMakeFiles/test_codegen_sim.dir/sim/test_machine.cpp.o.d"
+  "CMakeFiles/test_codegen_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_codegen_sim.dir/sim/test_simulator.cpp.o.d"
+  "test_codegen_sim"
+  "test_codegen_sim.pdb"
+  "test_codegen_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

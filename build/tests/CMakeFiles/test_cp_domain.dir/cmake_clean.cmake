@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_domain.dir/cp/test_domain.cpp.o"
+  "CMakeFiles/test_cp_domain.dir/cp/test_domain.cpp.o.d"
+  "test_cp_domain"
+  "test_cp_domain.pdb"
+  "test_cp_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

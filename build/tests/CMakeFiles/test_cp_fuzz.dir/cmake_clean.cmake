@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_fuzz.dir/cp/test_fuzz.cpp.o"
+  "CMakeFiles/test_cp_fuzz.dir/cp/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_cp_fuzz.dir/cp/test_property_grids.cpp.o"
+  "CMakeFiles/test_cp_fuzz.dir/cp/test_property_grids.cpp.o.d"
+  "test_cp_fuzz"
+  "test_cp_fuzz.pdb"
+  "test_cp_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

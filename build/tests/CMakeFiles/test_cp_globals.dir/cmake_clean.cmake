@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_globals.dir/cp/test_cumulative.cpp.o"
+  "CMakeFiles/test_cp_globals.dir/cp/test_cumulative.cpp.o.d"
+  "CMakeFiles/test_cp_globals.dir/cp/test_diff2.cpp.o"
+  "CMakeFiles/test_cp_globals.dir/cp/test_diff2.cpp.o.d"
+  "test_cp_globals"
+  "test_cp_globals.pdb"
+  "test_cp_globals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_globals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_propagators.dir/cp/test_alldifferent.cpp.o"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_alldifferent.cpp.o.d"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_arith.cpp.o"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_arith.cpp.o.d"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_count.cpp.o"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_count.cpp.o.d"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_element.cpp.o"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_element.cpp.o.d"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_linear.cpp.o"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_linear.cpp.o.d"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_reified.cpp.o"
+  "CMakeFiles/test_cp_propagators.dir/cp/test_reified.cpp.o.d"
+  "test_cp_propagators"
+  "test_cp_propagators.pdb"
+  "test_cp_propagators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_propagators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

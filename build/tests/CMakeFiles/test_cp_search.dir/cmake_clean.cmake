@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_search.dir/cp/test_search.cpp.o"
+  "CMakeFiles/test_cp_search.dir/cp/test_search.cpp.o.d"
+  "test_cp_search"
+  "test_cp_search.pdb"
+  "test_cp_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_store.dir/cp/test_store.cpp.o"
+  "CMakeFiles/test_cp_store.dir/cp/test_store.cpp.o.d"
+  "test_cp_store"
+  "test_cp_store.pdb"
+  "test_cp_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsl.dir/dsl/test_eval.cpp.o"
+  "CMakeFiles/test_dsl.dir/dsl/test_eval.cpp.o.d"
+  "CMakeFiles/test_dsl.dir/dsl/test_ops.cpp.o"
+  "CMakeFiles/test_dsl.dir/dsl/test_ops.cpp.o.d"
+  "CMakeFiles/test_dsl.dir/dsl/test_semantics_sweep.cpp.o"
+  "CMakeFiles/test_dsl.dir/dsl/test_semantics_sweep.cpp.o.d"
+  "CMakeFiles/test_dsl.dir/dsl/test_values.cpp.o"
+  "CMakeFiles/test_dsl.dir/dsl/test_values.cpp.o.d"
+  "test_dsl"
+  "test_dsl.pdb"
+  "test_dsl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

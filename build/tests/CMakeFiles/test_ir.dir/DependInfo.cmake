@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/test_analysis.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_analysis.cpp.o.d"
+  "/root/repo/tests/ir/test_dot.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_dot.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_dot.cpp.o.d"
+  "/root/repo/tests/ir/test_graph.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_graph.cpp.o.d"
+  "/root/repo/tests/ir/test_passes.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_passes.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_passes.cpp.o.d"
+  "/root/repo/tests/ir/test_validate.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_validate.cpp.o.d"
+  "/root/repo/tests/ir/test_xml_io.cpp" "tests/CMakeFiles/test_ir.dir/ir/test_xml_io.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/ir/test_xml_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/test_analysis.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_analysis.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_dot.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_dot.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_graph.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_graph.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_passes.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_passes.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_validate.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_validate.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_xml_io.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_xml_io.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

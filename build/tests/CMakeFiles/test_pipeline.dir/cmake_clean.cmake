@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/pipeline/test_expand.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_expand.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_manual.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_manual.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_modulo.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_modulo.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_overlap.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_overlap.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_pipeline.dir/apps/test_random_kernel.cpp.o"
+  "CMakeFiles/test_random_pipeline.dir/apps/test_random_kernel.cpp.o.d"
+  "test_random_pipeline"
+  "test_random_pipeline.pdb"
+  "test_random_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

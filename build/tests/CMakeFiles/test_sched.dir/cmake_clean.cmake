@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_list_schedule.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_list_schedule.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_model.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_model.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_verify.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_verify.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_allocate.dir/sched/test_allocate.cpp.o"
+  "CMakeFiles/test_sched_allocate.dir/sched/test_allocate.cpp.o.d"
+  "CMakeFiles/test_sched_allocate.dir/sched/test_schedule_io.cpp.o"
+  "CMakeFiles/test_sched_allocate.dir/sched/test_schedule_io.cpp.o.d"
+  "test_sched_allocate"
+  "test_sched_allocate.pdb"
+  "test_sched_allocate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_allocate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

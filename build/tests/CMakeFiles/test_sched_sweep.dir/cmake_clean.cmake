@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_sweep.dir/sched/test_sweep.cpp.o"
+  "CMakeFiles/test_sched_sweep.dir/sched/test_sweep.cpp.o.d"
+  "test_sched_sweep"
+  "test_sched_sweep.pdb"
+  "test_sched_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

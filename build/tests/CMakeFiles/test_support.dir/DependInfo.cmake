@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_assert.cpp" "tests/CMakeFiles/test_support.dir/support/test_assert.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_assert.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_stopwatch.cpp" "tests/CMakeFiles/test_support.dir/support/test_stopwatch.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_stopwatch.cpp.o.d"
+  "/root/repo/tests/support/test_strings.cpp" "tests/CMakeFiles/test_support.dir/support/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_strings.cpp.o.d"
+  "/root/repo/tests/support/test_table.cpp" "tests/CMakeFiles/test_support.dir/support/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/revec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/revec_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

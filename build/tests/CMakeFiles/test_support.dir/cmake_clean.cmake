@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/test_assert.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_assert.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_rng.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_stopwatch.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_stopwatch.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_strings.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_strings.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_table.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_table.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_cp_domain[1]_include.cmake")
+include("/root/repo/build/tests/test_cp_store[1]_include.cmake")
+include("/root/repo/build/tests/test_cp_propagators[1]_include.cmake")
+include("/root/repo/build/tests/test_cp_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_cp_globals[1]_include.cmake")
+include("/root/repo/build/tests/test_cp_search[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_dsl[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_random_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_allocate[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revecc.dir/revecc.cpp.o"
+  "CMakeFiles/revecc.dir/revecc.cpp.o.d"
+  "revecc"
+  "revecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
