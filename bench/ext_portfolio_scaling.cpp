@@ -1,0 +1,79 @@
+// Extension — parallel portfolio scaling: wall-clock speedup of the
+// shared-bound portfolio solver over the sequential branch-and-bound at
+// 1/2/4/8 threads on the paper's kernels (Table 2/3 regime). Self-checks
+// that every thread count proves the same optimal makespan the sequential
+// solver finds; exits non-zero on any parity or optimality failure.
+#include "common.hpp"
+
+#include <vector>
+
+#include "revec/sched/model.hpp"
+#include "revec/support/stopwatch.hpp"
+
+using namespace revec;
+
+namespace {
+
+struct Run {
+    sched::Schedule schedule;
+    double wall_ms = 0.0;
+};
+
+Run timed_schedule(const ir::Graph& g, const arch::ArchSpec& spec, int threads) {
+    sched::ScheduleOptions opts;
+    opts.spec = spec;
+    opts.timeout_ms = 60000;
+    opts.solver.threads = threads;
+    const Stopwatch watch;
+    Run r;
+    r.schedule = sched::schedule_kernel(g, opts);
+    r.wall_ms = watch.elapsed_ms();
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Extension — portfolio solver scaling (1/2/4/8 threads)",
+                  "§3.5 search, parallelised as a diversified portfolio with a "
+                  "shared best bound");
+
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    struct K {
+        const char* name;
+        ir::Graph g;
+    } kernels[] = {{"MATMUL", bench::kernel_matmul()},
+                   {"QRD", bench::kernel_qrd()},
+                   {"ARF", bench::kernel_arf()}};
+
+    Table t({"kernel", "threads", "makespan (cc)", "nodes (all workers)", "time (ms)",
+             "speedup", "status"});
+    bool all_ok = true;
+    double best_speedup_4t = 0.0;
+    for (const K& k : kernels) {
+        const Run seq = timed_schedule(k.g, spec, 1);
+        all_ok = all_ok && seq.schedule.proven_optimal();
+        for (const int threads : {1, 2, 4, 8}) {
+            const Run r = threads == 1 ? seq : timed_schedule(k.g, spec, threads);
+            const bool parity = r.schedule.proven_optimal() &&
+                                r.schedule.makespan == seq.schedule.makespan;
+            all_ok = all_ok && parity;
+            const double speedup = r.wall_ms > 0.0 ? seq.wall_ms / r.wall_ms : 0.0;
+            if (threads == 4 && speedup > best_speedup_4t) best_speedup_4t = speedup;
+            t.add_row({k.name, std::to_string(threads),
+                       r.schedule.feasible() ? std::to_string(r.schedule.makespan) : "-",
+                       std::to_string(r.schedule.stats.nodes), format_fixed(r.wall_ms, 1),
+                       threads == 1 ? "1.00x" : format_fixed(speedup, 2) + "x",
+                       parity ? "optimal, parity" : "MISMATCH"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "best 4-thread speedup: " << format_fixed(best_speedup_4t, 2) << "x\n";
+    bench::note("the shared incumbent is what scales: a diversified worker finds a "
+                "near-optimal makespan early, and every other worker's tree collapses "
+                "under the tightened bound — superlinear speedups on MATMUL are the "
+                "portfolio effect, not parallel tree splitting.");
+    std::cout << (all_ok ? "\nall thread counts prove the sequential optimum\n"
+                         : "\nPARITY FAILURES PRESENT\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,13 +1,16 @@
 // Quickstart: write a kernel in the DSL, schedule it with memory
 // allocation, generate machine code, and run it on the simulator.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--threads=N | --portfolio]
 //
 // The program computes one Gram-Schmidt step on two complex vectors:
 //   q = a / ||a||,  r = <b, q>,  b' = b - r q
 // and prints the IR statistics, the optimal schedule, the machine listing,
 // and the simulated-vs-reference outputs.
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <thread>
 
 #include "revec/codegen/codegen.hpp"
 #include "revec/dsl/ops.hpp"
@@ -19,7 +22,28 @@
 
 using namespace revec;
 
-int main() {
+int main(int argc, char** argv) {
+    // Optional: solve with the parallel portfolio instead of the
+    // sequential branch-and-bound (same optimum either way).
+    int threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--portfolio") {
+            const unsigned hw = std::thread::hardware_concurrency();
+            threads = static_cast<int>(std::min(hw == 0 ? 4u : hw, 8u));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            try {
+                threads = std::max(1, std::stoi(arg.substr(10)));
+            } catch (const std::exception&) {
+                std::cerr << "quickstart: bad --threads value '" << arg.substr(10) << "'\n";
+                return 2;
+            }
+        } else {
+            std::cerr << "usage: quickstart [--threads=N | --portfolio]\n";
+            return 2;
+        }
+    }
+
     // 1. Write the kernel in the DSL. Every operation computes its value
     //    eagerly (debug it like ordinary code) and traces an IR node.
     dsl::Program program("gram_schmidt_step");
@@ -50,10 +74,13 @@ int main() {
     // 3. Schedule + memory allocation with the CP model.
     sched::ScheduleOptions opts;
     opts.spec = spec;
+    opts.solver.threads = threads;
     const sched::Schedule sched = sched::schedule_kernel(g, opts);
     std::cout << "schedule: makespan=" << sched.makespan << " cc, slots used="
               << sched.slots_used << ", solver " << sched.stats.nodes << " nodes in "
-              << sched.stats.time_ms << " ms\n";
+              << sched.stats.time_ms << " ms"
+              << (threads > 1 ? " (" + std::to_string(threads) + "-worker portfolio)" : "")
+              << "\n";
     const auto problems = sched::verify_schedule(spec, g, sched);
     std::cout << "independent verification: "
               << (problems.empty() ? "clean" : problems.front()) << "\n\n";

@@ -1,0 +1,268 @@
+#include "revec/cp/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <thread>
+
+#include "revec/support/assert.hpp"
+#include "revec/support/rng.hpp"
+#include "revec/support/stopwatch.hpp"
+
+namespace revec::cp {
+
+namespace {
+
+constexpr std::int64_t kNoBound = std::numeric_limits<std::int64_t>::max();
+
+/// Rewrite the builder's phases according to one diversification row.
+std::vector<Phase> apply_config(std::vector<Phase> phases, const WorkerConfig& cfg) {
+    if (cfg.flatten_phases) {
+        Phase all;
+        for (const Phase& p : phases) {
+            all.vars.insert(all.vars.end(), p.vars.begin(), p.vars.end());
+        }
+        all.var_select = cfg.var_select;
+        all.val_select = cfg.val_select;
+        all.label = "flat";
+        return {all};
+    }
+    if (!cfg.keep_phase_heuristics) {
+        for (Phase& p : phases) {
+            p.var_select = cfg.var_select;
+            p.val_select = cfg.val_select;
+        }
+    }
+    return phases;
+}
+
+struct WorkerSlot {
+    WorkerReport report;
+    std::vector<int> best;  ///< best assignment across restarts
+    std::exception_ptr error;
+};
+
+/// One portfolio worker: rebuild the model, run the (possibly restarting)
+/// DFS against the shared bound, and fill `slot`.
+void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
+                const SearchOptions& base, const RestartPolicy& policy,
+                std::atomic<bool>& stop, std::atomic<std::int64_t>& shared,
+                WorkerSlot& slot) {
+    try {
+        Store store;
+        const PostedModel model = build(store);
+        const std::vector<Phase> phases = apply_config(model.phases, cfg);
+
+        SearchOptions opts = base;
+        opts.stop = &stop;
+        opts.shared_bound = model.objective.valid() ? &shared : nullptr;
+        opts.value_jitter_seed = cfg.jitter_seed;
+
+        XorShift reseed(cfg.jitter_seed == 0 ? 0x7f4a7c15u : cfg.jitter_seed);
+        std::int64_t restart_limit = cfg.restarts ? policy.initial_failures : -1;
+        std::int64_t local_best = kNoBound;
+
+        while (true) {
+            // Per-solve failure budget: the restart limit, clipped so the
+            // caller's overall per-worker limit is still honored.
+            std::int64_t limit = restart_limit;
+            if (base.max_failures >= 0) {
+                const std::int64_t remaining =
+                    std::max<std::int64_t>(0, base.max_failures - slot.report.stats.failures);
+                limit = limit < 0 ? remaining : std::min(limit, remaining);
+            }
+            opts.max_failures = limit;
+
+            const SolveResult r = solve(store, phases, model.objective, opts);
+            slot.report.stats.absorb(r.stats);
+            slot.report.status = r.status;
+            if (r.has_solution()) {
+                const std::int64_t obj =
+                    model.objective.valid() ? r.value_of(model.objective) : 0;
+                if (slot.best.empty() || obj < local_best) {
+                    slot.best = r.best;
+                    local_best = obj;
+                    slot.report.best_objective = obj;
+                }
+            }
+
+            if (r.status == SolveStatus::Optimal || r.status == SolveStatus::Unsat) {
+                // Genuine exhaustion of the bound-pruned tree: with any
+                // incumbent (ours or shared) this proves global optimality.
+                slot.report.proved = true;
+                break;
+            }
+            // Timeout / SatTimeout: cancelled, out of wall clock, out of the
+            // caller's failure budget, or (restart workers) out of the
+            // per-restart failure limit. Only the last one restarts.
+            if (stop.load(std::memory_order_relaxed) || base.deadline.expired()) break;
+            if (base.max_failures >= 0 &&
+                slot.report.stats.failures > base.max_failures) {
+                break;
+            }
+            if (restart_limit < 0) break;
+            ++slot.report.stats.restarts;
+            restart_limit =
+                static_cast<std::int64_t>(static_cast<double>(restart_limit) * policy.growth) +
+                1;
+            opts.value_jitter_seed = reseed.next() | 1u;
+        }
+        if (slot.report.proved) stop.store(true, std::memory_order_release);
+    } catch (...) {
+        slot.error = std::current_exception();
+        stop.store(true, std::memory_order_release);
+    }
+}
+
+}  // namespace
+
+WorkerConfig diversified_config(int k, std::uint32_t seed, const RestartPolicy& policy) {
+    REVEC_EXPECTS(k >= 0);
+    WorkerConfig c;
+    if (k == 0) {
+        // The paper's own heuristics; bit-compatible with the sequential
+        // solver so a 1-thread portfolio matches its node counts exactly.
+        c.label = "baseline";
+        return c;
+    }
+    XorShift rng(seed + 0x9e3779b9u * static_cast<std::uint32_t>(k));
+    switch ((k - 1) % 6) {
+        case 0:
+            c.var_select = VarSelect::MinDomain;
+            c.val_select = ValSelect::Min;
+            c.keep_phase_heuristics = false;
+            c.label = "first-fail/min";
+            break;
+        case 1:
+            c.var_select = VarSelect::SmallestMin;
+            c.val_select = ValSelect::Median;
+            c.keep_phase_heuristics = false;
+            c.label = "smallest-min/median";
+            break;
+        case 2:
+            c.var_select = VarSelect::MinDomain;
+            c.val_select = ValSelect::Min;
+            c.keep_phase_heuristics = false;
+            c.flatten_phases = true;
+            c.label = "flat/first-fail";
+            break;
+        case 3:
+            c.restarts = policy.enabled;
+            c.jitter_seed = rng.next() | 1u;
+            c.label = "baseline/restart-jitter";
+            break;
+        case 4:
+            c.var_select = VarSelect::InputOrder;
+            c.val_select = ValSelect::Min;
+            c.keep_phase_heuristics = false;
+            c.label = "input-order/min";
+            break;
+        case 5:
+            c.var_select = VarSelect::MinDomain;
+            c.val_select = ValSelect::Median;
+            c.keep_phase_heuristics = false;
+            c.restarts = policy.enabled;
+            c.jitter_seed = rng.next() | 1u;
+            c.label = "first-fail/median/restart";
+            break;
+    }
+    if (k > 6) {
+        // Fleets past one full table cycle get fresh jitter for diversity.
+        c.jitter_seed = rng.next() | 1u;
+        c.label += "#" + std::to_string(k);
+    }
+    return c;
+}
+
+SolveResult PortfolioResult::to_solve_result() const {
+    SolveResult r;
+    r.status = status;
+    r.stats = stats;
+    r.best = best;
+    return r;
+}
+
+PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& config,
+                                const SearchOptions& options) {
+    REVEC_EXPECTS(config.threads >= 1);
+    REVEC_EXPECTS(options.stop == nullptr && options.shared_bound == nullptr);
+    Stopwatch watch;
+
+    const int n = config.threads;
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> shared{kNoBound};
+
+    std::vector<WorkerConfig> cfgs;
+    cfgs.reserve(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+        cfgs.push_back(diversified_config(k, config.seed, config.restart_policy));
+    }
+    std::vector<WorkerSlot> slots(static_cast<std::size_t>(n));
+
+    if (n == 1) {
+        run_worker(build, cfgs[0], options, config.restart_policy, stop, shared, slots[0]);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(n));
+        for (int k = 0; k < n; ++k) {
+            threads.emplace_back([&, k] {
+                run_worker(build, cfgs[static_cast<std::size_t>(k)], options,
+                           config.restart_policy, stop, shared,
+                           slots[static_cast<std::size_t>(k)]);
+            });
+        }
+        for (std::thread& t : threads) t.join();
+    }
+
+    for (const WorkerSlot& slot : slots) {
+        if (slot.error) std::rethrow_exception(slot.error);
+    }
+
+    PortfolioResult out;
+    bool any_proof = false;
+    std::int64_t best_obj = kNoBound;
+    for (int k = 0; k < n; ++k) {
+        WorkerSlot& slot = slots[static_cast<std::size_t>(k)];
+        slot.report.config_index = k;
+        slot.report.label = cfgs[static_cast<std::size_t>(k)].label;
+        out.stats.absorb(slot.report.stats);
+        any_proof = any_proof || slot.report.proved;
+        // Deterministic merge: best objective first, then lowest config
+        // index (strict < keeps the earlier worker on ties).
+        if (!slot.best.empty() && slot.report.best_objective < best_obj) {
+            best_obj = slot.report.best_objective;
+            out.best = slot.best;
+            out.winner = k;
+        }
+        out.workers.push_back(slot.report);
+    }
+    out.status = any_proof
+                     ? (out.has_solution() ? SolveStatus::Optimal : SolveStatus::Unsat)
+                     : (out.has_solution() ? SolveStatus::SatTimeout : SolveStatus::Timeout);
+
+    // Canonical replay: thread timing decides which worker first reports the
+    // optimal objective, so the *assignment* above can differ run to run
+    // even though the objective cannot. Re-derive it deterministically with
+    // the baseline configuration under the proven bound.
+    if (config.canonical_replay && n > 1 && out.status == SolveStatus::Optimal &&
+        out.has_solution()) {
+        Store store;
+        const PostedModel model = build(store);
+        if (model.objective.valid() && store.set_max(model.objective, best_obj)) {
+            SearchOptions replay_opts;
+            replay_opts.deadline = options.deadline;
+            replay_opts.stop_at_first_solution = true;
+            const SolveResult replay = solve(store, model.phases, model.objective, replay_opts);
+            out.stats.absorb(replay.stats);
+            if (replay.has_solution() && replay.value_of(model.objective) == best_obj) {
+                out.best = replay.best;
+            }
+        }
+    }
+
+    out.stats.time_ms = watch.elapsed_ms();
+    return out;
+}
+
+}  // namespace revec::cp

@@ -1,0 +1,116 @@
+// Parallel portfolio branch-and-bound (tentpole of the solver-parallelism
+// work): N workers run the sequential DFS of search.hpp over *diversified*
+// configurations of the same model — permuted variable/value-selection
+// heuristics, flattened phases, failure-limited restarts with RNG-jittered
+// value ordering — against independent stores rebuilt through a re-posting
+// hook. All workers share a single atomic incumbent objective, so any
+// worker's improvement immediately prunes every other worker; the first
+// worker to exhaust its (bound-pruned) search space proves optimality for
+// the whole portfolio and cooperatively cancels the rest.
+//
+// Determinism: the merged result picks the best objective, breaking ties
+// toward the lowest configuration index. Which worker *reports* the winning
+// objective can still vary with thread timing, so after a proven-optimal
+// parallel run the reported assignment is re-derived by a deterministic
+// bounded sequential pass over the baseline configuration (canonical
+// replay); repeated runs with the same seed and thread count then return
+// bit-identical solutions. With one worker the portfolio is bit-compatible
+// with the sequential solver (same tree, same node counts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "revec/cp/search.hpp"
+#include "revec/cp/store.hpp"
+
+namespace revec::cp {
+
+/// Failure-limited restart policy for the restart-flavored workers.
+/// Geometric growth keeps restart workers complete: the limit eventually
+/// exceeds any finite search space.
+struct RestartPolicy {
+    bool enabled = true;
+    std::int64_t initial_failures = 512;
+    double growth = 2.0;
+};
+
+/// Portfolio knob threaded through the scheduling layers: how many workers,
+/// how restart workers behave, and the seed feeding the jitter RNGs.
+struct SolverConfig {
+    int threads = 1;
+    RestartPolicy restart_policy;
+    std::uint32_t seed = 0x5eedu;
+
+    /// Re-derive a proven-optimal parallel result with a deterministic
+    /// bounded sequential pass so repeated runs return identical
+    /// assignments, not just identical objectives.
+    bool canonical_replay = true;
+};
+
+/// What the re-posting hook returns: the search phases and the objective
+/// (an invalid objective makes it a satisfaction problem).
+struct PostedModel {
+    std::vector<Phase> phases;
+    IntVar objective;
+};
+
+/// Re-posting hook: build the model into the given (fresh) store. Must be
+/// deterministic — every call creates identical variables (same indices in
+/// creation order) and constraints — and safe to invoke concurrently on
+/// distinct stores.
+using ModelBuilder = std::function<PostedModel(Store&)>;
+
+/// One row of the diversification table.
+struct WorkerConfig {
+    VarSelect var_select = VarSelect::SmallestMin;
+    ValSelect val_select = ValSelect::Min;
+    bool keep_phase_heuristics = true;  ///< use the builder's per-phase heuristics
+    bool flatten_phases = false;        ///< merge all phases into a single phase
+    bool restarts = false;              ///< failure-limited restarts with jitter
+    std::uint32_t jitter_seed = 0;      ///< 0 = no value jitter
+    std::string label;
+};
+
+/// Configuration for worker `k`. Worker 0 is always the baseline (the
+/// builder's own heuristics, no restarts) so a 1-thread portfolio explores
+/// exactly the sequential tree.
+WorkerConfig diversified_config(int k, std::uint32_t seed, const RestartPolicy& policy);
+
+/// Per-worker outcome, kept for diagnostics and the scaling bench.
+struct WorkerReport {
+    int config_index = 0;
+    std::string label;
+    SolveStatus status = SolveStatus::Timeout;
+    SearchStats stats;
+    std::int64_t best_objective = -1;  ///< -1 = this worker found no solution
+    bool proved = false;               ///< exhausted its bound-pruned tree
+};
+
+/// Merged portfolio outcome. `best` holds the winning assignment indexed by
+/// IntVar::index() against any store the builder produces.
+struct PortfolioResult {
+    SolveStatus status = SolveStatus::Unsat;
+    SearchStats stats;       ///< merged over all workers (plus the replay pass)
+    std::vector<int> best;   ///< empty when no worker found a solution
+    int winner = -1;         ///< config index that produced `best`
+    std::vector<WorkerReport> workers;
+
+    bool has_solution() const { return !best.empty(); }
+    int value_of(IntVar x) const { return best.at(static_cast<std::size_t>(x.index())); }
+
+    /// Adapter for call sites written against the sequential solver.
+    SolveResult to_solve_result() const;
+};
+
+/// Minimize the built model's objective (or find a first solution when the
+/// objective is invalid) with `config.threads` diversified workers sharing
+/// one incumbent bound. `options.deadline` and `options.max_failures` apply
+/// to every worker individually; `options.stop`/`shared_bound` must be
+/// null — the portfolio owns those.
+PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& config,
+                                const SearchOptions& options = {});
+
+}  // namespace revec::cp

@@ -1,12 +1,16 @@
 #include "revec/cp/search.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "revec/support/assert.hpp"
+#include "revec/support/rng.hpp"
 
 namespace revec::cp {
 
 namespace {
+
+constexpr std::int64_t kNoBound = std::numeric_limits<std::int64_t>::max();
 
 /// Pick the branching variable of a phase, or invalid if all are fixed.
 IntVar pick_var(const Store& s, const Phase& phase) {
@@ -25,20 +29,26 @@ IntVar pick_var(const Store& s, const Phase& phase) {
     return best;
 }
 
-int pick_value(const Store& s, const Phase& phase, IntVar x) {
+/// The `target`-th smallest value of a domain.
+int nth_value(const Domain& d, std::int64_t target) {
+    std::int64_t i = 0;
+    int found = d.min();
+    d.for_each([&](int v) {
+        if (i++ == target) found = v;
+    });
+    return found;
+}
+
+int pick_value(const Store& s, const Phase& phase, IntVar x, XorShift* jitter) {
     const Domain& d = s.dom(x);
+    if (jitter != nullptr && d.size() > 1 && jitter->below(4) == 0) {
+        const auto span = static_cast<int>(std::min<std::int64_t>(d.size(), 1 << 20));
+        return nth_value(d, jitter->below(span));
+    }
     switch (phase.val_select) {
         case ValSelect::Min: return d.min();
         case ValSelect::Max: return d.max();
-        case ValSelect::Median: {
-            const std::int64_t target = d.size() / 2;
-            std::int64_t i = 0;
-            int median = d.min();
-            d.for_each([&](int v) {
-                if (i++ == target) median = v;
-            });
-            return median;
-        }
+        case ValSelect::Median: return nth_value(d, d.size() / 2);
     }
     REVEC_UNREACHABLE("bad ValSelect");
 }
@@ -48,10 +58,11 @@ struct Decision {
     int value;
 };
 
-std::optional<Decision> choose(const Store& s, const std::vector<Phase>& phases) {
+std::optional<Decision> choose(const Store& s, const std::vector<Phase>& phases,
+                               XorShift* jitter) {
     for (const Phase& phase : phases) {
         const IntVar x = pick_var(s, phase);
-        if (x.valid()) return Decision{x, pick_value(s, phase, x)};
+        if (x.valid()) return Decision{x, pick_value(s, phase, x, jitter)};
     }
     return std::nullopt;
 }
@@ -71,6 +82,9 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
     SolveResult result;
     std::vector<Frame> frames;
 
+    XorShift jitter_rng(options.value_jitter_seed);
+    XorShift* jitter = options.value_jitter_seed != 0 ? &jitter_rng : nullptr;
+
     bool have_best = false;
     std::int64_t best_obj = 0;
 
@@ -82,6 +96,32 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
         ++result.stats.solutions;
     };
 
+    /// Publish a local improvement to the shared incumbent (atomic min).
+    const auto publish_bound = [&] {
+        if (options.shared_bound == nullptr) return;
+        std::int64_t cur = options.shared_bound->load(std::memory_order_relaxed);
+        while (best_obj < cur &&
+               !options.shared_bound->compare_exchange_weak(cur, best_obj,
+                                                            std::memory_order_relaxed)) {
+        }
+    };
+
+    /// Install objective <= cutoff-1, where cutoff is the tightest of the
+    /// local and shared incumbents. Returns false when the bound empties
+    /// the objective's domain (the subtree cannot improve).
+    const auto install_cutoff = [&]() -> bool {
+        if (!objective.valid()) return true;
+        std::int64_t cutoff = have_best ? best_obj : kNoBound;
+        if (options.shared_bound != nullptr) {
+            cutoff = std::min(cutoff,
+                              options.shared_bound->load(std::memory_order_relaxed));
+        }
+        if (cutoff == kNoBound) return true;
+        if (store.set_max(objective, cutoff - 1)) return true;
+        ++result.stats.cutoff_prunes;
+        return false;
+    };
+
     const auto finish = [&](SolveStatus status) {
         // Unwind so the caller gets the store back at root level.
         while (store.level() > 0) store.pop_level();
@@ -91,6 +131,9 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
     };
 
     const auto out_of_budget = [&] {
+        if (options.stop != nullptr && options.stop->load(std::memory_order_relaxed)) {
+            return true;
+        }
         if (options.deadline.expired()) return true;
         return options.max_failures >= 0 && result.stats.failures > options.max_failures;
     };
@@ -101,7 +144,7 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
             return finish(have_best ? SolveStatus::SatTimeout : SolveStatus::Timeout);
         }
         if (ok) {
-            const auto decision = choose(store, phases);
+            const auto decision = choose(store, phases, jitter);
             if (!decision.has_value()) {
                 record_solution();
                 if (!objective.valid() || options.stop_at_first_solution) {
@@ -109,6 +152,7 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
                 }
                 best_obj = store.min(objective);
                 have_best = true;
+                publish_bound();
                 ok = false;  // force backtracking to look for better solutions
                 continue;
             }
@@ -116,7 +160,7 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
             frames.push_back({decision->var, decision->value, false});
             store.push_level();
             ok = store.assign(decision->var, decision->value);
-            if (ok && have_best) ok = store.set_max(objective, best_obj - 1);
+            if (ok) ok = install_cutoff();
             if (ok) ok = store.propagate();
         } else {
             ++result.stats.failures;
@@ -133,7 +177,7 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
                     ++result.stats.nodes;
                     store.push_level();
                     ok = store.remove(f.var, f.value);
-                    if (ok && have_best) ok = store.set_max(objective, best_obj - 1);
+                    if (ok) ok = install_cutoff();
                     if (ok) ok = store.propagate();
                     break;
                 }

@@ -5,6 +5,8 @@
 // next begins; we model that directly as a PhasedBrancher.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -51,6 +53,24 @@ struct SearchOptions {
     Deadline deadline;                 ///< wall-clock limit
     std::int64_t max_failures = -1;    ///< failure limit, -1 = unlimited
     bool stop_at_first_solution = false;
+
+    /// Cooperative cancellation (portfolio search). When non-null and set,
+    /// the search unwinds and returns Timeout/SatTimeout at the next node.
+    const std::atomic<bool>* stop = nullptr;
+
+    /// Shared branch-and-bound incumbent (portfolio search). When non-null,
+    /// the effective cutoff at every node is min(local incumbent, shared
+    /// value), and every local improvement is published back with an atomic
+    /// minimum, so one worker's solution immediately prunes all others.
+    /// The sentinel value INT64_MAX means "no incumbent yet".
+    std::atomic<std::int64_t>* shared_bound = nullptr;
+
+    /// Non-zero enables RNG-jittered value selection: with probability 1/4
+    /// a uniformly random domain value replaces the heuristic choice.
+    /// Completeness is unaffected (the right branch removes the value);
+    /// only the order solutions are discovered in changes. Used by
+    /// restart-flavored portfolio workers to diversify across restarts.
+    std::uint32_t value_jitter_seed = 0;
 };
 
 /// Search statistics.
@@ -58,7 +78,19 @@ struct SearchStats {
     std::int64_t nodes = 0;
     std::int64_t failures = 0;
     std::int64_t solutions = 0;
+    std::int64_t cutoff_prunes = 0;  ///< branches cut by the incumbent bound
+    std::int64_t restarts = 0;       ///< failure-limited restarts (portfolio)
     double time_ms = 0.0;
+
+    /// Accumulate another worker's counters (portfolio merge). time_ms is
+    /// wall-clock, not CPU time, so the caller sets it separately.
+    void absorb(const SearchStats& other) {
+        nodes += other.nodes;
+        failures += other.failures;
+        solutions += other.solutions;
+        cutoff_prunes += other.cutoff_prunes;
+        restarts += other.restarts;
+    }
 };
 
 /// The outcome of a solve: status, statistics, and (when a solution was

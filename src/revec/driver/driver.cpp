@@ -1,6 +1,8 @@
 #include "revec/driver/driver.hpp"
 
+#include <algorithm>
 #include <ostream>
+#include <thread>
 
 #include "revec/arch/spec_io.hpp"
 #include "revec/codegen/codegen.hpp"
@@ -33,6 +35,10 @@ options:
   --no-memory        schedule without memory allocation
   --include-reconfigs  reconfiguration-aware modulo model (with --emit=modulo)
   --simulate         execute the generated code and check the outputs
+  --threads=N        parallel portfolio workers sharing one incumbent bound
+                     (default 1 = the sequential solver)
+  --portfolio        shorthand for --threads=<hardware concurrency, max 8>
+  --seed=N           portfolio diversification seed (default 0x5eed)
   --lanes=N          override the number of vector lanes
   --arch=FILE        architecture description XML (see arch/spec_io.hpp)
   --save-schedule=F  write the schedule artifact XML to F
@@ -61,6 +67,14 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
                 opts.emit != "stats" && opts.emit != "modulo") {
                 throw Error("unknown --emit value '" + opts.emit + "'");
             }
+        } else if (arg == "--portfolio") {
+            const unsigned hw = std::thread::hardware_concurrency();
+            opts.threads = static_cast<int>(std::min(hw == 0 ? 4u : hw, 8u));
+        } else if (starts_with(arg, "--threads=")) {
+            opts.threads = static_cast<int>(parse_int(arg.substr(10)));
+            if (opts.threads < 1) throw Error("--threads must be >= 1");
+        } else if (starts_with(arg, "--seed=")) {
+            opts.seed = static_cast<std::uint32_t>(parse_int(arg.substr(7)));
         } else if (starts_with(arg, "--slots=")) {
             opts.num_slots = static_cast<int>(parse_int(arg.substr(8)));
         } else if (starts_with(arg, "--timeout-ms=")) {
@@ -117,6 +131,8 @@ int emit_modulo(const Options& options, const arch::ArchSpec& spec, const ir::Gr
     mopts.spec = spec;
     mopts.include_reconfigs = options.include_reconfigs;
     mopts.timeout_ms = options.timeout_ms;
+    mopts.solver.threads = options.threads;
+    mopts.solver.seed = options.seed;
     const pipeline::ModuloResult r = pipeline::modulo_schedule(g, mopts);
     if (!r.feasible()) {
         out << "modulo scheduling failed (status "
@@ -151,6 +167,8 @@ int run(const Options& options, std::ostream& out) {
     sopts.num_slots = options.num_slots;
     sopts.timeout_ms = options.timeout_ms;
     sopts.memory_allocation = options.memory;
+    sopts.solver.threads = options.threads;
+    sopts.solver.seed = options.seed;
     const sched::Schedule s = sched::schedule_kernel(g, sopts);
     if (!s.feasible()) {
         out << "scheduling failed: "
@@ -178,6 +196,16 @@ int run(const Options& options, std::ostream& out) {
         out << "slots used:  " << s.slots_used << "\n";
         out << "solve:       " << s.stats.nodes << " nodes, " << s.stats.failures
             << " failures, " << format_fixed(s.stats.time_ms, 0) << " ms\n";
+        for (const cp::WorkerReport& w : s.workers) {
+            out << "  worker " << w.config_index << " [" << w.label << "]: " << w.stats.nodes
+                << " nodes, " << w.stats.failures << " failures, " << w.stats.cutoff_prunes
+                << " bound prunes, " << w.stats.restarts << " restarts"
+                << (w.proved ? ", proved" : "")
+                << (w.best_objective >= 0
+                        ? ", best " + std::to_string(w.best_objective)
+                        : "")
+                << "\n";
+        }
     }
 
     if (options.emit == "listing" || options.simulate) {

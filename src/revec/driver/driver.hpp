@@ -5,6 +5,7 @@
 // the driver is unit-testable.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -24,6 +25,8 @@ struct Options {
     bool memory = true;               ///< allocate memory slots
     bool include_reconfigs = false;   ///< for --emit=modulo
     bool simulate = false;            ///< run the simulator after codegen
+    int threads = 1;                  ///< portfolio workers (1 = sequential solver)
+    std::uint32_t seed = 0x5eedu;     ///< portfolio diversification seed
     int lanes = -1;                   ///< override vector lanes (-1 = EIT)
     std::string arch_path;            ///< architecture description XML ("" = EIT)
     std::string save_schedule_path;   ///< write the schedule artifact here ("" = no)

@@ -95,21 +95,24 @@ int count_kernel_reconfigs(const arch::ArchSpec& spec, const ir::Graph& g,
 
 namespace {
 
-/// One decision-problem solve for a candidate II. When `minimize_reconfigs`
-/// the model contains per-residue configuration variables and minimizes the
-/// cyclic change count R; otherwise it is a pure feasibility problem.
-struct IiAttempt {
-    cp::SolveResult result;
-    std::vector<IntVar> residue_vars;  // parallel to all nodes (invalid for data)
-    std::vector<IntVar> stage_vars;
+/// Variable handles and phases of one build of the modulo model for a
+/// candidate II. Deterministic builds mean any build's handles index the
+/// solution of a solve over any other build (the portfolio re-posts the
+/// model per worker).
+struct ModuloModel {
+    std::vector<IntVar> residue;  // parallel to all nodes (invalid for data)
+    std::vector<IntVar> stage;
     IntVar reconfig_count;  // valid only when minimizing reconfigs
+    std::vector<cp::Phase> phases;
+    bool infeasible = false;  // budget contradiction found while building
 };
 
-IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int horizon,
-                 bool minimize_reconfigs, int reconfig_budget, const Deadline& deadline) {
+/// Post the §4.3 modulo model into a fresh store (the re-posting hook).
+ModuloModel build_modulo_model(cp::Store& store, const arch::ArchSpec& spec,
+                               const ir::Graph& g, int ii, int horizon,
+                               bool minimize_reconfigs, int reconfig_budget) {
     const int n = g.num_nodes();
     const std::vector<int> asap = ir::asap_times(spec, g);
-    cp::Store store;
 
     std::vector<IntVar> start(static_cast<std::size_t>(n));
     std::vector<IntVar> residue(static_cast<std::size_t>(n));
@@ -209,11 +212,11 @@ IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int hor
         const int r_lower = num_configs >= 2 ? num_configs : 0;
         const int r_upper = std::min(ii, reconfig_budget);
         if (r_upper < r_lower) {
-            IiAttempt infeasible;
-            infeasible.residue_vars = residue;
-            infeasible.stage_vars = stage;
-            infeasible.result.status = cp::SolveStatus::Unsat;
-            return infeasible;
+            ModuloModel out;
+            out.residue = std::move(residue);
+            out.stage = std::move(stage);
+            out.infeasible = true;
+            return out;
         }
         reconfig_count = store.new_var(r_lower, r_upper, "reconfigs");
         cp::post_linear_eq(store, {{1, reconfig_count}, {1, same_count}}, ii);
@@ -255,18 +258,65 @@ IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int hor
         phases.push_back({type_vars, cp::VarSelect::InputOrder, cp::ValSelect::Min, "configs"});
     }
 
-    cp::SearchOptions opts;
-    opts.deadline = deadline;
+    ModuloModel out;
+    out.residue = std::move(residue);
+    out.stage = std::move(stage);
+    out.reconfig_count = reconfig_count;
+    out.phases = std::move(phases);
+    return out;
+}
+
+/// One decision-problem solve for a candidate II. When `minimize_reconfigs`
+/// the model contains per-residue configuration variables and minimizes the
+/// cyclic change count R; otherwise it is a pure feasibility problem.
+struct IiAttempt {
+    cp::SolveResult result;
+    std::vector<IntVar> residue_vars;  // parallel to all nodes (invalid for data)
+    std::vector<IntVar> stage_vars;
+    IntVar reconfig_count;  // valid only when minimizing reconfigs
+};
+
+IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int horizon,
+                 bool minimize_reconfigs, int reconfig_budget, const Deadline& deadline,
+                 const cp::SolverConfig& solver) {
+    cp::Store store;
+    const ModuloModel m =
+        build_modulo_model(store, spec, g, ii, horizon, minimize_reconfigs, reconfig_budget);
 
     IiAttempt attempt;
-    attempt.residue_vars = residue;
-    attempt.stage_vars = stage;
-    attempt.reconfig_count = reconfig_count;
-    if (minimize_reconfigs && reconfig_count.valid()) {
-        attempt.result = cp::solve(store, phases, reconfig_count, opts);
-    } else {
-        attempt.result = cp::satisfy(store, phases, opts);
+    attempt.residue_vars = m.residue;
+    attempt.stage_vars = m.stage;
+    attempt.reconfig_count = m.reconfig_count;
+    if (m.infeasible) {
+        attempt.result.status = cp::SolveStatus::Unsat;
+        return attempt;
     }
+
+    cp::SearchOptions opts;
+    opts.deadline = deadline;
+    const IntVar objective =
+        minimize_reconfigs && m.reconfig_count.valid() ? m.reconfig_count : IntVar();
+
+    if (solver.threads <= 1) {
+        if (objective.valid()) {
+            attempt.result = cp::solve(store, m.phases, objective, opts);
+        } else {
+            attempt.result = cp::satisfy(store, m.phases, opts);
+        }
+        return attempt;
+    }
+    attempt.result =
+        cp::solve_portfolio(
+            [&](cp::Store& s) {
+                ModuloModel worker = build_modulo_model(s, spec, g, ii, horizon,
+                                                        minimize_reconfigs, reconfig_budget);
+                const IntVar obj = minimize_reconfigs && worker.reconfig_count.valid()
+                                       ? worker.reconfig_count
+                                       : IntVar();
+                return cp::PostedModel{std::move(worker.phases), obj};
+            },
+            solver, opts)
+            .to_solve_result();
     return attempt;
 }
 
@@ -306,7 +356,8 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
                 best.status = cp::SolveStatus::Timeout;
                 break;
             }
-            const IiAttempt attempt = try_ii(spec, g, ii, horizon, false, 0, deadline);
+            const IiAttempt attempt =
+                try_ii(spec, g, ii, horizon, false, 0, deadline, options.solver);
             if (attempt.result.has_solution()) {
                 extract(attempt, ii);
                 best.status = cp::SolveStatus::Optimal;
@@ -331,7 +382,8 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
             best_actual == INT32_MAX
                 ? g.num_nodes()
                 : std::max(0, (best_actual - 1 - ii) / std::max(1, spec.reconfig_cycles));
-        const IiAttempt attempt = try_ii(spec, g, ii, horizon, true, budget, deadline);
+        const IiAttempt attempt =
+            try_ii(spec, g, ii, horizon, true, budget, deadline, options.solver);
         if (!attempt.result.has_solution()) continue;
         const int r = attempt.result.value_of(attempt.reconfig_count);
         const int actual = ii + r * spec.reconfig_cycles;

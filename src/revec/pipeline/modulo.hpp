@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "revec/arch/spec.hpp"
+#include "revec/cp/portfolio.hpp"
 #include "revec/cp/search.hpp"
 #include "revec/ir/graph.hpp"
 
@@ -27,6 +28,9 @@ struct ModuloOptions {
     std::int64_t timeout_ms = -1;
     /// Give up beyond this initiation interval.
     int max_ii = 512;
+    /// Parallel portfolio search for each per-II solve (threads = 1 keeps
+    /// the sequential solver); see cp/portfolio.hpp.
+    cp::SolverConfig solver;
 };
 
 struct ModuloResult {

@@ -55,35 +55,26 @@ int derive_horizon(const arch::ArchSpec& spec, const ir::Graph& g) {
     return total;
 }
 
-}  // namespace
+/// Variable handles produced by one build of the scheduling model. Builds
+/// are deterministic, so the handles of any build index equally well into
+/// the solution vector of a solve over any other build (the portfolio
+/// relies on this: each worker re-posts the model into its own store).
+struct BuiltModel {
+    std::vector<IntVar> start;      ///< per node id
+    std::map<int, IntVar> slot_of;  ///< vector-data node id -> slot var
+    IntVar objective;
+    std::vector<cp::Phase> phases;
+};
 
-Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
-    options.spec.validate();
-    ir::validate_graph(g);
+/// Post the full §3.3–§3.5 model (variables, constraints, search phases)
+/// into a fresh store. This is the re-posting hook handed to the portfolio
+/// solver; `schedule_kernel` validates options and derives `num_slots` and
+/// `horizon` before any build.
+BuiltModel build_model(cp::Store& store, const ir::Graph& g, const ScheduleOptions& options,
+                       int num_slots, int horizon) {
     const arch::ArchSpec& spec = options.spec;
-
-    const int num_slots =
-        options.num_slots < 0 ? spec.memory.slots() : options.num_slots;
-    if (options.memory_allocation && num_slots > spec.memory.slots()) {
-        throw Error("num_slots exceeds the architecture's memory");
-    }
-
-    int horizon = options.horizon > 0 ? options.horizon : derive_horizon(spec, g);
-    if (!options.fixed_starts.empty()) {
-        // Slot-only mode: the horizon must cover the supplied schedule.
-        int fixed_end = 0;
-        for (const ir::Node& node : g.nodes()) {
-            const ir::NodeTiming t = ir::node_timing(spec, node);
-            fixed_end = std::max(fixed_end,
-                                 options.fixed_starts[static_cast<std::size_t>(node.id)] +
-                                     t.latency);
-        }
-        horizon = std::max(horizon, fixed_end + 2);
-    }
     const std::vector<int> asap = ir::asap_times(spec, g);
     const std::vector<int> alap = ir::alap_times(spec, g, horizon);
-
-    cp::Store store;
     const int n = g.num_nodes();
 
     // -- start-time variables, tightened by ASAP/ALAP ------------------------
@@ -230,11 +221,7 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     std::map<int, IntVar> page_of;
 
     if (options.memory_allocation) {
-        if (num_slots <= 0 && !vdata.empty()) {
-            Schedule infeasible;
-            infeasible.status = cp::SolveStatus::Unsat;
-            return infeasible;
-        }
+        REVEC_EXPECTS(num_slots > 0 || vdata.empty());  // checked by schedule_kernel
         const arch::MemoryGeometry geom = spec.memory;
         const int max_line = geom.line_of(num_slots - 1);
         const int max_page = geom.pages() - 1;
@@ -404,29 +391,87 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
         phases.push_back({all, cp::VarSelect::MinDomain, cp::ValSelect::Min, "all"});
     }
 
-    cp::SearchOptions search_opts;
-    search_opts.deadline = Deadline::after_ms(options.timeout_ms);
-    const cp::SolveResult result = cp::solve(store, phases, obj, search_opts);
+    return BuiltModel{std::move(start), std::move(slot_of), obj, std::move(phases)};
+}
 
-    // -- extract -------------------------------------------------------------------
+/// Fill a Schedule from any solver result exposing has_solution/value_of.
+template <typename Result>
+Schedule extract_schedule(const ir::Graph& g, const BuiltModel& m, const Result& result) {
     Schedule sched;
     sched.status = result.status;
     sched.stats = result.stats;
     if (!result.has_solution()) return sched;
 
-    sched.start.assign(static_cast<std::size_t>(n), 0);
-    sched.slot.assign(static_cast<std::size_t>(n), -1);
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    sched.start.assign(n, 0);
+    sched.slot.assign(n, -1);
     for (const ir::Node& node : g.nodes()) {
         sched.start[static_cast<std::size_t>(node.id)] =
-            result.value_of(start[static_cast<std::size_t>(node.id)]);
+            result.value_of(m.start[static_cast<std::size_t>(node.id)]);
     }
     std::set<int> used;
-    for (const auto& [d, var] : slot_of) {
+    for (const auto& [d, var] : m.slot_of) {
         sched.slot[static_cast<std::size_t>(d)] = result.value_of(var);
         used.insert(result.value_of(var));
     }
     sched.slots_used = static_cast<int>(used.size());
-    sched.makespan = result.value_of(obj);
+    sched.makespan = result.value_of(m.objective);
+    return sched;
+}
+
+}  // namespace
+
+Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
+    options.spec.validate();
+    ir::validate_graph(g);
+    const arch::ArchSpec& spec = options.spec;
+
+    const int num_slots =
+        options.num_slots < 0 ? spec.memory.slots() : options.num_slots;
+    if (options.memory_allocation && num_slots > spec.memory.slots()) {
+        throw Error("num_slots exceeds the architecture's memory");
+    }
+    if (options.memory_allocation && num_slots <= 0 &&
+        !g.nodes_of(ir::NodeCat::VectorData).empty()) {
+        Schedule infeasible;
+        infeasible.status = cp::SolveStatus::Unsat;
+        return infeasible;
+    }
+
+    int horizon = options.horizon > 0 ? options.horizon : derive_horizon(spec, g);
+    if (!options.fixed_starts.empty()) {
+        // Slot-only mode: the horizon must cover the supplied schedule.
+        int fixed_end = 0;
+        for (const ir::Node& node : g.nodes()) {
+            const ir::NodeTiming t = ir::node_timing(spec, node);
+            fixed_end = std::max(fixed_end,
+                                 options.fixed_starts[static_cast<std::size_t>(node.id)] +
+                                     t.latency);
+        }
+        horizon = std::max(horizon, fixed_end + 2);
+    }
+
+    cp::SearchOptions search_opts;
+    search_opts.deadline = Deadline::after_ms(options.timeout_ms);
+
+    // Reference build: supplies the variable handles for extraction and the
+    // store for the sequential path. Portfolio workers re-post the same
+    // model into their own stores through the builder hook.
+    cp::Store store;
+    const BuiltModel m = build_model(store, g, options, num_slots, horizon);
+
+    if (options.solver.threads <= 1) {
+        const cp::SolveResult result = cp::solve(store, m.phases, m.objective, search_opts);
+        return extract_schedule(g, m, result);
+    }
+    const cp::PortfolioResult result = cp::solve_portfolio(
+        [&](cp::Store& s) {
+            BuiltModel worker = build_model(s, g, options, num_slots, horizon);
+            return cp::PostedModel{std::move(worker.phases), worker.objective};
+        },
+        options.solver, search_opts);
+    Schedule sched = extract_schedule(g, m, result);
+    sched.workers = result.workers;
     return sched;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "revec/arch/spec.hpp"
+#include "revec/cp/portfolio.hpp"
 #include "revec/ir/graph.hpp"
 #include "revec/sched/schedule.hpp"
 
@@ -59,6 +60,11 @@ struct ScheduleOptions {
     /// simulator require; set false for the paper-literal model (used by
     /// the Table 1 reproduction for comparison).
     bool lifetime_includes_last_read = true;
+
+    /// Parallel portfolio search (§3.5 search, N diversified workers with a
+    /// shared branch-and-bound incumbent). threads = 1 runs the sequential
+    /// solver unchanged; see cp/portfolio.hpp for the knobs.
+    cp::SolverConfig solver;
 };
 
 /// Solve the scheduling (+ memory allocation) problem for one iteration of

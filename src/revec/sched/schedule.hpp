@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "revec/arch/spec.hpp"
+#include "revec/cp/portfolio.hpp"
 #include "revec/cp/search.hpp"
 #include "revec/ir/graph.hpp"
 
@@ -19,7 +20,11 @@ struct Schedule {
     int makespan = 0;        ///< latest completion time over all nodes
     int slots_used = 0;      ///< distinct memory slots referenced
     cp::SolveStatus status = cp::SolveStatus::Unsat;
-    cp::SearchStats stats;
+    cp::SearchStats stats;   ///< merged over all portfolio workers
+
+    /// Per-worker node/failure/cutoff-prune counters when the portfolio
+    /// solver ran (empty for a sequential solve).
+    std::vector<cp::WorkerReport> workers;
 
     bool feasible() const {
         return status == cp::SolveStatus::Optimal || status == cp::SolveStatus::SatTimeout;
