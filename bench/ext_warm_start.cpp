@@ -1,0 +1,117 @@
+// Extension — heuristic warm start: what the list-scheduler incumbent buys
+// the exact solver (B&B nodes and wall clock, cold vs warm) and what the
+// anytime fallback costs in schedule quality (heuristic makespan vs proven
+// optimum, and the deadline-0 path). Self-checks that warm and cold agree
+// on the optimum, that the seeded search visits strictly fewer nodes on
+// MATMUL/QRD, and that a zero deadline still yields a verify-clean
+// heuristic schedule; exits non-zero on any failure. Pass --smoke for the
+// CI-sized variant (MATMUL only, short deadlines).
+#include "common.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "revec/sched/model.hpp"
+#include "revec/sched/verify.hpp"
+#include "revec/support/stopwatch.hpp"
+
+using namespace revec;
+
+namespace {
+
+struct Run {
+    sched::Schedule schedule;
+    double wall_ms = 0.0;
+};
+
+Run timed_schedule(const ir::Graph& g, const sched::ScheduleOptions& opts) {
+    const Stopwatch watch;
+    Run r;
+    r.schedule = sched::schedule_kernel(g, opts);
+    r.wall_ms = watch.elapsed_ms();
+    return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+
+    bench::banner("Extension — heuristic warm start for the exact scheduler",
+                  "§3.5 search, seeded with a verified list-scheduler incumbent; "
+                  "greedy slot allocation per eqs. 6-9");
+
+    const arch::ArchSpec spec = arch::ArchSpec::eit();
+    struct K {
+        const char* name;
+        ir::Graph g;
+        bool strict_nodes;  ///< warm must explore strictly fewer B&B nodes
+    };
+    std::vector<K> kernels;
+    kernels.push_back({"MATMUL", bench::kernel_matmul(), true});
+    if (!smoke) {
+        kernels.push_back({"QRD", bench::kernel_qrd(), true});
+        kernels.push_back({"ARF", bench::kernel_arf(), false});
+    }
+    const int timeout_ms = smoke ? 10000 : 60000;
+
+    Table t({"kernel", "mode", "makespan (cc)", "nodes", "time (ms)", "status"});
+    bool all_ok = true;
+    for (const K& k : kernels) {
+        sched::ScheduleOptions cold_opts;
+        cold_opts.spec = spec;
+        cold_opts.timeout_ms = timeout_ms;
+        cold_opts.warm_start = false;
+        const Run cold = timed_schedule(k.g, cold_opts);
+
+        sched::ScheduleOptions warm_opts = cold_opts;
+        warm_opts.warm_start = true;
+        const Run warm = timed_schedule(k.g, warm_opts);
+
+        sched::ScheduleOptions heur_opts = cold_opts;
+        heur_opts.heuristic_only = true;
+        const Run heur = timed_schedule(k.g, heur_opts);
+
+        sched::ScheduleOptions zero_opts;
+        zero_opts.spec = spec;
+        zero_opts.timeout_ms = 0;
+        const Run zero = timed_schedule(k.g, zero_opts);
+
+        const bool parity = cold.schedule.proven_optimal() && warm.schedule.proven_optimal() &&
+                            warm.schedule.makespan == cold.schedule.makespan;
+        const bool pruned = k.strict_nodes
+                                ? warm.schedule.stats.nodes < cold.schedule.stats.nodes
+                                : warm.schedule.stats.nodes <= cold.schedule.stats.nodes;
+        const bool fallback_ok =
+            zero.schedule.status == cp::SolveStatus::HeuristicFallback &&
+            sched::verify_schedule(spec, k.g, zero.schedule).empty() &&
+            heur.schedule.feasible() &&
+            heur.schedule.makespan >= cold.schedule.makespan;
+        all_ok = all_ok && parity && pruned && fallback_ok;
+
+        const auto row = [&](const char* mode, const Run& r, const std::string& status) {
+            t.add_row({k.name, mode,
+                       r.schedule.feasible() ? std::to_string(r.schedule.makespan) : "-",
+                       std::to_string(r.schedule.stats.nodes), format_fixed(r.wall_ms, 1),
+                       status});
+        };
+        row("cold", cold, cold.schedule.proven_optimal() ? "optimal" : "NOT PROVEN");
+        row("warm", warm, parity ? (pruned ? "optimal, pruned" : "optimal, NOT PRUNED")
+                                 : "MISMATCH");
+        row("heuristic-only", heur,
+            heur.schedule.feasible()
+                ? "+" + std::to_string(heur.schedule.makespan - cold.schedule.makespan) +
+                      " cc vs optimum"
+                : "FAILED");
+        row("deadline 0", zero, fallback_ok ? "fallback, verified" : "FALLBACK FAILED");
+    }
+    t.print(std::cout);
+    bench::note("the warm tree is a subtree of the cold tree: the incumbent bound "
+                "prunes from the first branch, so node counts can only shrink. The "
+                "heuristic gap is the price of the anytime guarantee — a verified "
+                "schedule exists at every deadline, including zero.");
+    std::cout << (all_ok ? "\nwarm/cold parity, pruning, and fallback checks passed\n"
+                         : "\nWARM-START CHECK FAILURES PRESENT\n");
+    return all_ok ? 0 : 1;
+}

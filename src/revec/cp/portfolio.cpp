@@ -191,7 +191,10 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
 
     const int n = config.threads;
     std::atomic<bool> stop{false};
-    std::atomic<std::int64_t> shared{kNoBound};
+    // Warm start: a seeded incumbent makes every worker search strictly
+    // better objectives only. An exhausted search with no solution then
+    // reports Unsat, which the caller reads as "the seed was optimal".
+    std::atomic<std::int64_t> shared{config.initial_incumbent};
 
     std::vector<WorkerConfig> cfgs;
     cfgs.reserve(static_cast<std::size_t>(n));

@@ -48,6 +48,14 @@ struct SolverConfig {
     /// bounded sequential pass so repeated runs return identical
     /// assignments, not just identical objectives.
     bool canonical_replay = true;
+
+    /// Warm start: seed the shared incumbent bound with the objective value
+    /// of an externally known feasible solution (e.g. a heuristic
+    /// schedule). Every worker then only explores strictly better
+    /// objectives from the first node on. An exhausted search that found
+    /// nothing under this bound (status Unsat) proves the seeded solution
+    /// optimal. INT64_MAX (the default) means "no incumbent".
+    std::int64_t initial_incumbent = INT64_MAX;
 };
 
 /// What the re-posting hook returns: the search phases and the objective

@@ -46,6 +46,10 @@ enum class SolveStatus {
     Unsat,       ///< no solution exists
     SatTimeout,  ///< found solution(s) but hit the deadline/limit before proving optimality
     Timeout,     ///< hit the deadline/limit before finding any solution
+    /// The exact search found nothing in time, but a heuristic layer above
+    /// the solver supplied a verified feasible result (anytime fallback).
+    /// Never produced by solve()/satisfy() themselves.
+    HeuristicFallback,
 };
 
 /// Search configuration.

@@ -39,6 +39,10 @@ options:
                      (default 1 = the sequential solver)
   --portfolio        shorthand for --threads=<hardware concurrency, max 8>
   --seed=N           portfolio diversification seed (default 0x5eed)
+  --warm-start=MODE  on (default) seeds the exact search with a verified
+                     heuristic schedule and falls back to it on timeout;
+                     off runs the cold exact solver only
+  --heuristic-only   skip the exact solver; emit the heuristic schedule
   --lanes=N          override the number of vector lanes
   --arch=FILE        architecture description XML (see arch/spec_io.hpp)
   --save-schedule=F  write the schedule artifact XML to F
@@ -67,6 +71,17 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
                 opts.emit != "stats" && opts.emit != "modulo") {
                 throw Error("unknown --emit value '" + opts.emit + "'");
             }
+        } else if (starts_with(arg, "--warm-start=")) {
+            const std::string mode = arg.substr(13);
+            if (mode == "on") {
+                opts.warm_start = true;
+            } else if (mode == "off") {
+                opts.warm_start = false;
+            } else {
+                throw Error("--warm-start must be 'on' or 'off'");
+            }
+        } else if (arg == "--heuristic-only") {
+            opts.heuristic_only = true;
         } else if (arg == "--portfolio") {
             const unsigned hw = std::thread::hardware_concurrency();
             opts.threads = static_cast<int>(std::min(hw == 0 ? 4u : hw, 8u));
@@ -99,6 +114,28 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
 }
 
 namespace {
+
+/// Human-readable solve status for the reports.
+const char* status_word(cp::SolveStatus status) {
+    switch (status) {
+        case cp::SolveStatus::Optimal: return "proven optimal";
+        case cp::SolveStatus::Unsat: return "no solution exists (UNSAT)";
+        case cp::SolveStatus::SatTimeout: return "best found, optimality unproven (timeout)";
+        case cp::SolveStatus::Timeout: return "timeout without a solution";
+        case cp::SolveStatus::HeuristicFallback: return "heuristic fallback";
+    }
+    return "unknown";
+}
+
+/// Exit code for a feasible solve (see driver.hpp): Optimal -> 0,
+/// SatTimeout -> 4, HeuristicFallback -> 5.
+int feasible_exit_code(cp::SolveStatus status) {
+    switch (status) {
+        case cp::SolveStatus::SatTimeout: return 4;
+        case cp::SolveStatus::HeuristicFallback: return 5;
+        default: return 0;
+    }
+}
 
 arch::ArchSpec spec_for(const Options& options) {
     arch::ArchSpec spec = options.arch_path.empty() ? arch::ArchSpec::eit()
@@ -133,11 +170,12 @@ int emit_modulo(const Options& options, const arch::ArchSpec& spec, const ir::Gr
     mopts.timeout_ms = options.timeout_ms;
     mopts.solver.threads = options.threads;
     mopts.solver.seed = options.seed;
+    mopts.warm_start = options.warm_start;
+    mopts.heuristic_only = options.heuristic_only;
     const pipeline::ModuloResult r = pipeline::modulo_schedule(g, mopts);
     if (!r.feasible()) {
-        out << "modulo scheduling failed (status "
-            << (r.status == cp::SolveStatus::Unsat ? "UNSAT" : "timeout") << ")\n";
-        return 1;
+        out << "modulo scheduling failed (" << status_word(r.status) << ")\n";
+        return r.status == cp::SolveStatus::Unsat ? 1 : 6;
     }
     out << "II lower bound: " << r.ii_lower_bound << "\n";
     out << "initial II:     " << r.initial_ii << "\n";
@@ -145,7 +183,8 @@ int emit_modulo(const Options& options, const arch::ArchSpec& spec, const ir::Gr
     out << "actual II:      " << r.actual_ii << "\n";
     out << "throughput:     " << format_fixed(r.throughput, 4) << " iterations/cc\n";
     out << "solve time:     " << format_fixed(r.time_ms, 0) << " ms\n";
-    return 0;
+    out << "status:         " << status_word(r.status) << "\n";
+    return feasible_exit_code(r.status);
 }
 
 }  // namespace
@@ -169,13 +208,12 @@ int run(const Options& options, std::ostream& out) {
     sopts.memory_allocation = options.memory;
     sopts.solver.threads = options.threads;
     sopts.solver.seed = options.seed;
+    sopts.warm_start = options.warm_start;
+    sopts.heuristic_only = options.heuristic_only;
     const sched::Schedule s = sched::schedule_kernel(g, sopts);
     if (!s.feasible()) {
-        out << "scheduling failed: "
-            << (s.status == cp::SolveStatus::Unsat ? "no schedule exists (UNSAT)"
-                                                   : "timeout without a solution")
-            << "\n";
-        return 1;
+        out << "scheduling failed: " << status_word(s.status) << "\n";
+        return s.status == cp::SolveStatus::Unsat ? 1 : 6;
     }
     sched::VerifyOptions vo;
     vo.check_memory = options.memory;
@@ -191,8 +229,7 @@ int run(const Options& options, std::ostream& out) {
     }
 
     if (options.emit == "schedule") {
-        out << "makespan:    " << s.makespan << " cc ("
-            << (s.proven_optimal() ? "proven optimal" : "best found") << ")\n";
+        out << "makespan:    " << s.makespan << " cc (" << status_word(s.status) << ")\n";
         out << "slots used:  " << s.slots_used << "\n";
         out << "solve:       " << s.stats.nodes << " nodes, " << s.stats.failures
             << " failures, " << format_fixed(s.stats.time_ms, 0) << " ms\n";
@@ -228,7 +265,7 @@ int run(const Options& options, std::ostream& out) {
             if (!result.outputs_match) return 3;
         }
     }
-    return 0;
+    return feasible_exit_code(s.status);
 }
 
 }  // namespace revec::driver

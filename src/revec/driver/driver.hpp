@@ -27,6 +27,8 @@ struct Options {
     bool simulate = false;            ///< run the simulator after codegen
     int threads = 1;                  ///< portfolio workers (1 = sequential solver)
     std::uint32_t seed = 0x5eedu;     ///< portfolio diversification seed
+    bool warm_start = true;           ///< heuristic incumbent + anytime fallback
+    bool heuristic_only = false;      ///< skip the exact solver entirely
     int lanes = -1;                   ///< override vector lanes (-1 = EIT)
     std::string arch_path;            ///< architecture description XML ("" = EIT)
     std::string save_schedule_path;   ///< write the schedule artifact here ("" = no)
@@ -38,7 +40,15 @@ struct Options {
 std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& out);
 
 /// Run the flow and write the requested artifact to `out`.
-/// Returns a process exit code (0 success).
+///
+/// Exit codes distinguish how the solve ended:
+///   0  proven optimal (or a non-solver emit mode succeeded)
+///   1  no solution exists (UNSAT), or a non-solver usage error
+///   2  internal error: the schedule failed independent verification
+///   3  simulation mismatch or memory-rule violation
+///   4  feasible solution found, optimality unproven (solver timeout)
+///   5  heuristic fallback schedule returned (exact solver found nothing)
+///   6  timeout with no solution at all
 int run(const Options& options, std::ostream& out);
 
 /// Usage text.

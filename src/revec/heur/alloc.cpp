@@ -1,0 +1,182 @@
+#include "revec/heur/alloc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::heur {
+
+namespace {
+
+/// One vector datum to place: its occupied interval [begin, end) (eq. 10,
+/// with the verifier's executable-lifetime extensions) and the ids of the
+/// simultaneous-access groups it belongs to (eqs. 7-9).
+struct Item {
+    int node = -1;
+    int begin = 0;
+    int end = 0;  ///< begin + lifetime; empty interval when equal
+    std::vector<int> groups;
+};
+
+}  // namespace
+
+AllocResult allocate_slots(const arch::ArchSpec& spec, const ir::Graph& g,
+                           const std::vector<int>& start, const AllocOptions& options) {
+    REVEC_EXPECTS(start.size() == static_cast<std::size_t>(g.num_nodes()));
+    AllocResult result;
+    result.slot.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+
+    const std::vector<int> vdata = g.nodes_of(ir::NodeCat::VectorData);
+    if (vdata.empty()) {
+        result.ok = true;
+        return result;
+    }
+    if (options.num_slots <= 0) return result;
+
+    const auto s = [&](int id) { return start[static_cast<std::size_t>(id)]; };
+    int makespan = 0;
+    for (const ir::Node& node : g.nodes()) {
+        makespan = std::max(makespan, s(node.id) + ir::node_timing(spec, node).latency);
+    }
+
+    // Access groups, exactly as the verifier forms them: the vector-data
+    // inputs of all vector-core ops issued in one cycle (reads) and all
+    // vector data landing in one cycle (writes). Within a group, slots on
+    // one page must share a line.
+    std::map<int, int> read_group_at;   // cycle -> group id
+    std::map<int, int> write_group_at;  // cycle -> group id
+    std::vector<std::vector<int>> group_members;  // group id -> vdata node ids
+    const auto group_for = [&](std::map<int, int>& at, int cycle) {
+        const auto [it, inserted] = at.emplace(cycle, static_cast<int>(group_members.size()));
+        if (inserted) group_members.emplace_back();
+        return it->second;
+    };
+    std::vector<std::vector<int>> groups_of(static_cast<std::size_t>(g.num_nodes()));
+    const auto join = [&](int group, int d) {
+        group_members[static_cast<std::size_t>(group)].push_back(d);
+        groups_of[static_cast<std::size_t>(d)].push_back(group);
+    };
+    for (const ir::Node& node : g.nodes()) {
+        if (node.is_op() && ir::node_timing(spec, node).lanes > 0) {
+            for (const int p : g.preds(node.id)) {
+                if (g.node(p).cat == ir::NodeCat::VectorData) {
+                    join(group_for(read_group_at, s(node.id)), p);
+                }
+            }
+        }
+        if (node.cat == ir::NodeCat::VectorData && !g.preds(node.id).empty()) {
+            join(group_for(write_group_at, s(node.id)), node.id);
+        }
+    }
+
+    // Occupied intervals per datum (the verifier's life_of).
+    std::vector<Item> items;
+    items.reserve(vdata.size());
+    for (const int d : vdata) {
+        int last = s(d);
+        bool has_user = false;
+        for (const int succ : g.succs(d)) {
+            last = std::max(last, s(succ));
+            has_user = true;
+        }
+        int extra = options.lifetime_includes_last_read ? 1 : 0;
+        if (!has_user || g.node(d).is_output) {
+            last = std::max(last, makespan);
+            extra += 1;
+        } else if (g.preds(d).empty() && extra == 0) {
+            extra = 1;
+        }
+        Item item;
+        item.node = d;
+        item.begin = s(d);
+        item.end = last + extra;
+        item.groups = groups_of[static_cast<std::size_t>(d)];
+        std::sort(item.groups.begin(), item.groups.end());
+        items.push_back(item);
+    }
+
+    // Chronological placement order: start time, then longer lifetimes
+    // first (they are the hardest to fit), then node id for determinism.
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+        if (a.begin != b.begin) return a.begin < b.begin;
+        const int la = a.end - a.begin;
+        const int lb = b.end - b.begin;
+        if (la != lb) return la > lb;
+        return a.node < b.node;
+    });
+
+    const arch::MemoryGeometry& geom = spec.memory;
+    const int num_slots = std::min(options.num_slots, geom.slots());
+    std::vector<int> placed(items.size(), -1);  // chosen slot per item index
+
+    const auto shares_group = [](const Item& a, const Item& b) {
+        auto ia = a.groups.begin();
+        auto ib = b.groups.begin();
+        while (ia != a.groups.end() && ib != b.groups.end()) {
+            if (*ia == *ib) return true;
+            (*ia < *ib) ? ++ia : ++ib;
+        }
+        return false;
+    };
+
+    const auto feasible = [&](std::size_t k, int slot) {
+        const Item& d = items[k];
+        for (std::size_t j = 0; j < k; ++j) {
+            const Item& e = items[j];
+            const int es = placed[j];
+            if (es == slot) {
+                // eq. 11: no two live data in one slot (empty intervals
+                // occupy nothing), and never two distinct data of one
+                // access group in one slot.
+                const bool overlap = d.begin < e.end && e.begin < d.end &&
+                                     d.end > d.begin && e.end > e.begin;
+                if (overlap) return false;
+                if (shares_group(d, e)) return false;
+            } else if (geom.page_of(es) == geom.page_of(slot) &&
+                       geom.line_of(es) != geom.line_of(slot)) {
+                // eqs. 7-9: same page + different line is illegal within a
+                // simultaneous-access group.
+                if (shares_group(d, e)) return false;
+            }
+        }
+        return true;
+    };
+
+    // First-fit with chronological backtracking under a node budget.
+    std::int64_t budget = options.max_nodes;
+    std::size_t k = 0;
+    std::vector<int> next_slot(items.size(), 0);
+    while (k < items.size()) {
+        bool advanced = false;
+        for (int slot = next_slot[k]; slot < num_slots; ++slot) {
+            if (budget-- <= 0) return result;  // ok = false
+            if (!feasible(k, slot)) continue;
+            placed[k] = slot;
+            next_slot[k] = slot + 1;
+            ++k;
+            if (k < items.size()) next_slot[k] = 0;
+            advanced = true;
+            break;
+        }
+        if (!advanced) {
+            if (k == 0) return result;  // ok = false: no assignment exists
+            next_slot[k] = 0;
+            --k;
+            placed[k] = -1;
+        }
+    }
+
+    std::set<int> used;
+    for (std::size_t j = 0; j < items.size(); ++j) {
+        result.slot[static_cast<std::size_t>(items[j].node)] = placed[j];
+        used.insert(placed[j]);
+    }
+    result.slots_used = static_cast<int>(used.size());
+    result.ok = true;
+    return result;
+}
+
+}  // namespace revec::heur

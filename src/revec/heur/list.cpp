@@ -1,0 +1,178 @@
+#include "revec/heur/list.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "revec/ir/analysis.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::heur {
+
+namespace {
+
+/// Per-cycle reservation state. Maps keep the schedule sparse: only cycles
+/// something occupies are stored, so long latency gaps cost nothing.
+struct Reservations {
+    std::map<int, int> lanes;              ///< cycle -> vector lanes in use
+    std::map<int, std::string> config;     ///< cycle -> loaded configuration
+    std::map<int, int> scalar;             ///< cycle -> scalar issues
+    std::map<int, int> ixmerge;            ///< cycle -> index/merge issues
+    std::map<int, int> reads;              ///< cycle -> vector reads (issue time)
+    std::map<int, int> writes;             ///< cycle -> vector writes (landing time)
+    std::map<int, int> vector_issues;      ///< cycle -> vector-core ops issued
+};
+
+int count_at(const std::map<int, int>& m, int t) {
+    const auto it = m.find(t);
+    return it == m.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
+                                  const ListOptions& options) {
+    const int n = g.num_nodes();
+    ListResult result;
+    result.start.assign(static_cast<std::size_t>(n), 0);
+
+    // Priority: least slack first (ALAP - ASAP against the critical-path
+    // horizon), then earliest ALAP, then input order. Critical-path
+    // operations have zero slack and always go first.
+    const int cp = ir::critical_path_length(spec, g);
+    const std::vector<int> asap = ir::asap_times(spec, g);
+    const std::vector<int> alap = ir::alap_times(spec, g, cp);
+    const auto priority_before = [&](int a, int b) {
+        const auto ia = static_cast<std::size_t>(a);
+        const auto ib = static_cast<std::size_t>(b);
+        const int slack_a = alap[ia] - asap[ia];
+        const int slack_b = alap[ib] - asap[ib];
+        if (slack_a != slack_b) return slack_a < slack_b;
+        if (alap[ia] != alap[ib]) return alap[ia] < alap[ib];
+        return a < b;
+    };
+
+    std::vector<int> pending = g.op_nodes();
+    std::sort(pending.begin(), pending.end(), priority_before);
+
+    // Data availability time; -1 = not yet produced.
+    std::vector<int> avail(static_cast<std::size_t>(n), -1);
+    for (const int d : g.input_nodes()) avail[static_cast<std::size_t>(d)] = 0;
+
+    // Per-node vector-memory traffic (verify.cpp's counting rules): vector
+    // reads happen at issue time of vector-core ops, every produced vector
+    // datum is a write landing at the producer's completion.
+    std::vector<int> vreads(static_cast<std::size_t>(n), 0);
+    std::vector<int> vwrites(static_cast<std::size_t>(n), 0);
+    for (const ir::Node& node : g.nodes()) {
+        if (!node.is_op()) continue;
+        const auto i = static_cast<std::size_t>(node.id);
+        for (const int p : g.preds(node.id)) {
+            if (g.node(p).cat == ir::NodeCat::VectorData) ++vreads[i];
+        }
+        for (const int s : g.succs(node.id)) {
+            if (g.node(s).cat == ir::NodeCat::VectorData) ++vwrites[i];
+        }
+    }
+
+    Reservations res;
+    int scheduled = 0;
+    const int total_ops = static_cast<int>(pending.size());
+    std::vector<char> done(static_cast<std::size_t>(n), 0);
+
+    const auto fits = [&](const ir::Node& node, const ir::NodeTiming& t, int at) {
+        const auto i = static_cast<std::size_t>(node.id);
+        if (t.lanes > 0) {
+            if (options.serialize_vector_issue && count_at(res.vector_issues, at) > 0) {
+                return false;
+            }
+            const std::string key = ir::config_key(node);
+            for (int d = 0; d < t.duration; ++d) {
+                if (count_at(res.lanes, at + d) + t.lanes > spec.vector_lanes) return false;
+                const auto it = res.config.find(at + d);
+                if (it != res.config.end() && it->second != key) return false;
+            }
+            if (options.enforce_port_limits && vreads[i] > 0 &&
+                count_at(res.reads, at) + vreads[i] > spec.max_vector_reads_per_cycle) {
+                return false;
+            }
+        } else if (node.cat == ir::NodeCat::ScalarOp) {
+            for (int d = 0; d < t.duration; ++d) {
+                if (count_at(res.scalar, at + d) + 1 > spec.scalar_units) return false;
+            }
+        } else {
+            for (int d = 0; d < t.duration; ++d) {
+                if (count_at(res.ixmerge, at + d) + 1 > spec.index_merge_units) return false;
+            }
+        }
+        if (vwrites[i] > 0) {
+            const int landing = count_at(res.writes, at + t.latency);
+            if (options.enforce_port_limits &&
+                landing + vwrites[i] > spec.max_vector_writes_per_cycle) {
+                return false;
+            }
+            // Spread mode: this op's outputs land in an otherwise write-free
+            // cycle. A multi-output op's own writes still land together --
+            // that grouping is intrinsic to the op, not schedule-induced.
+            if (options.spread_writes && landing > 0) return false;
+        }
+        return true;
+    };
+
+    const auto commit = [&](const ir::Node& node, const ir::NodeTiming& t, int at) {
+        const auto i = static_cast<std::size_t>(node.id);
+        if (t.lanes > 0) {
+            for (int d = 0; d < t.duration; ++d) {
+                res.lanes[at + d] += t.lanes;
+                res.config.emplace(at + d, ir::config_key(node));
+            }
+            res.reads[at] += vreads[i];
+            res.vector_issues[at] += 1;
+        } else if (node.cat == ir::NodeCat::ScalarOp) {
+            for (int d = 0; d < t.duration; ++d) res.scalar[at + d] += 1;
+        } else {
+            for (int d = 0; d < t.duration; ++d) res.ixmerge[at + d] += 1;
+        }
+        res.writes[at + t.latency] += vwrites[i];
+
+        result.start[i] = at;
+        done[i] = 1;
+        ++scheduled;
+        for (const int d : g.succs(node.id)) {
+            avail[static_cast<std::size_t>(d)] = at + t.latency;
+            result.start[static_cast<std::size_t>(d)] = at + t.latency;  // eq. 4
+        }
+    };
+
+    int t = 0;
+    while (scheduled < total_ops) {
+        for (const int op : pending) {
+            if (done[static_cast<std::size_t>(op)]) continue;
+            const ir::Node& node = g.node(op);
+            bool ready = true;
+            for (const int d : g.preds(op)) {
+                const int a = avail[static_cast<std::size_t>(d)];
+                if (a < 0 || a > t) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) continue;
+            const ir::NodeTiming timing = ir::node_timing(spec, node);
+            if (!fits(node, timing, t)) continue;
+            commit(node, timing, t);
+        }
+        ++t;
+        REVEC_ASSERT(t < 1000000);  // progress guard
+    }
+
+    int makespan = 0;
+    for (const ir::Node& node : g.nodes()) {
+        makespan = std::max(makespan, result.start[static_cast<std::size_t>(node.id)] +
+                                          ir::node_timing(spec, node).latency);
+    }
+    result.makespan = makespan;
+    return result;
+}
+
+}  // namespace revec::heur

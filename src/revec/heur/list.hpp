@@ -1,0 +1,52 @@
+// Heuristic layer, part 1: a priority list scheduler over the normalized IR
+// DAG. Greedy counterpart of the CP model's eqs. 1-5 plus the physical
+// memory-port limits: dependency-ready operations issue cycle by cycle in
+// slack order (critical-path operations first), respecting lane capacity,
+// the one-configuration-per-cycle rule, the scalar and index/merge units,
+// and the per-cycle vector read/write port caps. The result seeds the exact
+// branch-and-bound search with an incumbent makespan (warm start) and is
+// the anytime fallback when the exact solver runs out of time.
+//
+// The subsystem deliberately depends only on arch + ir so sched and
+// pipeline can both build on it without a library cycle; sched wraps the
+// raw start vectors into Schedule values and re-checks them with the
+// independent verifier before trusting them.
+#pragma once
+
+#include <vector>
+
+#include "revec/arch/spec.hpp"
+#include "revec/ir/graph.hpp"
+
+namespace revec::heur {
+
+struct ListOptions {
+    /// Respect the per-cycle vector read/write port caps. Kept on even for
+    /// paper-literal CP models: a stricter feasible schedule is still a
+    /// valid incumbent for the relaxed model.
+    bool enforce_port_limits = true;
+
+    /// Issue at most one vector-core operation per cycle. Weakens the
+    /// simultaneous-access coupling (eq. 8 groups become singletons), so
+    /// the greedy slot allocator retries under this mode when the packed
+    /// schedule's access groups are unallocatable.
+    bool serialize_vector_issue = false;
+
+    /// Additionally give every writer an exclusive write-back cycle (at
+    /// most one operation's outputs land per cycle), collapsing eq. 9
+    /// groups to single writers. Last rung of the allocation retry ladder.
+    bool spread_writes = false;
+};
+
+struct ListResult {
+    std::vector<int> start;  ///< per node id (data nodes follow eq. 4)
+    int makespan = 0;        ///< max over nodes of start + latency
+};
+
+/// Greedy priority list schedule. Always succeeds (the schedule stretches
+/// in time instead of failing); the result satisfies eqs. 1-5 and the port
+/// limits by construction.
+ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
+                                  const ListOptions& options = {});
+
+}  // namespace revec::heur

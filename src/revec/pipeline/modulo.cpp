@@ -8,6 +8,7 @@
 #include "revec/cp/cumulative.hpp"
 #include "revec/cp/linear.hpp"
 #include "revec/cp/reified.hpp"
+#include "revec/heur/ims.hpp"
 #include "revec/ir/analysis.hpp"
 #include "revec/sched/schedule.hpp"
 #include "revec/support/assert.hpp"
@@ -349,11 +350,47 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
         best.throughput = 1.0 / best.actual_ii;
     };
 
+    // Heuristic IMS kernel: a feasible II upper bound that cuts the exact
+    // scan short and stands in as the anytime fallback on timeout.
+    heur::ImsResult ims;
+    if (options.warm_start || options.heuristic_only) {
+        heur::ImsOptions ims_opts;
+        ims_opts.min_ii = best.ii_lower_bound;
+        ims_opts.max_ii = options.max_ii;
+        ims = heur::iterative_modulo_schedule(spec, g, ims_opts);
+    }
+    const auto extract_ims = [&](cp::SolveStatus status) {
+        best.initial_ii = ims.ii;
+        best.residue = ims.residue;
+        best.stage = ims.stage;
+        best.reconfigs = count_kernel_reconfigs(spec, g, best.residue, ims.ii);
+        best.actual_ii = ims.ii + best.reconfigs * spec.reconfig_cycles;
+        best.throughput = 1.0 / best.actual_ii;
+        best.status = status;
+    };
+    if (options.heuristic_only) {
+        if (ims.ok) {
+            // An IMS kernel at the resource lower bound is provably optimal
+            // in II (reconfigurations are post-processed either way).
+            extract_ims(!options.include_reconfigs && ims.ii == best.ii_lower_bound
+                            ? cp::SolveStatus::Optimal
+                            : cp::SolveStatus::HeuristicFallback);
+        } else {
+            best.status = cp::SolveStatus::Timeout;
+        }
+        best.time_ms = watch.elapsed_ms();
+        return best;
+    }
+
     if (!options.include_reconfigs) {
-        // Smallest feasible II, reconfigurations post-processed.
-        for (int ii = best.ii_lower_bound; ii <= options.max_ii; ++ii) {
+        // Smallest feasible II, reconfigurations post-processed. With an
+        // IMS kernel in hand only IIs strictly below it need the exact
+        // solver; exhausting them all proves the IMS kernel optimal.
+        const int scan_end = ims.ok ? ims.ii - 1 : options.max_ii;
+        bool timed_out = false;
+        for (int ii = best.ii_lower_bound; ii <= scan_end; ++ii) {
             if (deadline.expired()) {
-                best.status = cp::SolveStatus::Timeout;
+                timed_out = true;
                 break;
             }
             const IiAttempt attempt =
@@ -364,16 +401,32 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
                 break;
             }
             if (attempt.result.status == cp::SolveStatus::Timeout) {
-                best.status = cp::SolveStatus::Timeout;
+                timed_out = true;
                 break;
             }
+        }
+        if (best.residue.empty() && ims.ok) {
+            // No exact solution below the IMS II: proven optimal when the
+            // scan ran to completion, anytime fallback when it timed out.
+            extract_ims(timed_out ? cp::SolveStatus::HeuristicFallback
+                                  : cp::SolveStatus::Optimal);
+        } else if (best.residue.empty() && timed_out) {
+            best.status = cp::SolveStatus::Timeout;
         }
         best.time_ms = watch.elapsed_ms();
         return best;
     }
 
-    // Reconfiguration-aware: minimize II + R * reconfig_cycles.
+    // Reconfiguration-aware: minimize II + R * reconfig_cycles. The IMS
+    // kernel seeds the incumbent so the budget pruning bites from the
+    // first II on.
     int best_actual = INT32_MAX;
+    bool best_is_ims = false;
+    if (ims.ok) {
+        extract_ims(cp::SolveStatus::HeuristicFallback);
+        best_actual = best.actual_ii;
+        best_is_ims = true;
+    }
     for (int ii = best.ii_lower_bound; ii <= options.max_ii; ++ii) {
         if (ii >= best_actual) break;  // R >= 0: no larger II can win
         if (deadline.expired()) break;
@@ -399,10 +452,14 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
             best.status = attempt.result.status == cp::SolveStatus::Optimal
                               ? cp::SolveStatus::Optimal
                               : cp::SolveStatus::SatTimeout;
+            best_is_ims = false;
         }
     }
     if (best_actual == INT32_MAX) {
         best.status = deadline.expired() ? cp::SolveStatus::Timeout : cp::SolveStatus::Unsat;
+    } else if (best_is_ims) {
+        // Nothing beat the IMS kernel: a completed scan proves it optimal.
+        if (!deadline.expired()) best.status = cp::SolveStatus::Optimal;
     }
     best.time_ms = watch.elapsed_ms();
     return best;

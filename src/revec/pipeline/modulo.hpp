@@ -31,6 +31,18 @@ struct ModuloOptions {
     /// Parallel portfolio search for each per-II solve (threads = 1 keeps
     /// the sequential solver); see cp/portfolio.hpp.
     cp::SolverConfig solver;
+
+    /// Warm start from heur::iterative_modulo_schedule: the greedy IMS
+    /// placement gives a feasible II upper bound, so the exact per-II scan
+    /// only runs below it (and, when optimizing reconfigurations, starts
+    /// with the IMS kernel as incumbent). On timeout the IMS kernel is
+    /// returned with status HeuristicFallback instead of Timeout.
+    bool warm_start = true;
+
+    /// Skip the exact per-II solves and return the IMS kernel directly
+    /// (status HeuristicFallback, or Optimal when its II matches the
+    /// resource lower bound).
+    bool heuristic_only = false;
 };
 
 struct ModuloResult {
@@ -48,7 +60,8 @@ struct ModuloResult {
     std::vector<int> stage;    ///< k_i; -1 for data nodes
 
     bool feasible() const {
-        return status == cp::SolveStatus::Optimal || status == cp::SolveStatus::SatTimeout;
+        return status == cp::SolveStatus::Optimal || status == cp::SolveStatus::SatTimeout ||
+               status == cp::SolveStatus::HeuristicFallback;
     }
 };
 

@@ -1,7 +1,9 @@
 #include "revec/sched/model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "revec/cp/arith.hpp"
@@ -9,8 +11,11 @@
 #include "revec/cp/diff2.hpp"
 #include "revec/cp/linear.hpp"
 #include "revec/cp/reified.hpp"
+#include "revec/heur/alloc.hpp"
+#include "revec/heur/list.hpp"
 #include "revec/ir/analysis.hpp"
 #include "revec/ir/validate.hpp"
+#include "revec/sched/verify.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::sched {
@@ -419,6 +424,45 @@ Schedule extract_schedule(const ir::Graph& g, const BuiltModel& m, const Result&
     return sched;
 }
 
+/// Build a verified heuristic schedule (list scheduler + greedy slot
+/// allocator) for the warm start / anytime fallback. The retry ladder
+/// relaxes the schedule's simultaneous-access coupling when the packed
+/// schedule's access groups defeat the greedy allocator. Every candidate is
+/// re-checked with the independent verifier; nullopt means no rung of the
+/// ladder produced a verify-clean schedule (e.g. too few slots).
+std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOptions& options,
+                                           int num_slots) {
+    const arch::ArchSpec& spec = options.spec;
+    constexpr heur::ListOptions kLadder[] = {
+        {true, false, false},  // packed
+        {true, true, false},   // serialize vector issue
+        {true, true, true},    // ... and spread write-backs
+    };
+    for (const heur::ListOptions& rung : kLadder) {
+        const heur::ListResult list = heur::priority_list_schedule(spec, g, rung);
+        Schedule sched;
+        sched.start = list.start;
+        sched.slot.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+        sched.makespan = list.makespan;
+        sched.status = cp::SolveStatus::HeuristicFallback;
+        if (options.memory_allocation) {
+            heur::AllocOptions alloc_opts;
+            alloc_opts.num_slots = num_slots;
+            alloc_opts.lifetime_includes_last_read = options.lifetime_includes_last_read;
+            const heur::AllocResult alloc = heur::allocate_slots(spec, g, list.start, alloc_opts);
+            if (!alloc.ok) continue;
+            sched.slot = alloc.slot;
+            sched.slots_used = alloc.slots_used;
+        }
+        VerifyOptions verify_opts;
+        verify_opts.check_memory = options.memory_allocation;
+        verify_opts.lifetime_includes_last_read = options.lifetime_includes_last_read;
+        verify_opts.check_port_limits = true;  // heuristics always respect the ports
+        if (verify_schedule(spec, g, sched, verify_opts).empty()) return sched;
+    }
+    return std::nullopt;
+}
+
 }  // namespace
 
 Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
@@ -451,6 +495,34 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
         horizon = std::max(horizon, fixed_end + 2);
     }
 
+    // Heuristic layer: a verified list-schedule + greedy-allocation
+    // solution. Seeds the exact search's incumbent (warm start) and is the
+    // anytime fallback when the exact search finds nothing in time. Not
+    // used in slot-only mode (the makespan there is fixed by the caller).
+    std::optional<Schedule> heuristic;
+    if ((options.warm_start || options.heuristic_only) && options.fixed_starts.empty()) {
+        heuristic = heuristic_schedule(g, options, num_slots);
+        if (heuristic.has_value() && options.horizon > 0 &&
+            heuristic->makespan + 1 > options.horizon) {
+            // A user-capped horizon below the heuristic makespan: the exact
+            // search's answers are relative to that cap, so the heuristic
+            // can neither seed the bound nor stand in as a result.
+            heuristic.reset();
+        }
+    }
+    if (options.heuristic_only) {
+        if (heuristic.has_value()) return *heuristic;
+        Schedule none;
+        none.status = cp::SolveStatus::Timeout;  // found nothing, proved nothing
+        return none;
+    }
+    if (heuristic.has_value()) {
+        // Let the exact search prove optimality across the whole gap: the
+        // derived horizon could in principle sit below the heuristic
+        // makespan, and Unsat must mean "nothing better anywhere".
+        horizon = std::max(horizon, heuristic->makespan + 1);
+    }
+
     cp::SearchOptions search_opts;
     search_opts.deadline = Deadline::after_ms(options.timeout_ms);
 
@@ -460,19 +532,56 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     cp::Store store;
     const BuiltModel m = build_model(store, g, options, num_slots, horizon);
 
+    Schedule sched;
     if (options.solver.threads <= 1) {
+        std::atomic<std::int64_t> incumbent{heuristic.has_value() ? heuristic->makespan
+                                                                  : INT64_MAX};
+        if (heuristic.has_value()) search_opts.shared_bound = &incumbent;
         const cp::SolveResult result = cp::solve(store, m.phases, m.objective, search_opts);
-        return extract_schedule(g, m, result);
+        sched = extract_schedule(g, m, result);
+    } else {
+        cp::SolverConfig solver = options.solver;
+        if (heuristic.has_value()) solver.initial_incumbent = heuristic->makespan;
+        const cp::PortfolioResult result = cp::solve_portfolio(
+            [&](cp::Store& s) {
+                BuiltModel worker = build_model(s, g, options, num_slots, horizon);
+                return cp::PostedModel{std::move(worker.phases), worker.objective};
+            },
+            solver, search_opts);
+        sched = extract_schedule(g, m, result);
+        sched.workers = result.workers;
     }
-    const cp::PortfolioResult result = cp::solve_portfolio(
-        [&](cp::Store& s) {
-            BuiltModel worker = build_model(s, g, options, num_slots, horizon);
-            return cp::PostedModel{std::move(worker.phases), worker.objective};
-        },
-        options.solver, search_opts);
-    Schedule sched = extract_schedule(g, m, result);
-    sched.workers = result.workers;
-    return sched;
+    if (!heuristic.has_value()) return sched;
+
+    // Merge the exact outcome with the seeded incumbent. The exact search
+    // only explored strictly better makespans, so:
+    //  * a solution of its own wins (it beats the heuristic);
+    //  * Unsat means nothing better exists -- the heuristic was optimal;
+    //  * Timeout means nothing proved either way -- anytime fallback.
+    switch (sched.status) {
+        case cp::SolveStatus::Optimal:
+        case cp::SolveStatus::SatTimeout:
+            if (!sched.start.empty() && sched.makespan <= heuristic->makespan) return sched;
+            // Defensive: a root-propagated solution records before the
+            // cutoff applies; never return anything worse than the seed.
+            heuristic->status = sched.status == cp::SolveStatus::Optimal
+                                    ? cp::SolveStatus::Optimal
+                                    : cp::SolveStatus::HeuristicFallback;
+            heuristic->stats = sched.stats;
+            heuristic->workers = std::move(sched.workers);
+            return *heuristic;
+        case cp::SolveStatus::Unsat:
+            heuristic->status = cp::SolveStatus::Optimal;
+            heuristic->stats = sched.stats;
+            heuristic->workers = std::move(sched.workers);
+            return *heuristic;
+        case cp::SolveStatus::Timeout:
+        case cp::SolveStatus::HeuristicFallback:
+            heuristic->stats = sched.stats;
+            heuristic->workers = std::move(sched.workers);
+            return *heuristic;
+    }
+    REVEC_UNREACHABLE("bad SolveStatus");
 }
 
 }  // namespace revec::sched

@@ -65,6 +65,20 @@ struct ScheduleOptions {
     /// shared branch-and-bound incumbent). threads = 1 runs the sequential
     /// solver unchanged; see cp/portfolio.hpp for the knobs.
     cp::SolverConfig solver;
+
+    /// Warm start from the heuristic layer (src/revec/heur): a verified
+    /// list-schedule + greedy-allocation solution seeds the branch-and-bound
+    /// incumbent, so the exact search only ever explores strictly better
+    /// makespans, and is returned as the result (status HeuristicFallback)
+    /// when the exact search times out without any solution of its own.
+    /// Disabling gives the cold exact solver (used by the differential
+    /// warm-vs-cold tests and the paper-literal reproduction runs).
+    bool warm_start = true;
+
+    /// Skip the exact solver entirely and return the verified heuristic
+    /// schedule (status HeuristicFallback). Implies warm_start semantics
+    /// for the result shape; useful as a fast compilation mode.
+    bool heuristic_only = false;
 };
 
 /// Solve the scheduling (+ memory allocation) problem for one iteration of

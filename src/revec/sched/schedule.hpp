@@ -27,7 +27,8 @@ struct Schedule {
     std::vector<cp::WorkerReport> workers;
 
     bool feasible() const {
-        return status == cp::SolveStatus::Optimal || status == cp::SolveStatus::SatTimeout;
+        return status == cp::SolveStatus::Optimal || status == cp::SolveStatus::SatTimeout ||
+               status == cp::SolveStatus::HeuristicFallback;
     }
     bool proven_optimal() const { return status == cp::SolveStatus::Optimal; }
 };

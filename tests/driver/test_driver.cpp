@@ -48,6 +48,20 @@ TEST(ParseArgs, AllOptions) {
     EXPECT_EQ(opts->arch_path, "a.xml");
 }
 
+TEST(ParseArgs, WarmStartFlags) {
+    std::ostringstream out;
+    const auto on = parse_args({"k.xml", "--warm-start=on"}, out);
+    ASSERT_TRUE(on.has_value());
+    EXPECT_TRUE(on->warm_start);
+    const auto off = parse_args({"k.xml", "--warm-start=off"}, out);
+    ASSERT_TRUE(off.has_value());
+    EXPECT_FALSE(off->warm_start);
+    const auto heur = parse_args({"k.xml", "--heuristic-only"}, out);
+    ASSERT_TRUE(heur.has_value());
+    EXPECT_TRUE(heur->heuristic_only);
+    EXPECT_THROW(parse_args({"k.xml", "--warm-start=maybe"}, out), Error);
+}
+
 TEST(ParseArgs, HelpShortCircuits) {
     std::ostringstream out;
     EXPECT_FALSE(parse_args({"--help"}, out).has_value());
@@ -125,6 +139,53 @@ TEST(Run, UnsatReportsFailure) {
     std::ostringstream out;
     EXPECT_EQ(run(opts, out), 1);
     EXPECT_NE(out.str().find("UNSAT"), std::string::npos);
+}
+
+TEST(Run, HeuristicOnlyExitsWithFallbackCode) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul11.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.heuristic_only = true;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 5);
+    EXPECT_NE(out.str().find("heuristic fallback"), std::string::npos);
+    EXPECT_NE(out.str().find("makespan"), std::string::npos);
+}
+
+TEST(Run, ZeroTimeoutFallsBackToHeuristic) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul12.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.timeout_ms = 0;
+    opts.simulate = true;  // the fallback schedule must still simulate
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 5);
+    EXPECT_NE(out.str().find("heuristic fallback"), std::string::npos);
+    EXPECT_NE(out.str().find("outputs match"), std::string::npos);
+}
+
+TEST(Run, ZeroTimeoutWithoutWarmStartReportsTimeout) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul13.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.timeout_ms = 0;
+    opts.warm_start = false;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 6);
+    EXPECT_NE(out.str().find("timeout"), std::string::npos);
+}
+
+TEST(Run, ModuloZeroTimeoutUsesImsKernel) {
+    // matmul's IMS kernel sits at the resource lower bound, so even with no
+    // exact-search budget the modulo report comes back proven optimal.
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul14.xml");
+    Options opts;
+    opts.input_path = path;
+    opts.emit = "modulo";
+    opts.timeout_ms = 0;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("initial II:     4"), std::string::npos);
 }
 
 TEST(Run, SimulateRequiresMemory) {

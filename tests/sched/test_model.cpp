@@ -147,9 +147,24 @@ TEST(Model, MakespanInsensitiveToMemorySize) {
     EXPECT_LE(s2.slots_used, 10);
 }
 
-TEST(Model, TimeoutReturnsBestEffort) {
+TEST(Model, TimeoutReturnsHeuristicFallback) {
+    // With the warm start on (the default), a zero deadline still yields a
+    // complete verify-clean schedule: the heuristic layer's anytime result.
     ScheduleOptions opts;
     opts.timeout_ms = 0;  // expire immediately
+    const ir::Graph g = apps::build_matmul();
+    const Schedule s = schedule_kernel(g, opts);
+    EXPECT_EQ(s.status, cp::SolveStatus::HeuristicFallback);
+    ASSERT_TRUE(s.feasible());
+    expect_verified(g, s, opts);
+}
+
+TEST(Model, TimeoutWithoutWarmStartReturnsBestEffort) {
+    // The cold exact solver keeps the old contract: a zero deadline gives
+    // Timeout (or SatTimeout if a solution appeared instantly).
+    ScheduleOptions opts;
+    opts.timeout_ms = 0;
+    opts.warm_start = false;
     const ir::Graph g = apps::build_matmul();
     const Schedule s = schedule_kernel(g, opts);
     EXPECT_TRUE(s.status == cp::SolveStatus::Timeout ||
