@@ -2,15 +2,20 @@
 // headers, paper-vs-measured framing, and kernel construction.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "revec/apps/arf.hpp"
 #include "revec/apps/matmul.hpp"
 #include "revec/apps/qrd.hpp"
 #include "revec/ir/analysis.hpp"
 #include "revec/ir/passes.hpp"
+#include "revec/support/assert.hpp"
 #include "revec/support/strings.hpp"
 #include "revec/support/table.hpp"
 
@@ -34,6 +39,117 @@ inline std::string graph_triple(const arch::ArchSpec& spec, const ir::Graph& g) 
     const ir::GraphStats st = ir::graph_stats(spec, g);
     return "(" + std::to_string(st.num_nodes) + ", " + std::to_string(st.num_edges) + ", " +
            std::to_string(st.critical_path) + ")";
+}
+
+/// Minimal streaming JSON emitter for the machine-readable bench baselines
+/// (the checked-in BENCH_*.json files). Only what the harnesses need:
+/// nested objects/arrays of strings and numbers, pretty-printed.
+class JsonWriter {
+public:
+    JsonWriter& begin_object() { return open('{', '}'); }
+    JsonWriter& begin_object(const std::string& key) { return open('{', '}', &key); }
+    JsonWriter& end_object() { return close(); }
+    JsonWriter& begin_array(const std::string& key) { return open('[', ']', &key); }
+    JsonWriter& begin_array() { return open('[', ']'); }
+    JsonWriter& end_array() { return close(); }
+
+    JsonWriter& field(const std::string& key, const std::string& v) {
+        prefix(&key);
+        os_ << '"' << escape(v) << '"';
+        return *this;
+    }
+    JsonWriter& field(const std::string& key, const char* v) {
+        return field(key, std::string(v));
+    }
+    JsonWriter& field(const std::string& key, std::int64_t v) {
+        prefix(&key);
+        os_ << v;
+        return *this;
+    }
+    JsonWriter& field(const std::string& key, int v) {
+        return field(key, static_cast<std::int64_t>(v));
+    }
+    JsonWriter& field(const std::string& key, double v) {
+        prefix(&key);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.3f", v);
+        os_ << buf;
+        return *this;
+    }
+    JsonWriter& field(const std::string& key, bool v) {
+        prefix(&key);
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    std::string str() const {
+        REVEC_EXPECTS(stack_.empty());  // all scopes closed
+        return os_.str() + "\n";
+    }
+
+private:
+    struct Scope {
+        char closer;
+        bool has_items = false;
+    };
+
+    static std::string escape(const std::string& s) {
+        std::string out;
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out.push_back('\\');
+            if (c == '\n') {
+                out += "\\n";
+            } else {
+                out.push_back(c);
+            }
+        }
+        return out;
+    }
+
+    void prefix(const std::string* key) {
+        if (!stack_.empty()) {
+            if (stack_.back().has_items) os_ << ',';
+            stack_.back().has_items = true;
+            os_ << '\n' << std::string(2 * stack_.size(), ' ');
+        }
+        if (key != nullptr) os_ << '"' << escape(*key) << "\": ";
+    }
+
+    JsonWriter& open(char opener, char closer, const std::string* key = nullptr) {
+        prefix(key);
+        os_ << opener;
+        stack_.push_back({closer});
+        return *this;
+    }
+
+    JsonWriter& close() {
+        REVEC_EXPECTS(!stack_.empty());
+        const Scope s = stack_.back();
+        stack_.pop_back();
+        if (s.has_items) os_ << '\n' << std::string(2 * stack_.size(), ' ');
+        os_ << s.closer;
+        return *this;
+    }
+
+    std::ostringstream os_;
+    std::vector<Scope> stack_;
+};
+
+/// Parse `--json <path>` from the command line; empty string = not given.
+inline std::string json_path_from_args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json") return argv[i + 1];
+    }
+    return {};
+}
+
+/// Write a JSON document to `path` (no-op on empty path).
+inline void write_json(const std::string& path, const JsonWriter& json) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    REVEC_EXPECTS(out.good());
+    out << json.str();
+    note("wrote JSON results to " + path);
 }
 
 }  // namespace revec::bench

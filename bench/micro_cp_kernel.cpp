@@ -2,10 +2,21 @@
 // operations, propagation throughput of the global constraints, and
 // end-to-end kernel scheduling. These are engineering benchmarks (no paper
 // counterpart); they guard the solver's performance envelope.
+//
+// Before the google-benchmark suite runs, an engine-comparison pass pits
+// the legacy flat-FIFO/full-snapshot engine against the event/priority/
+// delta-trail engine on a hole-heavy workload and on kernel scheduling;
+// `--json <path>` writes those counters (the checked-in BENCH_cp_engine
+// .json baseline). Remaining flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+
+#include "common.hpp"
 #include "revec/apps/matmul.hpp"
 #include "revec/apps/qrd.hpp"
+#include "revec/cp/alldifferent.hpp"
 #include "revec/cp/cumulative.hpp"
 #include "revec/cp/diff2.hpp"
 #include "revec/cp/linear.hpp"
@@ -13,6 +24,7 @@
 #include "revec/ir/passes.hpp"
 #include "revec/pipeline/modulo.hpp"
 #include "revec/sched/model.hpp"
+#include "revec/support/stopwatch.hpp"
 
 namespace {
 
@@ -98,6 +110,158 @@ void BM_ModuloMatmul(benchmark::State& state) {
 }
 BENCHMARK(BM_ModuloMatmul)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Engine comparison: legacy vs event-driven on identical search trees.
+
+/// Hole-heavy CSP: disequalities and an alldifferent punch interior holes
+/// into domains watched by bounds-consistent linear/cumulative propagators.
+/// The legacy engine wakes every watcher on every hole; the event engine
+/// filters them by subscription mask.
+cp::SolveResult solve_hole_heavy(const cp::EngineConfig& engine) {
+    cp::Store s{engine};
+    constexpr int kN = 9;
+    std::vector<cp::IntVar> xs;
+    for (int i = 0; i < kN; ++i) xs.push_back(s.new_var(0, 2 * kN));
+    cp::post_all_different(s, xs);
+    for (int i = 0; i < kN; ++i) {
+        for (int j = i + 1; j < kN; ++j) {
+            cp::post_not_equal(s, xs[static_cast<std::size_t>(i)],
+                               xs[static_cast<std::size_t>(j)], j - i);
+        }
+    }
+    for (int i = 0; i + 1 < kN; ++i) {
+        cp::post_linear_leq(s, {{1, xs[static_cast<std::size_t>(i)]},
+                                {-1, xs[static_cast<std::size_t>(i + 1)]}},
+                            2 * kN);
+    }
+    std::vector<cp::CumulTask> tasks;
+    for (const cp::IntVar x : xs) tasks.push_back({x, 2, 1});
+    cp::post_cumulative(s, tasks, 3);
+
+    std::vector<cp::LinTerm> terms;
+    for (const cp::IntVar x : xs) terms.push_back({1, x});
+    const cp::IntVar obj = s.new_var(0, 2 * kN * kN, "obj");
+    terms.push_back({-1, obj});
+    cp::post_linear_eq(s, terms, 0);
+
+    return cp::solve(s, {cp::Phase{xs, cp::VarSelect::MinDomain, cp::ValSelect::Min, ""}},
+                     obj);
+}
+
+/// Median-of-3 wall-clock of a warm-started matmul schedule under the
+/// given engine (single-shot schedule timings swing with machine noise).
+double time_schedule_matmul(const cp::EngineConfig& engine) {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    sched::ScheduleOptions opts;
+    opts.timeout_ms = 60000;
+    opts.solver.engine = engine;
+    std::array<double, 3> ms{};
+    for (double& m : ms) {
+        const Stopwatch watch;
+        const sched::Schedule s = sched::schedule_kernel(g, opts);
+        REVEC_EXPECTS(s.proven_optimal());
+        m = watch.elapsed_ms();
+    }
+    std::sort(ms.begin(), ms.end());
+    return ms[1];
+}
+
+void emit_engine_stats(bench::JsonWriter& json, const char* key,
+                       const cp::SolveResult& r) {
+    json.begin_object(key)
+        .field("nodes", r.stats.nodes)
+        .field("failures", r.stats.failures)
+        .field("time_ms", r.stats.time_ms)
+        .field("propagations", r.prop_stats.propagations)
+        .field("wakeups", r.prop_stats.wakeups)
+        .field("wakeups_filtered", r.prop_stats.wakeups_filtered)
+        .field("self_wakeups_suppressed", r.prop_stats.self_wakeups_suppressed)
+        .field("trail_saves", r.prop_stats.trail_saves)
+        .field("trail_snapshots", r.prop_stats.trail_snapshots)
+        .field("trail_bytes", r.prop_stats.trail_bytes)
+        .end_object();
+}
+
+/// Run the comparison, print it, self-check node parity and the >= 2x
+/// wakeup-reduction acceptance bound, and fill the JSON document.
+bool run_engine_comparison(bench::JsonWriter& json) {
+    const cp::SolveResult legacy = solve_hole_heavy(cp::EngineConfig::legacy());
+    const cp::SolveResult event = solve_hole_heavy(cp::EngineConfig{});
+
+    const double wakeup_ratio =
+        static_cast<double>(legacy.prop_stats.wakeups) /
+        static_cast<double>(std::max<std::int64_t>(1, event.prop_stats.wakeups));
+    const double matmul_legacy_ms = time_schedule_matmul(cp::EngineConfig::legacy());
+    const double matmul_event_ms = time_schedule_matmul(cp::EngineConfig{});
+
+    Table t({"workload", "engine", "nodes", "wakeups", "propagations", "trail bytes",
+             "time (ms)"});
+    t.add_row({"hole-heavy CSP", "legacy", std::to_string(legacy.stats.nodes),
+               std::to_string(legacy.prop_stats.wakeups),
+               std::to_string(legacy.prop_stats.propagations),
+               std::to_string(legacy.prop_stats.trail_bytes),
+               format_fixed(legacy.stats.time_ms, 1)});
+    t.add_row({"hole-heavy CSP", "event", std::to_string(event.stats.nodes),
+               std::to_string(event.prop_stats.wakeups),
+               std::to_string(event.prop_stats.propagations),
+               std::to_string(event.prop_stats.trail_bytes),
+               format_fixed(event.stats.time_ms, 1)});
+    t.add_row({"matmul schedule", "legacy", "-", "-", "-", "-",
+               format_fixed(matmul_legacy_ms, 1)});
+    t.add_row({"matmul schedule", "event", "-", "-", "-", "-",
+               format_fixed(matmul_event_ms, 1)});
+    t.print(std::cout);
+    bench::note("wakeup reduction (legacy/event): " + format_fixed(wakeup_ratio, 2) +
+                "x");
+
+    json.begin_object("engine_comparison");
+    emit_engine_stats(json, "hole_heavy_legacy", legacy);
+    emit_engine_stats(json, "hole_heavy_event", event);
+    json.field("wakeup_ratio", wakeup_ratio)
+        .field("matmul_schedule_legacy_ms", matmul_legacy_ms)
+        .field("matmul_schedule_event_ms", matmul_event_ms)
+        .end_object();
+
+    // Self-checks: identical trees, and the engine must pay for itself.
+    if (legacy.stats.nodes != event.stats.nodes ||
+        legacy.stats.failures != event.stats.failures || legacy.best != event.best) {
+        std::cout << "ERROR: engine node parity violated\n";
+        return false;
+    }
+    if (wakeup_ratio < 2.0) {
+        std::cout << "ERROR: wakeup reduction below the 2x acceptance bound\n";
+        return false;
+    }
+    return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+
+    bench::JsonWriter json;
+    json.begin_object();
+    json.field("bench", "micro_cp_kernel");
+    const bool ok = run_engine_comparison(json);
+    json.end_object();
+    bench::write_json(json_path, json);
+    if (!ok) return 1;
+
+    // Strip --json <path> before handing the argument vector to
+    // google-benchmark, then run the registered microbenchmarks.
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            ++i;  // skip the path operand too
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

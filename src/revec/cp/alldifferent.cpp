@@ -28,19 +28,20 @@ public:
 
         // 2. Hall intervals over the bounds: if the variables whose domains
         //    lie inside [a, b] saturate it, no other variable may use it;
-        //    if they overflow it, fail.
-        std::vector<int> bounds;
+        //    if they overflow it, fail. `bounds_` is member scratch — this
+        //    propagator is hot enough that per-run allocation shows up.
+        bounds_.clear();
         for (const IntVar x : vars_) {
-            bounds.push_back(s.min(x));
-            bounds.push_back(s.max(x));
+            bounds_.push_back(s.min(x));
+            bounds_.push_back(s.max(x));
         }
-        std::sort(bounds.begin(), bounds.end());
-        bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+        std::sort(bounds_.begin(), bounds_.end());
+        bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
 
-        for (std::size_t ai = 0; ai < bounds.size(); ++ai) {
-            for (std::size_t bi = ai; bi < bounds.size(); ++bi) {
-                const int a = bounds[ai];
-                const int b = bounds[bi];
+        for (std::size_t ai = 0; ai < bounds_.size(); ++ai) {
+            for (std::size_t bi = ai; bi < bounds_.size(); ++bi) {
+                const int a = bounds_[ai];
+                const int b = bounds_[bi];
                 const std::int64_t width = static_cast<std::int64_t>(b) - a + 1;
                 int inside = 0;
                 for (const IntVar x : vars_) {
@@ -59,6 +60,8 @@ public:
         return true;
     }
 
+    Priority priority() const override { return Priority::Global; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "all_different(" << vars_.size() << " vars)";
@@ -67,13 +70,18 @@ public:
 
 private:
     std::vector<IntVar> vars_;
+    std::vector<int> bounds_;  ///< per-run scratch
 };
 
 }  // namespace
 
 void post_all_different(Store& store, std::vector<IntVar> vars) {
-    const std::vector<IntVar> watched = vars;
-    store.post(std::make_unique<AllDifferent>(std::move(vars)), watched);
+    // Value propagation keys off FIXED, Hall intervals off the bounds;
+    // interior hole removals change neither.
+    std::vector<Watch> watches;
+    watches.reserve(vars.size());
+    for (const IntVar x : vars) watches.push_back({x, kEventBounds | kEventFixed});
+    store.post(std::make_unique<AllDifferent>(std::move(vars)), watches);
 }
 
 }  // namespace revec::cp

@@ -51,6 +51,8 @@ public:
         return true;
     }
 
+    Priority priority() const override { return Priority::Linear; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "max(z" << z_.index() << ", " << xs_.size() << " vars)";
@@ -82,6 +84,12 @@ public:
         return s.intersect(x_, Domain::of_values(std::move(supported)));
     }
 
+    Priority priority() const override { return Priority::Linear; }
+    // One pass reaches the local fixpoint: after y is confined to the
+    // image of x and x to the support of the new y, every surviving y
+    // value keeps a surviving preimage, so a rerun changes nothing.
+    bool idempotent() const override { return true; }
+
     std::string describe() const override { return desc_; }
 
 private:
@@ -94,9 +102,12 @@ private:
 }  // namespace
 
 void post_max(Store& store, IntVar z, std::vector<IntVar> xs) {
-    std::vector<IntVar> watched = xs;
-    watched.push_back(z);
-    store.post(std::make_unique<MaxProp>(z, std::move(xs)), watched);
+    // Bounds-consistent: only reads min/max of z and the xs.
+    std::vector<Watch> watches;
+    watches.reserve(xs.size() + 1);
+    for (const IntVar x : xs) watches.push_back({x, kEventBounds});
+    watches.push_back({z, kEventBounds});
+    store.post(std::make_unique<MaxProp>(z, std::move(xs)), watches);
 }
 
 void post_unary_fun(Store& store, IntVar x, IntVar y, std::function<int(int)> f,

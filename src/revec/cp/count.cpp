@@ -40,6 +40,8 @@ public:
         return true;
     }
 
+    Priority priority() const override { return Priority::Linear; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "bool_sum(" << bools_.size() << " bools)";
@@ -54,9 +56,12 @@ private:
 }  // namespace
 
 void post_bool_sum(Store& store, std::vector<BoolVar> bools, IntVar total) {
-    std::vector<IntVar> watched = bools;
-    watched.push_back(total);
-    store.post(std::make_unique<BoolSum>(std::move(bools), total), watched);
+    // Bools only matter once fixed; the total is read through its bounds.
+    std::vector<Watch> watches;
+    watches.reserve(bools.size() + 1);
+    for (const BoolVar b : bools) watches.push_back({b, kEventFixed});
+    watches.push_back({total, kEventBounds});
+    store.post(std::make_unique<BoolSum>(std::move(bools), total), watches);
 }
 
 }  // namespace revec::cp

@@ -1,7 +1,8 @@
 #include "revec/cp/cumulative.hpp"
 
 #include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 #include <memory>
 #include <sstream>
 
@@ -31,38 +32,43 @@ public:
     }
 
     bool propagate(Store& s) override {
-        // Profile as a difference map over event points: profile changes by
-        // +demand at cp_begin and -demand at cp_end of each compulsory part.
-        std::map<int, int> delta;
+        // Profile as a difference list over event points: +demand at
+        // cp_begin, -demand at cp_end of each compulsory part. Sorted member
+        // scratch instead of a per-run std::map: this propagator executes
+        // millions of times per search, so per-run allocation dominates.
+        events_.clear();
         for (const CumulTask& t : tasks_) {
             if (t.demand == 0) continue;
             const int cp_begin = s.max(t.start);
             const int cp_end = s.min(t.start) + dur_min(s, t);
             if (cp_begin < cp_end) {
-                delta[cp_begin] += t.demand;
-                delta[cp_end] -= t.demand;
+                events_.push_back({cp_begin, t.demand});
+                events_.push_back({cp_end, -t.demand});
             }
         }
+        std::sort(events_.begin(), events_.end());
 
-        // Materialize as step segments [from, to) -> height.
-        struct Segment {
-            int from;
-            int to;
-            int height;
-        };
-        std::vector<Segment> profile;
+        // Materialize as step segments [from, to) -> height, summing all
+        // deltas at one event point before the capacity check (the same
+        // merge a difference map would perform).
+        profile_.clear();
         int height = 0;
         int prev = 0;
         bool open = false;
-        for (const auto& [at, d] : delta) {
-            if (open && height > 0 && prev < at) profile.push_back({prev, at, height});
+        for (std::size_t k = 0; k < events_.size();) {
+            const int at = events_[k].first;
+            int d = 0;
+            for (; k < events_.size() && events_[k].first == at; ++k) {
+                d += events_[k].second;
+            }
+            if (open && height > 0 && prev < at) profile_.push_back({prev, at, height});
             height += d;
             if (height > cap_) return false;
             prev = at;
             open = true;
         }
 
-        if (profile.empty()) return true;
+        if (profile_.empty()) return true;
 
         // Prune: for each task and each profile segment that together with
         // the task's demand would exceed capacity, forbid start times that
@@ -74,7 +80,7 @@ public:
             const int d_min = dur_min(s, t);
             const int own_end = s.min(t.start) + d_min;
             const bool has_cp = own_begin < own_end;
-            for (const Segment& seg : profile) {
+            for (const Segment& seg : profile_) {
                 // Contribution of this task's own compulsory part to `seg`:
                 // the profile is built from *all* tasks, so subtract self
                 // where the segment lies inside the own compulsory part.
@@ -94,6 +100,8 @@ public:
         return true;
     }
 
+    Priority priority() const override { return Priority::Global; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "cumulative(" << tasks_.size() << " tasks, cap=" << cap_ << ")";
@@ -101,20 +109,30 @@ public:
     }
 
 private:
+    struct Segment {
+        int from;
+        int to;
+        int height;
+    };
+
     std::vector<CumulTask> tasks_;
     int cap_;
+    std::vector<std::pair<int, int>> events_;  ///< per-run scratch: (time, ±demand)
+    std::vector<Segment> profile_;             ///< per-run scratch
 };
 
 }  // namespace
 
 void post_cumulative(Store& store, std::vector<CumulTask> tasks, int capacity) {
-    std::vector<IntVar> watched;
-    watched.reserve(tasks.size() * 2);
+    // Time-table reasoning reads start bounds and the duration minimum;
+    // interior holes in a start domain never move a compulsory part.
+    std::vector<Watch> watches;
+    watches.reserve(tasks.size() * 2);
     for (const CumulTask& t : tasks) {
-        watched.push_back(t.start);
-        if (t.dur_var.valid()) watched.push_back(t.dur_var);
+        watches.push_back({t.start, kEventBounds});
+        if (t.dur_var.valid()) watches.push_back({t.dur_var, kEventMin});
     }
-    store.post(std::make_unique<Cumulative>(std::move(tasks), capacity), watched);
+    store.post(std::make_unique<Cumulative>(std::move(tasks), capacity), watches);
 }
 
 }  // namespace revec::cp

@@ -33,6 +33,8 @@ public:
         return true;
     }
 
+    Priority priority() const override { return Priority::Global; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "diff2(" << rects_.size() << " rects)";
@@ -86,14 +88,16 @@ private:
 }  // namespace
 
 void post_diff2(Store& store, std::vector<Rect> rects) {
-    std::vector<IntVar> watched;
-    watched.reserve(rects.size() * 3);
+    // Constructive disjunction over bounds; of a length variable only the
+    // minimum is ever read (set_max on it does not re-read its max).
+    std::vector<Watch> watches;
+    watches.reserve(rects.size() * 3);
     for (const Rect& r : rects) {
-        watched.push_back(r.x);
-        watched.push_back(r.y);
-        watched.push_back(r.len_x);
+        watches.push_back({r.x, kEventBounds});
+        watches.push_back({r.y, kEventBounds});
+        watches.push_back({r.len_x, kEventMin});
     }
-    store.post(std::make_unique<Diff2>(std::move(rects)), watched);
+    store.post(std::make_unique<Diff2>(std::move(rects)), watches);
 }
 
 }  // namespace revec::cp

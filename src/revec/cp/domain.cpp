@@ -7,56 +7,144 @@
 
 namespace revec::cp {
 
+/// Scratch interval list for rebuild-style mutations. Output with at most
+/// kInlineIvs intervals stays on the stack; longer lists spill into a
+/// vector. adopt() moves the result into a Domain without re-copying the
+/// spilled storage.
+struct Domain::Builder {
+    Interval buf[kInlineIvs];
+    std::vector<Interval> spill;
+    std::uint32_t n = 0;
+
+    void push(Interval iv) {
+        if (n < kInlineIvs) {
+            buf[n] = iv;
+        } else {
+            if (n == kInlineIvs) spill.assign(buf, buf + kInlineIvs);
+            spill.push_back(iv);
+        }
+        ++n;
+    }
+
+    bool equals(const Domain& d) const {
+        if (n != d.n_) return false;
+        const Interval* mine = n <= kInlineIvs ? buf : spill.data();
+        const Interval* theirs = d.data();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!(mine[i] == theirs[i])) return false;
+        }
+        return true;
+    }
+};
+
+void Domain::adopt(Builder&& b) {
+    n_ = b.n;
+    if (n_ <= kInlineIvs) {
+        for (std::uint32_t i = 0; i < n_; ++i) small_[i] = b.buf[i];
+        big_.clear();
+    } else {
+        big_ = std::move(b.spill);
+    }
+}
+
+void Domain::drop_front(std::uint32_t k) {
+    if (k == 0) return;
+    REVEC_ASSERT(k <= n_);
+    const std::uint32_t left = n_ - k;
+    if (n_ > kInlineIvs) {
+        if (left <= kInlineIvs) {
+            for (std::uint32_t i = 0; i < left; ++i) small_[i] = big_[k + i];
+            big_.clear();
+        } else {
+            big_.erase(big_.begin(), big_.begin() + static_cast<std::ptrdiff_t>(k));
+        }
+    } else {
+        for (std::uint32_t i = 0; i < left; ++i) small_[i] = small_[k + i];
+    }
+    n_ = left;
+}
+
+void Domain::drop_back(std::uint32_t k) {
+    if (k == 0) return;
+    REVEC_ASSERT(k <= n_);
+    const std::uint32_t left = n_ - k;
+    if (n_ > kInlineIvs && left <= kInlineIvs) {
+        for (std::uint32_t i = 0; i < left; ++i) small_[i] = big_[i];
+        big_.clear();
+    } else if (n_ > kInlineIvs) {
+        big_.resize(left);
+    }
+    n_ = left;
+}
+
 Domain::Domain(int lo, int hi) {
-    if (lo <= hi) ivs_.push_back({lo, hi});
+    if (lo <= hi) {
+        small_[0] = {lo, hi};
+        n_ = 1;
+    }
 }
 
 Domain Domain::of_values(std::vector<int> values) {
     std::sort(values.begin(), values.end());
     values.erase(std::unique(values.begin(), values.end()), values.end());
     Domain d;
+    Builder b;
     for (const int v : values) {
-        if (!d.ivs_.empty() && static_cast<std::int64_t>(d.ivs_.back().hi) + 1 == v) {
-            d.ivs_.back().hi = v;
-        } else {
-            d.ivs_.push_back({v, v});
+        if (b.n > 0) {
+            Interval& last = b.n <= kInlineIvs ? b.buf[b.n - 1] : b.spill.back();
+            if (static_cast<std::int64_t>(last.hi) + 1 == v) {
+                last.hi = v;
+                continue;
+            }
         }
+        b.push({v, v});
     }
+    d.adopt(std::move(b));
     return d;
 }
 
 std::int64_t Domain::size() const {
     std::int64_t n = 0;
-    for (const Interval& iv : ivs_) n += static_cast<std::int64_t>(iv.hi) - iv.lo + 1;
+    for (const Interval& iv : intervals()) n += static_cast<std::int64_t>(iv.hi) - iv.lo + 1;
     return n;
 }
 
 int Domain::min() const {
     REVEC_EXPECTS(!empty());
-    return ivs_.front().lo;
+    return data()[0].lo;
 }
 
 int Domain::max() const {
     REVEC_EXPECTS(!empty());
-    return ivs_.back().hi;
+    return data()[n_ - 1].hi;
 }
 
 int Domain::value() const {
     REVEC_EXPECTS(is_fixed());
-    return ivs_[0].lo;
+    return data()[0].lo;
 }
 
 bool Domain::contains(int v) const {
+    const std::span<const Interval> ivs = intervals();
     // Binary search over intervals by lower bound.
-    auto it = std::upper_bound(ivs_.begin(), ivs_.end(), v,
+    auto it = std::upper_bound(ivs.begin(), ivs.end(), v,
                                [](int x, const Interval& iv) { return x < iv.lo; });
-    if (it == ivs_.begin()) return false;
+    if (it == ivs.begin()) return false;
     --it;
     return v <= it->hi;
 }
 
+bool Domain::intersects_range(int lo, int hi) const {
+    REVEC_EXPECTS(lo <= hi);
+    for (const Interval& iv : intervals()) {
+        if (iv.hi < lo) continue;
+        return iv.lo <= hi;
+    }
+    return false;
+}
+
 bool Domain::next_value(int v, int& out) const {
-    for (const Interval& iv : ivs_) {
+    for (const Interval& iv : intervals()) {
         if (iv.hi < v) continue;
         out = std::max(iv.lo, v);
         return true;
@@ -65,68 +153,73 @@ bool Domain::next_value(int v, int& out) const {
 }
 
 bool Domain::remove_below(int v) {
-    if (empty() || ivs_.front().lo >= v) return false;
-    std::size_t keep = 0;
-    while (keep < ivs_.size() && ivs_[keep].hi < v) ++keep;
-    ivs_.erase(ivs_.begin(), ivs_.begin() + static_cast<std::ptrdiff_t>(keep));
-    if (!ivs_.empty() && ivs_.front().lo < v) ivs_.front().lo = v;
+    if (empty() || data()[0].lo >= v) return false;
+    const Interval* d = data();
+    std::uint32_t keep = 0;
+    while (keep < n_ && d[keep].hi < v) ++keep;
+    drop_front(keep);
+    if (n_ > 0 && data()[0].lo < v) data()[0].lo = v;
     return true;
 }
 
 bool Domain::remove_above(int v) {
-    if (empty() || ivs_.back().hi <= v) return false;
-    std::size_t keep = ivs_.size();
-    while (keep > 0 && ivs_[keep - 1].lo > v) --keep;
-    ivs_.erase(ivs_.begin() + static_cast<std::ptrdiff_t>(keep), ivs_.end());
-    if (!ivs_.empty() && ivs_.back().hi > v) ivs_.back().hi = v;
+    if (empty() || data()[n_ - 1].hi <= v) return false;
+    const Interval* d = data();
+    std::uint32_t drop = 0;
+    while (drop < n_ && d[n_ - 1 - drop].lo > v) ++drop;
+    drop_back(drop);
+    if (n_ > 0 && data()[n_ - 1].hi > v) data()[n_ - 1].hi = v;
     return true;
 }
 
 bool Domain::remove_value(int v) { return remove_range(v, v); }
 
 bool Domain::remove_range(int lo, int hi) {
-    if (lo > hi || empty() || hi < ivs_.front().lo || lo > ivs_.back().hi) return false;
-    std::vector<Interval> out;
-    out.reserve(ivs_.size() + 1);
+    if (lo > hi || empty() || hi < data()[0].lo || lo > data()[n_ - 1].hi) return false;
+    Builder out;
     bool changed = false;
-    for (const Interval& iv : ivs_) {
+    for (const Interval& iv : intervals()) {
         if (iv.hi < lo || iv.lo > hi) {
-            out.push_back(iv);
+            out.push(iv);
             continue;
         }
         changed = true;
-        if (iv.lo < lo) out.push_back({iv.lo, lo - 1});
-        if (iv.hi > hi) out.push_back({hi + 1, iv.hi});
+        if (iv.lo < lo) out.push({iv.lo, lo - 1});
+        if (iv.hi > hi) out.push({hi + 1, iv.hi});
     }
-    if (changed) ivs_ = std::move(out);
+    if (changed) adopt(std::move(out));
     return changed;
 }
 
 bool Domain::intersect_with(const Domain& other) {
-    std::vector<Interval> out;
-    std::size_t a = 0;
-    std::size_t b = 0;
-    while (a < ivs_.size() && b < other.ivs_.size()) {
-        const Interval& x = ivs_[a];
-        const Interval& y = other.ivs_[b];
+    Builder out;
+    const Interval* xs = data();
+    const Interval* ys = other.data();
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    while (a < n_ && b < other.n_) {
+        const Interval& x = xs[a];
+        const Interval& y = ys[b];
         const int lo = std::max(x.lo, y.lo);
         const int hi = std::min(x.hi, y.hi);
-        if (lo <= hi) out.push_back({lo, hi});
+        if (lo <= hi) out.push({lo, hi});
         if (x.hi < y.hi) {
             ++a;
         } else {
             ++b;
         }
     }
-    if (out == ivs_) return false;
-    ivs_ = std::move(out);
+    if (out.equals(*this)) return false;
+    adopt(std::move(out));
     return true;
 }
 
 bool Domain::assign(int v) {
     REVEC_EXPECTS(contains(v));
     if (is_fixed()) return false;
-    ivs_.assign(1, {v, v});
+    small_[0] = {v, v};
+    n_ = 1;
+    big_.clear();
     return true;
 }
 
@@ -134,7 +227,7 @@ std::string Domain::to_string() const {
     std::ostringstream os;
     os << '{';
     bool first = true;
-    for (const Interval& iv : ivs_) {
+    for (const Interval& iv : intervals()) {
         if (!first) os << ", ";
         first = false;
         if (iv.lo == iv.hi) {
@@ -148,10 +241,12 @@ std::string Domain::to_string() const {
 }
 
 void Domain::check_invariant() const {
-    for (std::size_t i = 0; i < ivs_.size(); ++i) {
-        REVEC_ASSERT(ivs_[i].lo <= ivs_[i].hi);
-        if (i > 0) REVEC_ASSERT(static_cast<std::int64_t>(ivs_[i - 1].hi) + 1 < ivs_[i].lo);
+    const Interval* d = data();
+    for (std::uint32_t i = 0; i < n_; ++i) {
+        REVEC_ASSERT(d[i].lo <= d[i].hi);
+        if (i > 0) REVEC_ASSERT(static_cast<std::int64_t>(d[i - 1].hi) + 1 < d[i].lo);
     }
+    REVEC_ASSERT(n_ <= kInlineIvs ? big_.empty() : big_.size() == n_);
 }
 
 }  // namespace revec::cp

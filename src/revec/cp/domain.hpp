@@ -1,13 +1,21 @@
 // Finite integer domain represented as a sorted set of disjoint,
 // non-adjacent closed intervals. This is the value type trailed by the
 // solver store; all operations are value-semantic.
+//
+// Storage is small-buffer optimized: up to kInlineIvs intervals live
+// inline, so the dominant cases — a fixed value or a contiguous range —
+// never touch the heap. Only hole-rich domains (> kInlineIvs intervals)
+// spill into a heap-backed vector.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace revec::cp {
+
+class Store;
 
 /// One closed interval [lo, hi].
 struct Interval {
@@ -19,17 +27,44 @@ struct Interval {
 /// A finite set of integers. An empty domain represents failure.
 class Domain {
 public:
+    /// Intervals stored inline (no heap) — covers fixed values and ranges.
+    static constexpr std::uint32_t kInlineIvs = 2;
+
     /// The empty domain.
     Domain() = default;
 
     /// The interval domain [lo, hi]; empty when lo > hi.
     Domain(int lo, int hi);
 
+    Domain(const Domain&) = default;
+    Domain& operator=(const Domain&) = default;
+    // Moves leave the source empty so a moved-from domain is never read as
+    // pointing into a stolen heap buffer.
+    Domain(Domain&& o) noexcept : n_(o.n_), big_(std::move(o.big_)) {
+        small_[0] = o.small_[0];
+        small_[1] = o.small_[1];
+        o.n_ = 0;
+    }
+    Domain& operator=(Domain&& o) noexcept {
+        small_[0] = o.small_[0];
+        small_[1] = o.small_[1];
+        n_ = o.n_;
+        big_ = std::move(o.big_);
+        o.n_ = 0;
+        return *this;
+    }
+
     /// Domain holding exactly the given values (any order, duplicates ok).
     static Domain of_values(std::vector<int> values);
 
-    bool empty() const { return ivs_.empty(); }
-    bool is_fixed() const { return ivs_.size() == 1 && ivs_[0].lo == ivs_[0].hi; }
+    bool empty() const { return n_ == 0; }
+    bool is_fixed() const { return n_ == 1 && small_[0].lo == small_[0].hi; }
+
+    /// True when the domain is one contiguous interval (no holes).
+    bool is_range() const { return n_ == 1; }
+
+    /// Number of stored intervals.
+    std::size_t num_intervals() const { return n_; }
 
     /// Number of values in the domain.
     std::int64_t size() const;
@@ -42,6 +77,9 @@ public:
     int value() const;
 
     bool contains(int v) const;
+
+    /// True iff some domain value lies in [lo, hi] (lo <= hi required).
+    bool intersects_range(int lo, int hi) const;
 
     /// Smallest domain value >= v, or nullopt-like sentinel via `found`.
     bool next_value(int v, int& out) const;
@@ -59,7 +97,7 @@ public:
     /// Call `fn(v)` for every value in ascending order.
     template <typename Fn>
     void for_each(Fn&& fn) const {
-        for (const Interval& iv : ivs_) {
+        for (const Interval& iv : intervals()) {
             for (int v = iv.lo;; ++v) {
                 fn(v);
                 if (v == iv.hi) break;  // avoids overflow at INT_MAX
@@ -67,15 +105,53 @@ public:
         }
     }
 
-    const std::vector<Interval>& intervals() const { return ivs_; }
+    std::span<const Interval> intervals() const { return {data(), n_}; }
 
     std::string to_string() const;
 
-    friend bool operator==(const Domain&, const Domain&) = default;
+    friend bool operator==(const Domain& a, const Domain& b) {
+        if (a.n_ != b.n_) return false;
+        const Interval* pa = a.data();
+        const Interval* pb = b.data();
+        for (std::uint32_t i = 0; i < a.n_; ++i) {
+            if (!(pa[i] == pb[i])) return false;
+        }
+        return true;
+    }
 
 private:
+    friend class Store;  // trail restore hooks below
+
+    // -- trail-only restore hooks (Store::pop_level) ------------------------
+    // Each undoes exactly one recorded mutation; preconditions are
+    // guaranteed by the store's trailing discipline, not re-checked here.
+    /// Undo a pure lower-bound clip: reinstate the first interval's lo.
+    void restore_lo(int lo) { data()[0].lo = lo; }
+    /// Undo a pure upper-bound clip: reinstate the last interval's hi.
+    void restore_hi(int hi) { data()[n_ - 1].hi = hi; }
+    /// Reinstate a hole-free pre-state [lo, hi] wholesale.
+    void restore_single(int lo, int hi) {
+        small_[0] = {lo, hi};
+        n_ = 1;
+        big_.clear();
+    }
+
+    struct Builder;  // scratch interval list (defined in domain.cpp)
+
+    const Interval* data() const { return n_ <= kInlineIvs ? small_ : big_.data(); }
+    Interval* data() { return n_ <= kInlineIvs ? small_ : big_.data(); }
+
+    void drop_front(std::uint32_t k);
+    void drop_back(std::uint32_t k);
+    void adopt(Builder&& b);
     void check_invariant() const;
-    std::vector<Interval> ivs_;
+
+    // Invariant: intervals live in small_ when n_ <= kInlineIvs, in big_
+    // otherwise; big_ is logically empty (but may retain capacity) while
+    // the inline buffer is active.
+    Interval small_[kInlineIvs] = {};
+    std::uint32_t n_ = 0;
+    std::vector<Interval> big_;
 };
 
 }  // namespace revec::cp

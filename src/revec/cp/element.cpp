@@ -60,6 +60,10 @@ public:
         return true;
     }
 
+    // Hole-sensitive on every side (index enumeration, domain channeling
+    // once the index fixes), so it keeps the wake-on-any-change mask.
+    Priority priority() const override { return Priority::Linear; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "element(x" << index_.index() << " of " << array_.size() << ")";

@@ -48,6 +48,8 @@ public:
 
     bool propagate(Store& s) override { return prune_leq(s, terms_, c_); }
 
+    Priority priority() const override { return Priority::Linear; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "linear_leq(" << terms_.size() << " terms, c=" << c_ << ")";
@@ -69,6 +71,8 @@ public:
     bool propagate(Store& s) override {
         return prune_leq(s, terms_, c_) && prune_leq(s, neg_, -c_);
     }
+
+    Priority priority() const override { return Priority::Linear; }
 
     std::string describe() const override {
         std::ostringstream os;
@@ -97,6 +101,11 @@ public:
         return true;
     }
 
+    Priority priority() const override { return Priority::Unary; }
+    // Removing the fixed side's value from the other side is a no-op on a
+    // rerun, even when that removal fixes the other side in turn.
+    bool idempotent() const override { return true; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "not_equal(x" << x_.index() << ", y" << y_.index() << " + " << c_ << ")";
@@ -109,23 +118,26 @@ private:
     std::int64_t c_;
 };
 
-std::vector<IntVar> vars_of(const std::vector<LinTerm>& terms) {
-    std::vector<IntVar> vs;
-    vs.reserve(terms.size());
-    for (const LinTerm& t : terms) vs.push_back(t.var);
-    return vs;
-}
-
 }  // namespace
 
 void post_linear_leq(Store& store, std::vector<LinTerm> terms, std::int64_t c) {
-    auto watched = vars_of(terms);
-    store.post(std::make_unique<LinearLeq>(std::move(terms), c), watched);
+    // Bounds-consistent one direction: the propagator only reads min of
+    // positive terms and max of negative terms, so only those bound moves
+    // can change its prunes.
+    std::vector<Watch> watches;
+    watches.reserve(terms.size());
+    for (const LinTerm& t : terms) {
+        watches.push_back({t.var, t.coeff >= 0 ? kEventMin : kEventMax});
+    }
+    store.post(std::make_unique<LinearLeq>(std::move(terms), c), watches);
 }
 
 void post_linear_eq(Store& store, std::vector<LinTerm> terms, std::int64_t c) {
-    auto watched = vars_of(terms);
-    store.post(std::make_unique<LinearEq>(std::move(terms), c), watched);
+    // Both directions: any bound move matters, interior holes never do.
+    std::vector<Watch> watches;
+    watches.reserve(terms.size());
+    for (const LinTerm& t : terms) watches.push_back({t.var, kEventBounds});
+    store.post(std::make_unique<LinearEq>(std::move(terms), c), watches);
 }
 
 void post_leq_offset(Store& store, IntVar x, std::int64_t c, IntVar y) {
@@ -137,7 +149,9 @@ void post_eq_offset(Store& store, IntVar x, std::int64_t c, IntVar y) {
 }
 
 void post_not_equal(Store& store, IntVar x, IntVar y, std::int64_t c) {
-    store.post(std::make_unique<NotEqual>(x, y, c), {x, y});
+    // Acts only once a side is fixed; bounds and hole changes are ignored.
+    store.post(std::make_unique<NotEqual>(x, y, c),
+               std::vector<Watch>{{x, kEventFixed}, {y, kEventFixed}});
 }
 
 void post_not_value(Store& store, IntVar x, std::int64_t v) {

@@ -47,10 +47,10 @@ struct WorkerSlot {
 /// DFS against the shared bound, and fill `slot`.
 void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
                 const SearchOptions& base, const RestartPolicy& policy,
-                std::atomic<bool>& stop, std::atomic<std::int64_t>& shared,
-                WorkerSlot& slot) {
+                const EngineConfig& engine, std::atomic<bool>& stop,
+                std::atomic<std::int64_t>& shared, WorkerSlot& slot) {
     try {
-        Store store;
+        Store store{engine};
         const PostedModel model = build(store);
         const std::vector<Phase> phases = apply_config(model.phases, cfg);
 
@@ -108,6 +108,7 @@ void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
                 1;
             opts.value_jitter_seed = reseed.next() | 1u;
         }
+        slot.report.prop_stats = store.stats();
         if (slot.report.proved) stop.store(true, std::memory_order_release);
     } catch (...) {
         slot.error = std::current_exception();
@@ -179,6 +180,7 @@ SolveResult PortfolioResult::to_solve_result() const {
     SolveResult r;
     r.status = status;
     r.stats = stats;
+    r.prop_stats = prop_stats;
     r.best = best;
     return r;
 }
@@ -204,14 +206,15 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
     std::vector<WorkerSlot> slots(static_cast<std::size_t>(n));
 
     if (n == 1) {
-        run_worker(build, cfgs[0], options, config.restart_policy, stop, shared, slots[0]);
+        run_worker(build, cfgs[0], options, config.restart_policy, config.engine, stop,
+                   shared, slots[0]);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(static_cast<std::size_t>(n));
         for (int k = 0; k < n; ++k) {
             threads.emplace_back([&, k] {
                 run_worker(build, cfgs[static_cast<std::size_t>(k)], options,
-                           config.restart_policy, stop, shared,
+                           config.restart_policy, config.engine, stop, shared,
                            slots[static_cast<std::size_t>(k)]);
             });
         }
@@ -230,6 +233,7 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
         slot.report.config_index = k;
         slot.report.label = cfgs[static_cast<std::size_t>(k)].label;
         out.stats.absorb(slot.report.stats);
+        out.prop_stats.absorb(slot.report.prop_stats);
         any_proof = any_proof || slot.report.proved;
         // Deterministic merge: best objective first, then lowest config
         // index (strict < keeps the earlier worker on ties).
@@ -250,7 +254,7 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
     // the baseline configuration under the proven bound.
     if (config.canonical_replay && n > 1 && out.status == SolveStatus::Optimal &&
         out.has_solution()) {
-        Store store;
+        Store store{config.engine};
         const PostedModel model = build(store);
         if (model.objective.valid() && store.set_max(model.objective, best_obj)) {
             SearchOptions replay_opts;
@@ -258,6 +262,7 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
             replay_opts.stop_at_first_solution = true;
             const SolveResult replay = solve(store, model.phases, model.objective, replay_opts);
             out.stats.absorb(replay.stats);
+            out.prop_stats.absorb(replay.prop_stats);
             if (replay.has_solution() && replay.value_of(model.objective) == best_obj) {
                 out.best = replay.best;
             }

@@ -44,6 +44,11 @@ struct SolverConfig {
     RestartPolicy restart_policy;
     std::uint32_t seed = 0x5eedu;
 
+    /// Propagation-engine feature toggles, applied to every worker store and
+    /// to the canonical-replay store. EngineConfig::legacy() reproduces the
+    /// pre-event-engine behavior for differential testing.
+    EngineConfig engine;
+
     /// Re-derive a proven-optimal parallel result with a deterministic
     /// bounded sequential pass so repeated runs return identical
     /// assignments, not just identical objectives.
@@ -93,6 +98,7 @@ struct WorkerReport {
     std::string label;
     SolveStatus status = SolveStatus::Timeout;
     SearchStats stats;
+    PropagationStats prop_stats;       ///< engine counters of the worker store
     std::int64_t best_objective = -1;  ///< -1 = this worker found no solution
     bool proved = false;               ///< exhausted its bound-pruned tree
 };
@@ -102,6 +108,7 @@ struct WorkerReport {
 struct PortfolioResult {
     SolveStatus status = SolveStatus::Unsat;
     SearchStats stats;       ///< merged over all workers (plus the replay pass)
+    PropagationStats prop_stats;  ///< engine counters, merged likewise
     std::vector<int> best;   ///< empty when no worker found a solution
     int winner = -1;         ///< config index that produced `best`
     std::vector<WorkerReport> workers;

@@ -37,6 +37,8 @@ public:
         return true;
     }
 
+    Priority priority() const override { return Priority::Linear; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "b" << b_.index() << " <-> (x" << x_.index() << " == x" << y_.index() << ")";
@@ -61,6 +63,11 @@ public:
         if (s.value(b_) == 1) return s.assign(x_, c_);
         return s.remove(x_, c_);
     }
+
+    Priority priority() const override { return Priority::Unary; }
+    // Every branch re-run on its own output is a no-op (assign/remove of
+    // the same constant, entailment checks on unchanged domains).
+    bool idempotent() const override { return true; }
 
     std::string describe() const override {
         std::ostringstream os;
@@ -99,6 +106,10 @@ public:
         }
         return true;
     }
+
+    Priority priority() const override { return Priority::Unary; }
+    // Unit propagation satisfies the clause; a rerun sees it satisfied.
+    bool idempotent() const override { return true; }
 
     std::string describe() const override {
         std::ostringstream os;

@@ -127,6 +127,7 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
         while (store.level() > 0) store.pop_level();
         result.status = status;
         result.stats.time_ms = watch.elapsed_ms();
+        result.prop_stats = store.stats();
         return result;
     };
 

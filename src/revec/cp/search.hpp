@@ -102,6 +102,7 @@ struct SearchStats {
 struct SolveResult {
     SolveStatus status = SolveStatus::Unsat;
     SearchStats stats;
+    PropagationStats prop_stats;  ///< engine counters at the end of the search
     std::vector<int> best;  ///< indexed by IntVar::index(); empty when no solution
 
     bool has_solution() const { return !best.empty(); }

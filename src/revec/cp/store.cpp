@@ -17,7 +17,31 @@ int clamp_value(std::int64_t v) {
     return static_cast<int>(v);
 }
 
+/// Approximate trailed payload bytes of a full domain snapshot: the record
+/// header plus any heap-resident interval storage.
+std::int64_t snapshot_bytes(const Domain& d) {
+    const auto n = static_cast<std::int64_t>(d.num_intervals());
+    return 16 + (n > static_cast<std::int64_t>(Domain::kInlineIvs) ? n * 8 : 0);
+}
+
 }  // namespace
+
+void PropagationStats::absorb(const PropagationStats& o) {
+    propagations += o.propagations;
+    domain_changes += o.domain_changes;
+    for (int k = 0; k < kNumEventKinds; ++k) events[static_cast<std::size_t>(k)] +=
+        o.events[static_cast<std::size_t>(k)];
+    wakeups += o.wakeups;
+    wakeups_filtered += o.wakeups_filtered;
+    self_wakeups_suppressed += o.self_wakeups_suppressed;
+    starvation_runs += o.starvation_runs;
+    for (int b = 0; b < kNumPriorities; ++b) queue_pushes[static_cast<std::size_t>(b)] +=
+        o.queue_pushes[static_cast<std::size_t>(b)];
+    max_queue_depth = std::max(max_queue_depth, o.max_queue_depth);
+    trail_saves += o.trail_saves;
+    trail_snapshots += o.trail_snapshots;
+    trail_bytes += o.trail_bytes;
+}
 
 IntVar Store::new_var(int lo, int hi, std::string name) {
     return new_var(Domain(lo, hi), std::move(name));
@@ -42,119 +66,283 @@ std::size_t Store::check(IntVar x) const {
     return static_cast<std::size_t>(x.index());
 }
 
-void Store::save_domain(std::size_t idx) {
+void Store::record_trail(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip) {
     if (level_ == 0) return;  // root-level changes are permanent
-    if (last_saved_level_[idx] == level_) return;
-    trail_.push_back({static_cast<std::int32_t>(idx), last_saved_level_[idx], doms_[idx]});
+    if (last_saved_level_[idx] == level_) return;  // full restore already trailed
+    const Domain& d = doms_[idx];
+    const auto var = static_cast<std::int32_t>(idx);
+    ++stats_.trail_saves;
+
+    if (engine_.delta_trail && d.is_range()) {
+        // Hole-free pre-state: a 16-byte record reinstates it wholesale,
+        // whatever the mutation does — this is the dominant case and it
+        // also marks the variable fully saved for this level.
+        trail_.push_back({TrailEntry::Kind::Bounds, var, d.min(), d.max(),
+                          last_saved_level_[idx], Domain()});
+        last_saved_level_[idx] = level_;
+        stats_.trail_bytes += 12;
+        return;
+    }
+    if (engine_.delta_trail && (pure_lo_clip || pure_hi_clip)) {
+        // Bound clip of a hole-carrying domain: the clipped end interval
+        // survives, so restoring its old bound undoes the mutation.
+        const auto kind = pure_lo_clip ? TrailEntry::Kind::Min : TrailEntry::Kind::Max;
+        const std::size_t mark = level_marks_.back();
+        if (trail_.size() > mark && trail_.back().kind == kind && trail_.back().var == var) {
+            --stats_.trail_saves;  // adjacent same-kind clip: older record wins
+            return;
+        }
+        trail_.push_back(
+            {kind, var, pure_lo_clip ? d.min() : d.max(), 0, -1, Domain()});
+        stats_.trail_bytes += 8;
+        return;
+    }
+    // Hole structure changes (or legacy mode): full snapshot.
+    trail_.push_back({TrailEntry::Kind::Snapshot, var, 0, 0, last_saved_level_[idx], d});
     last_saved_level_[idx] = level_;
+    ++stats_.trail_snapshots;
+    stats_.trail_bytes += snapshot_bytes(d);
 }
 
-void Store::on_change(std::size_t idx) {
+void Store::on_change(std::size_t idx, int old_min, int old_max, bool was_fixed) {
     ++stats_.domain_changes;
-    if (doms_[idx].empty()) {
+    const Domain& d = doms_[idx];
+    if (d.empty()) {
         failed_ = true;
         return;
     }
-    for (const int p : watchers_[idx]) schedule(p);
+    EventMask fired = kEventDomain;
+    if (d.min() != old_min) fired |= kEventMin;
+    if (d.max() != old_max) fired |= kEventMax;
+    if (!was_fixed && d.is_fixed()) fired |= kEventFixed;
+    for (int k = 0; k < kNumEventKinds; ++k) {
+        if (fired & (1u << k)) ++stats_.events[static_cast<std::size_t>(k)];
+    }
+    // Legacy engines wake every watcher on any change.
+    const EventMask effective = engine_.event_masks ? fired : kEventAll;
+    for (const Watcher& w : watchers_[idx]) {
+        if ((w.mask & effective) == 0) {
+            ++stats_.wakeups_filtered;
+            continue;
+        }
+        ++stats_.wakeups;
+        schedule(w.prop);
+    }
 }
 
 void Store::schedule(int prop_id) {
-    if (queued_[static_cast<std::size_t>(prop_id)]) return;
-    queued_[static_cast<std::size_t>(prop_id)] = 1;
-    queue_.push_back(prop_id);
+    const auto p = static_cast<std::size_t>(prop_id);
+    if (engine_.idempotence && prop_id == running_ && prop_idem_[p] != 0) {
+        ++stats_.self_wakeups_suppressed;
+        return;
+    }
+    if (queued_[p]) return;
+    queued_[p] = 1;
+    const int bucket = engine_.priority_queue ? prop_bucket_[p] : 0;
+    queue_[static_cast<std::size_t>(bucket)].push(prop_id);
+    ++queued_count_;
+    ++stats_.queue_pushes[static_cast<std::size_t>(bucket)];
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, static_cast<std::int64_t>(queued_count_));
 }
 
-#define REVEC_STORE_MUTATE(idx, op)          \
-    do {                                     \
-        if (failed_) return false;           \
-        const std::size_t i_ = (idx);        \
-        Domain tmp_ = doms_[i_];             \
-        if (!tmp_.op) return true;           \
-        save_domain(i_);                     \
-        doms_[i_] = std::move(tmp_);         \
-        on_change(i_);                       \
-        return !failed_;                     \
-    } while (false)
+int Store::pop_runnable() {
+    int cheapest = -1;
+    int costliest = -1;
+    for (int b = 0; b < kNumPriorities; ++b) {
+        if (queue_[static_cast<std::size_t>(b)].empty()) continue;
+        if (cheapest < 0) cheapest = b;
+        costliest = b;
+    }
+    if (cheapest < 0) return -1;
+    // Cheapest-first with escalation: episodes drain in strict priority
+    // order (waking watchers coalesce while a costlier propagator waits)
+    // unless chain-creep detection currently holds — a long episode of
+    // one-shot pops — in which case the costliest waiting bucket is
+    // interleaved every starvation_limit pops (see
+    // EngineConfig::starvation_limit).
+    int pick = cheapest;
+    const bool creeping =
+        engine_.starvation_limit > 0 && organic_pops_ >= engine_.escalation_pops &&
+        organic_pops_ * 100 <= episode_distinct_ * engine_.escalation_rerun_pct;
+    if (cheapest == costliest) {
+        cheap_streak_ = 0;
+    } else if (creeping && cheap_streak_ >= engine_.starvation_limit) {
+        cheap_streak_ = 0;
+        pick = costliest;
+        ++stats_.starvation_runs;
+    } else {
+        ++cheap_streak_;
+    }
+    --queued_count_;
+    const int id = queue_[static_cast<std::size_t>(pick)].pop();
+    if (pick == cheapest) {
+        ++organic_pops_;
+        if (prop_run_ep_[static_cast<std::size_t>(id)] != episode_) {
+            prop_run_ep_[static_cast<std::size_t>(id)] = episode_;
+            ++episode_distinct_;
+        }
+    }
+    return id;
+}
+
+void Store::clear_queue() {
+    for (Bucket& b : queue_) {
+        while (!b.empty()) queued_[static_cast<std::size_t>(b.pop())] = 0;
+        b.clear();
+    }
+    queued_count_ = 0;
+    cheap_streak_ = 0;
+}
 
 bool Store::set_min(IntVar x, std::int64_t v) {
+    if (failed_) return false;
     if (v > INT_MAX) {
         failed_ = true;
         return false;
     }
-    if (v <= INT_MIN) return !failed_;
-    REVEC_STORE_MUTATE(check(x), remove_below(clamp_value(v)));
+    if (v <= INT_MIN) return true;  // cannot exclude any representable value
+    const std::size_t i = check(x);
+    Domain& d = doms_[i];
+    const int vv = static_cast<int>(v);
+    if (d.min() >= vv) return true;
+    const int old_min = d.min();
+    const int old_max = d.max();
+    const bool was_fixed = d.is_fixed();
+    // Pure clip iff the first interval survives (keeps some value >= vv).
+    record_trail(i, /*pure_lo_clip=*/vv <= d.intervals()[0].hi, false);
+    d.remove_below(vv);
+    on_change(i, old_min, old_max, was_fixed);
+    return !failed_;
 }
 
 bool Store::set_max(IntVar x, std::int64_t v) {
+    if (failed_) return false;
     if (v < INT_MIN) {
         failed_ = true;
         return false;
     }
-    if (v >= INT_MAX) return !failed_;
-    REVEC_STORE_MUTATE(check(x), remove_above(clamp_value(v)));
+    if (v >= INT_MAX) return true;
+    const std::size_t i = check(x);
+    Domain& d = doms_[i];
+    const int vv = static_cast<int>(v);
+    if (d.max() <= vv) return true;
+    const int old_min = d.min();
+    const int old_max = d.max();
+    const bool was_fixed = d.is_fixed();
+    const std::size_t last = d.num_intervals() - 1;
+    record_trail(i, false, /*pure_hi_clip=*/vv >= d.intervals()[last].lo);
+    d.remove_above(vv);
+    on_change(i, old_min, old_max, was_fixed);
+    return !failed_;
 }
 
 bool Store::assign(IntVar x, std::int64_t v) {
     if (failed_) return false;
     const std::size_t i = check(x);
-    if (v < INT_MIN || v > INT_MAX || !doms_[i].contains(static_cast<int>(v))) {
+    Domain& d = doms_[i];
+    if (v < INT_MIN || v > INT_MAX || !d.contains(static_cast<int>(v))) {
         failed_ = true;
         return false;
     }
-    Domain tmp = doms_[i];
-    if (!tmp.assign(static_cast<int>(v))) return true;
-    save_domain(i);
-    doms_[i] = std::move(tmp);
-    on_change(i);
+    if (d.is_fixed()) return true;
+    const int old_min = d.min();
+    const int old_max = d.max();
+    record_trail(i, false, false);
+    d.assign(static_cast<int>(v));
+    on_change(i, old_min, old_max, /*was_fixed=*/false);
     return !failed_;
 }
 
 bool Store::remove(IntVar x, std::int64_t v) {
-    if (v < INT_MIN || v > INT_MAX) return !failed_;
-    REVEC_STORE_MUTATE(check(x), remove_value(static_cast<int>(v)));
+    if (failed_) return false;
+    if (v < INT_MIN || v > INT_MAX) return true;
+    return remove_range(x, v, v);
 }
 
 bool Store::remove_range(IntVar x, std::int64_t lo, std::int64_t hi) {
-    if (lo > hi) return !failed_;
+    if (failed_) return false;
+    if (lo > hi || hi < INT_MIN || lo > INT_MAX) return true;  // no representable value
+    const std::size_t i = check(x);
+    Domain& d = doms_[i];
     const int l = clamp_value(lo);
     const int h = clamp_value(hi);
-    REVEC_STORE_MUTATE(check(x), remove_range(l, h));
+    if (!d.intersects_range(l, h)) return true;
+    const int old_min = d.min();
+    const int old_max = d.max();
+    const bool was_fixed = d.is_fixed();
+    record_trail(i, false, false);
+    d.remove_range(l, h);
+    on_change(i, old_min, old_max, was_fixed);
+    return !failed_;
 }
 
-bool Store::intersect(IntVar x, const Domain& d) {
-    REVEC_STORE_MUTATE(check(x), intersect_with(d));
+bool Store::intersect(IntVar x, const Domain& nd) {
+    if (failed_) return false;
+    const std::size_t i = check(x);
+    Domain& d = doms_[i];
+    Domain tmp = d;
+    if (!tmp.intersect_with(nd)) return true;
+    const int old_min = d.min();
+    const int old_max = d.max();
+    const bool was_fixed = d.is_fixed();
+    record_trail(i, false, false);  // must see the pre-mutation state
+    d = std::move(tmp);
+    on_change(i, old_min, old_max, was_fixed);
+    return !failed_;
 }
 
-#undef REVEC_STORE_MUTATE
-
-void Store::post(std::unique_ptr<Propagator> p, const std::vector<IntVar>& watched) {
+void Store::post(std::unique_ptr<Propagator> p, const std::vector<Watch>& watches) {
     REVEC_EXPECTS(p != nullptr);
     const int id = static_cast<int>(props_.size());
     p->id_ = id;
+    auto bucket = static_cast<std::uint8_t>(p->priority());
+    REVEC_EXPECTS(bucket < kNumPriorities);
+    prop_bucket_.push_back(bucket);
+    prop_idem_.push_back(p->idempotent() ? 1 : 0);
     props_.push_back(std::move(p));
     queued_.push_back(0);
-    for (const IntVar x : watched) {
-        auto& list = watchers_[check(x)];
-        if (std::find(list.begin(), list.end(), id) == list.end()) list.push_back(id);
+    prop_run_ep_.push_back(0);
+    for (const Watch& w : watches) {
+        auto& list = watchers_[check(w.var)];
+        const auto it = std::find_if(list.begin(), list.end(),
+                                     [id](const Watcher& e) { return e.prop == id; });
+        if (it == list.end()) {
+            list.push_back({id, w.events});
+        } else {
+            it->mask |= w.events;  // duplicate watch: union of the masks
+        }
     }
     schedule(id);
 }
 
+void Store::post(std::unique_ptr<Propagator> p, const std::vector<IntVar>& watched) {
+    std::vector<Watch> ws;
+    ws.reserve(watched.size());
+    for (const IntVar x : watched) ws.push_back({x, kEventAll});
+    post(std::move(p), ws);
+}
+
 bool Store::propagate() {
-    while (!queue_.empty()) {
-        if (failed_) break;
-        const int id = queue_.front();
-        queue_.pop_front();
+    ++episode_;
+    cheap_streak_ = 0;
+    organic_pops_ = 0;
+    episode_distinct_ = 0;
+    while (!failed_) {
+        const int id = pop_runnable();
+        if (id < 0) break;
         queued_[static_cast<std::size_t>(id)] = 0;
         ++stats_.propagations;
-        if (!props_[static_cast<std::size_t>(id)]->propagate(*this)) {
+        running_ = id;
+        const bool ok = props_[static_cast<std::size_t>(id)]->propagate(*this);
+        running_ = -1;
+        if (!ok) {
             failed_ = true;
             break;
         }
     }
     if (failed_) {
-        for (const int id : queue_) queued_[static_cast<std::size_t>(id)] = 0;
-        queue_.clear();
+        clear_queue();
         return false;
     }
     return true;
@@ -172,14 +360,27 @@ void Store::pop_level() {
     while (trail_.size() > mark) {
         TrailEntry& e = trail_.back();
         const auto idx = static_cast<std::size_t>(e.var);
-        doms_[idx] = std::move(e.saved);
-        last_saved_level_[idx] = e.prev_saved_level;
+        switch (e.kind) {
+            case TrailEntry::Kind::Min:
+                doms_[idx].restore_lo(e.a);
+                break;
+            case TrailEntry::Kind::Max:
+                doms_[idx].restore_hi(e.a);
+                break;
+            case TrailEntry::Kind::Bounds:
+                doms_[idx].restore_single(e.a, e.b);
+                last_saved_level_[idx] = e.prev_saved_level;
+                break;
+            case TrailEntry::Kind::Snapshot:
+                doms_[idx] = std::move(e.saved);
+                last_saved_level_[idx] = e.prev_saved_level;
+                break;
+        }
         trail_.pop_back();
     }
     --level_;
     failed_ = false;
-    for (const int id : queue_) queued_[static_cast<std::size_t>(id)] = 0;
-    queue_.clear();
+    clear_queue();
 }
 
 std::string Store::dump() const {

@@ -1,9 +1,21 @@
 // The constraint store: owns variable domains and propagators, runs
 // propagation to fixpoint, and supports chronological backtracking through
 // a trail of saved domains.
+//
+// The propagation engine is event-driven:
+//  * every mutation computes the typed events it fired (MIN/MAX/FIXED/
+//    DOMAIN) and wakes only watchers whose event mask matches;
+//  * the runnable queue is bucketed by propagator priority and drained
+//    cheapest-first, with self-wakeups suppressed for propagators that
+//    declare idempotence;
+//  * the trail records compact bound-change deltas — a full domain
+//    snapshot is taken only when a hole-carrying domain changes shape.
+// All three mechanisms are fixpoint-preserving, so the search tree is
+// identical to the legacy flat-FIFO/full-snapshot engine (EngineConfig
+// can re-enable the legacy behaviors for differential testing).
 #pragma once
 
-#include <deque>
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,17 +26,76 @@
 
 namespace revec::cp {
 
+/// Engine feature toggles. Defaults are the event-driven engine; legacy()
+/// reproduces the original engine (wake on any change, single FIFO, full
+/// domain snapshots) for node-parity differential tests and benchmarks.
+struct EngineConfig {
+    bool event_masks = true;      ///< filter wakeups by subscription mask
+    bool priority_queue = true;   ///< bucket the queue by Propagator::priority()
+    bool idempotence = true;      ///< suppress self-wakeups of idempotent props
+    bool delta_trail = true;      ///< trail bound deltas instead of snapshots
+
+    /// Starvation bound for chain-creep propagation episodes. Ordinarily
+    /// an episode (one propagate() call) drains in strict priority order —
+    /// wakeups coalesce on the queued costlier propagators, which then run
+    /// once against the settled cheap fixpoint. But an episode whose
+    /// cheapest-first pop count reaches escalation_pops while each popped
+    /// propagator has run only ~once (pops*100 <= distinct propagators *
+    /// escalation_rerun_pct) is creeping through a long spatial chain of
+    /// one-shot bound nudges that one run of a waiting costlier propagator
+    /// would collapse — or probing a doomed node only a global can refute.
+    /// While that holds, after starvation_limit consecutive pops that
+    /// bypassed a waiting costlier bucket, the costliest waiting bucket is
+    /// interleaved once. A settle that keeps re-running the same few
+    /// propagators (legitimate iterative convergence) fails the ratio test
+    /// and drains strictly. Any drain order reaches the same fixpoint, so
+    /// this only affects work, never the search tree. starvation_limit 0 =
+    /// always strict cheapest-first.
+    int starvation_limit = 1;
+    int escalation_pops = 32;
+    int escalation_rerun_pct = 150;
+
+    static EngineConfig legacy() {
+        return {.event_masks = false, .priority_queue = false, .idempotence = false,
+                .delta_trail = false};
+    }
+};
+
 /// Counters describing the work a store (and the search on top of it) did.
 struct PropagationStats {
     std::int64_t propagations = 0;  ///< propagator executions
     std::int64_t domain_changes = 0;
+
+    /// Modification events fired, indexed by event kind (MIN, MAX, FIXED,
+    /// DOMAIN in bit order). DOMAIN fires on every change.
+    std::array<std::int64_t, kNumEventKinds> events{};
+    std::int64_t wakeups = 0;           ///< watcher notifications passing the mask
+    std::int64_t wakeups_filtered = 0;  ///< notifications dropped by event masks
+    std::int64_t self_wakeups_suppressed = 0;  ///< idempotent self-wakeups dropped
+    std::int64_t starvation_runs = 0;   ///< escalated runs of a bypassed costlier bucket
+
+    /// Queue pushes per priority bucket and the high-water mark of the
+    /// total queued-propagator count.
+    std::array<std::int64_t, kNumPriorities> queue_pushes{};
+    std::int64_t max_queue_depth = 0;
+
+    std::int64_t trail_saves = 0;      ///< trail records pushed (any kind)
+    std::int64_t trail_snapshots = 0;  ///< full Domain snapshots among them
+    std::int64_t trail_bytes = 0;      ///< payload bytes trailed (snapshots
+                                       ///< count their interval storage)
+
+    /// Accumulate another store's counters (portfolio merge).
+    void absorb(const PropagationStats& o);
 };
 
 class Store {
 public:
     Store() = default;
+    explicit Store(const EngineConfig& engine) : engine_(engine) {}
     Store(const Store&) = delete;
     Store& operator=(const Store&) = delete;
+
+    const EngineConfig& engine() const { return engine_; }
 
     // -- variables -----------------------------------------------------------
     IntVar new_var(int lo, int hi, std::string name = {});
@@ -42,7 +113,10 @@ public:
 
     // -- domain modification (propagator + search API) -----------------------
     // Each returns false iff the domain became empty (failure). All record
-    // the previous domain on the trail so backtracking restores it.
+    // enough trail state that backtracking restores the previous domain
+    // bit-exactly. 64-bit bounds outside int range are handled explicitly:
+    // requests that cannot affect any representable value are no-ops,
+    // requests that exclude every representable value fail.
     bool set_min(IntVar x, std::int64_t v);
     bool set_max(IntVar x, std::int64_t v);
     bool assign(IntVar x, std::int64_t v);
@@ -51,7 +125,10 @@ public:
     bool intersect(IntVar x, const Domain& d);
 
     // -- propagators ----------------------------------------------------------
-    /// Take ownership of `p`, subscribe it to `watched`, and schedule it.
+    /// Take ownership of `p`, subscribe it per `watches` (event-masked),
+    /// and schedule it.
+    void post(std::unique_ptr<Propagator> p, const std::vector<Watch>& watches);
+    /// Convenience overload: subscribe to every event of every watched var.
     void post(std::unique_ptr<Propagator> p, const std::vector<IntVar>& watched);
 
     /// Run the propagation queue to fixpoint. Returns false on failure.
@@ -74,24 +151,80 @@ public:
 
 private:
     std::size_t check(IntVar x) const;
-    void save_domain(std::size_t idx);
-    void on_change(std::size_t idx);
+    void record_trail(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip);
+    void on_change(std::size_t idx, int old_min, int old_max, bool was_fixed);
     void schedule(int prop_id);
+    int pop_runnable();  ///< next queued propagator id, or -1
+    void clear_queue();
 
+    /// One trail record. Bound deltas are 16-byte payloads; Snapshot
+    /// carries a full pre-mutation Domain (taken only when a hole-carrying
+    /// domain changes shape, or in legacy mode).
     struct TrailEntry {
+        enum class Kind : std::uint8_t {
+            Min,       ///< undo a pure lower-bound clip; a = old min
+            Max,       ///< undo a pure upper-bound clip; a = old max
+            Bounds,    ///< reinstate hole-free pre-state [a, b] wholesale
+            Snapshot,  ///< reinstate `saved`
+        };
+        Kind kind;
         std::int32_t var;
-        std::int32_t prev_saved_level;
-        Domain saved;
+        int a = 0;
+        int b = 0;
+        std::int32_t prev_saved_level = -1;  ///< Bounds/Snapshot: old marker
+        Domain saved;                        ///< Snapshot only
     };
+
+    /// One watcher subscription on a variable.
+    struct Watcher {
+        std::int32_t prop;
+        EventMask mask;
+    };
+
+    /// FIFO bucket with an amortized O(1) pop-front.
+    struct Bucket {
+        std::vector<int> q;
+        std::size_t head = 0;
+
+        bool empty() const { return head == q.size(); }
+        void push(int id) { q.push_back(id); }
+        int pop() {
+            const int id = q[head++];
+            if (head == q.size()) {
+                q.clear();
+                head = 0;
+            }
+            return id;
+        }
+        std::size_t depth() const { return q.size() - head; }
+        void clear() {
+            q.clear();
+            head = 0;
+        }
+    };
+
+    EngineConfig engine_;
 
     std::vector<Domain> doms_;
     std::vector<std::string> names_;
+    /// Level of the last trail record that restores the variable's full
+    /// pre-level state (Bounds or Snapshot); further records at that level
+    /// are redundant. -1 = none.
     std::vector<std::int32_t> last_saved_level_;
-    std::vector<std::vector<int>> watchers_;
+    std::vector<std::vector<Watcher>> watchers_;
 
     std::vector<std::unique_ptr<Propagator>> props_;
-    std::deque<int> queue_;
+    std::vector<std::uint8_t> prop_bucket_;  ///< cached priority per propagator
+    std::vector<std::uint8_t> prop_idem_;    ///< cached idempotence per propagator
+    std::array<Bucket, kNumPriorities> queue_;
+    std::size_t queued_count_ = 0;
+    int cheap_streak_ = 0;      ///< pops that bypassed a waiting costlier bucket
+    std::uint32_t episode_ = 0; ///< propagate() episode id
+    std::int64_t organic_pops_ = 0;      ///< non-escalated pops this episode
+    std::int64_t episode_distinct_ = 0;  ///< distinct props organically popped
+    std::vector<std::uint32_t> prop_run_ep_;  ///< episode a prop last popped in
     std::vector<char> queued_;
+    int running_ = -1;  ///< id of the propagator currently executing
 
     std::vector<TrailEntry> trail_;
     std::vector<std::size_t> level_marks_;

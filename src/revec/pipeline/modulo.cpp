@@ -280,7 +280,7 @@ struct IiAttempt {
 IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int horizon,
                  bool minimize_reconfigs, int reconfig_budget, const Deadline& deadline,
                  const cp::SolverConfig& solver) {
-    cp::Store store;
+    cp::Store store{solver.engine};
     const ModuloModel m =
         build_modulo_model(store, spec, g, ii, horizon, minimize_reconfigs, reconfig_budget);
 

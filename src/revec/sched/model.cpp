@@ -405,6 +405,7 @@ Schedule extract_schedule(const ir::Graph& g, const BuiltModel& m, const Result&
     Schedule sched;
     sched.status = result.status;
     sched.stats = result.stats;
+    sched.prop_stats = result.prop_stats;
     if (!result.has_solution()) return sched;
 
     const auto n = static_cast<std::size_t>(g.num_nodes());
@@ -529,7 +530,7 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     // Reference build: supplies the variable handles for extraction and the
     // store for the sequential path. Portfolio workers re-post the same
     // model into their own stores through the builder hook.
-    cp::Store store;
+    cp::Store store{options.solver.engine};
     const BuiltModel m = build_model(store, g, options, num_slots, horizon);
 
     Schedule sched;
@@ -568,16 +569,19 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
                                     ? cp::SolveStatus::Optimal
                                     : cp::SolveStatus::HeuristicFallback;
             heuristic->stats = sched.stats;
+            heuristic->prop_stats = sched.prop_stats;
             heuristic->workers = std::move(sched.workers);
             return *heuristic;
         case cp::SolveStatus::Unsat:
             heuristic->status = cp::SolveStatus::Optimal;
             heuristic->stats = sched.stats;
+            heuristic->prop_stats = sched.prop_stats;
             heuristic->workers = std::move(sched.workers);
             return *heuristic;
         case cp::SolveStatus::Timeout:
         case cp::SolveStatus::HeuristicFallback:
             heuristic->stats = sched.stats;
+            heuristic->prop_stats = sched.prop_stats;
             heuristic->workers = std::move(sched.workers);
             return *heuristic;
     }

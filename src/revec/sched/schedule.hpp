@@ -20,7 +20,8 @@ struct Schedule {
     int makespan = 0;        ///< latest completion time over all nodes
     int slots_used = 0;      ///< distinct memory slots referenced
     cp::SolveStatus status = cp::SolveStatus::Unsat;
-    cp::SearchStats stats;   ///< merged over all portfolio workers
+    cp::SearchStats stats;          ///< merged over all portfolio workers
+    cp::PropagationStats prop_stats;  ///< engine counters, merged likewise
 
     /// Per-worker node/failure/cutoff-prune counters when the portfolio
     /// solver ran (empty for a sequential solve).

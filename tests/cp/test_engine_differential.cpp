@@ -1,0 +1,229 @@
+// Node-parity differential suite for the event-driven propagation engine.
+// The engine's three mechanisms — event-mask wakeup filtering, the
+// priority-bucketed queue, and idempotent self-wake suppression — are all
+// fixpoint-preserving, so branch-and-bound must explore the *identical*
+// search tree as the legacy flat-FIFO/full-snapshot engine: same node and
+// failure counts, same status, same optimum, same assignment. This test
+// builds the same random CSP (with hole-rich domains, so DOMAIN events and
+// snapshot trailing are exercised) into stores running every engine
+// configuration and compares the solves exactly.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "revec/cp/alldifferent.hpp"
+#include "revec/cp/arith.hpp"
+#include "revec/cp/count.hpp"
+#include "revec/cp/cumulative.hpp"
+#include "revec/cp/element.hpp"
+#include "revec/cp/linear.hpp"
+#include "revec/cp/reified.hpp"
+#include "revec/cp/search.hpp"
+#include "revec/cp/store.hpp"
+
+namespace revec::cp {
+namespace {
+
+/// Post the same model into any store. Returns the decision variables and
+/// the objective.
+struct Model {
+    std::vector<IntVar> xs;
+    IntVar objective;
+};
+
+using Builder = std::function<Model(Store&)>;
+
+/// A random CSP over every propagator family. Deterministic in the seed.
+Builder make_builder(unsigned seed) {
+    return [seed](Store& s) -> Model {
+        std::mt19937 rng(seed);
+        const auto pick = [&](int lo, int hi) {
+            return lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
+        };
+        const int n = pick(4, 6);
+        const int max_val = pick(4, 6);
+
+        Model m;
+        for (int i = 0; i < n; ++i) {
+            if (rng() % 3 == 0) {
+                // Hole-rich domain: a random value subset.
+                std::vector<int> values;
+                const int k = pick(2, max_val + 1);
+                for (int j = 0; j < k; ++j) values.push_back(pick(0, max_val));
+                values.push_back(pick(0, max_val));  // ensure non-empty spread
+                m.xs.push_back(s.new_var(Domain::of_values(values)));
+            } else {
+                m.xs.push_back(s.new_var(0, max_val));
+            }
+        }
+        const auto var = [&] { return m.xs[static_cast<std::size_t>(pick(0, n - 1))]; };
+
+        const int num_constraints = pick(3, 6);
+        for (int c = 0; c < num_constraints; ++c) {
+            switch (rng() % 8) {
+                case 0:
+                    post_linear_leq(s, {{pick(1, 3), var()}, {pick(-3, 3), var()}},
+                                    pick(0, 2 * max_val));
+                    break;
+                case 1:
+                    post_not_equal(s, var(), var(), pick(-1, 1));
+                    break;
+                case 2: {
+                    const int k = pick(2, n);
+                    post_all_different(
+                        s, std::vector<IntVar>(m.xs.begin(), m.xs.begin() + k));
+                    break;
+                }
+                case 3: {
+                    std::vector<CumulTask> tasks;
+                    const int dur = pick(1, 2);
+                    for (const IntVar x : m.xs) tasks.push_back({x, dur, 1});
+                    post_cumulative(s, tasks, pick(1, 2));
+                    break;
+                }
+                case 4: {
+                    std::vector<int> table;
+                    for (int i = 0; i <= max_val; ++i) table.push_back(pick(0, max_val));
+                    post_element_const(s, var(), table, var());
+                    break;
+                }
+                case 5: {
+                    const BoolVar p = s.new_bool();
+                    const BoolVar q = s.new_bool();
+                    post_reified_eq(s, p, var(), var());
+                    post_reified_eq_const(s, q, var(), pick(0, max_val));
+                    post_implies(s, p, q);
+                    break;
+                }
+                case 6: {
+                    std::vector<BoolVar> bs;
+                    const int k = pick(2, 4);
+                    for (int i = 0; i < k; ++i) {
+                        const BoolVar b = s.new_bool();
+                        post_reified_eq_const(s, b, var(), pick(0, max_val));
+                        bs.push_back(b);
+                    }
+                    const IntVar total = s.new_var(pick(0, 1), pick(1, k));
+                    post_bool_sum(s, bs, total);
+                    break;
+                }
+                default: {
+                    const IntVar z = s.new_var(0, max_val);
+                    post_max(s, z, {var(), var(), var()});
+                    post_linear_leq(s, {{1, z}}, pick(1, max_val));
+                    break;
+                }
+            }
+        }
+
+        // Objective: minimize a signed weighted sum.
+        std::vector<LinTerm> terms;
+        int span = 1;
+        for (const IntVar x : m.xs) {
+            const int w = pick(-2, 2);
+            terms.push_back({w, x});
+            span += std::abs(w) * max_val;
+        }
+        m.objective = s.new_var(-span, span, "obj");
+        terms.push_back({-1, m.objective});
+        post_linear_eq(s, terms, 0);
+        return m;
+    };
+}
+
+/// Solve the builder's model under one engine configuration.
+SolveResult run(const Builder& build, const EngineConfig& engine) {
+    Store s{engine};
+    const Model m = build(s);
+    return solve(s, {Phase{m.xs, VarSelect::MinDomain, ValSelect::Min, ""}}, m.objective);
+}
+
+/// Exact search-tree parity: counts, status, and assignment all match.
+void expect_parity(const SolveResult& a, const SolveResult& b, unsigned seed,
+                   const std::string& label) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " [" + label + "]");
+    ASSERT_EQ(a.status, b.status);
+    EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+    EXPECT_EQ(a.stats.failures, b.stats.failures);
+    EXPECT_EQ(a.stats.solutions, b.stats.solutions);
+    EXPECT_EQ(a.stats.cutoff_prunes, b.stats.cutoff_prunes);
+    EXPECT_EQ(a.best, b.best);
+}
+
+class EngineDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineDifferential, EventEngineMatchesLegacyNodeForNode) {
+    const unsigned seed = GetParam();
+    const Builder build = make_builder(seed);
+    const SolveResult legacy = run(build, EngineConfig::legacy());
+    const SolveResult event = run(build, EngineConfig{});
+    expect_parity(legacy, event, seed, "full event engine");
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCsps, EngineDifferential, ::testing::Range(0u, 80u));
+
+class EngineFeatureDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineFeatureDifferential, EachFeatureAlonePreservesTheTree) {
+    const unsigned seed = GetParam();
+    const Builder build = make_builder(seed);
+    const SolveResult legacy = run(build, EngineConfig::legacy());
+
+    const auto with = [](void (*set)(EngineConfig&)) {
+        EngineConfig e = EngineConfig::legacy();
+        set(e);
+        return e;
+    };
+    expect_parity(legacy, run(build, with([](EngineConfig& e) { e.event_masks = true; })),
+                  seed, "event_masks");
+    expect_parity(legacy,
+                  run(build, with([](EngineConfig& e) { e.priority_queue = true; })), seed,
+                  "priority_queue");
+    expect_parity(legacy, run(build, with([](EngineConfig& e) { e.idempotence = true; })),
+                  seed, "idempotence");
+    expect_parity(legacy, run(build, with([](EngineConfig& e) { e.delta_trail = true; })),
+                  seed, "delta_trail");
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCsps, EngineFeatureDifferential, ::testing::Range(0u, 25u));
+
+// The masks must actually filter: on a model with hole-punching
+// (not_equal/all_different) wired to bounds-consistent consumers, the event
+// engine must do measurably fewer wakeups for the same tree.
+TEST(EngineDifferential, MasksReduceWakeups) {
+    const auto build = [](Store& s) -> Model {
+        Model m;
+        const int n = 6;
+        for (int i = 0; i < n; ++i) m.xs.push_back(s.new_var(0, 9));
+        post_all_different(s, m.xs);
+        for (int i = 0; i + 1 < n; ++i) post_not_equal(s, m.xs[i], m.xs[i + 1], 1);
+        std::vector<LinTerm> terms;
+        for (const IntVar x : m.xs) terms.push_back({1, x});
+        m.objective = s.new_var(0, 9 * n, "obj");
+        terms.push_back({-1, m.objective});
+        post_linear_eq(s, terms, 0);
+        return m;
+    };
+
+    Store legacy{EngineConfig::legacy()};
+    const Model lm = build(legacy);
+    const SolveResult lr =
+        solve(legacy, {Phase{lm.xs, VarSelect::MinDomain, ValSelect::Min, ""}}, lm.objective);
+
+    Store event;
+    const Model em = build(event);
+    const SolveResult er =
+        solve(event, {Phase{em.xs, VarSelect::MinDomain, ValSelect::Min, ""}}, em.objective);
+
+    ASSERT_EQ(lr.stats.nodes, er.stats.nodes);
+    ASSERT_EQ(lr.best, er.best);
+    EXPECT_LT(er.prop_stats.wakeups, lr.prop_stats.wakeups);
+    EXPECT_GT(er.prop_stats.wakeups_filtered, 0);
+    EXPECT_LE(er.prop_stats.propagations, lr.prop_stats.propagations);
+}
+
+}  // namespace
+}  // namespace revec::cp

@@ -1,0 +1,176 @@
+// Regression tests for the Store mutation API at the int range edges. The
+// propagator layer computes bounds in 64-bit arithmetic and hands them to
+// set_min/set_max/remove_range unclamped, so requests far outside the int
+// value range must be handled explicitly:
+//  * a request that cannot exclude any representable value is a no-op;
+//  * a request that excludes every representable value fails;
+//  * a request must never be clamped onto a representable value it did not
+//    actually cover (the historic bug: remove_range(2^40, 2^41) collapsed
+//    to [INT_MAX, INT_MAX] and deleted INT_MAX).
+#include "revec/cp/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstdint>
+
+namespace revec::cp {
+namespace {
+
+constexpr std::int64_t kHuge = std::int64_t{1} << 40;
+constexpr std::int64_t kI64Min = INT64_MIN;
+constexpr std::int64_t kI64Max = INT64_MAX;
+
+TEST(Int64Edges, SetMinBeyondIntMaxFails) {
+    Store s;
+    const IntVar x = s.new_var(INT_MAX - 5, INT_MAX);
+    EXPECT_FALSE(s.set_min(x, static_cast<std::int64_t>(INT_MAX) + 1));
+    EXPECT_TRUE(s.failed());
+}
+
+TEST(Int64Edges, SetMinAtOrBelowIntMinIsNoOp) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, INT_MIN + 5);
+    EXPECT_TRUE(s.set_min(x, INT_MIN));
+    EXPECT_TRUE(s.set_min(x, static_cast<std::int64_t>(INT_MIN) - 1));
+    EXPECT_TRUE(s.set_min(x, kI64Min));
+    EXPECT_EQ(s.min(x), INT_MIN);
+}
+
+TEST(Int64Edges, SetMinToIntMaxFixes) {
+    Store s;
+    const IntVar x = s.new_var(0, INT_MAX);
+    EXPECT_TRUE(s.set_min(x, INT_MAX));
+    EXPECT_TRUE(s.fixed(x));
+    EXPECT_EQ(s.value(x), INT_MAX);
+}
+
+TEST(Int64Edges, SetMaxBelowIntMinFails) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, INT_MIN + 5);
+    EXPECT_FALSE(s.set_max(x, static_cast<std::int64_t>(INT_MIN) - 1));
+    EXPECT_TRUE(s.failed());
+}
+
+TEST(Int64Edges, SetMaxAtOrAboveIntMaxIsNoOp) {
+    Store s;
+    const IntVar x = s.new_var(INT_MAX - 5, INT_MAX);
+    EXPECT_TRUE(s.set_max(x, INT_MAX));
+    EXPECT_TRUE(s.set_max(x, static_cast<std::int64_t>(INT_MAX) + 1));
+    EXPECT_TRUE(s.set_max(x, kI64Max));
+    EXPECT_EQ(s.max(x), INT_MAX);
+}
+
+TEST(Int64Edges, SetMaxToIntMinFixes) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, 0);
+    EXPECT_TRUE(s.set_max(x, INT_MIN));
+    EXPECT_TRUE(s.fixed(x));
+    EXPECT_EQ(s.value(x), INT_MIN);
+}
+
+TEST(Int64Edges, AssignOutOfIntRangeFails) {
+    {
+        Store s;
+        const IntVar x = s.new_var(INT_MIN, INT_MAX);
+        EXPECT_FALSE(s.assign(x, static_cast<std::int64_t>(INT_MAX) + 1));
+        EXPECT_TRUE(s.failed());
+    }
+    {
+        Store s;
+        const IntVar x = s.new_var(INT_MIN, INT_MAX);
+        EXPECT_FALSE(s.assign(x, static_cast<std::int64_t>(INT_MIN) - 1));
+        EXPECT_TRUE(s.failed());
+    }
+}
+
+TEST(Int64Edges, AssignAtTheEdgesWorks) {
+    Store s;
+    const IntVar x = s.new_var(INT_MAX - 1, INT_MAX);
+    EXPECT_TRUE(s.assign(x, INT_MAX));
+    EXPECT_EQ(s.value(x), INT_MAX);
+    const IntVar y = s.new_var(INT_MIN, INT_MIN + 1);
+    EXPECT_TRUE(s.assign(y, INT_MIN));
+    EXPECT_EQ(s.value(y), INT_MIN);
+}
+
+TEST(Int64Edges, RemoveOutOfIntRangeIsNoOp) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, INT_MAX);
+    EXPECT_TRUE(s.remove(x, static_cast<std::int64_t>(INT_MAX) + 1));
+    EXPECT_TRUE(s.remove(x, static_cast<std::int64_t>(INT_MIN) - 1));
+    EXPECT_TRUE(s.remove(x, kI64Max));
+    EXPECT_TRUE(s.remove(x, kI64Min));
+    EXPECT_EQ(s.min(x), INT_MIN);
+    EXPECT_EQ(s.max(x), INT_MAX);
+}
+
+// The historic clamp bug: a range entirely above INT_MAX was clamped to
+// [INT_MAX, INT_MAX] and removed INT_MAX from the domain.
+TEST(Int64Edges, RemoveRangeEntirelyAboveIntMaxKeepsIntMax) {
+    Store s;
+    const IntVar x = s.new_var(INT_MAX - 3, INT_MAX);
+    EXPECT_TRUE(s.remove_range(x, kHuge, 2 * kHuge));
+    EXPECT_EQ(s.max(x), INT_MAX);
+    EXPECT_EQ(s.dom(x).size(), 4);
+}
+
+TEST(Int64Edges, RemoveRangeEntirelyBelowIntMinKeepsIntMin) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, INT_MIN + 3);
+    EXPECT_TRUE(s.remove_range(x, -2 * kHuge, -kHuge));
+    EXPECT_EQ(s.min(x), INT_MIN);
+    EXPECT_EQ(s.dom(x).size(), 4);
+}
+
+TEST(Int64Edges, RemoveRangeStraddlingIntMaxClipsCorrectly) {
+    Store s;
+    const IntVar x = s.new_var(0, INT_MAX);
+    // [INT_MAX - 2, 2^40] covers exactly the top three representable values.
+    EXPECT_TRUE(s.remove_range(x, static_cast<std::int64_t>(INT_MAX) - 2, kHuge));
+    EXPECT_EQ(s.max(x), INT_MAX - 3);
+}
+
+TEST(Int64Edges, RemoveRangeStraddlingIntMinClipsCorrectly) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, 0);
+    EXPECT_TRUE(s.remove_range(x, -kHuge, static_cast<std::int64_t>(INT_MIN) + 2));
+    EXPECT_EQ(s.min(x), INT_MIN + 3);
+}
+
+TEST(Int64Edges, RemoveRangeInvertedIsNoOp) {
+    Store s;
+    const IntVar x = s.new_var(0, 10);
+    EXPECT_TRUE(s.remove_range(x, 7, 3));
+    EXPECT_TRUE(s.remove_range(x, kI64Max, kI64Min));
+    EXPECT_EQ(s.dom(x).size(), 11);
+}
+
+TEST(Int64Edges, RemoveRangeCoveringWholeIntRangeFails) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, INT_MAX);
+    EXPECT_FALSE(s.remove_range(x, kI64Min, kI64Max));
+    EXPECT_TRUE(s.failed());
+}
+
+// The edge mutations must be restored bit-exactly by backtracking.
+TEST(Int64Edges, BacktrackingRestoresEdgeDomains) {
+    Store s;
+    const IntVar x = s.new_var(INT_MIN, INT_MAX);
+    const Domain before = s.dom(x);
+
+    s.push_level();
+    EXPECT_TRUE(s.remove_range(x, static_cast<std::int64_t>(INT_MAX) - 9, kHuge));
+    EXPECT_TRUE(s.remove_range(x, -kHuge, static_cast<std::int64_t>(INT_MIN) + 9));
+    EXPECT_TRUE(s.remove(x, 0));
+    EXPECT_EQ(s.min(x), INT_MIN + 10);
+    EXPECT_EQ(s.max(x), INT_MAX - 10);
+    s.pop_level();
+
+    EXPECT_TRUE(s.dom(x) == before);
+    EXPECT_EQ(s.min(x), INT_MIN);
+    EXPECT_EQ(s.max(x), INT_MAX);
+}
+
+}  // namespace
+}  // namespace revec::cp

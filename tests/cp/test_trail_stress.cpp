@@ -1,0 +1,191 @@
+// Trail stress test: deeply nested push/pop with randomized mixed
+// mutations (bound clips, hole punches, assignments, intersections) must
+// restore every domain bit-exactly at every level, under both the delta
+// trail and the legacy full-snapshot trail. The two engines are also run
+// in lockstep on the same mutation sequence and must agree on every
+// intermediate domain and on every mutation's success flag.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "revec/cp/store.hpp"
+
+namespace revec::cp {
+namespace {
+
+constexpr int kNumVars = 8;
+constexpr int kLo = -30;
+constexpr int kHi = 30;
+
+/// Deep-copied domains of every variable (the per-level checkpoint).
+std::vector<Domain> snapshot(const Store& s) {
+    std::vector<Domain> out;
+    out.reserve(s.num_vars());
+    for (std::size_t i = 0; i < s.num_vars(); ++i) {
+        out.push_back(s.dom(IntVar(static_cast<std::int32_t>(i))));
+    }
+    return out;
+}
+
+void expect_equal(const Store& s, const std::vector<Domain>& want, unsigned seed) {
+    ASSERT_EQ(s.num_vars(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        const Domain& got = s.dom(IntVar(static_cast<std::int32_t>(i)));
+        ASSERT_TRUE(got == want[i])
+            << "seed " << seed << " var " << i << ": got " << got.to_string() << ", want "
+            << want[i].to_string();
+    }
+}
+
+class TrailStress : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
+    const unsigned seed = GetParam();
+    std::mt19937 rng(seed);
+    const auto pick = [&](int lo, int hi) {
+        return lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
+    };
+
+    // Two stores driven in lockstep: delta trail vs legacy snapshots.
+    Store delta;                          // default engine
+    Store legacy{EngineConfig::legacy()};
+    std::vector<IntVar> xs;
+    for (int i = 0; i < kNumVars; ++i) {
+        if (rng() % 2 == 0) {
+            const int lo = pick(kLo, kHi);
+            const int hi = pick(lo, kHi);
+            xs.push_back(delta.new_var(lo, hi));
+            legacy.new_var(lo, hi);
+        } else {
+            std::vector<int> values;
+            const int n = pick(1, 20);
+            for (int k = 0; k < n; ++k) values.push_back(pick(kLo, kHi));
+            xs.push_back(delta.new_var(Domain::of_values(values)));
+            legacy.new_var(Domain::of_values(values));
+        }
+    }
+
+    // checkpoints[d] is the full domain state when level d was opened.
+    std::vector<std::vector<Domain>> checkpoints;
+    int depth = 0;
+
+    for (int step = 0; step < 300; ++step) {
+        const unsigned action = rng() % 10;
+        if (action < 4 && depth < 40) {  // push
+            checkpoints.push_back(snapshot(delta));
+            delta.push_level();
+            legacy.push_level();
+            ++depth;
+        } else if (action < 6 && depth > 0) {  // pop (sometimes several)
+            const int pops = pick(1, depth);
+            for (int k = 0; k < pops; ++k) {
+                delta.pop_level();
+                legacy.pop_level();
+                expect_equal(delta, checkpoints.back(), seed);
+                expect_equal(legacy, checkpoints.back(), seed);
+                checkpoints.pop_back();
+                --depth;
+            }
+        } else {  // mutate (identically in both stores)
+            const IntVar x = xs[static_cast<std::size_t>(pick(0, kNumVars - 1))];
+            if (delta.dom(x).empty()) continue;  // a failed mutation emptied it
+            bool ok_delta = true;
+            bool ok_legacy = true;
+            switch (rng() % 5) {
+                case 0: {
+                    const int v = pick(kLo - 1, kHi + 1);
+                    ok_delta = delta.set_min(x, v);
+                    ok_legacy = legacy.set_min(x, v);
+                    break;
+                }
+                case 1: {
+                    const int v = pick(kLo - 1, kHi + 1);
+                    ok_delta = delta.set_max(x, v);
+                    ok_legacy = legacy.set_max(x, v);
+                    break;
+                }
+                case 2: {
+                    const int v = pick(kLo, kHi);
+                    ok_delta = delta.remove(x, v);
+                    ok_legacy = legacy.remove(x, v);
+                    break;
+                }
+                case 3: {
+                    const int lo = pick(kLo, kHi);
+                    const int hi = pick(lo, kHi);
+                    ok_delta = delta.remove_range(x, lo, hi);
+                    ok_legacy = legacy.remove_range(x, lo, hi);
+                    break;
+                }
+                default: {
+                    const Domain& d = delta.dom(x);
+                    const int v = pick(d.min(), d.max());
+                    if (!d.contains(v)) continue;
+                    ok_delta = delta.assign(x, v);
+                    ok_legacy = legacy.assign(x, v);
+                    break;
+                }
+            }
+            ASSERT_EQ(ok_delta, ok_legacy) << "seed " << seed << " step " << step;
+            expect_equal(legacy, snapshot(delta), seed);
+            if (!ok_delta) {
+                // A failure poisons the store until the level unwinds; pop
+                // everything and verify the full restore, then stop.
+                while (depth > 0) {
+                    delta.pop_level();
+                    legacy.pop_level();
+                    expect_equal(delta, checkpoints.back(), seed);
+                    expect_equal(legacy, checkpoints.back(), seed);
+                    checkpoints.pop_back();
+                    --depth;
+                }
+                return;
+            }
+        }
+    }
+
+    // Unwind whatever is left.
+    while (depth > 0) {
+        delta.pop_level();
+        legacy.pop_level();
+        expect_equal(delta, checkpoints.back(), seed);
+        expect_equal(legacy, checkpoints.back(), seed);
+        checkpoints.pop_back();
+        --depth;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWalks, TrailStress, ::testing::Range(0u, 80u));
+
+// The delta trail must spend far fewer snapshot bytes than the legacy
+// trail on a pure bound-tightening workload (the search's dominant case).
+TEST(TrailStress, DeltaTrailAvoidsSnapshotsOnBoundClips) {
+    Store delta;
+    Store legacy{EngineConfig::legacy()};
+    const IntVar a = delta.new_var(0, 1000);
+    legacy.new_var(0, 1000);
+
+    for (int lvl = 0; lvl < 50; ++lvl) {
+        delta.push_level();
+        legacy.push_level();
+        ASSERT_TRUE(delta.set_min(a, 2 * lvl + 1));
+        ASSERT_TRUE(legacy.set_min(a, 2 * lvl + 1));
+        ASSERT_TRUE(delta.set_max(a, 1000 - 2 * lvl));
+        ASSERT_TRUE(legacy.set_max(a, 1000 - 2 * lvl));
+    }
+    EXPECT_EQ(delta.stats().trail_snapshots, 0);
+    EXPECT_GT(legacy.stats().trail_snapshots, 0);
+    EXPECT_LT(delta.stats().trail_bytes, legacy.stats().trail_bytes);
+
+    for (int lvl = 0; lvl < 50; ++lvl) {
+        delta.pop_level();
+        legacy.pop_level();
+    }
+    EXPECT_EQ(delta.min(a), 0);
+    EXPECT_EQ(delta.max(a), 1000);
+    EXPECT_TRUE(delta.dom(a) == legacy.dom(a));
+}
+
+}  // namespace
+}  // namespace revec::cp
