@@ -28,6 +28,15 @@ struct MemoryGeometry {
     int slot_at(int bank, int line) const { return line * banks + bank; }
 
     bool valid_slot(int slot) const { return slot >= 0 && slot < slots(); }
+
+    /// Descriptor rule behind the paper's eqs. 7-9: two *distinct* slots
+    /// cannot be accessed in one cycle when they sit on the same page but on
+    /// different lines. Same slot (broadcast), different pages, or a shared
+    /// line are all fine.
+    bool access_conflict(int slot_a, int slot_b) const {
+        return slot_a != slot_b && page_of(slot_a) == page_of(slot_b) &&
+               line_of(slot_a) != line_of(slot_b);
+    }
 };
 
 /// Outcome of a simultaneous-access legality check.

@@ -10,6 +10,8 @@
 #include "revec/ir/dot.hpp"
 #include "revec/ir/passes.hpp"
 #include "revec/ir/xml_io.hpp"
+#include "revec/model/json.hpp"
+#include "revec/model/kernel_model.hpp"
 #include "revec/pipeline/modulo.hpp"
 #include "revec/sched/model.hpp"
 #include "revec/sched/schedule_io.hpp"
@@ -46,6 +48,9 @@ options:
   --lanes=N          override the number of vector lanes
   --arch=FILE        architecture description XML (see arch/spec_io.hpp)
   --save-schedule=F  write the schedule artifact XML to F
+  --dump-model=F     write the lowered scheduling model (KernelModel) as JSON
+                     to F — the solver-agnostic problem description shared by
+                     the CP emitter, the heuristics, and the verifier
   --help             this text
 )";
 }
@@ -100,6 +105,8 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
             opts.arch_path = arg.substr(7);
         } else if (starts_with(arg, "--save-schedule=")) {
             opts.save_schedule_path = arg.substr(16);
+        } else if (starts_with(arg, "--dump-model=")) {
+            opts.dump_model_path = arg.substr(13);
         } else if (starts_with(arg, "--")) {
             throw Error("unknown option '" + arg + "' (try --help)");
         } else if (opts.input_path.empty()) {
@@ -193,6 +200,16 @@ int run(const Options& options, std::ostream& out) {
     const arch::ArchSpec spec = spec_for(options);
     ir::Graph g = ir::load_xml(options.input_path);
     if (options.merge_pass) g = ir::merge_pipeline_ops(g);
+
+    if (!options.dump_model_path.empty()) {
+        // The flat lowering with the run's knobs — exactly what the
+        // scheduling path hands to the CP emitter and the heuristics.
+        model::LowerOptions lo;
+        lo.num_slots = options.num_slots;
+        lo.memory_allocation = options.memory;
+        model::save_json(model::lower_ir(spec, g, lo), options.dump_model_path);
+        out << "model written to " << options.dump_model_path << "\n";
+    }
 
     if (options.emit == "stats") return emit_stats(spec, g, out);
     if (options.emit == "dot") {

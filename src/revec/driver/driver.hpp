@@ -32,6 +32,7 @@ struct Options {
     int lanes = -1;                   ///< override vector lanes (-1 = EIT)
     std::string arch_path;            ///< architecture description XML ("" = EIT)
     std::string save_schedule_path;   ///< write the schedule artifact here ("" = no)
+    std::string dump_model_path;      ///< write the lowered KernelModel JSON here ("" = no)
 };
 
 /// Parse argv-style arguments (excluding argv[0]). Throws revec::Error on

@@ -4,7 +4,6 @@
 #include <map>
 #include <set>
 
-#include "revec/ir/analysis.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::heur {
@@ -12,7 +11,7 @@ namespace revec::heur {
 namespace {
 
 /// One vector datum to place: its occupied interval [begin, end) (eq. 10,
-/// with the verifier's executable-lifetime extensions) and the ids of the
+/// with the model's executable-lifetime extensions) and the ids of the
 /// simultaneous-access groups it belongs to (eqs. 7-9).
 struct Item {
     int node = -1;
@@ -23,76 +22,65 @@ struct Item {
 
 }  // namespace
 
-AllocResult allocate_slots(const arch::ArchSpec& spec, const ir::Graph& g,
-                           const std::vector<int>& start, const AllocOptions& options) {
-    REVEC_EXPECTS(start.size() == static_cast<std::size_t>(g.num_nodes()));
+AllocResult allocate_slots(const model::KernelModel& m, const std::vector<int>& start,
+                           std::int64_t max_nodes) {
+    REVEC_EXPECTS(start.size() == static_cast<std::size_t>(m.num_nodes()));
     AllocResult result;
-    result.slot.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+    result.slot.assign(static_cast<std::size_t>(m.num_nodes()), -1);
 
-    const std::vector<int> vdata = g.nodes_of(ir::NodeCat::VectorData);
+    const std::vector<int>& vdata = m.vdata;
     if (vdata.empty()) {
         result.ok = true;
         return result;
     }
-    if (options.num_slots <= 0) return result;
+    if (m.num_slots <= 0) return result;
 
     const auto s = [&](int id) { return start[static_cast<std::size_t>(id)]; };
     int makespan = 0;
-    for (const ir::Node& node : g.nodes()) {
-        makespan = std::max(makespan, s(node.id) + ir::node_timing(spec, node).latency);
+    for (const model::ModelNode& node : m.nodes) {
+        makespan = std::max(makespan, s(node.id) + node.latency);
     }
 
-    // Access groups, exactly as the verifier forms them: the vector-data
-    // inputs of all vector-core ops issued in one cycle (reads) and all
-    // vector data landing in one cycle (writes). Within a group, slots on
-    // one page must share a line.
-    std::map<int, int> read_group_at;   // cycle -> group id
-    std::map<int, int> write_group_at;  // cycle -> group id
+    // Access groups, exactly as the model's checker forms them: the
+    // vector-data inputs of all vector-core ops issued in one cycle (reads)
+    // and all vector data landing in one cycle (writes). Within a group,
+    // no two slots may be in access conflict.
+    std::map<int, int> read_group_at;             // cycle -> group id
+    std::map<int, int> write_group_at;            // cycle -> group id
     std::vector<std::vector<int>> group_members;  // group id -> vdata node ids
     const auto group_for = [&](std::map<int, int>& at, int cycle) {
         const auto [it, inserted] = at.emplace(cycle, static_cast<int>(group_members.size()));
         if (inserted) group_members.emplace_back();
         return it->second;
     };
-    std::vector<std::vector<int>> groups_of(static_cast<std::size_t>(g.num_nodes()));
+    std::vector<std::vector<int>> groups_of(static_cast<std::size_t>(m.num_nodes()));
     const auto join = [&](int group, int d) {
         group_members[static_cast<std::size_t>(group)].push_back(d);
         groups_of[static_cast<std::size_t>(d)].push_back(group);
     };
-    for (const ir::Node& node : g.nodes()) {
-        if (node.is_op() && ir::node_timing(spec, node).lanes > 0) {
-            for (const int p : g.preds(node.id)) {
-                if (g.node(p).cat == ir::NodeCat::VectorData) {
-                    join(group_for(read_group_at, s(node.id)), p);
-                }
+    for (const model::ModelNode& node : m.nodes) {
+        if (node.is_op && node.lanes > 0) {
+            for (const int p : node.vector_inputs) {
+                join(group_for(read_group_at, s(node.id)), p);
             }
         }
-        if (node.cat == ir::NodeCat::VectorData && !g.preds(node.id).empty()) {
+        if (node.is_vector_data && !node.preds.empty()) {
             join(group_for(write_group_at, s(node.id)), node.id);
         }
     }
 
-    // Occupied intervals per datum (the verifier's life_of).
+    // Occupied intervals per datum (the model's lifetime endpoints).
     std::vector<Item> items;
     items.reserve(vdata.size());
     for (const int d : vdata) {
+        const model::ModelNode& dn = m.node(d);
         int last = s(d);
-        bool has_user = false;
-        for (const int succ : g.succs(d)) {
-            last = std::max(last, s(succ));
-            has_user = true;
-        }
-        int extra = options.lifetime_includes_last_read ? 1 : 0;
-        if (!has_user || g.node(d).is_output) {
-            last = std::max(last, makespan);
-            extra += 1;
-        } else if (g.preds(d).empty() && extra == 0) {
-            extra = 1;
-        }
+        for (const int succ : dn.succs) last = std::max(last, s(succ));
+        if (dn.persists) last = std::max(last, makespan);
         Item item;
         item.node = d;
         item.begin = s(d);
-        item.end = last + extra;
+        item.end = last + dn.lifetime_extra;
         item.groups = groups_of[static_cast<std::size_t>(d)];
         std::sort(item.groups.begin(), item.groups.end());
         items.push_back(item);
@@ -108,8 +96,8 @@ AllocResult allocate_slots(const arch::ArchSpec& spec, const ir::Graph& g,
         return a.node < b.node;
     });
 
-    const arch::MemoryGeometry& geom = spec.memory;
-    const int num_slots = std::min(options.num_slots, geom.slots());
+    const arch::MemoryGeometry& geom = m.geometry;
+    const int num_slots = std::min(m.num_slots, geom.slots());
     std::vector<int> placed(items.size(), -1);  // chosen slot per item index
 
     const auto shares_group = [](const Item& a, const Item& b) {
@@ -135,8 +123,7 @@ AllocResult allocate_slots(const arch::ArchSpec& spec, const ir::Graph& g,
                                      d.end > d.begin && e.end > e.begin;
                 if (overlap) return false;
                 if (shares_group(d, e)) return false;
-            } else if (geom.page_of(es) == geom.page_of(slot) &&
-                       geom.line_of(es) != geom.line_of(slot)) {
+            } else if (geom.access_conflict(es, slot)) {
                 // eqs. 7-9: same page + different line is illegal within a
                 // simultaneous-access group.
                 if (shares_group(d, e)) return false;
@@ -146,7 +133,7 @@ AllocResult allocate_slots(const arch::ArchSpec& spec, const ir::Graph& g,
     };
 
     // First-fit with chronological backtracking under a node budget.
-    std::int64_t budget = options.max_nodes;
+    std::int64_t budget = max_nodes;
     std::size_t k = 0;
     std::vector<int> next_slot(items.size(), 0);
     while (k < items.size()) {
@@ -177,6 +164,16 @@ AllocResult allocate_slots(const arch::ArchSpec& spec, const ir::Graph& g,
     result.slots_used = static_cast<int>(used.size());
     result.ok = true;
     return result;
+}
+
+AllocResult allocate_slots(const arch::ArchSpec& spec, const ir::Graph& g,
+                           const std::vector<int>& start, const AllocOptions& options) {
+    model::LowerOptions lo;
+    // Never the -1 "full memory" sentinel: an explicit non-positive slot
+    // count must keep failing the allocation, exactly as it always has.
+    lo.num_slots = std::max(options.num_slots, 0);
+    lo.lifetime_includes_last_read = options.lifetime_includes_last_read;
+    return allocate_slots(model::lower_ir(spec, g, lo), start, options.max_nodes);
 }
 
 }  // namespace revec::heur

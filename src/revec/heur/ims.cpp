@@ -1,9 +1,7 @@
 #include "revec/heur/ims.hpp"
 
 #include <algorithm>
-#include <string>
 
-#include "revec/ir/analysis.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::heur {
@@ -11,36 +9,34 @@ namespace revec::heur {
 namespace {
 
 /// Per-residue reservation tables for one candidate II. Durations extend
-/// past the kernel end without wrapping, exactly like the CP model's
+/// past the kernel end without wrapping, exactly like the CP emitter's
 /// cumulative tasks over the residue variables, so the arrays are sized
 /// ii + max_duration.
 struct KernelReservations {
     std::vector<int> lanes;
     std::vector<int> scalar;
     std::vector<int> ixmerge;
-    std::vector<std::string> config;  ///< per start residue; empty = free
+    std::vector<int> config;  ///< per start residue; -1 = free
 
     explicit KernelReservations(int ii, int max_duration)
         : lanes(static_cast<std::size_t>(ii + max_duration), 0),
           scalar(static_cast<std::size_t>(ii + max_duration), 0),
           ixmerge(static_cast<std::size_t>(ii + max_duration), 0),
-          config(static_cast<std::size_t>(ii)) {}
+          config(static_cast<std::size_t>(ii), -1) {}
 };
 
 }  // namespace
 
-ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
-                                    const ImsOptions& options) {
+ImsResult iterative_modulo_schedule(const model::KernelModel& m, const ImsOptions& options) {
     REVEC_EXPECTS(options.min_ii >= 1);
-    const int n = g.num_nodes();
+    const int n = m.num_nodes();
     ImsResult result;
 
     // Same priority as the flat list scheduler: least slack, then earliest
     // ALAP, then input order.
-    const int cp = ir::critical_path_length(spec, g);
-    const std::vector<int> asap = ir::asap_times(spec, g);
-    const std::vector<int> alap = ir::alap_times(spec, g, cp);
-    std::vector<int> pending = g.op_nodes();
+    const std::vector<int>& asap = m.asap;
+    const std::vector<int>& alap = m.alap;
+    std::vector<int> pending = m.ops;
     std::sort(pending.begin(), pending.end(), [&](int a, int b) {
         const auto ia = static_cast<std::size_t>(a);
         const auto ib = static_cast<std::size_t>(b);
@@ -52,38 +48,40 @@ ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph&
     });
 
     int max_duration = 1;
-    for (const ir::Node& node : g.nodes()) {
-        if (node.is_op()) max_duration = std::max(max_duration, ir::node_timing(spec, node).duration);
+    for (const int op : m.ops) {
+        max_duration = std::max(max_duration, m.node(op).duration);
     }
 
     for (int ii = options.min_ii; ii <= options.max_ii; ++ii) {
         KernelReservations res(ii, max_duration);
         std::vector<int> start(static_cast<std::size_t>(n), 0);
         std::vector<int> avail(static_cast<std::size_t>(n), -1);
-        for (const int d : g.input_nodes()) avail[static_cast<std::size_t>(d)] = 0;
+        for (const int d : m.inputs) avail[static_cast<std::size_t>(d)] = 0;
         std::vector<char> done(static_cast<std::size_t>(n), 0);
 
-        const auto fits = [&](const ir::Node& node, const ir::NodeTiming& t, int at) {
-            const int m = at % ii;
-            if (t.lanes > 0) {
-                // One configuration per start residue (the model's pairwise
-                // not-equal over ops of different configurations).
-                const std::string& held = res.config[static_cast<std::size_t>(m)];
-                if (!held.empty() && held != ir::config_key(node)) return false;
-                for (int d = 0; d < t.duration; ++d) {
-                    if (res.lanes[static_cast<std::size_t>(m + d)] + t.lanes > spec.vector_lanes) {
+        const auto fits = [&](const model::ModelNode& node, int at) {
+            const int r = at % ii;
+            if (node.lanes > 0) {
+                // One configuration per start residue (the emitter's
+                // pairwise not-equal over ops of different configurations).
+                const int held = res.config[static_cast<std::size_t>(r)];
+                if (held != -1 && held != node.config) return false;
+                for (int d = 0; d < node.duration; ++d) {
+                    if (res.lanes[static_cast<std::size_t>(r + d)] + node.lanes >
+                        m.caps.vector_lanes) {
                         return false;
                     }
                 }
-            } else if (node.cat == ir::NodeCat::ScalarOp) {
-                for (int d = 0; d < t.duration; ++d) {
-                    if (res.scalar[static_cast<std::size_t>(m + d)] + 1 > spec.scalar_units) {
+            } else if (node.unit == model::Unit::Scalar) {
+                for (int d = 0; d < node.duration; ++d) {
+                    if (res.scalar[static_cast<std::size_t>(r + d)] + 1 > m.caps.scalar_units) {
                         return false;
                     }
                 }
             } else {
-                for (int d = 0; d < t.duration; ++d) {
-                    if (res.ixmerge[static_cast<std::size_t>(m + d)] + 1 > spec.index_merge_units) {
+                for (int d = 0; d < node.duration; ++d) {
+                    if (res.ixmerge[static_cast<std::size_t>(r + d)] + 1 >
+                        m.caps.index_merge_units) {
                         return false;
                     }
                 }
@@ -91,28 +89,28 @@ ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph&
             return true;
         };
 
-        const auto commit = [&](const ir::Node& node, const ir::NodeTiming& t, int at) {
-            const int m = at % ii;
-            if (t.lanes > 0) {
-                res.config[static_cast<std::size_t>(m)] = ir::config_key(node);
-                for (int d = 0; d < t.duration; ++d) {
-                    res.lanes[static_cast<std::size_t>(m + d)] += t.lanes;
+        const auto commit = [&](const model::ModelNode& node, int at) {
+            const int r = at % ii;
+            if (node.lanes > 0) {
+                res.config[static_cast<std::size_t>(r)] = node.config;
+                for (int d = 0; d < node.duration; ++d) {
+                    res.lanes[static_cast<std::size_t>(r + d)] += node.lanes;
                 }
-            } else if (node.cat == ir::NodeCat::ScalarOp) {
-                for (int d = 0; d < t.duration; ++d) {
-                    res.scalar[static_cast<std::size_t>(m + d)] += 1;
+            } else if (node.unit == model::Unit::Scalar) {
+                for (int d = 0; d < node.duration; ++d) {
+                    res.scalar[static_cast<std::size_t>(r + d)] += 1;
                 }
             } else {
-                for (int d = 0; d < t.duration; ++d) {
-                    res.ixmerge[static_cast<std::size_t>(m + d)] += 1;
+                for (int d = 0; d < node.duration; ++d) {
+                    res.ixmerge[static_cast<std::size_t>(r + d)] += 1;
                 }
             }
             const auto i = static_cast<std::size_t>(node.id);
             start[i] = at;
             done[i] = 1;
-            for (const int succ : g.succs(node.id)) {
-                avail[static_cast<std::size_t>(succ)] = at + t.latency;
-                start[static_cast<std::size_t>(succ)] = at + t.latency;  // eq. 4
+            for (const int succ : node.succs) {
+                avail[static_cast<std::size_t>(succ)] = at + node.latency;
+                start[static_cast<std::size_t>(succ)] = at + node.latency;  // eq. 4
             }
         };
 
@@ -126,13 +124,13 @@ ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph&
                 if (done[static_cast<std::size_t>(op)]) continue;
                 bool ready = true;
                 int at = 0;
-                for (const int d : g.preds(op)) {
+                for (const int d : m.node(op).preds) {
                     const auto di = static_cast<std::size_t>(d);
                     if (avail[di] < 0) {
                         ready = false;
                         break;
                     }
-                    at = std::max(at, avail[di] + ir::node_timing(spec, g.node(d)).latency);
+                    at = std::max(at, avail[di] + m.node(d).latency);
                 }
                 if (ready) {
                     chosen = op;
@@ -141,14 +139,13 @@ ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph&
                 }
             }
             REVEC_ASSERT(chosen >= 0);  // a DAG always has a ready op left
-            const ir::Node& node = g.node(chosen);
-            const ir::NodeTiming timing = ir::node_timing(spec, node);
+            const model::ModelNode& node = m.node(chosen);
             // II consecutive cycles cover every residue, so a full miss
             // proves the greedy state admits no placement at this II.
             bool committed = false;
             for (int at = ready_at; at < ready_at + ii; ++at) {
-                if (!fits(node, timing, at)) continue;
-                commit(node, timing, at);
+                if (!fits(node, at)) continue;
+                commit(node, at);
                 committed = true;
                 ++placed;
                 break;
@@ -162,15 +159,19 @@ ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph&
         result.start = std::move(start);
         result.residue.assign(static_cast<std::size_t>(n), -1);
         result.stage.assign(static_cast<std::size_t>(n), -1);
-        for (const ir::Node& node : g.nodes()) {
-            if (!node.is_op()) continue;
-            const auto i = static_cast<std::size_t>(node.id);
+        for (const int op : m.ops) {
+            const auto i = static_cast<std::size_t>(op);
             result.residue[i] = result.start[i] % ii;
             result.stage[i] = result.start[i] / ii;
         }
         return result;
     }
     return result;
+}
+
+ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
+                                    const ImsOptions& options) {
+    return iterative_modulo_schedule(model::lower_ir(spec, g), options);
 }
 
 }  // namespace revec::heur

@@ -5,16 +5,18 @@
 // bound for the exact per-II search in pipeline::modulo_schedule, and the
 // placement itself is a valid warm-start / fallback kernel.
 //
-// The reservation rules mirror build_modulo_model exactly: resource tasks
-// occupy residues [m, m+duration) without wrap-around, and two vector-core
-// operations with different configurations never share a start residue —
-// so any IMS placement is a solution of the CP model at the same II.
+// The reservation rules read the same KernelModel the CP emitter lowers
+// into its modulo model: resource tasks occupy residues [m, m+duration)
+// without wrap-around, and two vector-core operations with different
+// configurations never share a start residue — so any IMS placement is a
+// solution of the CP model at the same II.
 #pragma once
 
 #include <vector>
 
 #include "revec/arch/spec.hpp"
 #include "revec/ir/graph.hpp"
+#include "revec/model/kernel_model.hpp"
 
 namespace revec::heur {
 
@@ -34,11 +36,15 @@ struct ImsResult {
     std::vector<int> stage;    ///< k_i = start div II; -1 for data nodes
 };
 
-/// Greedy iterative modulo schedule. Scans II upward from min_ii; within
-/// one II each dependency-ready operation (slack order) tries II
-/// consecutive start cycles — that window covers every residue, so a miss
-/// proves the greedy placement cannot extend at this II and the next II is
-/// tried. Returns ok=false only when max_ii is exhausted.
+/// Greedy iterative modulo schedule over the lowered model. Scans II upward
+/// from min_ii; within one II each dependency-ready operation (slack order)
+/// tries II consecutive start cycles — that window covers every residue, so
+/// a miss proves the greedy placement cannot extend at this II and the next
+/// II is tried. Returns ok=false only when max_ii is exhausted. Priorities
+/// read m.asap/m.alap, so lower with the default horizon (critical path).
+ImsResult iterative_modulo_schedule(const model::KernelModel& m, const ImsOptions& options = {});
+
+/// Convenience wrapper: lower `g` with default options and schedule.
 ImsResult iterative_modulo_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
                                     const ImsOptions& options = {});
 

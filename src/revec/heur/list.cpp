@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <string>
 
-#include "revec/ir/analysis.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::heur {
@@ -14,13 +12,13 @@ namespace {
 /// Per-cycle reservation state. Maps keep the schedule sparse: only cycles
 /// something occupies are stored, so long latency gaps cost nothing.
 struct Reservations {
-    std::map<int, int> lanes;              ///< cycle -> vector lanes in use
-    std::map<int, std::string> config;     ///< cycle -> loaded configuration
-    std::map<int, int> scalar;             ///< cycle -> scalar issues
-    std::map<int, int> ixmerge;            ///< cycle -> index/merge issues
-    std::map<int, int> reads;              ///< cycle -> vector reads (issue time)
-    std::map<int, int> writes;             ///< cycle -> vector writes (landing time)
-    std::map<int, int> vector_issues;      ///< cycle -> vector-core ops issued
+    std::map<int, int> lanes;          ///< cycle -> vector lanes in use
+    std::map<int, int> config;         ///< cycle -> loaded configuration id
+    std::map<int, int> scalar;         ///< cycle -> scalar issues
+    std::map<int, int> ixmerge;        ///< cycle -> index/merge issues
+    std::map<int, int> reads;          ///< cycle -> vector reads (issue time)
+    std::map<int, int> writes;         ///< cycle -> vector writes (landing time)
+    std::map<int, int> vector_issues;  ///< cycle -> vector-core ops issued
 };
 
 int count_at(const std::map<int, int>& m, int t) {
@@ -30,18 +28,16 @@ int count_at(const std::map<int, int>& m, int t) {
 
 }  // namespace
 
-ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
-                                  const ListOptions& options) {
-    const int n = g.num_nodes();
+ListResult priority_list_schedule(const model::KernelModel& m, const ListOptions& options) {
+    const int n = m.num_nodes();
     ListResult result;
     result.start.assign(static_cast<std::size_t>(n), 0);
 
     // Priority: least slack first (ALAP - ASAP against the critical-path
     // horizon), then earliest ALAP, then input order. Critical-path
     // operations have zero slack and always go first.
-    const int cp = ir::critical_path_length(spec, g);
-    const std::vector<int> asap = ir::asap_times(spec, g);
-    const std::vector<int> alap = ir::alap_times(spec, g, cp);
+    const std::vector<int>& asap = m.asap;
+    const std::vector<int>& alap = m.alap;
     const auto priority_before = [&](int a, int b) {
         const auto ia = static_cast<std::size_t>(a);
         const auto ib = static_cast<std::size_t>(b);
@@ -52,63 +48,55 @@ ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g
         return a < b;
     };
 
-    std::vector<int> pending = g.op_nodes();
+    std::vector<int> pending = m.ops;
     std::sort(pending.begin(), pending.end(), priority_before);
 
     // Data availability time; -1 = not yet produced.
     std::vector<int> avail(static_cast<std::size_t>(n), -1);
-    for (const int d : g.input_nodes()) avail[static_cast<std::size_t>(d)] = 0;
-
-    // Per-node vector-memory traffic (verify.cpp's counting rules): vector
-    // reads happen at issue time of vector-core ops, every produced vector
-    // datum is a write landing at the producer's completion.
-    std::vector<int> vreads(static_cast<std::size_t>(n), 0);
-    std::vector<int> vwrites(static_cast<std::size_t>(n), 0);
-    for (const ir::Node& node : g.nodes()) {
-        if (!node.is_op()) continue;
-        const auto i = static_cast<std::size_t>(node.id);
-        for (const int p : g.preds(node.id)) {
-            if (g.node(p).cat == ir::NodeCat::VectorData) ++vreads[i];
-        }
-        for (const int s : g.succs(node.id)) {
-            if (g.node(s).cat == ir::NodeCat::VectorData) ++vwrites[i];
-        }
-    }
+    for (const int d : m.inputs) avail[static_cast<std::size_t>(d)] = 0;
 
     Reservations res;
     int scheduled = 0;
     const int total_ops = static_cast<int>(pending.size());
     std::vector<char> done(static_cast<std::size_t>(n), 0);
 
-    const auto fits = [&](const ir::Node& node, const ir::NodeTiming& t, int at) {
-        const auto i = static_cast<std::size_t>(node.id);
-        if (t.lanes > 0) {
+    // Per-node vector-memory traffic comes straight off the model: vector
+    // reads happen at issue time of vector-core ops, every produced vector
+    // datum is a write landing at the producer's completion.
+    const auto vreads = [&](const model::ModelNode& node) {
+        return static_cast<int>(node.vector_inputs.size());
+    };
+    const auto vwrites = [&](const model::ModelNode& node) {
+        return static_cast<int>(node.vector_outputs.size());
+    };
+
+    const auto fits = [&](const model::ModelNode& node, int at) {
+        if (node.lanes > 0) {
             if (options.serialize_vector_issue && count_at(res.vector_issues, at) > 0) {
                 return false;
             }
-            const std::string key = ir::config_key(node);
-            for (int d = 0; d < t.duration; ++d) {
-                if (count_at(res.lanes, at + d) + t.lanes > spec.vector_lanes) return false;
+            for (int d = 0; d < node.duration; ++d) {
+                if (count_at(res.lanes, at + d) + node.lanes > m.caps.vector_lanes) return false;
                 const auto it = res.config.find(at + d);
-                if (it != res.config.end() && it->second != key) return false;
+                if (it != res.config.end() && it->second != node.config) return false;
             }
-            if (options.enforce_port_limits && vreads[i] > 0 &&
-                count_at(res.reads, at) + vreads[i] > spec.max_vector_reads_per_cycle) {
+            if (options.enforce_port_limits && vreads(node) > 0 &&
+                count_at(res.reads, at) + vreads(node) > m.caps.max_vector_reads) {
                 return false;
             }
-        } else if (node.cat == ir::NodeCat::ScalarOp) {
-            for (int d = 0; d < t.duration; ++d) {
-                if (count_at(res.scalar, at + d) + 1 > spec.scalar_units) return false;
+        } else if (node.unit == model::Unit::Scalar) {
+            for (int d = 0; d < node.duration; ++d) {
+                if (count_at(res.scalar, at + d) + 1 > m.caps.scalar_units) return false;
             }
         } else {
-            for (int d = 0; d < t.duration; ++d) {
-                if (count_at(res.ixmerge, at + d) + 1 > spec.index_merge_units) return false;
+            for (int d = 0; d < node.duration; ++d) {
+                if (count_at(res.ixmerge, at + d) + 1 > m.caps.index_merge_units) return false;
             }
         }
-        if (vwrites[i] > 0) {
-            const int landing = count_at(res.writes, at + t.latency);
+        if (vwrites(node) > 0) {
+            const int landing = count_at(res.writes, at + node.latency);
             if (options.enforce_port_limits &&
-                landing + vwrites[i] > spec.max_vector_writes_per_cycle) {
+                landing + vwrites(node) > m.caps.max_vector_writes) {
                 return false;
             }
             // Spread mode: this op's outputs land in an otherwise write-free
@@ -119,28 +107,28 @@ ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g
         return true;
     };
 
-    const auto commit = [&](const ir::Node& node, const ir::NodeTiming& t, int at) {
+    const auto commit = [&](const model::ModelNode& node, int at) {
         const auto i = static_cast<std::size_t>(node.id);
-        if (t.lanes > 0) {
-            for (int d = 0; d < t.duration; ++d) {
-                res.lanes[at + d] += t.lanes;
-                res.config.emplace(at + d, ir::config_key(node));
+        if (node.lanes > 0) {
+            for (int d = 0; d < node.duration; ++d) {
+                res.lanes[at + d] += node.lanes;
+                res.config.emplace(at + d, node.config);
             }
-            res.reads[at] += vreads[i];
+            res.reads[at] += vreads(node);
             res.vector_issues[at] += 1;
-        } else if (node.cat == ir::NodeCat::ScalarOp) {
-            for (int d = 0; d < t.duration; ++d) res.scalar[at + d] += 1;
+        } else if (node.unit == model::Unit::Scalar) {
+            for (int d = 0; d < node.duration; ++d) res.scalar[at + d] += 1;
         } else {
-            for (int d = 0; d < t.duration; ++d) res.ixmerge[at + d] += 1;
+            for (int d = 0; d < node.duration; ++d) res.ixmerge[at + d] += 1;
         }
-        res.writes[at + t.latency] += vwrites[i];
+        res.writes[at + node.latency] += vwrites(node);
 
         result.start[i] = at;
         done[i] = 1;
         ++scheduled;
-        for (const int d : g.succs(node.id)) {
-            avail[static_cast<std::size_t>(d)] = at + t.latency;
-            result.start[static_cast<std::size_t>(d)] = at + t.latency;  // eq. 4
+        for (const int d : node.succs) {
+            avail[static_cast<std::size_t>(d)] = at + node.latency;
+            result.start[static_cast<std::size_t>(d)] = at + node.latency;  // eq. 4
         }
     };
 
@@ -148,9 +136,9 @@ ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g
     while (scheduled < total_ops) {
         for (const int op : pending) {
             if (done[static_cast<std::size_t>(op)]) continue;
-            const ir::Node& node = g.node(op);
+            const model::ModelNode& node = m.node(op);
             bool ready = true;
-            for (const int d : g.preds(op)) {
+            for (const int d : node.preds) {
                 const int a = avail[static_cast<std::size_t>(d)];
                 if (a < 0 || a > t) {
                     ready = false;
@@ -158,21 +146,25 @@ ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g
                 }
             }
             if (!ready) continue;
-            const ir::NodeTiming timing = ir::node_timing(spec, node);
-            if (!fits(node, timing, t)) continue;
-            commit(node, timing, t);
+            if (!fits(node, t)) continue;
+            commit(node, t);
         }
         ++t;
         REVEC_ASSERT(t < 1000000);  // progress guard
     }
 
     int makespan = 0;
-    for (const ir::Node& node : g.nodes()) {
-        makespan = std::max(makespan, result.start[static_cast<std::size_t>(node.id)] +
-                                          ir::node_timing(spec, node).latency);
+    for (const model::ModelNode& node : m.nodes) {
+        makespan = std::max(makespan,
+                            result.start[static_cast<std::size_t>(node.id)] + node.latency);
     }
     result.makespan = makespan;
     return result;
+}
+
+ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
+                                  const ListOptions& options) {
+    return priority_list_schedule(model::lower_ir(spec, g), options);
 }
 
 }  // namespace revec::heur

@@ -1,22 +1,25 @@
-// Heuristic layer, part 1: a priority list scheduler over the normalized IR
-// DAG. Greedy counterpart of the CP model's eqs. 1-5 plus the physical
-// memory-port limits: dependency-ready operations issue cycle by cycle in
-// slack order (critical-path operations first), respecting lane capacity,
-// the one-configuration-per-cycle rule, the scalar and index/merge units,
-// and the per-cycle vector read/write port caps. The result seeds the exact
-// branch-and-bound search with an incumbent makespan (warm start) and is
-// the anytime fallback when the exact solver runs out of time.
+// Heuristic layer, part 1: a priority list scheduler over the lowered
+// KernelModel. Greedy counterpart of the CP emitter's eqs. 1-5 plus the
+// physical memory-port limits: dependency-ready operations issue cycle by
+// cycle in slack order (critical-path operations first), respecting lane
+// capacity, the one-configuration-per-cycle rule, the scalar and
+// index/merge units, and the per-cycle vector read/write port caps. The
+// result seeds the exact branch-and-bound search with an incumbent
+// makespan (warm start) and is the anytime fallback when the exact solver
+// runs out of time.
 //
-// The subsystem deliberately depends only on arch + ir so sched and
-// pipeline can both build on it without a library cycle; sched wraps the
-// raw start vectors into Schedule values and re-checks them with the
-// independent verifier before trusting them.
+// The subsystem reads all demands (timing, lanes, configs, port traffic)
+// from the shared model::KernelModel, so the heuristics and the CP emitter
+// can never disagree about the problem; sched wraps the raw start vectors
+// into Schedule values and re-checks them with the model's checker before
+// trusting them.
 #pragma once
 
 #include <vector>
 
 #include "revec/arch/spec.hpp"
 #include "revec/ir/graph.hpp"
+#include "revec/model/kernel_model.hpp"
 
 namespace revec::heur {
 
@@ -43,9 +46,13 @@ struct ListResult {
     int makespan = 0;        ///< max over nodes of start + latency
 };
 
-/// Greedy priority list schedule. Always succeeds (the schedule stretches
-/// in time instead of failing); the result satisfies eqs. 1-5 and the port
-/// limits by construction.
+/// Greedy priority list schedule over the lowered model. Always succeeds
+/// (the schedule stretches in time instead of failing); the result
+/// satisfies eqs. 1-5 and the port limits by construction. Priorities read
+/// m.asap/m.alap, so lower with the default horizon (critical path).
+ListResult priority_list_schedule(const model::KernelModel& m, const ListOptions& options = {});
+
+/// Convenience wrapper: lower `g` with default options and schedule.
 ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
                                   const ListOptions& options = {});
 

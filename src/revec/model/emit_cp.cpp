@@ -1,0 +1,494 @@
+#include "revec/model/emit_cp.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "revec/cp/arith.hpp"
+#include "revec/cp/count.hpp"
+#include "revec/cp/cumulative.hpp"
+#include "revec/cp/diff2.hpp"
+#include "revec/cp/linear.hpp"
+#include "revec/cp/reified.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::model {
+
+namespace {
+
+using cp::IntVar;
+
+/// Caches reified equality booleans so shared pairs post one propagator.
+class EqBoolCache {
+public:
+    explicit EqBoolCache(cp::Store& store) : store_(store) {}
+
+    cp::BoolVar get(IntVar x, IntVar y) {
+        auto key = std::minmax(x.index(), y.index());
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) return it->second;
+        const cp::BoolVar b = store_.new_bool();
+        cp::post_reified_eq(store_, b, x, y);
+        cache_.emplace(key, b);
+        return b;
+    }
+
+private:
+    cp::Store& store_;
+    std::map<std::pair<std::int32_t, std::int32_t>, cp::BoolVar> cache_;
+};
+
+/// The flat §3.3-§3.5 model: start times tightened by ASAP/ALAP, the
+/// makespan objective over completions (eq. 5), precedence and data-start
+/// edges (eqs. 1/4), unit capacities (eq. 2), one configuration per cycle
+/// (eq. 3), the memory-port extension, and the memory allocation block
+/// (eqs. 6-11) with the redundant live-data cumulative.
+VarTable emit_flat(cp::Store& store, const KernelModel& m) {
+    const int n = m.num_nodes();
+    const int horizon = m.horizon;
+
+    // -- start-time variables, tightened by ASAP/ALAP ------------------------
+    std::vector<IntVar> start(static_cast<std::size_t>(n));
+    for (const ModelNode& node : m.nodes) {
+        const auto i = static_cast<std::size_t>(node.id);
+        start[i] = store.new_var(m.asap[i], m.alap[i], "s" + std::to_string(node.id));
+    }
+
+    // Inputs are ready from the start (paper: "any data node without any
+    // predecessors gets the start time zero").
+    for (const int d : m.inputs) store.assign(start[static_cast<std::size_t>(d)], 0);
+
+    // Slot-only mode: pin every start to the supplied schedule.
+    if (!m.fixed_starts.empty()) {
+        if (m.fixed_starts.size() != static_cast<std::size_t>(n)) {
+            throw Error("fixed_starts must supply one start per node");
+        }
+        for (const ModelNode& node : m.nodes) {
+            const auto i = static_cast<std::size_t>(node.id);
+            if (!store.assign(start[i], m.fixed_starts[i])) {
+                throw Error("fixed start " + std::to_string(m.fixed_starts[i]) +
+                            " for node " + std::to_string(node.id) +
+                            " conflicts with the model bounds");
+            }
+        }
+    }
+
+    // -- objective: latest completion (eq. 5) ---------------------------------
+    const IntVar obj = store.new_var(0, horizon, "makespan");
+    std::vector<IntVar> completions;
+    for (const ModelNode& node : m.nodes) {
+        const auto i = static_cast<std::size_t>(node.id);
+        if (node.latency == 0) {
+            completions.push_back(start[i]);
+        } else {
+            const IntVar c = store.new_var(0, horizon, "c" + std::to_string(node.id));
+            cp::post_eq_offset(store, start[i], node.latency, c);
+            completions.push_back(c);
+        }
+    }
+    cp::post_max(store, obj, completions);
+
+    // -- precedence (eq. 1) and data-node starts (eq. 4) ----------------------
+    for (const ModelEdge& e : m.edges) {
+        const auto i = static_cast<std::size_t>(e.src);
+        const auto j = static_cast<std::size_t>(e.dst);
+        if (e.kind == EdgeKind::DataProduce) {
+            // eq. (4): a produced data node starts exactly when its
+            // producer's latency has elapsed (implies eq. 1).
+            cp::post_eq_offset(store, start[i], e.latency, start[j]);
+        } else {
+            cp::post_leq_offset(store, start[i], e.latency, start[j]);
+        }
+    }
+
+    // -- resource constraints (eq. 2 + the scalar and index/merge units) ------
+    std::vector<cp::CumulTask> lane_tasks;
+    std::vector<cp::CumulTask> scalar_tasks;
+    std::vector<cp::CumulTask> ixmerge_tasks;
+    for (const int op : m.ops) {
+        const ModelNode& node = m.node(op);
+        const auto i = static_cast<std::size_t>(op);
+        if (node.lanes > 0) {
+            lane_tasks.push_back({start[i], node.duration, node.lanes});
+        } else if (node.unit == Unit::Scalar) {
+            scalar_tasks.push_back({start[i], node.duration, 1});
+        } else {
+            ixmerge_tasks.push_back({start[i], node.duration, 1});
+        }
+    }
+    if (!lane_tasks.empty()) cp::post_cumulative(store, lane_tasks, m.caps.vector_lanes);
+    if (!scalar_tasks.empty()) cp::post_cumulative(store, scalar_tasks, m.caps.scalar_units);
+    if (!ixmerge_tasks.empty()) {
+        cp::post_cumulative(store, ixmerge_tasks, m.caps.index_merge_units);
+    }
+
+    // Physical memory-port limits (beyond the paper's model): vector-core
+    // reads happen at issue time; vector writes land at the producer's
+    // completion.
+    if (m.enforce_port_limits) {
+        std::vector<cp::CumulTask> read_tasks;
+        std::vector<cp::CumulTask> write_tasks;
+        for (const int op : m.ops) {
+            const ModelNode& node = m.node(op);
+            const auto i = static_cast<std::size_t>(op);
+            if (node.lanes > 0) {
+                const int reads = static_cast<int>(node.vector_inputs.size());
+                if (reads > 0) read_tasks.push_back({start[i], 1, reads});
+            }
+            const int writes = static_cast<int>(node.vector_outputs.size());
+            if (writes > 0) {
+                // completions[i] exists for every op (latency > 0).
+                write_tasks.push_back({completions[i], 1, writes});
+            }
+        }
+        if (!read_tasks.empty()) {
+            cp::post_cumulative(store, read_tasks, m.caps.max_vector_reads);
+        }
+        if (!write_tasks.empty()) {
+            cp::post_cumulative(store, write_tasks, m.caps.max_vector_writes);
+        }
+    }
+
+    // -- one configuration per cycle (eq. 3) -----------------------------------
+    // Only single-lane (vector) op pairs need it: any pair involving a
+    // matrix op is already excluded by the lane Cumulative.
+    std::vector<int> single_lane_ops;
+    for (const int op : m.vector_ops) {
+        if (m.node(op).lanes < m.caps.vector_lanes) single_lane_ops.push_back(op);
+    }
+    for (std::size_t a = 0; a < single_lane_ops.size(); ++a) {
+        for (std::size_t b = a + 1; b < single_lane_ops.size(); ++b) {
+            const ModelNode& na = m.node(single_lane_ops[a]);
+            const ModelNode& nb = m.node(single_lane_ops[b]);
+            if (na.config != nb.config) {
+                cp::post_not_equal(store, start[static_cast<std::size_t>(na.id)],
+                                   start[static_cast<std::size_t>(nb.id)]);
+            }
+        }
+    }
+
+    // -- memory allocation (eqs. 6-11) ------------------------------------------
+    std::vector<IntVar> slot_vars;  // parallel to m.vdata
+    std::map<int, IntVar> slot_of;  // node id -> slot var
+    std::map<int, IntVar> line_of;
+    std::map<int, IntVar> page_of;
+
+    if (m.memory_allocation) {
+        const int num_slots = m.num_slots;
+        REVEC_EXPECTS(num_slots > 0 || m.vdata.empty());  // checked by the callers
+        const arch::MemoryGeometry geom = m.geometry;
+        const int max_line = geom.line_of(num_slots - 1);
+        const int max_page = geom.pages() - 1;
+
+        std::vector<IntVar> lifetimes;
+        std::vector<cp::Rect> rects;
+        for (const int d : m.vdata) {
+            const auto i = static_cast<std::size_t>(d);
+            const IntVar slot = store.new_var(0, num_slots - 1, "slot" + std::to_string(d));
+            const IntVar line = store.new_var(0, max_line, "line" + std::to_string(d));
+            const IntVar page = store.new_var(0, max_page, "page" + std::to_string(d));
+            // eq. (6): channel the three views of the placement.
+            cp::post_unary_fun(store, slot, line,
+                               [geom](int s) { return geom.line_of(s); },
+                               "line=slot/banks");
+            cp::post_unary_fun(store, slot, page,
+                               [geom](int s) { return geom.page_of(s); },
+                               "page=(slot mod banks)/pageSize");
+            slot_vars.push_back(slot);
+            slot_of.emplace(d, slot);
+            line_of.emplace(d, line);
+            page_of.emplace(d, page);
+
+            // eq. (10): lifetime = max(successor starts) - own start. Sinks
+            // and program outputs stay live until one cycle past the
+            // makespan — an output produced exactly at the makespan must
+            // still be in memory when the program ends.
+            const ModelNode& dn = m.node(d);
+            std::vector<IntVar> users;
+            for (const int succ : dn.succs) {
+                users.push_back(start[static_cast<std::size_t>(succ)]);
+            }
+            if (dn.persists) users.push_back(obj);
+            const IntVar last_use = store.new_var(0, horizon + 1, "use" + std::to_string(d));
+            cp::post_max(store, last_use, users);
+            const IntVar life = store.new_var(0, horizon + 1, "life" + std::to_string(d));
+            // life = last_use - start + lifetime_extra
+            cp::post_linear_eq(store, {{1, life}, {-1, last_use}, {1, start[i]}},
+                               dn.lifetime_extra);
+            lifetimes.push_back(life);
+
+            // eq. (11) rectangle: (time, slot) origin with lifetime width.
+            rects.push_back(cp::Rect{start[i], slot, life, 1});
+        }
+        if (!rects.empty()) cp::post_diff2(store, rects);
+
+        // Redundant but powerful: at no point can more vector data be live
+        // than there are slots. Time-table reasoning over the (variable)
+        // lifetimes detects memory-capacity infeasibility long before the
+        // slot phase, which Diff2's pairwise reasoning cannot.
+        {
+            std::vector<cp::CumulTask> live_tasks;
+            for (std::size_t k = 0; k < m.vdata.size(); ++k) {
+                const auto i = static_cast<std::size_t>(m.vdata[k]);
+                live_tasks.push_back(cp::CumulTask{start[i], 0, 1, lifetimes[k]});
+            }
+            cp::post_cumulative(store, live_tasks, num_slots);
+        }
+
+        EqBoolCache eq_start(store);
+        EqBoolCache eq_page(store);
+        EqBoolCache eq_line(store);
+
+        // eq. (7): inputs of one vector-core operation are accessed together.
+        for (const int op : m.vector_ops) {
+            const std::vector<int>& ins = m.node(op).vector_inputs;
+            for (std::size_t a = 0; a < ins.size(); ++a) {
+                for (std::size_t b = a + 1; b < ins.size(); ++b) {
+                    const cp::BoolVar bp = eq_page.get(page_of.at(ins[a]), page_of.at(ins[b]));
+                    const cp::BoolVar bl = eq_line.get(line_of.at(ins[a]), line_of.at(ins[b]));
+                    cp::post_implies(store, bp, bl);
+                }
+            }
+        }
+
+        // eq. (8): simultaneously issued vector-core operations read their
+        // inputs together.
+        for (std::size_t a = 0; a < m.vector_ops.size(); ++a) {
+            for (std::size_t b = a + 1; b < m.vector_ops.size(); ++b) {
+                const ModelNode& oi = m.node(m.vector_ops[a]);
+                const ModelNode& oj = m.node(m.vector_ops[b]);
+                // Two matrix ops (or a matrix and anything else) can never
+                // share a cycle; skip the clauses entirely.
+                if (oi.lanes + oj.lanes > m.caps.vector_lanes) continue;
+                const cp::BoolVar bs = eq_start.get(start[static_cast<std::size_t>(oi.id)],
+                                                    start[static_cast<std::size_t>(oj.id)]);
+                for (const int d : oi.vector_inputs) {
+                    for (const int e : oj.vector_inputs) {
+                        if (d == e) continue;
+                        const cp::BoolVar bp = eq_page.get(page_of.at(d), page_of.at(e));
+                        const cp::BoolVar bl = eq_line.get(line_of.at(d), line_of.at(e));
+                        cp::post_clause(store, {cp::neg(bs), cp::neg(bp), cp::pos(bl)});
+                    }
+                }
+            }
+        }
+
+        // eq. (9), generalized: vector writes that *land* in the same cycle
+        // share the page descriptors. The paper groups by issue time over
+        // vector-core ops only, which leaves a hole our simulator caught:
+        // a merge-unit write (1-cycle latency) can land together with a
+        // vector-core write (7-cycle latency) from an earlier issue. We
+        // group by completion time across every vector-writing unit.
+        std::vector<int> writers;
+        for (const int op : m.ops) {
+            if (!m.node(op).vector_outputs.empty()) writers.push_back(op);
+        }
+        EqBoolCache eq_completion(store);
+        for (std::size_t a = 0; a < writers.size(); ++a) {
+            for (std::size_t b = a + 1; b < writers.size(); ++b) {
+                const cp::BoolVar bc =
+                    eq_completion.get(completions[static_cast<std::size_t>(writers[a])],
+                                      completions[static_cast<std::size_t>(writers[b])]);
+                for (const int d : m.node(writers[a]).vector_outputs) {
+                    for (const int e : m.node(writers[b]).vector_outputs) {
+                        const cp::BoolVar bp = eq_page.get(page_of.at(d), page_of.at(e));
+                        const cp::BoolVar bl = eq_line.get(line_of.at(d), line_of.at(e));
+                        cp::post_clause(store, {cp::neg(bc), cp::neg(bp), cp::pos(bl)});
+                    }
+                }
+            }
+        }
+    }
+
+    // -- search phases (§3.5) ----------------------------------------------------
+    std::vector<IntVar> op_starts;
+    std::vector<IntVar> data_starts;
+    for (const ModelNode& node : m.nodes) {
+        (node.is_op ? op_starts : data_starts)
+            .push_back(start[static_cast<std::size_t>(node.id)]);
+    }
+
+    std::vector<cp::Phase> phases;
+    if (m.three_phase_search) {
+        phases.push_back({op_starts, cp::VarSelect::SmallestMin, cp::ValSelect::Min, "ops"});
+        phases.push_back({data_starts, cp::VarSelect::SmallestMin, cp::ValSelect::Min, "data"});
+        phases.push_back({slot_vars, cp::VarSelect::InputOrder, cp::ValSelect::Min, "slots"});
+    } else {
+        std::vector<IntVar> all = op_starts;
+        all.insert(all.end(), data_starts.begin(), data_starts.end());
+        all.insert(all.end(), slot_vars.begin(), slot_vars.end());
+        phases.push_back({all, cp::VarSelect::MinDomain, cp::ValSelect::Min, "all"});
+    }
+
+    VarTable out;
+    out.start = std::move(start);
+    out.slot_of = std::move(slot_of);
+    out.makespan = obj;
+    out.phases = std::move(phases);
+    return out;
+}
+
+/// The §4.3 modulo model: per-op start / residue / stage triples channeled
+/// by s = II*k + m, kernel resource cumulatives over the residues, the
+/// modulo form of eq. 3, and optionally the cyclic reconfiguration count R
+/// with its per-residue configuration variables.
+VarTable emit_modulo(cp::Store& store, const KernelModel& m) {
+    const ModuloWrap& wrap = *m.modulo;
+    const int ii = wrap.ii;
+    const int horizon = m.horizon;
+    const int n = m.num_nodes();
+
+    std::vector<IntVar> start(static_cast<std::size_t>(n));
+    std::vector<IntVar> residue(static_cast<std::size_t>(n));
+    std::vector<IntVar> stage(static_cast<std::size_t>(n));
+    const int max_stage = wrap.max_stage;
+
+    for (const ModelNode& node : m.nodes) {
+        const auto i = static_cast<std::size_t>(node.id);
+        start[i] = store.new_var(m.asap[i], horizon, "s" + std::to_string(node.id));
+        if (!node.is_op) continue;
+        residue[i] = store.new_var(0, ii - 1, "m" + std::to_string(node.id));
+        stage[i] = store.new_var(0, max_stage, "k" + std::to_string(node.id));
+        // s = II * k + m
+        cp::post_linear_eq(store, {{1, start[i]}, {-ii, stage[i]}, {-1, residue[i]}}, 0);
+    }
+
+    // Inputs at 0; data nodes follow eq. 4; precedence otherwise.
+    for (const int d : m.inputs) store.assign(start[static_cast<std::size_t>(d)], 0);
+    for (const ModelEdge& e : m.edges) {
+        const auto i = static_cast<std::size_t>(e.src);
+        const auto j = static_cast<std::size_t>(e.dst);
+        if (e.kind == EdgeKind::DataProduce) {
+            cp::post_eq_offset(store, start[i], e.latency, start[j]);
+        } else {
+            cp::post_leq_offset(store, start[i], e.latency, start[j]);
+        }
+    }
+
+    // Kernel resource constraints on the residues.
+    std::vector<cp::CumulTask> lane_tasks;
+    std::vector<cp::CumulTask> scalar_tasks;
+    std::vector<cp::CumulTask> ix_tasks;
+    for (const int op : m.ops) {
+        const ModelNode& node = m.node(op);
+        const auto i = static_cast<std::size_t>(op);
+        if (node.lanes > 0) {
+            lane_tasks.push_back({residue[i], node.duration, node.lanes});
+        } else if (node.unit == Unit::Scalar) {
+            scalar_tasks.push_back({residue[i], node.duration, 1});
+        } else {
+            ix_tasks.push_back({residue[i], node.duration, 1});
+        }
+    }
+    if (!lane_tasks.empty()) cp::post_cumulative(store, lane_tasks, m.caps.vector_lanes);
+    if (!scalar_tasks.empty()) cp::post_cumulative(store, scalar_tasks, m.caps.scalar_units);
+    if (!ix_tasks.empty()) cp::post_cumulative(store, ix_tasks, m.caps.index_merge_units);
+
+    // One configuration per residue (eq. 3 in modulo form).
+    for (std::size_t a = 0; a < m.vector_ops.size(); ++a) {
+        for (std::size_t b = a + 1; b < m.vector_ops.size(); ++b) {
+            if (m.node(m.vector_ops[a]).config == m.node(m.vector_ops[b]).config) continue;
+            cp::post_not_equal(store, residue[static_cast<std::size_t>(m.vector_ops[a])],
+                               residue[static_cast<std::size_t>(m.vector_ops[b])]);
+        }
+    }
+
+    IntVar reconfig_count;
+    std::vector<IntVar> type_vars;
+    if (wrap.minimize_reconfigs && !m.vector_ops.empty()) {
+        const int num_configs = static_cast<int>(m.config_keys.size());
+        // Per-residue configuration variable. Unoccupied residues take any
+        // value; letting them interpolate matches the semantics that nop
+        // cycles keep the previous configuration loaded.
+        for (int t = 0; t < ii; ++t) {
+            type_vars.push_back(store.new_var(0, num_configs - 1, "cfg" + std::to_string(t)));
+        }
+        // Channel: op i at residue t forces type_vars[t] = config(i).
+        for (const int op : m.vector_ops) {
+            const auto i = static_cast<std::size_t>(op);
+            for (int t = 0; t < ii; ++t) {
+                const cp::BoolVar here = store.new_bool();
+                cp::post_reified_eq_const(store, here, residue[i], t);
+                const cp::BoolVar is_cfg = store.new_bool();
+                cp::post_reified_eq_const(store, is_cfg, type_vars[static_cast<std::size_t>(t)],
+                                          m.node(op).config);
+                cp::post_implies(store, here, is_cfg);
+            }
+        }
+        // R = number of cyclic adjacent changes.
+        std::vector<cp::BoolVar> same;
+        for (int t = 0; t < ii; ++t) {
+            const cp::BoolVar b = store.new_bool();
+            cp::post_reified_eq(store, b, type_vars[static_cast<std::size_t>(t)],
+                                type_vars[static_cast<std::size_t>((t + 1) % ii)]);
+            same.push_back(b);
+        }
+        const IntVar same_count = store.new_var(0, ii, "same_count");
+        cp::post_bool_sum(store, same, same_count);
+        // Redundant lower bound: every configuration forms at least one
+        // maximal block around the kernel, so with >= 2 configurations the
+        // cyclic change count is at least the number of configurations.
+        const int r_lower = num_configs >= 2 ? num_configs : 0;
+        const int r_upper = std::min(ii, wrap.reconfig_budget);
+        if (r_upper < r_lower) {
+            VarTable out;
+            out.start = std::move(start);
+            out.residue = std::move(residue);
+            out.stage = std::move(stage);
+            out.infeasible = true;
+            return out;
+        }
+        reconfig_count = store.new_var(r_lower, r_upper, "reconfigs");
+        cp::post_linear_eq(store, {{1, reconfig_count}, {1, same_count}}, ii);
+    }
+
+    // Phases: residues first (they define the kernel), then stages, then
+    // configuration variables. When minimizing reconfigurations, branch the
+    // residues grouped by configuration in input order: with min-value
+    // selection, same-configuration operations pack into adjacent residues,
+    // so the first incumbents already have few configuration changes.
+    std::vector<int> op_order = m.ops;
+    if (wrap.minimize_reconfigs) {
+        // Vector-core groups first (they drive R), scalar / index-merge ops
+        // last (any residue works for them via the stage variable).
+        std::stable_sort(op_order.begin(), op_order.end(), [&](int a, int b) {
+            const auto key = [&](int id) {
+                const ModelNode& node = m.node(id);
+                return node.lanes > 0 ? m.config_keys[static_cast<std::size_t>(node.config)]
+                                      : std::string("~");
+            };
+            return key(a) < key(b);
+        });
+    }
+    std::vector<IntVar> residue_list;
+    std::vector<IntVar> stage_list;
+    for (const int id : op_order) {
+        residue_list.push_back(residue[static_cast<std::size_t>(id)]);
+        stage_list.push_back(stage[static_cast<std::size_t>(id)]);
+    }
+    std::vector<cp::Phase> phases;
+    phases.push_back({residue_list,
+                      wrap.minimize_reconfigs ? cp::VarSelect::InputOrder
+                                              : cp::VarSelect::SmallestMin,
+                      cp::ValSelect::Min, "residues"});
+    phases.push_back({stage_list, cp::VarSelect::SmallestMin, cp::ValSelect::Min, "stages"});
+    if (!type_vars.empty()) {
+        phases.push_back({type_vars, cp::VarSelect::InputOrder, cp::ValSelect::Min, "configs"});
+    }
+
+    VarTable out;
+    out.start = std::move(start);
+    out.residue = std::move(residue);
+    out.stage = std::move(stage);
+    out.reconfig_count = reconfig_count;
+    out.phases = std::move(phases);
+    return out;
+}
+
+}  // namespace
+
+VarTable emit_cp(cp::Store& store, const KernelModel& m) {
+    return m.modulo.has_value() ? emit_modulo(store, m) : emit_flat(store, m);
+}
+
+}  // namespace revec::model

@@ -1,0 +1,165 @@
+#include "revec/model/json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::model {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+void append_ints(std::ostringstream& os, const std::vector<int>& xs) {
+    os << '[';
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) os << ',';
+        os << xs[i];
+    }
+    os << ']';
+}
+
+const char* unit_name(Unit u) {
+    switch (u) {
+        case Unit::VectorCore: return "vector_core";
+        case Unit::Scalar: return "scalar";
+        case Unit::IndexMerge: return "index_merge";
+        case Unit::None: return "none";
+    }
+    REVEC_UNREACHABLE("bad Unit");
+}
+
+const char* bool_name(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string to_json(const KernelModel& m) {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"name\": ";
+    append_escaped(os, m.name);
+    os << ",\n";
+
+    os << "  \"geometry\": {\"banks\": " << m.geometry.banks
+       << ", \"banks_per_page\": " << m.geometry.banks_per_page
+       << ", \"lines\": " << m.geometry.lines << "},\n";
+    os << "  \"caps\": {\"vector_lanes\": " << m.caps.vector_lanes
+       << ", \"scalar_units\": " << m.caps.scalar_units
+       << ", \"index_merge_units\": " << m.caps.index_merge_units
+       << ", \"max_vector_reads\": " << m.caps.max_vector_reads
+       << ", \"max_vector_writes\": " << m.caps.max_vector_writes
+       << ", \"reconfig_cycles\": " << m.caps.reconfig_cycles << "},\n";
+
+    os << "  \"num_slots\": " << m.num_slots << ",\n";
+    os << "  \"horizon\": " << m.horizon << ",\n";
+    os << "  \"critical_path\": " << m.critical_path << ",\n";
+    os << "  \"memory_allocation\": " << bool_name(m.memory_allocation) << ",\n";
+    os << "  \"three_phase_search\": " << bool_name(m.three_phase_search) << ",\n";
+    os << "  \"enforce_port_limits\": " << bool_name(m.enforce_port_limits) << ",\n";
+    os << "  \"lifetime_includes_last_read\": " << bool_name(m.lifetime_includes_last_read)
+       << ",\n";
+
+    os << "  \"config_keys\": [";
+    for (std::size_t i = 0; i < m.config_keys.size(); ++i) {
+        if (i > 0) os << ", ";
+        append_escaped(os, m.config_keys[i]);
+    }
+    os << "],\n";
+
+    os << "  \"ops\": ";
+    append_ints(os, m.ops);
+    os << ",\n  \"vector_ops\": ";
+    append_ints(os, m.vector_ops);
+    os << ",\n  \"vdata\": ";
+    append_ints(os, m.vdata);
+    os << ",\n  \"inputs\": ";
+    append_ints(os, m.inputs);
+    os << ",\n  \"asap\": ";
+    append_ints(os, m.asap);
+    os << ",\n  \"alap\": ";
+    append_ints(os, m.alap);
+    os << ",\n";
+
+    if (!m.fixed_starts.empty()) {
+        os << "  \"fixed_starts\": ";
+        append_ints(os, m.fixed_starts);
+        os << ",\n";
+    }
+    if (m.modulo.has_value()) {
+        os << "  \"modulo\": {\"ii\": " << m.modulo->ii
+           << ", \"max_stage\": " << m.modulo->max_stage
+           << ", \"minimize_reconfigs\": " << bool_name(m.modulo->minimize_reconfigs)
+           << ", \"reconfig_budget\": " << m.modulo->reconfig_budget << "},\n";
+    }
+
+    os << "  \"nodes\": [\n";
+    for (std::size_t i = 0; i < m.nodes.size(); ++i) {
+        const ModelNode& n = m.nodes[i];
+        os << "    {\"id\": " << n.id << ", \"is_op\": " << bool_name(n.is_op)
+           << ", \"cat\": ";
+        append_escaped(os, n.cat);
+        os << ", \"op\": ";
+        append_escaped(os, n.op);
+        os << ", \"latency\": " << n.latency << ", \"duration\": " << n.duration
+           << ", \"lanes\": " << n.lanes << ", \"unit\": \"" << unit_name(n.unit)
+           << "\", \"config\": " << n.config;
+        os << ", \"preds\": ";
+        append_ints(os, n.preds);
+        os << ", \"succs\": ";
+        append_ints(os, n.succs);
+        if (n.is_op) {
+            os << ", \"vector_inputs\": ";
+            append_ints(os, n.vector_inputs);
+            os << ", \"vector_outputs\": ";
+            append_ints(os, n.vector_outputs);
+        } else {
+            os << ", \"is_input\": " << bool_name(n.is_input)
+               << ", \"persists\": " << bool_name(n.persists)
+               << ", \"lifetime_extra\": " << n.lifetime_extra;
+        }
+        os << "}" << (i + 1 < m.nodes.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"edges\": [\n";
+    for (std::size_t i = 0; i < m.edges.size(); ++i) {
+        const ModelEdge& e = m.edges[i];
+        os << "    {\"src\": " << e.src << ", \"dst\": " << e.dst
+           << ", \"latency\": " << e.latency << ", \"kind\": \""
+           << (e.kind == EdgeKind::DataProduce ? "data_produce" : "precedence") << "\"}"
+           << (i + 1 < m.edges.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+void save_json(const KernelModel& m, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot write model dump to " + path);
+    out << to_json(m);
+    if (!out) throw Error("failed writing model dump to " + path);
+}
+
+}  // namespace revec::model

@@ -1,0 +1,20 @@
+// Deterministic JSON serialization of a KernelModel, for --dump-model
+// debugging dumps and the golden-file tests in tests/model.
+#pragma once
+
+#include <string>
+
+#include "revec/model/kernel_model.hpp"
+
+namespace revec::model {
+
+/// Serialize `m` as pretty-printed JSON. Field order is fixed and every
+/// container is emitted in its stored (node-id) order, so equal models
+/// produce byte-identical text.
+std::string to_json(const KernelModel& m);
+
+/// Write to_json(m) to `path`; throws revec::Error when the file cannot be
+/// written.
+void save_json(const KernelModel& m, const std::string& path);
+
+}  // namespace revec::model

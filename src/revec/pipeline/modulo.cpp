@@ -2,14 +2,10 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 
-#include "revec/cp/count.hpp"
-#include "revec/cp/cumulative.hpp"
-#include "revec/cp/linear.hpp"
-#include "revec/cp/reified.hpp"
 #include "revec/heur/ims.hpp"
-#include "revec/ir/analysis.hpp"
+#include "revec/model/emit_cp.hpp"
+#include "revec/model/kernel_model.hpp"
 #include "revec/sched/schedule.hpp"
 #include "revec/support/assert.hpp"
 #include "revec/support/stopwatch.hpp"
@@ -20,251 +16,52 @@ namespace {
 
 using cp::IntVar;
 
-/// Vector-core ops and their configuration ids (dense ints).
-struct VectorConfigIndex {
-    std::vector<int> ops;                 // vector-core op node ids
-    std::vector<int> config_of_op;        // parallel: dense config id
-    std::vector<std::string> config_key;  // dense id -> key
-};
-
-VectorConfigIndex index_vector_configs(const arch::ArchSpec& spec, const ir::Graph& g) {
-    VectorConfigIndex idx;
-    std::map<std::string, int> ids;
-    for (const ir::Node& node : g.nodes()) {
-        if (!node.is_op() || ir::node_timing(spec, node).lanes == 0) continue;
-        const std::string key = ir::config_key(node);
-        const auto [it, inserted] = ids.emplace(key, static_cast<int>(ids.size()));
-        if (inserted) idx.config_key.push_back(key);
-        idx.ops.push_back(node.id);
-        idx.config_of_op.push_back(it->second);
-    }
-    return idx;
-}
-
-}  // namespace
-
-int ii_lower_bound(const arch::ArchSpec& spec, const ir::Graph& g) {
+int ii_lower_bound_for(const model::KernelModel& m) {
     // Each residue cycle hosts a single vector configuration with at most
     // vector_lanes lanes, one scalar issue per scalar unit, and one
     // index/merge issue per unit.
-    std::map<std::string, int> lane_demand;
+    std::map<int, int> lane_demand;  // config id -> total lanes
     int scalar_ops = 0;
     int ix_ops = 0;
-    for (const ir::Node& node : g.nodes()) {
-        if (!node.is_op()) continue;
-        const ir::NodeTiming t = ir::node_timing(spec, node);
-        if (t.lanes > 0) {
-            lane_demand[ir::config_key(node)] += t.lanes;
-        } else if (node.cat == ir::NodeCat::ScalarOp) {
+    for (const int op : m.ops) {
+        const model::ModelNode& node = m.node(op);
+        if (node.lanes > 0) {
+            lane_demand[node.config] += node.lanes;
+        } else if (node.unit == model::Unit::Scalar) {
             ++scalar_ops;
         } else {
             ++ix_ops;
         }
     }
     int vec_bound = 0;
-    for (const auto& [key, demand] : lane_demand) {
-        vec_bound += (demand + spec.vector_lanes - 1) / spec.vector_lanes;
+    for (const auto& [config, demand] : lane_demand) {
+        vec_bound += (demand + m.caps.vector_lanes - 1) / m.caps.vector_lanes;
     }
-    const int scalar_bound = (scalar_ops + spec.scalar_units - 1) / spec.scalar_units;
-    const int ix_bound = (ix_ops + spec.index_merge_units - 1) / spec.index_merge_units;
+    const int scalar_bound = (scalar_ops + m.caps.scalar_units - 1) / m.caps.scalar_units;
+    const int ix_bound = (ix_ops + m.caps.index_merge_units - 1) / m.caps.index_merge_units;
     return std::max({1, vec_bound, scalar_bound, ix_bound});
 }
 
-int count_kernel_reconfigs(const arch::ArchSpec& spec, const ir::Graph& g,
-                           const std::vector<int>& residue, int ii) {
+int count_kernel_reconfigs_for(const model::KernelModel& m, const std::vector<int>& residue,
+                               int ii) {
     REVEC_EXPECTS(ii > 0);
     // Occupied vector residues, in cyclic order, with their configuration.
-    std::map<int, std::string> config_at;
-    for (const ir::Node& node : g.nodes()) {
-        if (!node.is_op() || ir::node_timing(spec, node).lanes == 0) continue;
-        const int m = residue[static_cast<std::size_t>(node.id)];
-        REVEC_EXPECTS(m >= 0 && m < ii);
-        const std::string key = ir::config_key(node);
-        const auto [it, inserted] = config_at.emplace(m, key);
-        REVEC_EXPECTS(inserted || it->second == key);
+    std::map<int, int> config_at;  // residue -> config id
+    for (const int op : m.vector_ops) {
+        const int r = residue[static_cast<std::size_t>(op)];
+        REVEC_EXPECTS(r >= 0 && r < ii);
+        const auto [it, inserted] = config_at.emplace(r, m.node(op).config);
+        REVEC_EXPECTS(inserted || it->second == m.node(op).config);
     }
     if (config_at.size() <= 1) return 0;
     // Walk the occupied residues cyclically; nops hold the configuration.
     int changes = 0;
-    std::string prev = config_at.rbegin()->second;  // wrap-around predecessor
-    for (const auto& [m, key] : config_at) {
-        if (key != prev) ++changes;
-        prev = key;
+    int prev = config_at.rbegin()->second;  // wrap-around predecessor
+    for (const auto& [r, config] : config_at) {
+        if (config != prev) ++changes;
+        prev = config;
     }
     return changes;
-}
-
-namespace {
-
-/// Variable handles and phases of one build of the modulo model for a
-/// candidate II. Deterministic builds mean any build's handles index the
-/// solution of a solve over any other build (the portfolio re-posts the
-/// model per worker).
-struct ModuloModel {
-    std::vector<IntVar> residue;  // parallel to all nodes (invalid for data)
-    std::vector<IntVar> stage;
-    IntVar reconfig_count;  // valid only when minimizing reconfigs
-    std::vector<cp::Phase> phases;
-    bool infeasible = false;  // budget contradiction found while building
-};
-
-/// Post the §4.3 modulo model into a fresh store (the re-posting hook).
-ModuloModel build_modulo_model(cp::Store& store, const arch::ArchSpec& spec,
-                               const ir::Graph& g, int ii, int horizon,
-                               bool minimize_reconfigs, int reconfig_budget) {
-    const int n = g.num_nodes();
-    const std::vector<int> asap = ir::asap_times(spec, g);
-
-    std::vector<IntVar> start(static_cast<std::size_t>(n));
-    std::vector<IntVar> residue(static_cast<std::size_t>(n));
-    std::vector<IntVar> stage(static_cast<std::size_t>(n));
-    const int max_stage = horizon / ii + 1;
-
-    for (const ir::Node& node : g.nodes()) {
-        const auto i = static_cast<std::size_t>(node.id);
-        start[i] = store.new_var(asap[i], horizon, "s" + std::to_string(node.id));
-        if (!node.is_op()) continue;
-        residue[i] = store.new_var(0, ii - 1, "m" + std::to_string(node.id));
-        stage[i] = store.new_var(0, max_stage, "k" + std::to_string(node.id));
-        // s = II * k + m
-        cp::post_linear_eq(store, {{1, start[i]}, {-ii, stage[i]}, {-1, residue[i]}}, 0);
-    }
-
-    // Inputs at 0; data nodes follow eq. 4; precedence otherwise.
-    for (const int d : g.input_nodes()) store.assign(start[static_cast<std::size_t>(d)], 0);
-    for (const ir::Node& node : g.nodes()) {
-        const ir::NodeTiming t = ir::node_timing(spec, node);
-        const auto i = static_cast<std::size_t>(node.id);
-        for (const int succ : g.succs(node.id)) {
-            const auto j = static_cast<std::size_t>(succ);
-            if (g.node(succ).is_data()) {
-                cp::post_eq_offset(store, start[i], t.latency, start[j]);
-            } else {
-                cp::post_leq_offset(store, start[i], t.latency, start[j]);
-            }
-        }
-    }
-
-    // Kernel resource constraints on the residues.
-    const VectorConfigIndex cfg = index_vector_configs(spec, g);
-    std::vector<cp::CumulTask> lane_tasks;
-    std::vector<cp::CumulTask> scalar_tasks;
-    std::vector<cp::CumulTask> ix_tasks;
-    for (const ir::Node& node : g.nodes()) {
-        if (!node.is_op()) continue;
-        const ir::NodeTiming t = ir::node_timing(spec, node);
-        const auto i = static_cast<std::size_t>(node.id);
-        if (t.lanes > 0) {
-            lane_tasks.push_back({residue[i], t.duration, t.lanes});
-        } else if (node.cat == ir::NodeCat::ScalarOp) {
-            scalar_tasks.push_back({residue[i], t.duration, 1});
-        } else {
-            ix_tasks.push_back({residue[i], t.duration, 1});
-        }
-    }
-    if (!lane_tasks.empty()) cp::post_cumulative(store, lane_tasks, spec.vector_lanes);
-    if (!scalar_tasks.empty()) cp::post_cumulative(store, scalar_tasks, spec.scalar_units);
-    if (!ix_tasks.empty()) cp::post_cumulative(store, ix_tasks, spec.index_merge_units);
-
-    // One configuration per residue (eq. 3 in modulo form).
-    for (std::size_t a = 0; a < cfg.ops.size(); ++a) {
-        for (std::size_t b = a + 1; b < cfg.ops.size(); ++b) {
-            if (cfg.config_of_op[a] == cfg.config_of_op[b]) continue;
-            cp::post_not_equal(store, residue[static_cast<std::size_t>(cfg.ops[a])],
-                               residue[static_cast<std::size_t>(cfg.ops[b])]);
-        }
-    }
-
-    IntVar reconfig_count;
-    std::vector<IntVar> type_vars;
-    if (minimize_reconfigs && !cfg.ops.empty()) {
-        const int num_configs = static_cast<int>(cfg.config_key.size());
-        // Per-residue configuration variable. Unoccupied residues take any
-        // value; letting them interpolate matches the semantics that nop
-        // cycles keep the previous configuration loaded.
-        for (int t = 0; t < ii; ++t) {
-            type_vars.push_back(store.new_var(0, num_configs - 1, "cfg" + std::to_string(t)));
-        }
-        // Channel: op i at residue t forces type_vars[t] = config(i).
-        for (std::size_t a = 0; a < cfg.ops.size(); ++a) {
-            const auto i = static_cast<std::size_t>(cfg.ops[a]);
-            for (int t = 0; t < ii; ++t) {
-                const cp::BoolVar here = store.new_bool();
-                cp::post_reified_eq_const(store, here, residue[i], t);
-                const cp::BoolVar is_cfg = store.new_bool();
-                cp::post_reified_eq_const(store, is_cfg, type_vars[static_cast<std::size_t>(t)],
-                                          cfg.config_of_op[a]);
-                cp::post_implies(store, here, is_cfg);
-            }
-        }
-        // R = number of cyclic adjacent changes.
-        std::vector<cp::BoolVar> same;
-        for (int t = 0; t < ii; ++t) {
-            const cp::BoolVar b = store.new_bool();
-            cp::post_reified_eq(store, b, type_vars[static_cast<std::size_t>(t)],
-                                type_vars[static_cast<std::size_t>((t + 1) % ii)]);
-            same.push_back(b);
-        }
-        const IntVar same_count = store.new_var(0, ii, "same_count");
-        cp::post_bool_sum(store, same, same_count);
-        // Redundant lower bound: every configuration forms at least one
-        // maximal block around the kernel, so with >= 2 configurations the
-        // cyclic change count is at least the number of configurations.
-        const int r_lower = num_configs >= 2 ? num_configs : 0;
-        const int r_upper = std::min(ii, reconfig_budget);
-        if (r_upper < r_lower) {
-            ModuloModel out;
-            out.residue = std::move(residue);
-            out.stage = std::move(stage);
-            out.infeasible = true;
-            return out;
-        }
-        reconfig_count = store.new_var(r_lower, r_upper, "reconfigs");
-        cp::post_linear_eq(store, {{1, reconfig_count}, {1, same_count}}, ii);
-    }
-
-    // Phases: residues first (they define the kernel), then stages, then
-    // configuration variables. When minimizing reconfigurations, branch the
-    // residues grouped by configuration in input order: with min-value
-    // selection, same-configuration operations pack into adjacent residues,
-    // so the first incumbents already have few configuration changes.
-    std::vector<int> op_order;
-    for (const ir::Node& node : g.nodes()) {
-        if (node.is_op()) op_order.push_back(node.id);
-    }
-    if (minimize_reconfigs) {
-        // Vector-core groups first (they drive R), scalar / index-merge ops
-        // last (any residue works for them via the stage variable).
-        std::stable_sort(op_order.begin(), op_order.end(), [&](int a, int b) {
-            const auto key = [&](int id) {
-                const ir::Node& node = g.node(id);
-                return ir::node_timing(spec, node).lanes > 0 ? ir::config_key(node)
-                                                             : std::string("~");
-            };
-            return key(a) < key(b);
-        });
-    }
-    std::vector<IntVar> residue_list;
-    std::vector<IntVar> stage_list;
-    for (const int id : op_order) {
-        residue_list.push_back(residue[static_cast<std::size_t>(id)]);
-        stage_list.push_back(stage[static_cast<std::size_t>(id)]);
-    }
-    std::vector<cp::Phase> phases;
-    phases.push_back({residue_list,
-                      minimize_reconfigs ? cp::VarSelect::InputOrder : cp::VarSelect::SmallestMin,
-                      cp::ValSelect::Min, "residues"});
-    phases.push_back({stage_list, cp::VarSelect::SmallestMin, cp::ValSelect::Min, "stages"});
-    if (!type_vars.empty()) {
-        phases.push_back({type_vars, cp::VarSelect::InputOrder, cp::ValSelect::Min, "configs"});
-    }
-
-    ModuloModel out;
-    out.residue = std::move(residue);
-    out.stage = std::move(stage);
-    out.reconfig_count = reconfig_count;
-    out.phases = std::move(phases);
-    return out;
 }
 
 /// One decision-problem solve for a candidate II. When `minimize_reconfigs`
@@ -280,9 +77,16 @@ struct IiAttempt {
 IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int horizon,
                  bool minimize_reconfigs, int reconfig_budget, const Deadline& deadline,
                  const cp::SolverConfig& solver) {
+    // Lower once per candidate II (the wrap is part of the model), then emit
+    // into as many stores as the search needs: emission is deterministic, so
+    // the reference table's handles index any worker's solution.
+    model::LowerOptions lo;
+    lo.horizon = horizon;
+    lo.modulo = model::ModuloWrap{ii, 0, minimize_reconfigs, reconfig_budget};
+    const model::KernelModel km = model::lower_ir(spec, g, lo);
+
     cp::Store store{solver.engine};
-    const ModuloModel m =
-        build_modulo_model(store, spec, g, ii, horizon, minimize_reconfigs, reconfig_budget);
+    const model::VarTable m = model::emit_cp(store, km);
 
     IiAttempt attempt;
     attempt.residue_vars = m.residue;
@@ -309,8 +113,7 @@ IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int hor
     attempt.result =
         cp::solve_portfolio(
             [&](cp::Store& s) {
-                ModuloModel worker = build_modulo_model(s, spec, g, ii, horizon,
-                                                        minimize_reconfigs, reconfig_budget);
+                model::VarTable worker = model::emit_cp(s, km);
                 const IntVar obj = minimize_reconfigs && worker.reconfig_count.valid()
                                        ? worker.reconfig_count
                                        : IntVar();
@@ -323,14 +126,28 @@ IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int hor
 
 }  // namespace
 
+int ii_lower_bound(const arch::ArchSpec& spec, const ir::Graph& g) {
+    return ii_lower_bound_for(model::lower_ir(spec, g));
+}
+
+int count_kernel_reconfigs(const arch::ArchSpec& spec, const ir::Graph& g,
+                           const std::vector<int>& residue, int ii) {
+    return count_kernel_reconfigs_for(model::lower_ir(spec, g), residue, ii);
+}
+
 ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
     options.spec.validate();
     const arch::ArchSpec& spec = options.spec;
     const Stopwatch watch;
     const Deadline deadline = Deadline::after_ms(options.timeout_ms);
 
+    // One base lowering (no wrap) feeds the bound, the IMS warm start, and
+    // the reconfiguration counting; the per-II exact models are lowered
+    // inside try_ii with their wrap attached.
+    const model::KernelModel base = model::lower_ir(spec, g);
+
     ModuloResult best;
-    best.ii_lower_bound = ii_lower_bound(spec, g);
+    best.ii_lower_bound = ii_lower_bound_for(base);
     // Generous flat-time horizon: a kernel under a tight II can stretch a
     // single iteration well past its standalone makespan.
     const int horizon = 2 * sched::list_schedule(spec, g).makespan + 2 * spec.vector_latency;
@@ -339,13 +156,12 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
         best.initial_ii = ii;
         best.residue.assign(static_cast<std::size_t>(g.num_nodes()), -1);
         best.stage.assign(static_cast<std::size_t>(g.num_nodes()), -1);
-        for (const ir::Node& node : g.nodes()) {
-            if (!node.is_op()) continue;
-            const auto i = static_cast<std::size_t>(node.id);
+        for (const int op : base.ops) {
+            const auto i = static_cast<std::size_t>(op);
             best.residue[i] = attempt.result.value_of(attempt.residue_vars[i]);
             best.stage[i] = attempt.result.value_of(attempt.stage_vars[i]);
         }
-        best.reconfigs = count_kernel_reconfigs(spec, g, best.residue, ii);
+        best.reconfigs = count_kernel_reconfigs_for(base, best.residue, ii);
         best.actual_ii = ii + best.reconfigs * spec.reconfig_cycles;
         best.throughput = 1.0 / best.actual_ii;
     };
@@ -357,13 +173,13 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
         heur::ImsOptions ims_opts;
         ims_opts.min_ii = best.ii_lower_bound;
         ims_opts.max_ii = options.max_ii;
-        ims = heur::iterative_modulo_schedule(spec, g, ims_opts);
+        ims = heur::iterative_modulo_schedule(base, ims_opts);
     }
     const auto extract_ims = [&](cp::SolveStatus status) {
         best.initial_ii = ims.ii;
         best.residue = ims.residue;
         best.stage = ims.stage;
-        best.reconfigs = count_kernel_reconfigs(spec, g, best.residue, ims.ii);
+        best.reconfigs = count_kernel_reconfigs_for(base, best.residue, ims.ii);
         best.actual_ii = ims.ii + best.reconfigs * spec.reconfig_cycles;
         best.throughput = 1.0 / best.actual_ii;
         best.status = status;

@@ -2,47 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
-#include <map>
 #include <optional>
 #include <set>
 
-#include "revec/cp/arith.hpp"
-#include "revec/cp/cumulative.hpp"
-#include "revec/cp/diff2.hpp"
-#include "revec/cp/linear.hpp"
-#include "revec/cp/reified.hpp"
 #include "revec/heur/alloc.hpp"
 #include "revec/heur/list.hpp"
 #include "revec/ir/analysis.hpp"
 #include "revec/ir/validate.hpp"
-#include "revec/sched/verify.hpp"
+#include "revec/model/check.hpp"
+#include "revec/model/emit_cp.hpp"
+#include "revec/model/kernel_model.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::sched {
 
 namespace {
-
-using cp::IntVar;
-
-/// Caches reified equality booleans so shared pairs post one propagator.
-class EqBoolCache {
-public:
-    explicit EqBoolCache(cp::Store& store) : store_(store) {}
-
-    cp::BoolVar get(IntVar x, IntVar y) {
-        auto key = std::minmax(x.index(), y.index());
-        const auto it = cache_.find(key);
-        if (it != cache_.end()) return it->second;
-        const cp::BoolVar b = store_.new_bool();
-        cp::post_reified_eq(store_, b, x, y);
-        cache_.emplace(key, b);
-        return b;
-    }
-
-private:
-    cp::Store& store_;
-    std::map<std::pair<std::int32_t, std::int32_t>, cp::BoolVar> cache_;
-};
 
 int derive_horizon(const arch::ArchSpec& spec, const ir::Graph& g) {
     const int cp_len = ir::critical_path_length(spec, g);
@@ -60,348 +34,23 @@ int derive_horizon(const arch::ArchSpec& spec, const ir::Graph& g) {
     return total;
 }
 
-/// Variable handles produced by one build of the scheduling model. Builds
-/// are deterministic, so the handles of any build index equally well into
-/// the solution vector of a solve over any other build (the portfolio
-/// relies on this: each worker re-posts the model into its own store).
-struct BuiltModel {
-    std::vector<IntVar> start;      ///< per node id
-    std::map<int, IntVar> slot_of;  ///< vector-data node id -> slot var
-    IntVar objective;
-    std::vector<cp::Phase> phases;
-};
-
-/// Post the full §3.3–§3.5 model (variables, constraints, search phases)
-/// into a fresh store. This is the re-posting hook handed to the portfolio
-/// solver; `schedule_kernel` validates options and derives `num_slots` and
-/// `horizon` before any build.
-BuiltModel build_model(cp::Store& store, const ir::Graph& g, const ScheduleOptions& options,
-                       int num_slots, int horizon) {
-    const arch::ArchSpec& spec = options.spec;
-    const std::vector<int> asap = ir::asap_times(spec, g);
-    const std::vector<int> alap = ir::alap_times(spec, g, horizon);
-    const int n = g.num_nodes();
-
-    // -- start-time variables, tightened by ASAP/ALAP ------------------------
-    std::vector<IntVar> start(static_cast<std::size_t>(n));
-    for (const ir::Node& node : g.nodes()) {
-        const auto i = static_cast<std::size_t>(node.id);
-        start[i] = store.new_var(asap[i], alap[i], "s" + std::to_string(node.id));
-    }
-
-    // Inputs are ready from the start (paper: "any data node without any
-    // predecessors gets the start time zero").
-    for (const int d : g.input_nodes()) store.assign(start[static_cast<std::size_t>(d)], 0);
-
-    // Slot-only mode: pin every start to the supplied schedule.
-    if (!options.fixed_starts.empty()) {
-        if (options.fixed_starts.size() != static_cast<std::size_t>(n)) {
-            throw Error("fixed_starts must supply one start per node");
-        }
-        for (const ir::Node& node : g.nodes()) {
-            const auto i = static_cast<std::size_t>(node.id);
-            if (!store.assign(start[i], options.fixed_starts[i])) {
-                throw Error("fixed start " + std::to_string(options.fixed_starts[i]) +
-                            " for node " + std::to_string(node.id) +
-                            " conflicts with the model bounds");
-            }
-        }
-    }
-
-    // -- objective: latest completion (eq. 5) ---------------------------------
-    const IntVar obj = store.new_var(0, horizon, "makespan");
-    std::vector<IntVar> completions;
-    for (const ir::Node& node : g.nodes()) {
-        const ir::NodeTiming t = ir::node_timing(spec, node);
-        const auto i = static_cast<std::size_t>(node.id);
-        if (t.latency == 0) {
-            completions.push_back(start[i]);
-        } else {
-            const IntVar c = store.new_var(0, horizon, "c" + std::to_string(node.id));
-            cp::post_eq_offset(store, start[i], t.latency, c);
-            completions.push_back(c);
-        }
-    }
-    cp::post_max(store, obj, completions);
-
-    // -- precedence (eq. 1) and data-node starts (eq. 4) ----------------------
-    for (const ir::Node& node : g.nodes()) {
-        const ir::NodeTiming t = ir::node_timing(spec, node);
-        const auto i = static_cast<std::size_t>(node.id);
-        for (const int succ : g.succs(node.id)) {
-            const auto j = static_cast<std::size_t>(succ);
-            if (g.node(succ).is_data()) {
-                // eq. (4): a produced data node starts exactly when its
-                // producer's latency has elapsed (implies eq. 1).
-                cp::post_eq_offset(store, start[i], t.latency, start[j]);
-            } else {
-                cp::post_leq_offset(store, start[i], t.latency, start[j]);
-            }
-        }
-    }
-
-    // -- resource constraints (eq. 2 + the scalar and index/merge units) ------
-    std::vector<cp::CumulTask> lane_tasks;
-    std::vector<cp::CumulTask> scalar_tasks;
-    std::vector<cp::CumulTask> ixmerge_tasks;
-    std::vector<int> vector_ops;  // vector-core op ids (lane users)
-    for (const ir::Node& node : g.nodes()) {
-        if (!node.is_op()) continue;
-        const ir::NodeTiming t = ir::node_timing(spec, node);
-        const auto i = static_cast<std::size_t>(node.id);
-        if (t.lanes > 0) {
-            lane_tasks.push_back({start[i], t.duration, t.lanes});
-            vector_ops.push_back(node.id);
-        } else if (node.cat == ir::NodeCat::ScalarOp) {
-            scalar_tasks.push_back({start[i], t.duration, 1});
-        } else {
-            ixmerge_tasks.push_back({start[i], t.duration, 1});
-        }
-    }
-    if (!lane_tasks.empty()) cp::post_cumulative(store, lane_tasks, spec.vector_lanes);
-    if (!scalar_tasks.empty()) cp::post_cumulative(store, scalar_tasks, spec.scalar_units);
-    if (!ixmerge_tasks.empty()) {
-        cp::post_cumulative(store, ixmerge_tasks, spec.index_merge_units);
-    }
-
-    // Physical memory-port limits (beyond the paper's model, see
-    // ScheduleOptions::enforce_port_limits): vector-core reads happen at
-    // issue time; vector writes land at the producer's completion.
-    if (options.enforce_port_limits) {
-        std::vector<cp::CumulTask> read_tasks;
-        std::vector<cp::CumulTask> write_tasks;
-        for (const ir::Node& node : g.nodes()) {
-            if (!node.is_op()) continue;
-            const ir::NodeTiming t = ir::node_timing(spec, node);
-            const auto i = static_cast<std::size_t>(node.id);
-            if (t.lanes > 0) {
-                int reads = 0;
-                for (const int p : g.preds(node.id)) {
-                    if (g.node(p).cat == ir::NodeCat::VectorData) ++reads;
-                }
-                if (reads > 0) read_tasks.push_back({start[i], 1, reads});
-            }
-            int writes = 0;
-            for (const int succ : g.succs(node.id)) {
-                if (g.node(succ).cat == ir::NodeCat::VectorData) ++writes;
-            }
-            if (writes > 0) {
-                // completions[i] exists for every op (latency > 0).
-                write_tasks.push_back({completions[i], 1, writes});
-            }
-        }
-        if (!read_tasks.empty()) {
-            cp::post_cumulative(store, read_tasks, spec.max_vector_reads_per_cycle);
-        }
-        if (!write_tasks.empty()) {
-            cp::post_cumulative(store, write_tasks, spec.max_vector_writes_per_cycle);
-        }
-    }
-
-    // -- one configuration per cycle (eq. 3) -----------------------------------
-    // Only single-lane (vector) op pairs need it: any pair involving a
-    // matrix op is already excluded by the lane Cumulative.
-    std::vector<int> single_lane_ops;
-    for (const int op : vector_ops) {
-        if (ir::node_timing(spec, g.node(op)).lanes < spec.vector_lanes) {
-            single_lane_ops.push_back(op);
-        }
-    }
-    for (std::size_t a = 0; a < single_lane_ops.size(); ++a) {
-        for (std::size_t b = a + 1; b < single_lane_ops.size(); ++b) {
-            const ir::Node& na = g.node(single_lane_ops[a]);
-            const ir::Node& nb = g.node(single_lane_ops[b]);
-            if (ir::config_key(na) != ir::config_key(nb)) {
-                cp::post_not_equal(store, start[static_cast<std::size_t>(na.id)],
-                                   start[static_cast<std::size_t>(nb.id)]);
-            }
-        }
-    }
-
-    // -- memory allocation (eqs. 6-11) ------------------------------------------
-    const std::vector<int> vdata = g.nodes_of(ir::NodeCat::VectorData);
-    std::vector<IntVar> slot_vars;  // parallel to vdata
-    std::map<int, IntVar> slot_of;  // node id -> slot var
-    std::map<int, IntVar> line_of;
-    std::map<int, IntVar> page_of;
-
-    if (options.memory_allocation) {
-        REVEC_EXPECTS(num_slots > 0 || vdata.empty());  // checked by schedule_kernel
-        const arch::MemoryGeometry geom = spec.memory;
-        const int max_line = geom.line_of(num_slots - 1);
-        const int max_page = geom.pages() - 1;
-
-        std::vector<IntVar> lifetimes;
-        std::vector<cp::Rect> rects;
-        for (const int d : vdata) {
-            const auto i = static_cast<std::size_t>(d);
-            const IntVar slot = store.new_var(0, num_slots - 1, "slot" + std::to_string(d));
-            const IntVar line = store.new_var(0, max_line, "line" + std::to_string(d));
-            const IntVar page = store.new_var(0, max_page, "page" + std::to_string(d));
-            // eq. (6): channel the three views of the placement.
-            cp::post_unary_fun(store, slot, line,
-                               [geom](int s) { return geom.line_of(s); },
-                               "line=slot/banks");
-            cp::post_unary_fun(store, slot, page,
-                               [geom](int s) { return geom.page_of(s); },
-                               "page=(slot mod banks)/pageSize");
-            slot_vars.push_back(slot);
-            slot_of.emplace(d, slot);
-            line_of.emplace(d, line);
-            page_of.emplace(d, page);
-
-            // eq. (10): lifetime = max(successor starts) - own start. Sinks
-            // and program outputs stay live until one cycle past the
-            // makespan — an output produced exactly at the makespan must
-            // still be in memory when the program ends.
-            std::vector<IntVar> users;
-            for (const int succ : g.succs(d)) {
-                users.push_back(start[static_cast<std::size_t>(succ)]);
-            }
-            const bool persists = users.empty() || g.node(d).is_output;
-            if (persists) users.push_back(obj);
-            const IntVar last_use = store.new_var(0, horizon + 1, "use" + std::to_string(d));
-            cp::post_max(store, last_use, users);
-            const IntVar life = store.new_var(0, horizon + 1, "life" + std::to_string(d));
-            int extra = options.lifetime_includes_last_read ? 1 : 0;
-            if (persists) {
-                extra += 1;  // outputs/sinks persist past the schedule end
-            } else if (g.preds(d).empty() && extra == 0) {
-                extra = 1;  // preloaded inputs occupy their slot through the last read
-            }
-            // life = last_use - start + extra
-            cp::post_linear_eq(store, {{1, life}, {-1, last_use}, {1, start[i]}}, extra);
-            lifetimes.push_back(life);
-
-            // eq. (11) rectangle: (time, slot) origin with lifetime width.
-            rects.push_back(cp::Rect{start[i], slot, life, 1});
-        }
-        if (!rects.empty()) cp::post_diff2(store, rects);
-
-        // Redundant but powerful: at no point can more vector data be live
-        // than there are slots. Time-table reasoning over the (variable)
-        // lifetimes detects memory-capacity infeasibility long before the
-        // slot phase, which Diff2's pairwise reasoning cannot.
-        {
-            std::vector<cp::CumulTask> live_tasks;
-            for (std::size_t k = 0; k < vdata.size(); ++k) {
-                const auto i = static_cast<std::size_t>(vdata[k]);
-                live_tasks.push_back(cp::CumulTask{start[i], 0, 1, lifetimes[k]});
-            }
-            cp::post_cumulative(store, live_tasks, num_slots);
-        }
-
-        EqBoolCache eq_start(store);
-        EqBoolCache eq_page(store);
-        EqBoolCache eq_line(store);
-
-        // eq. (7): inputs of one vector-core operation are accessed together.
-        const auto vector_preds = [&](int op) {
-            std::vector<int> out;
-            for (const int p : g.preds(op)) {
-                if (g.node(p).cat == ir::NodeCat::VectorData) out.push_back(p);
-            }
-            return out;
-        };
-        for (const int op : vector_ops) {
-            const std::vector<int> ins = vector_preds(op);
-            for (std::size_t a = 0; a < ins.size(); ++a) {
-                for (std::size_t b = a + 1; b < ins.size(); ++b) {
-                    const cp::BoolVar bp = eq_page.get(page_of.at(ins[a]), page_of.at(ins[b]));
-                    const cp::BoolVar bl = eq_line.get(line_of.at(ins[a]), line_of.at(ins[b]));
-                    cp::post_implies(store, bp, bl);
-                }
-            }
-        }
-
-        // eq. (8): simultaneously issued vector-core operations read their
-        // inputs together.
-        for (std::size_t a = 0; a < vector_ops.size(); ++a) {
-            for (std::size_t b = a + 1; b < vector_ops.size(); ++b) {
-                const int op_i = vector_ops[a];
-                const int op_j = vector_ops[b];
-                // Two matrix ops (or a matrix and anything else) can never
-                // share a cycle; skip the clauses entirely.
-                if (ir::node_timing(spec, g.node(op_i)).lanes +
-                        ir::node_timing(spec, g.node(op_j)).lanes >
-                    spec.vector_lanes) {
-                    continue;
-                }
-                const cp::BoolVar bs = eq_start.get(start[static_cast<std::size_t>(op_i)],
-                                                    start[static_cast<std::size_t>(op_j)]);
-                for (const int d : vector_preds(op_i)) {
-                    for (const int e : vector_preds(op_j)) {
-                        if (d == e) continue;
-                        const cp::BoolVar bp = eq_page.get(page_of.at(d), page_of.at(e));
-                        const cp::BoolVar bl = eq_line.get(line_of.at(d), line_of.at(e));
-                        cp::post_clause(store, {cp::neg(bs), cp::neg(bp), cp::pos(bl)});
-                    }
-                }
-            }
-        }
-
-        // eq. (9), generalized: vector writes that *land* in the same cycle
-        // share the page descriptors. The paper groups by issue time over
-        // vector-core ops only, which leaves a hole our simulator caught:
-        // a merge-unit write (1-cycle latency) can land together with a
-        // vector-core write (7-cycle latency) from an earlier issue. We
-        // group by completion time across every vector-writing unit.
-        struct Writer {
-            int op;
-            std::vector<int> vouts;
-        };
-        std::vector<Writer> writers;
-        for (const ir::Node& node : g.nodes()) {
-            if (!node.is_op()) continue;
-            std::vector<int> vouts;
-            for (const int succ : g.succs(node.id)) {
-                if (g.node(succ).cat == ir::NodeCat::VectorData) vouts.push_back(succ);
-            }
-            if (!vouts.empty()) writers.push_back({node.id, std::move(vouts)});
-        }
-        EqBoolCache eq_completion(store);
-        for (std::size_t a = 0; a < writers.size(); ++a) {
-            for (std::size_t b = a + 1; b < writers.size(); ++b) {
-                const cp::BoolVar bc =
-                    eq_completion.get(completions[static_cast<std::size_t>(writers[a].op)],
-                                      completions[static_cast<std::size_t>(writers[b].op)]);
-                for (const int d : writers[a].vouts) {
-                    for (const int e : writers[b].vouts) {
-                        const cp::BoolVar bp = eq_page.get(page_of.at(d), page_of.at(e));
-                        const cp::BoolVar bl = eq_line.get(line_of.at(d), line_of.at(e));
-                        cp::post_clause(store, {cp::neg(bc), cp::neg(bp), cp::pos(bl)});
-                    }
-                }
-            }
-        }
-    }
-
-    // -- search phases (§3.5) ----------------------------------------------------
-    std::vector<IntVar> op_starts;
-    std::vector<IntVar> data_starts;
-    for (const ir::Node& node : g.nodes()) {
-        (node.is_op() ? op_starts : data_starts)
-            .push_back(start[static_cast<std::size_t>(node.id)]);
-    }
-
-    std::vector<cp::Phase> phases;
-    if (options.three_phase_search) {
-        phases.push_back({op_starts, cp::VarSelect::SmallestMin, cp::ValSelect::Min, "ops"});
-        phases.push_back({data_starts, cp::VarSelect::SmallestMin, cp::ValSelect::Min, "data"});
-        phases.push_back({slot_vars, cp::VarSelect::InputOrder, cp::ValSelect::Min, "slots"});
-    } else {
-        std::vector<IntVar> all = op_starts;
-        all.insert(all.end(), data_starts.begin(), data_starts.end());
-        all.insert(all.end(), slot_vars.begin(), slot_vars.end());
-        phases.push_back({all, cp::VarSelect::MinDomain, cp::ValSelect::Min, "all"});
-    }
-
-    return BuiltModel{std::move(start), std::move(slot_of), obj, std::move(phases)};
+/// Map the schedule-level options onto the model lowering. `num_slots` and
+/// `horizon` are already resolved by schedule_kernel.
+model::LowerOptions lower_options(const ScheduleOptions& options, int num_slots, int horizon) {
+    model::LowerOptions lo;
+    lo.num_slots = num_slots;
+    lo.horizon = horizon;
+    lo.memory_allocation = options.memory_allocation;
+    lo.three_phase_search = options.three_phase_search;
+    lo.enforce_port_limits = options.enforce_port_limits;
+    lo.lifetime_includes_last_read = options.lifetime_includes_last_read;
+    lo.fixed_starts = options.fixed_starts;
+    return lo;
 }
 
 /// Fill a Schedule from any solver result exposing has_solution/value_of.
 template <typename Result>
-Schedule extract_schedule(const ir::Graph& g, const BuiltModel& m, const Result& result) {
+Schedule extract_schedule(const ir::Graph& g, const model::VarTable& m, const Result& result) {
     Schedule sched;
     sched.status = result.status;
     sched.stats = result.stats;
@@ -421,7 +70,7 @@ Schedule extract_schedule(const ir::Graph& g, const BuiltModel& m, const Result&
         used.insert(result.value_of(var));
     }
     sched.slots_used = static_cast<int>(used.size());
-    sched.makespan = result.value_of(m.objective);
+    sched.makespan = result.value_of(m.makespan);
     return sched;
 }
 
@@ -429,37 +78,44 @@ Schedule extract_schedule(const ir::Graph& g, const BuiltModel& m, const Result&
 /// allocator) for the warm start / anytime fallback. The retry ladder
 /// relaxes the schedule's simultaneous-access coupling when the packed
 /// schedule's access groups defeat the greedy allocator. Every candidate is
-/// re-checked with the independent verifier; nullopt means no rung of the
-/// ladder produced a verify-clean schedule (e.g. too few slots).
+/// re-checked against the model; nullopt means no rung of the ladder
+/// produced a clean schedule (e.g. too few slots).
 std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOptions& options,
                                            int num_slots) {
-    const arch::ArchSpec& spec = options.spec;
+    // One lowering serves all rungs: the heuristics read slack priorities
+    // (ASAP/ALAP against the critical path — the default horizon) and the
+    // checker reads the lifetime/port/memory flags. The port limits are
+    // always checked here: the heuristics respect them by construction, and
+    // a stricter feasible schedule remains a valid incumbent for a relaxed
+    // exact model.
+    model::LowerOptions lo;
+    lo.num_slots = num_slots;
+    lo.memory_allocation = options.memory_allocation;
+    lo.enforce_port_limits = true;
+    lo.lifetime_includes_last_read = options.lifetime_includes_last_read;
+    const model::KernelModel km = model::lower_ir(options.spec, g, lo);
+
     constexpr heur::ListOptions kLadder[] = {
         {true, false, false},  // packed
         {true, true, false},   // serialize vector issue
         {true, true, true},    // ... and spread write-backs
     };
     for (const heur::ListOptions& rung : kLadder) {
-        const heur::ListResult list = heur::priority_list_schedule(spec, g, rung);
+        const heur::ListResult list = heur::priority_list_schedule(km, rung);
         Schedule sched;
         sched.start = list.start;
         sched.slot.assign(static_cast<std::size_t>(g.num_nodes()), -1);
         sched.makespan = list.makespan;
         sched.status = cp::SolveStatus::HeuristicFallback;
         if (options.memory_allocation) {
-            heur::AllocOptions alloc_opts;
-            alloc_opts.num_slots = num_slots;
-            alloc_opts.lifetime_includes_last_read = options.lifetime_includes_last_read;
-            const heur::AllocResult alloc = heur::allocate_slots(spec, g, list.start, alloc_opts);
+            const heur::AllocResult alloc = heur::allocate_slots(km, list.start);
             if (!alloc.ok) continue;
             sched.slot = alloc.slot;
             sched.slots_used = alloc.slots_used;
         }
-        VerifyOptions verify_opts;
-        verify_opts.check_memory = options.memory_allocation;
-        verify_opts.lifetime_includes_last_read = options.lifetime_includes_last_read;
-        verify_opts.check_port_limits = true;  // heuristics always respect the ports
-        if (verify_schedule(spec, g, sched, verify_opts).empty()) return sched;
+        if (model::check_schedule(km, sched.start, sched.slot, sched.makespan).empty()) {
+            return sched;
+        }
     }
     return std::nullopt;
 }
@@ -527,26 +183,30 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     cp::SearchOptions search_opts;
     search_opts.deadline = Deadline::after_ms(options.timeout_ms);
 
-    // Reference build: supplies the variable handles for extraction and the
-    // store for the sequential path. Portfolio workers re-post the same
-    // model into their own stores through the builder hook.
+    // One lowering, many emissions: the reference emission supplies the
+    // variable handles for extraction and the store for the sequential
+    // path. Portfolio workers re-emit the same model into their own stores
+    // through the builder hook (emission is deterministic, so any table's
+    // handles index any worker's solution).
+    const model::KernelModel km =
+        model::lower_ir(spec, g, lower_options(options, num_slots, horizon));
     cp::Store store{options.solver.engine};
-    const BuiltModel m = build_model(store, g, options, num_slots, horizon);
+    const model::VarTable m = model::emit_cp(store, km);
 
     Schedule sched;
     if (options.solver.threads <= 1) {
         std::atomic<std::int64_t> incumbent{heuristic.has_value() ? heuristic->makespan
                                                                   : INT64_MAX};
         if (heuristic.has_value()) search_opts.shared_bound = &incumbent;
-        const cp::SolveResult result = cp::solve(store, m.phases, m.objective, search_opts);
+        const cp::SolveResult result = cp::solve(store, m.phases, m.makespan, search_opts);
         sched = extract_schedule(g, m, result);
     } else {
         cp::SolverConfig solver = options.solver;
         if (heuristic.has_value()) solver.initial_incumbent = heuristic->makespan;
         const cp::PortfolioResult result = cp::solve_portfolio(
             [&](cp::Store& s) {
-                BuiltModel worker = build_model(s, g, options, num_slots, horizon);
-                return cp::PostedModel{std::move(worker.phases), worker.objective};
+                model::VarTable worker = model::emit_cp(s, km);
+                return cp::PostedModel{std::move(worker.phases), worker.makespan};
             },
             solver, search_opts);
         sched = extract_schedule(g, m, result);

@@ -42,6 +42,38 @@ TEST(MemoryGeometry, RoundTripSlotBankLine) {
     EXPECT_FALSE(g.valid_slot(g.slots()));
 }
 
+// The descriptor rule behind eqs. 7-9, checked against its first-principles
+// definition for every slot pair of the default geometry: two distinct slots
+// conflict exactly when they share a page but not a line.
+TEST(MemoryGeometry, AccessConflictAllPairs) {
+    const MemoryGeometry g;
+    for (int a = 0; a < g.slots(); ++a) {
+        for (int b = 0; b < g.slots(); ++b) {
+            const bool expected =
+                a != b && g.page_of(a) == g.page_of(b) && g.line_of(a) != g.line_of(b);
+            EXPECT_EQ(g.access_conflict(a, b), expected) << "slots " << a << ", " << b;
+            // Symmetric by construction.
+            EXPECT_EQ(g.access_conflict(a, b), g.access_conflict(b, a));
+        }
+        // Irreflexive: a slot never conflicts with itself (broadcast reads).
+        EXPECT_FALSE(g.access_conflict(a, a));
+    }
+}
+
+TEST(MemoryGeometry, AccessConflictMatchesAccessCheck) {
+    // Single-read-port-safe pairs (distinct banks): the pairwise predicate
+    // must agree with the full simultaneous-access check.
+    const MemoryGeometry g;
+    for (int a = 0; a < g.slots(); ++a) {
+        for (int b = 0; b < g.slots(); ++b) {
+            if (g.bank_of(a) == g.bank_of(b)) continue;  // bank-port conflicts aside
+            const std::vector<int> reads = {a, b};
+            const bool ok = check_simultaneous_access(g, reads, {}).ok;
+            EXPECT_EQ(g.access_conflict(a, b), !ok) << "slots " << a << ", " << b;
+        }
+    }
+}
+
 TEST(AccessCheck, SameLineSamePageOk) {
     const MemoryGeometry g;
     // Four slots in page 0, all on line 1: banks 0..3 at line 1.

@@ -223,6 +223,36 @@ TEST(Run, SaveScheduleArtifact) {
     EXPECT_NE(content.find("makespan"), std::string::npos);
 }
 
+TEST(ParseArgs, DumpModelFlag) {
+    std::ostringstream out;
+    const auto opts = parse_args({"k.xml", "--dump-model=/tmp/m.json"}, out);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->dump_model_path, "/tmp/m.json");
+    EXPECT_NE(usage().find("--dump-model"), std::string::npos);
+}
+
+TEST(Run, DumpModelWritesJson) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul15.xml");
+    const std::string model_path = testing::TempDir() + "/drv_model.json";
+    Options opts;
+    opts.input_path = path;
+    opts.emit = "stats";  // dumping works in every emit mode
+    opts.dump_model_path = model_path;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("model written"), std::string::npos);
+    std::ifstream in(model_path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    // Fig. 3 MATMUL after merging: 44 nodes, the geometry, and the lowering
+    // flags all present in the serialized model.
+    EXPECT_NE(content.find("\"name\": \"matmul\""), std::string::npos);
+    EXPECT_NE(content.find("\"nodes\""), std::string::npos);
+    EXPECT_NE(content.find("\"geometry\""), std::string::npos);
+    EXPECT_NE(content.find("\"edges\""), std::string::npos);
+}
+
 TEST(Run, ArchFileRetargets) {
     // Write a slow-pipeline architecture and confirm the driver uses it.
     const std::string arch_path = testing::TempDir() + "/drv_arch.xml";

@@ -1,0 +1,82 @@
+// lower_ir golden test: the KernelModel of the paper's Fig. 3 MATMUL
+// kernel, serialized to JSON, must match the checked-in golden file byte
+// for byte. Any intentional model change regenerates the golden with
+//   build/tools/revecc <matmul.xml> --dump-model=tests/model/golden/...
+// (or by copying the ACTUAL file the failing test writes next to it).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/model/json.hpp"
+#include "revec/model/kernel_model.hpp"
+
+namespace revec::model {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return {};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(LowerIr, MatmulStructure) {
+    // Paper Fig. 3: |V| = 44, |E| = 68, |Cr.P| = 8 (nodes on the critical
+    // path; 22 cycles with the EIT latencies).
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    const KernelModel m = lower_ir(kSpec, g);
+
+    EXPECT_EQ(m.name, "matmul");
+    EXPECT_EQ(m.nodes.size(), 44u);
+    EXPECT_EQ(m.edges.size(), 68u);
+    std::size_t op_count = 0;
+    for (const ModelNode& n : m.nodes) op_count += n.is_op ? 1 : 0;
+    EXPECT_EQ(m.ops.size(), op_count);
+    EXPECT_EQ(static_cast<int>(m.asap.size()), g.num_nodes());
+    EXPECT_EQ(static_cast<int>(m.alap.size()), g.num_nodes());
+    for (const int op : m.ops) EXPECT_TRUE(m.nodes[static_cast<std::size_t>(op)].is_op);
+    for (const int d : m.vdata) {
+        EXPECT_TRUE(m.nodes[static_cast<std::size_t>(d)].is_vector_data);
+    }
+    // Every edge endpoint is a real node and ASAP respects every edge.
+    for (const ModelEdge& e : m.edges) {
+        ASSERT_GE(e.src, 0);
+        ASSERT_LT(e.src, static_cast<int>(m.nodes.size()));
+        ASSERT_GE(e.dst, 0);
+        ASSERT_LT(e.dst, static_cast<int>(m.nodes.size()));
+        EXPECT_GE(m.asap[static_cast<std::size_t>(e.dst)],
+                  m.asap[static_cast<std::size_t>(e.src)] + e.latency)
+            << e.src << " -> " << e.dst;
+    }
+}
+
+TEST(LowerIr, MatmulGoldenJson) {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    const std::string actual = to_json(lower_ir(kSpec, g));
+
+    const std::string golden_path =
+        std::string(REVEC_MODEL_GOLDEN_DIR) + "/matmul_model.json";
+    const std::string golden = read_file(golden_path);
+
+    if (actual != golden) {
+        const std::string dump = testing::TempDir() + "matmul_model_actual.json";
+        std::ofstream(dump, std::ios::binary) << actual;
+        FAIL() << (golden.empty() ? "missing golden file " : "model diverged from ")
+               << golden_path << "; actual written to " << dump;
+    }
+}
+
+TEST(LowerIr, JsonIsDeterministic) {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    EXPECT_EQ(to_json(lower_ir(kSpec, g)), to_json(lower_ir(kSpec, g)));
+}
+
+}  // namespace
+}  // namespace revec::model
