@@ -15,6 +15,7 @@
 #include "revec/apps/qrd.hpp"
 #include "revec/ir/analysis.hpp"
 #include "revec/ir/passes.hpp"
+#include "revec/obs/metrics.hpp"
 #include "revec/support/assert.hpp"
 #include "revec/support/strings.hpp"
 #include "revec/support/table.hpp"
@@ -150,6 +151,23 @@ inline void write_json(const std::string& path, const JsonWriter& json) {
     REVEC_EXPECTS(out.good());
     out << json.str();
     note("wrote JSON results to " + path);
+}
+
+/// Parse `--metrics <path>`; empty string = not given. The harnesses fill
+/// an obs::MetricsRegistry alongside their tables so CI can archive the
+/// same machine-readable counter shape `revecc --metrics=F` emits.
+inline std::string metrics_path_from_args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--metrics") return argv[i + 1];
+    }
+    return {};
+}
+
+/// Write a metrics registry to `path` (no-op on empty path).
+inline void write_metrics(const std::string& path, const obs::MetricsRegistry& metrics) {
+    if (path.empty()) return;
+    metrics.save_json(path);
+    note("wrote metrics to " + path);
 }
 
 }  // namespace revec::bench

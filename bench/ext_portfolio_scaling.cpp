@@ -42,6 +42,8 @@ Run timed_schedule(const ir::Graph& g, const arch::ArchSpec& spec, int threads) 
 int main(int argc, char** argv) {
     bool smoke = false;
     for (int i = 1; i < argc; ++i) smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    const std::string metrics_path = bench::metrics_path_from_args(argc, argv);
+    obs::MetricsRegistry metrics;
 
     bench::banner("Extension — portfolio solver scaling (1/2/4/8 threads)",
                   "§3.5 search, parallelised as a diversified portfolio with a "
@@ -75,6 +77,11 @@ int main(int argc, char** argv) {
             all_ok = all_ok && parity;
             const double speedup = r.wall_ms > 0.0 ? seq.wall_ms / r.wall_ms : 0.0;
             if (threads == 4 && speedup > best_speedup_4t) best_speedup_4t = speedup;
+            const std::string prefix =
+                std::string(k.name) + "." + std::to_string(threads) + "t.";
+            r.schedule.stats.export_metrics(metrics, prefix);
+            metrics.set(prefix + "makespan", r.schedule.makespan);
+            metrics.gauge(prefix + "wall_ms", r.wall_ms);
             t.add_row({k.name, std::to_string(threads),
                        r.schedule.feasible() ? std::to_string(r.schedule.makespan) : "-",
                        std::to_string(r.schedule.stats.nodes), format_fixed(r.wall_ms, 1),
@@ -90,5 +97,6 @@ int main(int argc, char** argv) {
                 "portfolio effect, not parallel tree splitting.");
     std::cout << (all_ok ? "\nall thread counts prove the sequential optimum\n"
                          : "\nPARITY FAILURES PRESENT\n");
+    bench::write_metrics(metrics_path, metrics);
     return all_ok ? 0 : 1;
 }

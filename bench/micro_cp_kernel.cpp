@@ -22,6 +22,7 @@
 #include "revec/cp/linear.hpp"
 #include "revec/cp/search.hpp"
 #include "revec/ir/passes.hpp"
+#include "revec/obs/trace.hpp"
 #include "revec/pipeline/modulo.hpp"
 #include "revec/sched/model.hpp"
 #include "revec/support/stopwatch.hpp"
@@ -235,24 +236,104 @@ bool run_engine_comparison(bench::JsonWriter& json) {
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// Tracing-overhead guard: every obs event site in the solver's hot loops is
+// one branch on a nullptr buffer when tracing is off. Guard that contract
+// on the MATMUL optimality proof by interleaving untraced solves with
+// fully instrumented ones (node-level trace + per-class profiling): the
+// best untraced run must not exceed the median instrumented run by more
+// than 2%, or the "disabled tracing is free" claim has regressed.
+
+bool run_trace_overhead_guard(bench::JsonWriter& json, obs::MetricsRegistry& metrics) {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    constexpr int kReps = 5;
+    std::array<double, kReps> disabled{};
+    std::array<double, kReps> traced{};
+    // Interleave the two configurations so machine noise (frequency
+    // scaling, cache state) hits both distributions alike.
+    for (int rep = 0; rep < kReps; ++rep) {
+        {
+            sched::ScheduleOptions opts;
+            opts.timeout_ms = 60000;
+            const Stopwatch watch;
+            const sched::Schedule s = sched::schedule_kernel(g, opts);
+            REVEC_EXPECTS(s.proven_optimal());
+            disabled[static_cast<std::size_t>(rep)] = watch.elapsed_ms();
+        }
+        {
+            obs::TraceSink sink(obs::TraceLevel::Node);
+            sched::ScheduleOptions opts;
+            opts.timeout_ms = 60000;
+            opts.solver.trace = &sink;
+            opts.solver.profile = true;
+            const Stopwatch watch;
+            const sched::Schedule s = sched::schedule_kernel(g, opts);
+            REVEC_EXPECTS(s.proven_optimal());
+            traced[static_cast<std::size_t>(rep)] = watch.elapsed_ms();
+            if (rep == kReps - 1) {
+                // Archive the instrumented run's counters (--metrics).
+                s.stats.export_metrics(metrics, "solve.");
+                s.prop_stats.export_metrics(metrics, "engine.");
+                cp::export_prop_profile_metrics(s.prop_profile, metrics);
+                metrics.set("solve.makespan", s.makespan);
+                metrics.set("trace.events", static_cast<std::int64_t>(
+                                                sink.main()->size()));
+            }
+        }
+    }
+    std::sort(disabled.begin(), disabled.end());
+    std::sort(traced.begin(), traced.end());
+    const double min_disabled = disabled[0];
+    const double median_traced = traced[kReps / 2];
+
+    Table t({"config", "min (ms)", "median (ms)", "max (ms)"});
+    t.add_row({"tracing off", format_fixed(disabled[0], 2),
+               format_fixed(disabled[kReps / 2], 2),
+               format_fixed(disabled[kReps - 1], 2)});
+    t.add_row({"node trace + profile", format_fixed(traced[0], 2),
+               format_fixed(traced[kReps / 2], 2), format_fixed(traced[kReps - 1], 2)});
+    t.print(std::cout);
+
+    json.begin_object("trace_overhead")
+        .field("min_disabled_ms", min_disabled)
+        .field("median_traced_ms", median_traced)
+        .end_object();
+    metrics.gauge("overhead.min_disabled_ms", min_disabled);
+    metrics.gauge("overhead.median_traced_ms", median_traced);
+
+    if (min_disabled > 1.02 * median_traced) {
+        std::cout << "ERROR: untraced solve exceeds the instrumented median by >2% — "
+                     "the disabled-tracing path is no longer one branch per event\n";
+        return false;
+    }
+    bench::note("disabled tracing within the 2% overhead bound (best untraced " +
+                format_fixed(min_disabled, 2) + " ms vs instrumented median " +
+                format_fixed(median_traced, 2) + " ms)");
+    return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const std::string json_path = bench::json_path_from_args(argc, argv);
+    const std::string metrics_path = bench::metrics_path_from_args(argc, argv);
 
     bench::JsonWriter json;
+    obs::MetricsRegistry metrics;
     json.begin_object();
     json.field("bench", "micro_cp_kernel");
-    const bool ok = run_engine_comparison(json);
+    bool ok = run_engine_comparison(json);
+    ok = run_trace_overhead_guard(json, metrics) && ok;
     json.end_object();
     bench::write_json(json_path, json);
+    bench::write_metrics(metrics_path, metrics);
     if (!ok) return 1;
 
-    // Strip --json <path> before handing the argument vector to
+    // Strip --json/--metrics <path> before handing the argument vector to
     // google-benchmark, then run the registered microbenchmarks.
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json") {
+        if (std::string(argv[i]) == "--json" || std::string(argv[i]) == "--metrics") {
             ++i;  // skip the path operand too
             continue;
         }

@@ -62,6 +62,8 @@ public:
 
     Priority priority() const override { return Priority::Global; }
 
+    const char* class_name() const override { return "AllDifferent"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "all_different(" << vars_.size() << " vars)";

@@ -53,6 +53,8 @@ public:
 
     Priority priority() const override { return Priority::Linear; }
 
+    const char* class_name() const override { return "MaxProp"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "max(z" << z_.index() << ", " << xs_.size() << " vars)";
@@ -89,6 +91,8 @@ public:
     // image of x and x to the support of the new y, every surviving y
     // value keeps a surviving preimage, so a rerun changes nothing.
     bool idempotent() const override { return true; }
+
+    const char* class_name() const override { return "UnaryFun"; }
 
     std::string describe() const override { return desc_; }
 

@@ -42,6 +42,8 @@ public:
 
     Priority priority() const override { return Priority::Linear; }
 
+    const char* class_name() const override { return "BoolSum"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "bool_sum(" << bools_.size() << " bools)";

@@ -102,6 +102,8 @@ public:
 
     Priority priority() const override { return Priority::Global; }
 
+    const char* class_name() const override { return "Cumulative"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "cumulative(" << tasks_.size() << " tasks, cap=" << cap_ << ")";

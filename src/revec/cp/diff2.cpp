@@ -35,6 +35,8 @@ public:
 
     Priority priority() const override { return Priority::Global; }
 
+    const char* class_name() const override { return "Diff2"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "diff2(" << rects_.size() << " rects)";

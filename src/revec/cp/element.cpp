@@ -64,6 +64,8 @@ public:
     // once the index fixes), so it keeps the wake-on-any-change mask.
     Priority priority() const override { return Priority::Linear; }
 
+    const char* class_name() const override { return "Element"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "element(x" << index_.index() << " of " << array_.size() << ")";

@@ -50,6 +50,8 @@ public:
 
     Priority priority() const override { return Priority::Linear; }
 
+    const char* class_name() const override { return "LinearLeq"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "linear_leq(" << terms_.size() << " terms, c=" << c_ << ")";
@@ -73,6 +75,8 @@ public:
     }
 
     Priority priority() const override { return Priority::Linear; }
+
+    const char* class_name() const override { return "LinearEq"; }
 
     std::string describe() const override {
         std::ostringstream os;
@@ -105,6 +109,8 @@ public:
     // Removing the fixed side's value from the other side is a no-op on a
     // rerun, even when that removal fixes the other side in turn.
     bool idempotent() const override { return true; }
+
+    const char* class_name() const override { return "NotEqual"; }
 
     std::string describe() const override {
         std::ostringstream os;

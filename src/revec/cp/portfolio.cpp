@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "revec/obs/trace.hpp"
 #include "revec/support/assert.hpp"
 #include "revec/support/rng.hpp"
 #include "revec/support/stopwatch.hpp"
@@ -47,10 +48,13 @@ struct WorkerSlot {
 /// DFS against the shared bound, and fill `slot`.
 void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
                 const SearchOptions& base, const RestartPolicy& policy,
-                const EngineConfig& engine, std::atomic<bool>& stop,
-                std::atomic<std::int64_t>& shared, WorkerSlot& slot) {
+                const EngineConfig& engine, bool profile, obs::TraceBuffer* trace,
+                std::atomic<bool>& stop, std::atomic<std::int64_t>& shared,
+                WorkerSlot& slot) {
     try {
+        obs::SpanScope worker_span(trace, obs::TraceLevel::Phase, "worker");
         Store store{engine};
+        if (profile) store.enable_profiling();
         const PostedModel model = build(store);
         const std::vector<Phase> phases = apply_config(model.phases, cfg);
 
@@ -58,6 +62,7 @@ void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
         opts.stop = &stop;
         opts.shared_bound = model.objective.valid() ? &shared : nullptr;
         opts.value_jitter_seed = cfg.jitter_seed;
+        opts.trace = trace;
 
         XorShift reseed(cfg.jitter_seed == 0 ? 0x7f4a7c15u : cfg.jitter_seed);
         std::int64_t restart_limit = cfg.restarts ? policy.initial_failures : -1;
@@ -103,12 +108,17 @@ void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
             }
             if (restart_limit < 0) break;
             ++slot.report.stats.restarts;
+            obs::instant(trace, obs::TraceLevel::Phase, "restart", "limit",
+                         restart_limit);
             restart_limit =
                 static_cast<std::int64_t>(static_cast<double>(restart_limit) * policy.growth) +
                 1;
             opts.value_jitter_seed = reseed.next() | 1u;
         }
         slot.report.prop_stats = store.stats();
+        if (profile) slot.report.prop_profile = store.profile_by_class();
+        worker_span.result("nodes", slot.report.stats.nodes, "proved",
+                           slot.report.proved ? 1 : 0);
         if (slot.report.proved) stop.store(true, std::memory_order_release);
     } catch (...) {
         slot.error = std::current_exception();
@@ -181,6 +191,7 @@ SolveResult PortfolioResult::to_solve_result() const {
     r.status = status;
     r.stats = stats;
     r.prop_stats = prop_stats;
+    r.prop_profile = prop_profile;
     r.best = best;
     return r;
 }
@@ -205,16 +216,29 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
     }
     std::vector<WorkerSlot> slots(static_cast<std::size_t>(n));
 
+    // Register one trace track per worker up front (on this thread, in
+    // worker order) so the serialized track order is deterministic whatever
+    // the thread scheduling does.
+    std::vector<obs::TraceBuffer*> tracks(static_cast<std::size_t>(n), nullptr);
+    if (config.trace != nullptr) {
+        for (int k = 0; k < n; ++k) {
+            tracks[static_cast<std::size_t>(k)] =
+                config.trace->new_track("worker-" + std::to_string(k) + " (" +
+                                        cfgs[static_cast<std::size_t>(k)].label + ")");
+        }
+    }
+
     if (n == 1) {
-        run_worker(build, cfgs[0], options, config.restart_policy, config.engine, stop,
-                   shared, slots[0]);
+        run_worker(build, cfgs[0], options, config.restart_policy, config.engine,
+                   config.profile, tracks[0], stop, shared, slots[0]);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(static_cast<std::size_t>(n));
         for (int k = 0; k < n; ++k) {
             threads.emplace_back([&, k] {
                 run_worker(build, cfgs[static_cast<std::size_t>(k)], options,
-                           config.restart_policy, config.engine, stop, shared,
+                           config.restart_policy, config.engine, config.profile,
+                           tracks[static_cast<std::size_t>(k)], stop, shared,
                            slots[static_cast<std::size_t>(k)]);
             });
         }
@@ -234,6 +258,7 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
         slot.report.label = cfgs[static_cast<std::size_t>(k)].label;
         out.stats.absorb(slot.report.stats);
         out.prop_stats.absorb(slot.report.prop_stats);
+        absorb_prop_profiles(out.prop_profile, slot.report.prop_profile);
         any_proof = any_proof || slot.report.proved;
         // Deterministic merge: best objective first, then lowest config
         // index (strict < keeps the earlier worker on ties).
@@ -254,15 +279,23 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
     // the baseline configuration under the proven bound.
     if (config.canonical_replay && n > 1 && out.status == SolveStatus::Optimal &&
         out.has_solution()) {
+        obs::TraceBuffer* const main_track =
+            config.trace != nullptr ? config.trace->main() : nullptr;
+        obs::SpanScope replay_span(main_track, obs::TraceLevel::Phase,
+                                   "canonical_replay");
         Store store{config.engine};
+        if (config.profile) store.enable_profiling();
         const PostedModel model = build(store);
         if (model.objective.valid() && store.set_max(model.objective, best_obj)) {
             SearchOptions replay_opts;
             replay_opts.deadline = options.deadline;
             replay_opts.stop_at_first_solution = true;
+            replay_opts.trace = main_track;
             const SolveResult replay = solve(store, model.phases, model.objective, replay_opts);
             out.stats.absorb(replay.stats);
             out.prop_stats.absorb(replay.prop_stats);
+            absorb_prop_profiles(out.prop_profile, replay.prop_profile);
+            replay_span.result("nodes", replay.stats.nodes);
             if (replay.has_solution() && replay.value_of(model.objective) == best_obj) {
                 out.best = replay.best;
             }

@@ -26,6 +26,10 @@
 #include "revec/cp/search.hpp"
 #include "revec/cp/store.hpp"
 
+namespace revec::obs {
+class TraceSink;
+}  // namespace revec::obs
+
 namespace revec::cp {
 
 /// Failure-limited restart policy for the restart-flavored workers.
@@ -61,6 +65,19 @@ struct SolverConfig {
     /// nothing under this bound (status Unsat) proves the seeded solution
     /// optimal. INT64_MAX (the default) means "no incumbent".
     std::int64_t initial_incumbent = INT64_MAX;
+
+    /// Trace sink for the solve. nullptr = tracing off (every event site is
+    /// one branch). The portfolio registers one track per worker (in worker
+    /// order, before the threads spawn, so serialization order is
+    /// deterministic); the sequential layers write into the sink's main
+    /// track.
+    obs::TraceSink* trace = nullptr;
+
+    /// Attribute propagation work (runs, time, domain changes, failures) to
+    /// propagator classes on every worker store; results surface as
+    /// prop_profile on the merged outcome. Adds a timer read per propagator
+    /// execution.
+    bool profile = false;
 };
 
 /// What the re-posting hook returns: the search phases and the objective
@@ -99,6 +116,7 @@ struct WorkerReport {
     SolveStatus status = SolveStatus::Timeout;
     SearchStats stats;
     PropagationStats prop_stats;       ///< engine counters of the worker store
+    std::vector<PropProfile> prop_profile;  ///< per-class work (profile mode)
     std::int64_t best_objective = -1;  ///< -1 = this worker found no solution
     bool proved = false;               ///< exhausted its bound-pruned tree
 };
@@ -109,6 +127,7 @@ struct PortfolioResult {
     SolveStatus status = SolveStatus::Unsat;
     SearchStats stats;       ///< merged over all workers (plus the replay pass)
     PropagationStats prop_stats;  ///< engine counters, merged likewise
+    std::vector<PropProfile> prop_profile;  ///< per-class work, merged likewise
     std::vector<int> best;   ///< empty when no worker found a solution
     int winner = -1;         ///< config index that produced `best`
     std::vector<WorkerReport> workers;

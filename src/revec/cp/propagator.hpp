@@ -65,6 +65,12 @@ public:
     /// Human-readable description for debugging and solver traces.
     virtual std::string describe() const = 0;
 
+    /// Stable class label ("Cumulative", "LinearLeq", ...) used to attribute
+    /// profiled work (executions, time, domain changes, failures) to
+    /// propagator classes in the metrics output. Must return a pointer to a
+    /// static-duration string.
+    virtual const char* class_name() const { return "Propagator"; }
+
     /// Queue bucket this propagator drains from.
     virtual Priority priority() const { return Priority::Linear; }
 

@@ -39,6 +39,8 @@ public:
 
     Priority priority() const override { return Priority::Linear; }
 
+    const char* class_name() const override { return "ReifiedEqVar"; }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "b" << b_.index() << " <-> (x" << x_.index() << " == x" << y_.index() << ")";
@@ -68,6 +70,8 @@ public:
     // Every branch re-run on its own output is a no-op (assign/remove of
     // the same constant, entailment checks on unchanged domains).
     bool idempotent() const override { return true; }
+
+    const char* class_name() const override { return "ReifiedEqConst"; }
 
     std::string describe() const override {
         std::ostringstream os;
@@ -110,6 +114,8 @@ public:
     Priority priority() const override { return Priority::Unary; }
     // Unit propagation satisfies the clause; a rerun sees it satisfied.
     bool idempotent() const override { return true; }
+
+    const char* class_name() const override { return "Clause"; }
 
     std::string describe() const override {
         std::ostringstream os;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "revec/obs/metrics.hpp"
+#include "revec/obs/trace.hpp"
 #include "revec/support/assert.hpp"
 #include "revec/support/rng.hpp"
 
@@ -75,12 +77,24 @@ struct Frame {
 
 }  // namespace
 
+void SearchStats::export_metrics(obs::MetricsRegistry& m, const std::string& prefix) const {
+    m.add(prefix + "nodes", nodes);
+    m.add(prefix + "failures", failures);
+    m.add(prefix + "solutions", solutions);
+    m.add(prefix + "cutoff_prunes", cutoff_prunes);
+    m.add(prefix + "restarts", restarts);
+    m.gauge(prefix + "time_ms", time_ms);
+}
+
 SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objective,
                   const SearchOptions& options) {
     REVEC_EXPECTS(store.level() == 0);
     Stopwatch watch;
     SolveResult result;
     std::vector<Frame> frames;
+
+    obs::TraceBuffer* const trace = options.trace;
+    store.set_trace(trace);
 
     XorShift jitter_rng(options.value_jitter_seed);
     XorShift* jitter = options.value_jitter_seed != 0 ? &jitter_rng : nullptr;
@@ -94,6 +108,9 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
             result.best[i] = store.min(IntVar(static_cast<std::int32_t>(i)));
         }
         ++result.stats.solutions;
+        obs::instant(trace, obs::TraceLevel::Phase, "solution", "obj",
+                     objective.valid() ? store.min(objective) : 0, "nodes",
+                     result.stats.nodes);
     };
 
     /// Publish a local improvement to the shared incumbent (atomic min).
@@ -104,6 +121,7 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
                !options.shared_bound->compare_exchange_weak(cur, best_obj,
                                                             std::memory_order_relaxed)) {
         }
+        obs::instant(trace, obs::TraceLevel::Phase, "bound", "obj", best_obj);
     };
 
     /// Install objective <= cutoff-1, where cutoff is the tightest of the
@@ -128,6 +146,7 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
         result.status = status;
         result.stats.time_ms = watch.elapsed_ms();
         result.prop_stats = store.stats();
+        if (store.profiling()) result.prop_profile = store.profile_by_class();
         return result;
     };
 
@@ -158,6 +177,8 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
                 continue;
             }
             ++result.stats.nodes;
+            obs::instant(trace, obs::TraceLevel::Node, "node", "depth",
+                         static_cast<std::int64_t>(frames.size()));
             frames.push_back({decision->var, decision->value, false});
             store.push_level();
             ok = store.assign(decision->var, decision->value);
@@ -165,6 +186,8 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
             if (ok) ok = store.propagate();
         } else {
             ++result.stats.failures;
+            obs::instant(trace, obs::TraceLevel::Node, "fail", "depth",
+                         static_cast<std::int64_t>(frames.size()));
             // Backtrack to the deepest frame with an untried right branch.
             while (true) {
                 if (frames.empty()) {
@@ -176,6 +199,8 @@ SolveResult solve(Store& store, const std::vector<Phase>& phases, IntVar objecti
                 if (!f.tried_right) {
                     f.tried_right = true;
                     ++result.stats.nodes;
+                    obs::instant(trace, obs::TraceLevel::Node, "node", "depth",
+                                 static_cast<std::int64_t>(frames.size()) - 1);
                     store.push_level();
                     ok = store.remove(f.var, f.value);
                     if (ok) ok = install_cutoff();

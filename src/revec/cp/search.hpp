@@ -75,6 +75,12 @@ struct SearchOptions {
     /// only the order solutions are discovered in changes. Used by
     /// restart-flavored portfolio workers to diversify across restarts.
     std::uint32_t value_jitter_seed = 0;
+
+    /// Trace track this search writes into (also attached to the store for
+    /// engine events). nullptr = tracing off; every event site is then one
+    /// branch. The search emits "solution"/"bound" instants at Phase level
+    /// and "node"/"fail" instants at Node level.
+    obs::TraceBuffer* trace = nullptr;
 };
 
 /// Search statistics.
@@ -95,6 +101,11 @@ struct SearchStats {
         cutoff_prunes += other.cutoff_prunes;
         restarts += other.restarts;
     }
+
+    /// Export every counter into `m` under `prefix` (e.g. "solve.").
+    /// Additive counters add into any existing value; time_ms becomes a
+    /// gauge (wall clock — last writer wins, matching absorb()).
+    void export_metrics(obs::MetricsRegistry& m, const std::string& prefix) const;
 };
 
 /// The outcome of a solve: status, statistics, and (when a solution was
@@ -103,6 +114,9 @@ struct SolveResult {
     SolveStatus status = SolveStatus::Unsat;
     SearchStats stats;
     PropagationStats prop_stats;  ///< engine counters at the end of the search
+    /// Per-propagator-class work attribution; empty unless the store had
+    /// profiling enabled (Store::enable_profiling).
+    std::vector<PropProfile> prop_profile;
     std::vector<int> best;  ///< indexed by IntVar::index(); empty when no solution
 
     bool has_solution() const { return !best.empty(); }

@@ -1,9 +1,15 @@
 #include "revec/cp/store.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <climits>
+#include <cstring>
+#include <map>
 #include <sstream>
+#include <string_view>
 
+#include "revec/obs/metrics.hpp"
+#include "revec/obs/trace.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::cp {
@@ -41,6 +47,64 @@ void PropagationStats::absorb(const PropagationStats& o) {
     trail_saves += o.trail_saves;
     trail_snapshots += o.trail_snapshots;
     trail_bytes += o.trail_bytes;
+}
+
+void PropagationStats::export_metrics(obs::MetricsRegistry& m,
+                                      const std::string& prefix) const {
+    m.add(prefix + "propagations", propagations);
+    m.add(prefix + "domain_changes", domain_changes);
+    static const char* const kEventNames[kNumEventKinds] = {"min", "max", "fixed",
+                                                            "domain"};
+    for (int k = 0; k < kNumEventKinds; ++k) {
+        m.add(prefix + "events." + kEventNames[k], events[static_cast<std::size_t>(k)]);
+    }
+    m.add(prefix + "wakeups", wakeups);
+    m.add(prefix + "wakeups_filtered", wakeups_filtered);
+    m.add(prefix + "self_wakeups_suppressed", self_wakeups_suppressed);
+    m.add(prefix + "starvation_runs", starvation_runs);
+    static const char* const kBucketNames[kNumPriorities] = {"unary", "linear",
+                                                             "global"};
+    for (int b = 0; b < kNumPriorities; ++b) {
+        m.add(prefix + "queue_pushes." + kBucketNames[b],
+              queue_pushes[static_cast<std::size_t>(b)]);
+    }
+    // High-water mark: max-merge against any prior export, matching absorb().
+    const std::string depth = prefix + "max_queue_depth";
+    m.set(depth, std::max(m.counter(depth), max_queue_depth));
+    m.add(prefix + "trail_saves", trail_saves);
+    m.add(prefix + "trail_snapshots", trail_snapshots);
+    m.add(prefix + "trail_bytes", trail_bytes);
+}
+
+void absorb_prop_profiles(std::vector<PropProfile>& into,
+                          const std::vector<PropProfile>& from) {
+    for (const PropProfile& p : from) {
+        const auto it = std::find_if(into.begin(), into.end(), [&](const PropProfile& q) {
+            return std::strcmp(q.cls, p.cls) == 0;
+        });
+        if (it == into.end()) {
+            into.push_back(p);
+        } else {
+            it->runs += p.runs;
+            it->domain_changes += p.domain_changes;
+            it->failures += p.failures;
+            it->time_us += p.time_us;
+        }
+    }
+    std::sort(into.begin(), into.end(), [](const PropProfile& a, const PropProfile& b) {
+        return std::strcmp(a.cls, b.cls) < 0;
+    });
+}
+
+void export_prop_profile_metrics(const std::vector<PropProfile>& profiles,
+                                 obs::MetricsRegistry& m) {
+    for (const PropProfile& p : profiles) {
+        const std::string prefix = std::string("prop.") + p.cls + ".";
+        m.add(prefix + "runs", p.runs);
+        m.add(prefix + "domain_changes", p.domain_changes);
+        m.add(prefix + "failures", p.failures);
+        m.add(prefix + "time_us", p.time_us);
+    }
 }
 
 IntVar Store::new_var(int lo, int hi, std::string name) {
@@ -171,6 +235,7 @@ int Store::pop_runnable() {
         cheap_streak_ = 0;
         pick = costliest;
         ++stats_.starvation_runs;
+        obs::instant(trace_, obs::TraceLevel::Node, "escalation", "bucket", pick);
     } else {
         ++cheap_streak_;
     }
@@ -303,6 +368,7 @@ void Store::post(std::unique_ptr<Propagator> p, const std::vector<Watch>& watche
     props_.push_back(std::move(p));
     queued_.push_back(0);
     prop_run_ep_.push_back(0);
+    if (profile_) prof_.resize(props_.size());
     for (const Watch& w : watches) {
         auto& list = watchers_[check(w.var)];
         const auto it = std::find_if(list.begin(), list.end(),
@@ -334,7 +400,26 @@ bool Store::propagate() {
         queued_[static_cast<std::size_t>(id)] = 0;
         ++stats_.propagations;
         running_ = id;
-        const bool ok = props_[static_cast<std::size_t>(id)]->propagate(*this);
+        bool ok;
+        if (profile_) {
+            // Attribute this run's work to the propagator: prunings as the
+            // delta of the global change counter, wall time around the call,
+            // failure whether it was detected directly (ok == false) or via
+            // a domain wipe-out (failed_; the loop guard keeps it false on
+            // entry).
+            PropCounters& pc = prof_[static_cast<std::size_t>(id)];
+            const std::int64_t changes_before = stats_.domain_changes;
+            const auto t0 = std::chrono::steady_clock::now();
+            ok = props_[static_cast<std::size_t>(id)]->propagate(*this);
+            pc.time_us += std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            ++pc.runs;
+            pc.domain_changes += stats_.domain_changes - changes_before;
+            if (!ok || failed_) ++pc.failures;
+        } else {
+            ok = props_[static_cast<std::size_t>(id)]->propagate(*this);
+        }
         running_ = -1;
         if (!ok) {
             failed_ = true;
@@ -346,6 +431,31 @@ bool Store::propagate() {
         return false;
     }
     return true;
+}
+
+void Store::enable_profiling() {
+    profile_ = true;
+    prof_.resize(props_.size());
+}
+
+std::vector<PropProfile> Store::profile_by_class() const {
+    // Aggregate per-id counters by class name; std::map keys give the
+    // sorted-by-class output order directly.
+    std::map<std::string_view, PropProfile> by_class;
+    for (std::size_t id = 0; id < prof_.size(); ++id) {
+        const PropCounters& pc = prof_[id];
+        const char* cls = props_[id]->class_name();
+        PropProfile& agg = by_class[cls];
+        agg.cls = cls;
+        agg.runs += pc.runs;
+        agg.domain_changes += pc.domain_changes;
+        agg.failures += pc.failures;
+        agg.time_us += pc.time_us;
+    }
+    std::vector<PropProfile> out;
+    out.reserve(by_class.size());
+    for (const auto& [cls, p] : by_class) out.push_back(p);
+    return out;
 }
 
 int Store::push_level() {

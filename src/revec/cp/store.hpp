@@ -24,6 +24,11 @@
 #include "revec/cp/propagator.hpp"
 #include "revec/cp/var.hpp"
 
+namespace revec::obs {
+class TraceBuffer;
+class MetricsRegistry;
+}  // namespace revec::obs
+
 namespace revec::cp {
 
 /// Engine feature toggles. Defaults are the event-driven engine; legacy()
@@ -86,7 +91,31 @@ struct PropagationStats {
 
     /// Accumulate another store's counters (portfolio merge).
     void absorb(const PropagationStats& o);
+
+    /// Export every counter into `m` under `prefix` (e.g. "engine.").
+    /// Additive counters add into any existing value, so repeated exports
+    /// from several workers sum like absorb(); max_queue_depth max-merges.
+    void export_metrics(obs::MetricsRegistry& m, const std::string& prefix) const;
 };
+
+/// Per-propagator-class profile: how much work a class of propagators did
+/// and what it bought. Filled by a Store with profiling enabled.
+struct PropProfile {
+    const char* cls = nullptr;  ///< Propagator::class_name() (static string)
+    std::int64_t runs = 0;            ///< propagate() executions
+    std::int64_t domain_changes = 0;  ///< prunings performed by those runs
+    std::int64_t failures = 0;        ///< failures detected by those runs
+    std::int64_t time_us = 0;         ///< wall time spent inside propagate()
+};
+
+/// Merge `from` into `into` by class name (portfolio merge).
+void absorb_prop_profiles(std::vector<PropProfile>& into,
+                          const std::vector<PropProfile>& from);
+
+/// Export profiles as "prop.<Class>.runs" / ".domain_changes" / ".failures"
+/// / ".time_us" counters (additive across repeated exports).
+void export_prop_profile_metrics(const std::vector<PropProfile>& profiles,
+                                 obs::MetricsRegistry& m);
 
 class Store {
 public:
@@ -145,6 +174,23 @@ public:
     int level() const { return level_; }
 
     const PropagationStats& stats() const { return stats_; }
+
+    // -- observability ---------------------------------------------------------
+    /// Attach a trace buffer; the store emits Node-level instants into it
+    /// (currently "escalation" when a bypassed costlier bucket is
+    /// interleaved). nullptr (the default) disables emission — each event
+    /// site is then a single branch.
+    void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
+    /// Start attributing per-propagator work (runs, domain changes,
+    /// failures, wall time) to propagator classes. Adds a timer read per
+    /// propagator execution; off by default.
+    void enable_profiling();
+    bool profiling() const { return profile_; }
+
+    /// Profiled work aggregated by Propagator::class_name(), sorted by
+    /// class name. Empty when profiling was never enabled.
+    std::vector<PropProfile> profile_by_class() const;
 
     /// Debug helper: render all variables and their domains.
     std::string dump() const;
@@ -232,6 +278,18 @@ private:
     bool failed_ = false;
 
     PropagationStats stats_;
+
+    /// Per-propagator profile slots, indexed by propagator id (sized on
+    /// enable_profiling and on post while profiling).
+    struct PropCounters {
+        std::int64_t runs = 0;
+        std::int64_t domain_changes = 0;
+        std::int64_t failures = 0;
+        std::int64_t time_us = 0;
+    };
+    bool profile_ = false;
+    std::vector<PropCounters> prof_;
+    obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace revec::cp

@@ -1,11 +1,13 @@
 #include "revec/driver/driver.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <thread>
 
 #include "revec/arch/spec_io.hpp"
 #include "revec/codegen/codegen.hpp"
+#include "revec/cp/store.hpp"
 #include "revec/ir/analysis.hpp"
 #include "revec/ir/dot.hpp"
 #include "revec/ir/passes.hpp"
@@ -51,12 +53,49 @@ options:
   --dump-model=F     write the lowered scheduling model (KernelModel) as JSON
                      to F — the solver-agnostic problem description shared by
                      the CP emitter, the heuristics, and the verifier
+  --trace=F          write the solve timeline to F: Chrome trace-event JSON
+                     (load into Perfetto / chrome://tracing for per-worker
+                     timelines), or a deterministic JSONL stream when F ends
+                     in .jsonl
+  --trace-level=L    off | phase (default with --trace) | node; node adds
+                     per-search-node and engine-escalation events
+  --metrics=F        write end-of-run metrics JSON to F (search counters,
+                     engine counters, per-propagator-class profile)
   --help             this text
 )";
 }
 
+namespace {
+
+/// "did you mean" helper: the closest known flag name within a small edit
+/// distance of the mistyped one, or empty.
+std::string closest_flag(const std::string& arg) {
+    static const char* const kFlags[] = {
+        "--emit",         "--slots",     "--timeout-ms",   "--no-merge",
+        "--no-memory",    "--include-reconfigs",           "--simulate",
+        "--threads",      "--portfolio", "--seed",         "--warm-start",
+        "--heuristic-only",              "--lanes",        "--arch",
+        "--save-schedule",               "--dump-model",   "--trace",
+        "--trace-level",  "--metrics",   "--help",
+    };
+    const std::string name = arg.substr(0, arg.find('='));
+    std::string best;
+    std::size_t best_dist = 3;  // suggest only when plausibly a typo
+    for (const char* flag : kFlags) {
+        const std::size_t d = edit_distance(name, flag);
+        if (d < best_dist) {
+            best_dist = d;
+            best = flag;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
 std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& out) {
     Options opts;
+    bool trace_level_given = false;
     for (const std::string& arg : args) {
         if (arg == "--help" || arg == "-h") {
             out << usage();
@@ -107,8 +146,26 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
             opts.save_schedule_path = arg.substr(16);
         } else if (starts_with(arg, "--dump-model=")) {
             opts.dump_model_path = arg.substr(13);
+        } else if (starts_with(arg, "--trace=")) {
+            opts.trace_path = arg.substr(8);
+            if (opts.trace_path.empty()) throw Error("--trace needs a file path");
+        } else if (starts_with(arg, "--trace-level=")) {
+            const std::string level = arg.substr(14);
+            const auto parsed = obs::parse_trace_level(level);
+            if (!parsed.has_value()) {
+                throw Error("unknown --trace-level '" + level +
+                            "' (expected off, phase, or node)");
+            }
+            opts.trace_level = *parsed;
+            trace_level_given = true;
+        } else if (starts_with(arg, "--metrics=")) {
+            opts.metrics_path = arg.substr(10);
+            if (opts.metrics_path.empty()) throw Error("--metrics needs a file path");
         } else if (starts_with(arg, "--")) {
-            throw Error("unknown option '" + arg + "' (try --help)");
+            std::string message = "unknown option '" + arg + "'";
+            const std::string suggestion = closest_flag(arg);
+            if (!suggestion.empty()) message += " — did you mean '" + suggestion + "'?";
+            throw Error(message + " (try --help)");
         } else if (opts.input_path.empty()) {
             opts.input_path = arg;
         } else {
@@ -117,6 +174,11 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
         }
     }
     if (opts.input_path.empty()) throw Error("no input file (try --help)");
+    // Asking for a trace file implies phase-level tracing; an explicit
+    // --trace-level (any value, including off) wins.
+    if (!opts.trace_path.empty() && !trace_level_given) {
+        opts.trace_level = obs::TraceLevel::Phase;
+    }
     return opts;
 }
 
@@ -169,17 +231,35 @@ int emit_stats(const arch::ArchSpec& spec, const ir::Graph& g, std::ostream& out
     return 0;
 }
 
+/// Serialize the requested observability artifacts. Called on every exit
+/// path that has a solver result — including infeasible solves, which are
+/// exactly the runs worth profiling.
+void write_observability(const Options& options, const obs::TraceSink* sink,
+                         const obs::MetricsRegistry& metrics, std::ostream& out) {
+    if (sink != nullptr && !options.trace_path.empty()) {
+        sink->save(options.trace_path);
+        out << "trace written to " << options.trace_path << "\n";
+    }
+    if (!options.metrics_path.empty()) {
+        metrics.save_json(options.metrics_path);
+        out << "metrics written to " << options.metrics_path << "\n";
+    }
+}
+
 int emit_modulo(const Options& options, const arch::ArchSpec& spec, const ir::Graph& g,
-                std::ostream& out) {
+                obs::TraceSink* sink, std::ostream& out) {
     pipeline::ModuloOptions mopts;
     mopts.spec = spec;
     mopts.include_reconfigs = options.include_reconfigs;
     mopts.timeout_ms = options.timeout_ms;
     mopts.solver.threads = options.threads;
     mopts.solver.seed = options.seed;
+    mopts.solver.trace = sink;
+    mopts.solver.profile = !options.metrics_path.empty();
     mopts.warm_start = options.warm_start;
     mopts.heuristic_only = options.heuristic_only;
     const pipeline::ModuloResult r = pipeline::modulo_schedule(g, mopts);
+    write_observability(options, sink, collect_metrics(r), out);
     if (!r.feasible()) {
         out << "modulo scheduling failed (" << status_word(r.status) << ")\n";
         return r.status == cp::SolveStatus::Unsat ? 1 : 6;
@@ -195,6 +275,39 @@ int emit_modulo(const Options& options, const arch::ArchSpec& spec, const ir::Gr
 }
 
 }  // namespace
+
+obs::MetricsRegistry collect_metrics(const sched::Schedule& s) {
+    obs::MetricsRegistry m;
+    s.stats.export_metrics(m, "solve.");
+    s.prop_stats.export_metrics(m, "engine.");
+    cp::export_prop_profile_metrics(s.prop_profile, m);
+    m.set("solve.makespan", s.makespan);
+    m.set("solve.slots_used", s.slots_used);
+    m.label("solve.status", status_word(s.status));
+    for (const cp::WorkerReport& w : s.workers) {
+        const std::string prefix = "worker." + std::to_string(w.config_index) + ".";
+        w.stats.export_metrics(m, prefix);
+        m.set(prefix + "proved", w.proved ? 1 : 0);
+        m.set(prefix + "best_objective", w.best_objective);
+        m.label(prefix + "label", w.label);
+    }
+    return m;
+}
+
+obs::MetricsRegistry collect_metrics(const pipeline::ModuloResult& r) {
+    obs::MetricsRegistry m;
+    r.stats.export_metrics(m, "solve.");
+    r.prop_stats.export_metrics(m, "engine.");
+    cp::export_prop_profile_metrics(r.prop_profile, m);
+    m.set("modulo.ii_lower_bound", r.ii_lower_bound);
+    m.set("modulo.initial_ii", r.initial_ii);
+    m.set("modulo.reconfigs", r.reconfigs);
+    m.set("modulo.actual_ii", r.actual_ii);
+    m.gauge("modulo.throughput", r.throughput);
+    m.gauge("modulo.time_ms", r.time_ms);
+    m.label("solve.status", status_word(r.status));
+    return m;
+}
 
 int run(const Options& options, std::ostream& out) {
     const arch::ArchSpec spec = spec_for(options);
@@ -216,7 +329,14 @@ int run(const Options& options, std::ostream& out) {
         out << ir::to_dot(g);
         return 0;
     }
-    if (options.emit == "modulo") return emit_modulo(options, spec, g, out);
+
+    // One trace sink for the whole solve; workers register their own tracks.
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!options.trace_path.empty() && options.trace_level != obs::TraceLevel::Off) {
+        sink = std::make_unique<obs::TraceSink>(options.trace_level);
+    }
+
+    if (options.emit == "modulo") return emit_modulo(options, spec, g, sink.get(), out);
 
     sched::ScheduleOptions sopts;
     sopts.spec = spec;
@@ -225,9 +345,12 @@ int run(const Options& options, std::ostream& out) {
     sopts.memory_allocation = options.memory;
     sopts.solver.threads = options.threads;
     sopts.solver.seed = options.seed;
+    sopts.solver.trace = sink.get();
+    sopts.solver.profile = !options.metrics_path.empty();
     sopts.warm_start = options.warm_start;
     sopts.heuristic_only = options.heuristic_only;
     const sched::Schedule s = sched::schedule_kernel(g, sopts);
+    write_observability(options, sink.get(), collect_metrics(s), out);
     if (!s.feasible()) {
         out << "scheduling failed: " << status_word(s.status) << "\n";
         return s.status == cp::SolveStatus::Unsat ? 1 : 6;

@@ -12,6 +12,16 @@
 #include <vector>
 
 #include "revec/arch/spec.hpp"
+#include "revec/obs/metrics.hpp"
+#include "revec/obs/trace.hpp"
+
+namespace revec::sched {
+struct Schedule;
+}  // namespace revec::sched
+
+namespace revec::pipeline {
+struct ModuloResult;
+}  // namespace revec::pipeline
 
 namespace revec::driver {
 
@@ -33,6 +43,15 @@ struct Options {
     std::string arch_path;            ///< architecture description XML ("" = EIT)
     std::string save_schedule_path;   ///< write the schedule artifact here ("" = no)
     std::string dump_model_path;      ///< write the lowered KernelModel JSON here ("" = no)
+
+    /// Observability outputs (DESIGN §5g). --trace=F writes the solve
+    /// timeline (Chrome trace JSON, or JSONL with a .jsonl extension);
+    /// --metrics=F writes the metrics registry JSON and turns on
+    /// per-propagator-class profiling. trace_level defaults to Phase as
+    /// soon as --trace is given; --trace-level=node adds per-node events.
+    std::string trace_path;
+    std::string metrics_path;
+    obs::TraceLevel trace_level = obs::TraceLevel::Off;
 };
 
 /// Parse argv-style arguments (excluding argv[0]). Throws revec::Error on
@@ -54,5 +73,15 @@ int run(const Options& options, std::ostream& out);
 
 /// Usage text.
 std::string usage();
+
+/// The metrics registry for one schedule solve: SearchStats under "solve.",
+/// engine counters under "engine.", per-propagator-class profiles under
+/// "prop.<Class>.", per-worker counters under "worker.<k>.", plus result
+/// labels/gauges. This is what `--metrics=F` serializes; exposed for the
+/// driver tests (counter totals must equal the solver's own counters).
+obs::MetricsRegistry collect_metrics(const sched::Schedule& s);
+
+/// Likewise for a modulo scan (totals accumulated over every per-II solve).
+obs::MetricsRegistry collect_metrics(const pipeline::ModuloResult& r);
 
 }  // namespace revec::driver

@@ -1,0 +1,186 @@
+#include "revec/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::obs {
+
+namespace {
+
+void append_escaped(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            default: os << c;
+        }
+    }
+    os << '"';
+}
+
+void append_double(std::ostream& os, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    os << buf;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+    if (count == 0) {
+        min = v;
+        max = v;
+    } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+    }
+    ++count;
+    sum += v;
+    int bucket = 0;
+    if (v >= 1.0) {
+        bucket = std::min(kBuckets - 1, static_cast<int>(std::floor(std::log2(v))));
+    }
+    ++buckets[static_cast<std::size_t>(bucket)];
+}
+
+void Histogram::absorb(const Histogram& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+    for (int k = 0; k < kBuckets; ++k) {
+        buckets[static_cast<std::size_t>(k)] += other.buckets[static_cast<std::size_t>(k)];
+    }
+}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
+    counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, std::int64_t value) {
+    counters_[name] = value;
+}
+
+void MetricsRegistry::gauge(const std::string& name, double value) {
+    gauges_[name] = value;
+}
+
+void MetricsRegistry::label(const std::string& name, std::string value) {
+    labels_[name] = std::move(value);
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+    hists_[name].observe(value);
+}
+
+std::int64_t MetricsRegistry::counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+    return counters_.find(name) != counters_.end();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const std::string* MetricsRegistry::label_value(const std::string& name) const {
+    const auto it = labels_.find(name);
+    return it == labels_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+    const auto it = hists_.find(name);
+    return it == hists_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::absorb(const MetricsRegistry& other) {
+    for (const auto& [name, v] : other.counters_) counters_[name] += v;
+    for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
+    for (const auto& [name, v] : other.labels_) labels_[name] = v;
+    for (const auto& [name, h] : other.hists_) hists_[name].absorb(h);
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, v] : counters_) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        append_escaped(os, name);
+        os << ": " << v;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, v] : gauges_) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        append_escaped(os, name);
+        os << ": ";
+        append_double(os, v);
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"labels\": {";
+    first = true;
+    for (const auto& [name, v] : labels_) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        append_escaped(os, name);
+        os << ": ";
+        append_escaped(os, v);
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : hists_) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        append_escaped(os, name);
+        os << ": {\"count\": " << h.count << ", \"sum\": ";
+        append_double(os, h.sum);
+        os << ", \"min\": ";
+        append_double(os, h.min);
+        os << ", \"max\": ";
+        append_double(os, h.max);
+        os << ", \"buckets\": [";
+        // Trailing zero buckets are elided so the document stays small.
+        int last = Histogram::kBuckets - 1;
+        while (last > 0 && h.buckets[static_cast<std::size_t>(last)] == 0) --last;
+        for (int k = 0; k <= last; ++k) {
+            if (k > 0) os << ", ";
+            os << h.buckets[static_cast<std::size_t>(k)];
+        }
+        os << "]}";
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+void MetricsRegistry::save_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out.good()) throw Error("cannot write metrics file '" + path + "'");
+    write_json(out);
+    if (!out.good()) throw Error("failed writing metrics file '" + path + "'");
+}
+
+}  // namespace revec::obs

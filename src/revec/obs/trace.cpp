@@ -1,0 +1,197 @@
+#include "revec/obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::obs {
+
+namespace {
+
+const char* kind_letter(EventKind kind) {
+    switch (kind) {
+        case EventKind::SpanBegin: return "B";
+        case EventKind::SpanEnd: return "E";
+        case EventKind::Instant: return "I";
+    }
+    REVEC_UNREACHABLE("bad EventKind");
+}
+
+/// Chrome's trace format spells instants with a lowercase "i".
+const char* chrome_ph(EventKind kind) {
+    return kind == EventKind::Instant ? "i" : kind_letter(kind);
+}
+
+void append_escaped(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            default: os << c;
+        }
+    }
+    os << '"';
+}
+
+void append_args(std::ostream& os, const TraceEvent& e) {
+    os << '{';
+    if (e.akey != nullptr) {
+        append_escaped(os, e.akey);
+        os << ": " << e.a;
+        if (e.bkey != nullptr) {
+            os << ", ";
+            append_escaped(os, e.bkey);
+            os << ": " << e.b;
+        }
+    }
+    os << '}';
+}
+
+}  // namespace
+
+const char* trace_level_name(TraceLevel level) {
+    switch (level) {
+        case TraceLevel::Off: return "off";
+        case TraceLevel::Phase: return "phase";
+        case TraceLevel::Node: return "node";
+    }
+    REVEC_UNREACHABLE("bad TraceLevel");
+}
+
+std::optional<TraceLevel> parse_trace_level(std::string_view s) {
+    if (s == "off") return TraceLevel::Off;
+    if (s == "phase") return TraceLevel::Phase;
+    if (s == "node") return TraceLevel::Node;
+    return std::nullopt;
+}
+
+TraceBuffer::TraceBuffer(const TraceSink* sink, std::string track, TraceLevel level,
+                         std::size_t capacity)
+    : sink_(sink), track_(std::move(track)), level_(level), capacity_(capacity) {
+    // Reserve a modest prefix so phase-level traces never reallocate
+    // mid-solve; node-level traces grow toward the cap as needed.
+    events_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceBuffer::push(TraceLevel level, EventKind kind, const char* name, const char* akey,
+                       std::int64_t a, const char* bkey, std::int64_t b) {
+    if (!enabled(level)) return;
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back({kind, name, akey, bkey, a, b, sink_->now_us()});
+}
+
+TraceSink::TraceSink(TraceLevel level, std::size_t events_per_track)
+    : level_(level), capacity_(events_per_track) {
+    REVEC_EXPECTS(events_per_track > 0);
+}
+
+TraceBuffer* TraceSink::main() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (tracks_.empty() || tracks_.front()->track() != "main") {
+        tracks_.insert(tracks_.begin(), std::unique_ptr<TraceBuffer>(new TraceBuffer(
+                                            this, "main", level_, capacity_)));
+    }
+    return tracks_.front().get();
+}
+
+TraceBuffer* TraceSink::new_track(std::string name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    tracks_.push_back(std::unique_ptr<TraceBuffer>(
+        new TraceBuffer(this, std::move(name), level_, capacity_)));
+    return tracks_.back().get();
+}
+
+std::uint64_t TraceSink::total_dropped() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t total = 0;
+    for (const auto& t : tracks_) total += t->dropped();
+    return total;
+}
+
+std::size_t TraceSink::num_tracks() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return tracks_.size();
+}
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first) os << ',';
+        first = false;
+        os << "\n  ";
+    };
+    for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+        const TraceBuffer& t = *tracks_[tid];
+        sep();
+        os << R"({"ph": "M", "pid": 1, "tid": )" << tid
+           << R"(, "name": "thread_name", "args": {"name": )";
+        append_escaped(os, t.track());
+        os << "}}";
+        for (const TraceEvent& e : t.events()) {
+            sep();
+            os << "{\"ph\": \"" << chrome_ph(e.kind) << "\", \"pid\": 1, \"tid\": " << tid
+               << ", \"ts\": " << e.ts_us << ", \"name\": ";
+            append_escaped(os, e.name);
+            os << ", \"cat\": \"revec\"";
+            if (e.kind == EventKind::Instant) os << ", \"s\": \"t\"";
+            os << ", \"args\": ";
+            append_args(os, e);
+            os << '}';
+        }
+        if (t.dropped() > 0) {
+            sep();
+            os << R"({"ph": "i", "pid": 1, "tid": )" << tid
+               << R"(, "ts": 0, "name": "trace_dropped", "cat": "revec", "s": "t", )"
+               << R"("args": {"dropped": )" << t.dropped() << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+void TraceSink::write_jsonl(std::ostream& os) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& track : tracks_) {
+        const TraceBuffer& t = *track;
+        std::uint64_t seq = 0;
+        for (const TraceEvent& e : t.events()) {
+            os << "{\"track\": ";
+            append_escaped(os, t.track());
+            os << ", \"seq\": " << seq++ << ", \"kind\": \"" << kind_letter(e.kind)
+               << "\", \"name\": ";
+            append_escaped(os, e.name);
+            os << ", \"ts_us\": " << e.ts_us << ", \"args\": ";
+            append_args(os, e);
+            os << "}\n";
+        }
+        if (t.dropped() > 0) {
+            os << "{\"track\": ";
+            append_escaped(os, t.track());
+            os << ", \"seq\": " << seq << ", \"kind\": \"I\", \"name\": \"trace_dropped\""
+               << ", \"ts_us\": 0, \"args\": {\"dropped\": " << t.dropped() << "}}\n";
+        }
+    }
+}
+
+void TraceSink::save(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out.good()) throw Error("cannot write trace file '" + path + "'");
+    const bool jsonl =
+        path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+    if (jsonl) {
+        write_jsonl(out);
+    } else {
+        write_chrome_trace(out);
+    }
+    if (!out.good()) throw Error("failed writing trace file '" + path + "'");
+}
+
+}  // namespace revec::obs

@@ -1,0 +1,56 @@
+// Reader side of the trace layer: parse a trace file back into typed
+// events and check its schema. Consumed by tools/revec-stats (phase/search
+// breakdown tables, CI trace validation) and by the trace tests (golden
+// JSONL, span-nesting checks). Understands both serializations the
+// TraceSink writes — the JSONL stream and the Chrome trace-event JSON —
+// via a small built-in JSON parser (no third-party dependency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace revec::obs {
+
+/// One parsed event. `kind` is the serialized letter: 'B' (span begin),
+/// 'E' (span end), 'I' (instant).
+struct ParsedEvent {
+    char kind = 'I';
+    std::string name;
+    std::int64_t ts_us = 0;
+    std::map<std::string, std::int64_t> args;
+};
+
+struct ParsedTrack {
+    std::string name;
+    std::vector<ParsedEvent> events;
+};
+
+struct ParsedTrace {
+    std::vector<ParsedTrack> tracks;
+
+    const ParsedTrack* track(const std::string& name) const;
+    std::size_t total_events() const;
+};
+
+/// Parse serialized trace content. Auto-detects the format: a document
+/// starting with '{' whose first object carries "traceEvents" is Chrome
+/// trace JSON, otherwise every non-empty line must be one JSONL event
+/// object. Throws revec::Error with a line/position diagnostic on
+/// malformed input.
+ParsedTrace parse_trace(const std::string& content);
+
+/// Load and parse a trace file. Throws revec::Error when the file cannot
+/// be read or parsed.
+ParsedTrace load_trace(const std::string& path);
+
+/// Schema validation: span begin/end events must nest per track (stack
+/// discipline, matching names, no end without a begin, nothing left open)
+/// and timestamps must be non-decreasing per track. Returns human-readable
+/// problems; empty means the trace is well-formed. Tracks that recorded a
+/// "trace_dropped" marker are exempt from the open-span check (their tail
+/// was dropped at the ring).
+std::vector<std::string> validate_trace(const ParsedTrace& trace);
+
+}  // namespace revec::obs

@@ -6,6 +6,7 @@
 #include "revec/heur/ims.hpp"
 #include "revec/model/emit_cp.hpp"
 #include "revec/model/kernel_model.hpp"
+#include "revec/obs/trace.hpp"
 #include "revec/sched/schedule.hpp"
 #include "revec/support/assert.hpp"
 #include "revec/support/stopwatch.hpp"
@@ -77,6 +78,10 @@ struct IiAttempt {
 IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int horizon,
                  bool minimize_reconfigs, int reconfig_budget, const Deadline& deadline,
                  const cp::SolverConfig& solver) {
+    obs::TraceBuffer* const trace =
+        solver.trace != nullptr ? solver.trace->main() : nullptr;
+    obs::SpanScope span(trace, obs::TraceLevel::Phase, "try_ii", "ii", ii);
+
     // Lower once per candidate II (the wrap is part of the model), then emit
     // into as many stores as the search needs: emission is deterministic, so
     // the reference table's handles index any worker's solution.
@@ -103,11 +108,14 @@ IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int hor
         minimize_reconfigs && m.reconfig_count.valid() ? m.reconfig_count : IntVar();
 
     if (solver.threads <= 1) {
+        if (solver.profile) store.enable_profiling();
+        opts.trace = trace;
         if (objective.valid()) {
             attempt.result = cp::solve(store, m.phases, objective, opts);
         } else {
             attempt.result = cp::satisfy(store, m.phases, opts);
         }
+        span.result("solved", attempt.result.has_solution() ? 1 : 0);
         return attempt;
     }
     attempt.result =
@@ -121,6 +129,7 @@ IiAttempt try_ii(const arch::ArchSpec& spec, const ir::Graph& g, int ii, int hor
             },
             solver, opts)
             .to_solve_result();
+    span.result("solved", attempt.result.has_solution() ? 1 : 0);
     return attempt;
 }
 
@@ -140,6 +149,11 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
     const arch::ArchSpec& spec = options.spec;
     const Stopwatch watch;
     const Deadline deadline = Deadline::after_ms(options.timeout_ms);
+
+    obs::TraceBuffer* const trace =
+        options.solver.trace != nullptr ? options.solver.trace->main() : nullptr;
+    obs::SpanScope modulo_span(trace, obs::TraceLevel::Phase, "modulo", "nodes",
+                               g.num_nodes());
 
     // One base lowering (no wrap) feeds the bound, the IMS warm start, and
     // the reconfiguration counting; the per-II exact models are lowered
@@ -170,11 +184,19 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
     // scan short and stands in as the anytime fallback on timeout.
     heur::ImsResult ims;
     if (options.warm_start || options.heuristic_only) {
+        obs::SpanScope ims_span(trace, obs::TraceLevel::Phase, "ims");
         heur::ImsOptions ims_opts;
         ims_opts.min_ii = best.ii_lower_bound;
         ims_opts.max_ii = options.max_ii;
         ims = heur::iterative_modulo_schedule(base, ims_opts);
+        ims_span.result("ii", ims.ok ? ims.ii : -1);
     }
+    /// Every per-II attempt bills its solver work to the scan's totals.
+    const auto bill_attempt = [&](const IiAttempt& attempt) {
+        best.stats.absorb(attempt.result.stats);
+        best.prop_stats.absorb(attempt.result.prop_stats);
+        cp::absorb_prop_profiles(best.prop_profile, attempt.result.prop_profile);
+    };
     const auto extract_ims = [&](cp::SolveStatus status) {
         best.initial_ii = ims.ii;
         best.residue = ims.residue;
@@ -211,6 +233,7 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
             }
             const IiAttempt attempt =
                 try_ii(spec, g, ii, horizon, false, 0, deadline, options.solver);
+            bill_attempt(attempt);
             if (attempt.result.has_solution()) {
                 extract(attempt, ii);
                 best.status = cp::SolveStatus::Optimal;
@@ -253,6 +276,7 @@ ModuloResult modulo_schedule(const ir::Graph& g, const ModuloOptions& options) {
                 : std::max(0, (best_actual - 1 - ii) / std::max(1, spec.reconfig_cycles));
         const IiAttempt attempt =
             try_ii(spec, g, ii, horizon, true, budget, deadline, options.solver);
+        bill_attempt(attempt);
         if (!attempt.result.has_solution()) continue;
         const int r = attempt.result.value_of(attempt.reconfig_count);
         const int actual = ii + r * spec.reconfig_cycles;

@@ -54,6 +54,14 @@ struct ModuloResult {
     double time_ms = 0.0;
     cp::SolveStatus status = cp::SolveStatus::Unsat;
 
+    /// Solver work accumulated over every per-II attempt of the scan (the
+    /// scan is the unit of work the caller pays for, not one solve).
+    cp::SearchStats stats;
+    cp::PropagationStats prop_stats;
+    /// Per-propagator-class attribution, likewise accumulated; empty unless
+    /// SolverConfig::profile was set.
+    std::vector<cp::PropProfile> prop_profile;
+
     /// Per-node steady-state schedule (op nodes; data nodes follow eq. 4):
     /// start of iteration-0 copy is stage * initial_ii + residue.
     std::vector<int> residue;  ///< m_i; -1 for data nodes

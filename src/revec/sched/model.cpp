@@ -12,6 +12,7 @@
 #include "revec/model/check.hpp"
 #include "revec/model/emit_cp.hpp"
 #include "revec/model/kernel_model.hpp"
+#include "revec/obs/trace.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::sched {
@@ -55,6 +56,7 @@ Schedule extract_schedule(const ir::Graph& g, const model::VarTable& m, const Re
     sched.status = result.status;
     sched.stats = result.stats;
     sched.prop_stats = result.prop_stats;
+    sched.prop_profile = result.prop_profile;
     if (!result.has_solution()) return sched;
 
     const auto n = static_cast<std::size_t>(g.num_nodes());
@@ -81,7 +83,8 @@ Schedule extract_schedule(const ir::Graph& g, const model::VarTable& m, const Re
 /// re-checked against the model; nullopt means no rung of the ladder
 /// produced a clean schedule (e.g. too few slots).
 std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOptions& options,
-                                           int num_slots) {
+                                           int num_slots, obs::TraceBuffer* trace) {
+    obs::SpanScope span(trace, obs::TraceLevel::Phase, "heuristic");
     // One lowering serves all rungs: the heuristics read slack priorities
     // (ASAP/ALAP against the critical path — the default horizon) and the
     // checker reads the lifetime/port/memory flags. The port limits are
@@ -100,6 +103,7 @@ std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOpt
         {true, true, false},   // serialize vector issue
         {true, true, true},    // ... and spread write-backs
     };
+    std::int64_t rung_index = 0;
     for (const heur::ListOptions& rung : kLadder) {
         const heur::ListResult list = heur::priority_list_schedule(km, rung);
         Schedule sched;
@@ -107,13 +111,20 @@ std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOpt
         sched.slot.assign(static_cast<std::size_t>(g.num_nodes()), -1);
         sched.makespan = list.makespan;
         sched.status = cp::SolveStatus::HeuristicFallback;
+        bool ok = true;
         if (options.memory_allocation) {
             const heur::AllocResult alloc = heur::allocate_slots(km, list.start);
-            if (!alloc.ok) continue;
-            sched.slot = alloc.slot;
-            sched.slots_used = alloc.slots_used;
+            ok = alloc.ok;
+            if (ok) {
+                sched.slot = alloc.slot;
+                sched.slots_used = alloc.slots_used;
+            }
         }
-        if (model::check_schedule(km, sched.start, sched.slot, sched.makespan).empty()) {
+        if (ok) ok = model::check_schedule(km, sched.start, sched.slot, sched.makespan).empty();
+        obs::instant(trace, obs::TraceLevel::Phase, "heur_rung", "rung", rung_index++,
+                     "ok", ok ? 1 : 0);
+        if (ok) {
+            span.result("makespan", sched.makespan);
             return sched;
         }
     }
@@ -126,6 +137,11 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     options.spec.validate();
     ir::validate_graph(g);
     const arch::ArchSpec& spec = options.spec;
+
+    obs::TraceBuffer* const trace =
+        options.solver.trace != nullptr ? options.solver.trace->main() : nullptr;
+    obs::SpanScope schedule_span(trace, obs::TraceLevel::Phase, "schedule", "nodes",
+                                 g.num_nodes());
 
     const int num_slots =
         options.num_slots < 0 ? spec.memory.slots() : options.num_slots;
@@ -158,7 +174,7 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     // used in slot-only mode (the makespan there is fixed by the caller).
     std::optional<Schedule> heuristic;
     if ((options.warm_start || options.heuristic_only) && options.fixed_starts.empty()) {
-        heuristic = heuristic_schedule(g, options, num_slots);
+        heuristic = heuristic_schedule(g, options, num_slots, trace);
         if (heuristic.has_value() && options.horizon > 0 &&
             heuristic->makespan + 1 > options.horizon) {
             // A user-capped horizon below the heuristic makespan: the exact
@@ -188,16 +204,26 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     // path. Portfolio workers re-emit the same model into their own stores
     // through the builder hook (emission is deterministic, so any table's
     // handles index any worker's solution).
+    obs::span_begin(trace, obs::TraceLevel::Phase, "lower");
     const model::KernelModel km =
         model::lower_ir(spec, g, lower_options(options, num_slots, horizon));
+    obs::span_end(trace, obs::TraceLevel::Phase, "lower");
     cp::Store store{options.solver.engine};
+    obs::span_begin(trace, obs::TraceLevel::Phase, "emit_cp");
     const model::VarTable m = model::emit_cp(store, km);
+    obs::span_end(trace, obs::TraceLevel::Phase, "emit_cp", "vars",
+                  static_cast<std::int64_t>(store.num_vars()));
 
     Schedule sched;
+    const char* const search_span = options.solver.threads <= 1 ? "search" : "portfolio";
+    obs::span_begin(trace, obs::TraceLevel::Phase, search_span, "threads",
+                    options.solver.threads);
     if (options.solver.threads <= 1) {
         std::atomic<std::int64_t> incumbent{heuristic.has_value() ? heuristic->makespan
                                                                   : INT64_MAX};
         if (heuristic.has_value()) search_opts.shared_bound = &incumbent;
+        if (options.solver.profile) store.enable_profiling();
+        search_opts.trace = trace;
         const cp::SolveResult result = cp::solve(store, m.phases, m.makespan, search_opts);
         sched = extract_schedule(g, m, result);
     } else {
@@ -212,6 +238,8 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
         sched = extract_schedule(g, m, result);
         sched.workers = result.workers;
     }
+    obs::span_end(trace, obs::TraceLevel::Phase, search_span, "nodes",
+                  sched.stats.nodes, "makespan", sched.makespan);
     if (!heuristic.has_value()) return sched;
 
     // Merge the exact outcome with the seeded incumbent. The exact search
@@ -230,18 +258,21 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
                                     : cp::SolveStatus::HeuristicFallback;
             heuristic->stats = sched.stats;
             heuristic->prop_stats = sched.prop_stats;
+            heuristic->prop_profile = std::move(sched.prop_profile);
             heuristic->workers = std::move(sched.workers);
             return *heuristic;
         case cp::SolveStatus::Unsat:
             heuristic->status = cp::SolveStatus::Optimal;
             heuristic->stats = sched.stats;
             heuristic->prop_stats = sched.prop_stats;
+            heuristic->prop_profile = std::move(sched.prop_profile);
             heuristic->workers = std::move(sched.workers);
             return *heuristic;
         case cp::SolveStatus::Timeout:
         case cp::SolveStatus::HeuristicFallback:
             heuristic->stats = sched.stats;
             heuristic->prop_stats = sched.prop_stats;
+            heuristic->prop_profile = std::move(sched.prop_profile);
             heuristic->workers = std::move(sched.workers);
             return *heuristic;
     }

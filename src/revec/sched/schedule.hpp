@@ -22,6 +22,9 @@ struct Schedule {
     cp::SolveStatus status = cp::SolveStatus::Unsat;
     cp::SearchStats stats;          ///< merged over all portfolio workers
     cp::PropagationStats prop_stats;  ///< engine counters, merged likewise
+    /// Per-propagator-class work attribution, merged likewise; empty unless
+    /// SolverConfig::profile was set.
+    std::vector<cp::PropProfile> prop_profile;
 
     /// Per-worker node/failure/cutoff-prune counters when the portfolio
     /// solver ran (empty for a sequential solve).

@@ -1,5 +1,6 @@
 #include "revec/support/strings.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
@@ -63,6 +64,23 @@ std::string format_fixed(double v, int prec) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*f", prec, v);
     return buf;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+    // Two-row dynamic program; row[j] = distance between a[0..i) and b[0..j).
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];  // row[i-1][j-1]
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({subst, up + 1, row[j - 1] + 1});
+            diag = up;
+        }
+    }
+    return row[b.size()];
 }
 
 }  // namespace revec

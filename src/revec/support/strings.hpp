@@ -26,4 +26,8 @@ double parse_double(std::string_view s);
 /// Format a double with `prec` significant decimal digits after the point.
 std::string format_fixed(double v, int prec);
 
+/// Levenshtein edit distance (insertions, deletions, substitutions). Used
+/// for "did you mean" suggestions on mistyped command-line flags.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
 }  // namespace revec

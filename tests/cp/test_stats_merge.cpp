@@ -1,0 +1,133 @@
+// The portfolio merge arithmetic behind every report: SearchStats /
+// PropagationStats absorb(), the per-class profile merge, and their
+// export into the metrics registry (which must sum the same way).
+#include <gtest/gtest.h>
+
+#include "revec/cp/search.hpp"
+#include "revec/cp/store.hpp"
+#include "revec/obs/metrics.hpp"
+
+namespace revec::cp {
+namespace {
+
+SearchStats make_search_stats(std::int64_t base) {
+    SearchStats s;
+    s.nodes = base;
+    s.failures = base + 1;
+    s.solutions = base + 2;
+    s.cutoff_prunes = base + 3;
+    s.restarts = base + 4;
+    s.time_ms = static_cast<double>(base) * 10.0;
+    return s;
+}
+
+TEST(StatsMerge, SearchStatsAbsorbAddsEverythingButTime) {
+    SearchStats a = make_search_stats(100);
+    const SearchStats b = make_search_stats(10);
+    a.absorb(b);
+    EXPECT_EQ(a.nodes, 110);
+    EXPECT_EQ(a.failures, 112);
+    EXPECT_EQ(a.solutions, 114);
+    EXPECT_EQ(a.cutoff_prunes, 116);
+    EXPECT_EQ(a.restarts, 118);
+    // time_ms is wall clock, not CPU time: absorb leaves it alone.
+    EXPECT_DOUBLE_EQ(a.time_ms, 1000.0);
+}
+
+TEST(StatsMerge, PropagationStatsAbsorbAddsAndMaxMerges) {
+    PropagationStats a;
+    a.propagations = 5;
+    a.domain_changes = 7;
+    a.events[0] = 1;
+    a.events[kNumEventKinds - 1] = 2;
+    a.wakeups = 11;
+    a.queue_pushes[0] = 3;
+    a.max_queue_depth = 40;
+    a.trail_bytes = 100;
+
+    PropagationStats b;
+    b.propagations = 6;
+    b.domain_changes = 8;
+    b.events[0] = 10;
+    b.wakeups = 13;
+    b.wakeups_filtered = 2;
+    b.queue_pushes[0] = 4;
+    b.max_queue_depth = 25;  // smaller: the high-water mark must not shrink
+    b.trail_saves = 9;
+
+    a.absorb(b);
+    EXPECT_EQ(a.propagations, 11);
+    EXPECT_EQ(a.domain_changes, 15);
+    EXPECT_EQ(a.events[0], 11);
+    EXPECT_EQ(a.events[kNumEventKinds - 1], 2);
+    EXPECT_EQ(a.wakeups, 24);
+    EXPECT_EQ(a.wakeups_filtered, 2);
+    EXPECT_EQ(a.queue_pushes[0], 7);
+    EXPECT_EQ(a.max_queue_depth, 40);
+    EXPECT_EQ(a.trail_saves, 9);
+    EXPECT_EQ(a.trail_bytes, 100);
+}
+
+TEST(StatsMerge, SearchStatsExportSumsLikeAbsorb) {
+    obs::MetricsRegistry m;
+    make_search_stats(100).export_metrics(m, "solve.");
+    make_search_stats(10).export_metrics(m, "solve.");
+    EXPECT_EQ(m.counter("solve.nodes"), 110);
+    EXPECT_EQ(m.counter("solve.failures"), 112);
+    EXPECT_EQ(m.counter("solve.solutions"), 114);
+    EXPECT_EQ(m.counter("solve.cutoff_prunes"), 116);
+    EXPECT_EQ(m.counter("solve.restarts"), 118);
+    // time_ms is a gauge: last writer wins, mirroring absorb's exclusion.
+    EXPECT_DOUBLE_EQ(m.gauge_value("solve.time_ms"), 100.0);
+}
+
+TEST(StatsMerge, PropagationStatsExportSumsAndMaxMerges) {
+    PropagationStats a;
+    a.propagations = 5;
+    a.events[0] = 2;
+    a.queue_pushes[kNumPriorities - 1] = 3;
+    a.max_queue_depth = 40;
+
+    PropagationStats b;
+    b.propagations = 7;
+    b.max_queue_depth = 25;
+
+    obs::MetricsRegistry m;
+    a.export_metrics(m, "engine.");
+    b.export_metrics(m, "engine.");
+    EXPECT_EQ(m.counter("engine.propagations"), 12);
+    EXPECT_EQ(m.counter("engine.events.min"), 2);
+    EXPECT_EQ(m.counter("engine.queue_pushes.global"), 3);
+    // The high-water mark max-merges across exports, like absorb().
+    EXPECT_EQ(m.counter("engine.max_queue_depth"), 40);
+}
+
+TEST(StatsMerge, PropProfilesMergeByClassAndStaySorted) {
+    std::vector<PropProfile> into = {
+        {"Cumulative", 10, 5, 1, 100},
+        {"LinearLeq", 20, 8, 0, 50},
+    };
+    const std::vector<PropProfile> from = {
+        {"AllDifferent", 1, 1, 0, 9},
+        {"Cumulative", 5, 2, 3, 40},
+    };
+    absorb_prop_profiles(into, from);
+    ASSERT_EQ(into.size(), 3u);
+    EXPECT_STREQ(into[0].cls, "AllDifferent");
+    EXPECT_STREQ(into[1].cls, "Cumulative");
+    EXPECT_STREQ(into[2].cls, "LinearLeq");
+    EXPECT_EQ(into[1].runs, 15);
+    EXPECT_EQ(into[1].domain_changes, 7);
+    EXPECT_EQ(into[1].failures, 4);
+    EXPECT_EQ(into[1].time_us, 140);
+
+    obs::MetricsRegistry m;
+    export_prop_profile_metrics(into, m);
+    EXPECT_EQ(m.counter("prop.Cumulative.runs"), 15);
+    EXPECT_EQ(m.counter("prop.Cumulative.failures"), 4);
+    EXPECT_EQ(m.counter("prop.AllDifferent.time_us"), 9);
+    EXPECT_EQ(m.counter("prop.LinearLeq.domain_changes"), 8);
+}
+
+}  // namespace
+}  // namespace revec::cp

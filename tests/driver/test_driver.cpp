@@ -7,7 +7,10 @@
 
 #include "revec/apps/matmul.hpp"
 #include "revec/apps/qrd.hpp"
+#include "revec/ir/passes.hpp"
 #include "revec/ir/xml_io.hpp"
+#include "revec/obs/trace_read.hpp"
+#include "revec/sched/model.hpp"
 #include "revec/support/assert.hpp"
 
 namespace revec::driver {
@@ -277,6 +280,153 @@ TEST(Run, BadArchFileRejected) {
     opts.arch_path = "/nonexistent/arch.xml";
     std::ostringstream out;
     EXPECT_THROW(run(opts, out), Error);
+}
+
+TEST(ParseArgs, TraceFlagImpliesPhaseLevel) {
+    std::ostringstream out;
+    const auto opts = parse_args({"k.xml", "--trace=/tmp/t.json"}, out);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->trace_path, "/tmp/t.json");
+    EXPECT_EQ(opts->trace_level, obs::TraceLevel::Phase);
+}
+
+TEST(ParseArgs, ExplicitTraceLevelWins) {
+    std::ostringstream out;
+    const auto node = parse_args({"k.xml", "--trace=t.json", "--trace-level=node"}, out);
+    ASSERT_TRUE(node.has_value());
+    EXPECT_EQ(node->trace_level, obs::TraceLevel::Node);
+    // --trace-level=off disables even with a --trace path (flag order must
+    // not matter).
+    const auto off = parse_args({"k.xml", "--trace-level=off", "--trace=t.json"}, out);
+    ASSERT_TRUE(off.has_value());
+    EXPECT_EQ(off->trace_level, obs::TraceLevel::Off);
+}
+
+TEST(ParseArgs, MetricsFlag) {
+    std::ostringstream out;
+    const auto opts = parse_args({"k.xml", "--metrics=/tmp/m.json"}, out);
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->metrics_path, "/tmp/m.json");
+    EXPECT_NE(usage().find("--metrics"), std::string::npos);
+    EXPECT_NE(usage().find("--trace"), std::string::npos);
+}
+
+TEST(ParseArgs, RejectsBadObservabilityValues) {
+    std::ostringstream out;
+    EXPECT_THROW(parse_args({"k.xml", "--trace-level=verbose"}, out), Error);
+    EXPECT_THROW(parse_args({"k.xml", "--trace="}, out), Error);
+    EXPECT_THROW(parse_args({"k.xml", "--metrics="}, out), Error);
+}
+
+TEST(ParseArgs, UnknownFlagSuggestsClosestMatch) {
+    std::ostringstream out;
+    try {
+        parse_args({"k.xml", "--trase=/tmp/t.json"}, out);
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown option '--trase=/tmp/t.json'"), std::string::npos);
+        EXPECT_NE(what.find("did you mean '--trace'"), std::string::npos);
+        EXPECT_NE(what.find("--help"), std::string::npos);
+    }
+    // Nothing plausible nearby: no suggestion, but still the --help pointer.
+    try {
+        parse_args({"k.xml", "--frobnicate"}, out);
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_EQ(what.find("did you mean"), std::string::npos);
+        EXPECT_NE(what.find("--help"), std::string::npos);
+    }
+}
+
+TEST(Run, TraceAndMetricsArtifacts) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul16.xml");
+    const std::string trace_path = testing::TempDir() + "/drv_trace.json";
+    const std::string metrics_path = testing::TempDir() + "/drv_metrics.json";
+    Options opts;
+    opts.input_path = path;
+    opts.threads = 4;
+    opts.trace_path = trace_path;
+    opts.trace_level = obs::TraceLevel::Phase;
+    opts.metrics_path = metrics_path;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    EXPECT_NE(out.str().find("trace written to"), std::string::npos);
+    EXPECT_NE(out.str().find("metrics written to"), std::string::npos);
+
+    // The trace parses, validates, and has one labeled track per worker.
+    const obs::ParsedTrace trace = obs::load_trace(trace_path);
+    EXPECT_TRUE(obs::validate_trace(trace).empty());
+    ASSERT_NE(trace.track("main"), nullptr);
+    for (int k = 0; k < opts.threads; ++k) {
+        bool found = false;
+        for (const obs::ParsedTrack& t : trace.tracks) {
+            if (t.name.find("worker-" + std::to_string(k)) == 0) found = true;
+        }
+        EXPECT_TRUE(found) << "no track for worker " << k;
+    }
+
+    // The metrics document carries search, engine, and per-class sections.
+    std::ifstream in(metrics_path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"solve.nodes\""), std::string::npos);
+    EXPECT_NE(content.find("\"engine.propagations\""), std::string::npos);
+    EXPECT_NE(content.find("\"prop."), std::string::npos);
+    EXPECT_NE(content.find("\"solve.status\": \"proven optimal\""), std::string::npos);
+}
+
+TEST(Run, MetricsMatchSolverCounters) {
+    // The acceptance contract of --metrics: registry totals equal the
+    // solver's own counters, with per-class attribution present.
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    sched::ScheduleOptions sopts;
+    sopts.solver.profile = true;
+    const sched::Schedule s = sched::schedule_kernel(g, sopts);
+    ASSERT_TRUE(s.feasible());
+    ASSERT_FALSE(s.prop_profile.empty());
+
+    const obs::MetricsRegistry m = collect_metrics(s);
+    EXPECT_EQ(m.counter("solve.nodes"), s.stats.nodes);
+    EXPECT_EQ(m.counter("solve.failures"), s.stats.failures);
+    EXPECT_EQ(m.counter("solve.solutions"), s.stats.solutions);
+    EXPECT_EQ(m.counter("engine.propagations"), s.prop_stats.propagations);
+    EXPECT_EQ(m.counter("engine.wakeups"), s.prop_stats.wakeups);
+    EXPECT_EQ(m.counter("solve.makespan"), s.makespan);
+    const std::string cls = s.prop_profile.front().cls;
+    EXPECT_EQ(m.counter("prop." + cls + ".runs"), s.prop_profile.front().runs);
+    ASSERT_NE(m.label_value("solve.status"), nullptr);
+    EXPECT_EQ(*m.label_value("solve.status"), "proven optimal");
+}
+
+TEST(Run, ModuloTraceAndMetricsArtifacts) {
+    const std::string path = write_kernel(apps::build_matmul(), "drv_matmul17.xml");
+    const std::string trace_path = testing::TempDir() + "/drv_modulo_trace.jsonl";
+    const std::string metrics_path = testing::TempDir() + "/drv_modulo_metrics.json";
+    Options opts;
+    opts.input_path = path;
+    opts.emit = "modulo";
+    opts.trace_path = trace_path;
+    opts.trace_level = obs::TraceLevel::Phase;
+    opts.metrics_path = metrics_path;
+    std::ostringstream out;
+    EXPECT_EQ(run(opts, out), 0);
+    const obs::ParsedTrace trace = obs::load_trace(trace_path);
+    EXPECT_TRUE(obs::validate_trace(trace).empty());
+    const obs::ParsedTrack* main_track = trace.track("main");
+    ASSERT_NE(main_track, nullptr);
+    bool saw_modulo_span = false;
+    for (const obs::ParsedEvent& e : main_track->events) {
+        if (e.kind == 'B' && e.name == "modulo") saw_modulo_span = true;
+    }
+    EXPECT_TRUE(saw_modulo_span);
+    std::ifstream in(metrics_path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"modulo.actual_ii\": 4"), std::string::npos);
 }
 
 TEST(Run, LaneOverrideChangesSchedule) {

@@ -1,0 +1,105 @@
+#include "revec/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace revec::obs {
+namespace {
+
+TEST(Metrics, CountersAddAndSet) {
+    MetricsRegistry m;
+    EXPECT_EQ(m.counter("solve.nodes"), 0);
+    EXPECT_FALSE(m.has_counter("solve.nodes"));
+    m.add("solve.nodes");
+    m.add("solve.nodes", 41);
+    EXPECT_EQ(m.counter("solve.nodes"), 42);
+    EXPECT_TRUE(m.has_counter("solve.nodes"));
+    m.set("solve.nodes", 7);
+    EXPECT_EQ(m.counter("solve.nodes"), 7);
+}
+
+TEST(Metrics, GaugesAndLabels) {
+    MetricsRegistry m;
+    m.gauge("solve.time_ms", 12.5);
+    EXPECT_DOUBLE_EQ(m.gauge_value("solve.time_ms"), 12.5);
+    EXPECT_DOUBLE_EQ(m.gauge_value("absent"), 0.0);
+    m.label("solve.status", "proven optimal");
+    ASSERT_NE(m.label_value("solve.status"), nullptr);
+    EXPECT_EQ(*m.label_value("solve.status"), "proven optimal");
+    EXPECT_EQ(m.label_value("absent"), nullptr);
+}
+
+TEST(Metrics, HistogramBuckets) {
+    Histogram h;
+    h.observe(0.25);  // below 1 -> bucket 0
+    h.observe(1.0);   // [1,2) -> bucket 0
+    h.observe(3.0);   // [2,4) -> bucket 1
+    h.observe(5.0);   // [4,8) -> bucket 2
+    EXPECT_EQ(h.count, 4);
+    EXPECT_DOUBLE_EQ(h.sum, 9.25);
+    EXPECT_DOUBLE_EQ(h.min, 0.25);
+    EXPECT_DOUBLE_EQ(h.max, 5.0);
+    EXPECT_EQ(h.buckets[0], 2);
+    EXPECT_EQ(h.buckets[1], 1);
+    EXPECT_EQ(h.buckets[2], 1);
+    EXPECT_DOUBLE_EQ(h.mean(), 9.25 / 4.0);
+}
+
+TEST(Metrics, AbsorbMergesLikeThePortfolio) {
+    MetricsRegistry a;
+    a.add("solve.nodes", 10);
+    a.gauge("solve.time_ms", 5.0);
+    a.label("winner", "worker-0");
+    a.observe("depth", 4.0);
+
+    MetricsRegistry b;
+    b.add("solve.nodes", 32);
+    b.add("solve.failures", 3);
+    b.gauge("solve.time_ms", 9.0);
+    b.observe("depth", 17.0);
+
+    a.absorb(b);
+    EXPECT_EQ(a.counter("solve.nodes"), 42);        // counters add
+    EXPECT_EQ(a.counter("solve.failures"), 3);      // absent counters appear
+    EXPECT_DOUBLE_EQ(a.gauge_value("solve.time_ms"), 9.0);  // last writer wins
+    EXPECT_EQ(*a.label_value("winner"), "worker-0");  // untouched by b
+    const Histogram* h = a.histogram("depth");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2);
+    EXPECT_DOUBLE_EQ(h->max, 17.0);
+}
+
+TEST(Metrics, WriteJsonIsDeterministic) {
+    MetricsRegistry m;
+    m.add("b.counter", 2);
+    m.add("a.counter", 1);
+    m.gauge("g", 1.25);
+    m.label("status", "ok");
+    const std::string once = m.to_json();
+    const std::string twice = m.to_json();
+    EXPECT_EQ(once, twice);
+    // Names sorted, sections in fixed order.
+    EXPECT_LT(once.find("\"a.counter\""), once.find("\"b.counter\""));
+    EXPECT_LT(once.find("\"counters\""), once.find("\"gauges\""));
+    EXPECT_LT(once.find("\"gauges\""), once.find("\"labels\""));
+    EXPECT_NE(once.find("\"g\": 1.250"), std::string::npos);
+    EXPECT_NE(once.find("\"status\": \"ok\""), std::string::npos);
+}
+
+TEST(Metrics, SaveJsonWritesTheDocument) {
+    MetricsRegistry m;
+    m.add("solve.nodes", 99);
+    const std::string path = ::testing::TempDir() + "/obs_metrics.json";
+    m.save_json(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), m.to_json());
+    EXPECT_NE(content.str().find("\"solve.nodes\": 99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace revec::obs

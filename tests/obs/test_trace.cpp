@@ -1,0 +1,193 @@
+#include "revec/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "revec/obs/trace_read.hpp"
+
+namespace revec::obs {
+namespace {
+
+TEST(TraceLevelNames, RoundTrip) {
+    EXPECT_EQ(parse_trace_level("off"), TraceLevel::Off);
+    EXPECT_EQ(parse_trace_level("phase"), TraceLevel::Phase);
+    EXPECT_EQ(parse_trace_level("node"), TraceLevel::Node);
+    EXPECT_FALSE(parse_trace_level("verbose").has_value());
+    EXPECT_STREQ(trace_level_name(TraceLevel::Phase), "phase");
+}
+
+TEST(Trace, NullBufferHelpersAreNoOps) {
+    // The disabled path at every call site: must not crash, must not record.
+    instant(nullptr, TraceLevel::Phase, "solution");
+    span_begin(nullptr, TraceLevel::Phase, "search");
+    span_end(nullptr, TraceLevel::Phase, "search");
+    SpanScope scope(nullptr, TraceLevel::Phase, "schedule");
+    scope.result("nodes", 1);
+}
+
+TEST(Trace, LevelFiltersAtThePushSite) {
+    TraceSink sink(TraceLevel::Phase);
+    TraceBuffer* buf = sink.main();
+    instant(buf, TraceLevel::Phase, "solution", "obj", 11);
+    instant(buf, TraceLevel::Node, "node", "depth", 3);  // dropped: sink is Phase
+    EXPECT_EQ(buf->size(), 1u);
+    EXPECT_STREQ(buf->events()[0].name, "solution");
+    EXPECT_EQ(buf->events()[0].a, 11);
+}
+
+TEST(Trace, SpanScopeAttachesResultToTheEndEvent) {
+    TraceSink sink(TraceLevel::Phase);
+    {
+        SpanScope scope(sink.main(), TraceLevel::Phase, "search", "threads", 4);
+        scope.result("nodes", 260, "makespan", 11);
+    }
+    const auto& events = sink.main()->events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, EventKind::SpanBegin);
+    EXPECT_EQ(events[0].a, 4);
+    EXPECT_EQ(events[1].kind, EventKind::SpanEnd);
+    EXPECT_STREQ(events[1].akey, "nodes");
+    EXPECT_EQ(events[1].a, 260);
+    EXPECT_EQ(events[1].b, 11);
+}
+
+TEST(Trace, RingDropsNewEventsWhenFull) {
+    TraceSink sink(TraceLevel::Node, /*events_per_track=*/8);
+    TraceBuffer* buf = sink.main();
+    for (int i = 0; i < 20; ++i) instant(buf, TraceLevel::Node, "node", "depth", i);
+    EXPECT_EQ(buf->size(), 8u);
+    EXPECT_EQ(buf->dropped(), 12u);
+    EXPECT_EQ(sink.total_dropped(), 12u);
+    // Drop-newest: the retained prefix is the first 8 events.
+    EXPECT_EQ(buf->events().back().a, 7);
+
+    // Both serializations surface the drop, and the reader still validates
+    // (the dropped tail exempts the track from the open-span check).
+    std::ostringstream jsonl;
+    sink.write_jsonl(jsonl);
+    EXPECT_NE(jsonl.str().find("trace_dropped"), std::string::npos);
+    const ParsedTrace parsed = parse_trace(jsonl.str());
+    EXPECT_TRUE(validate_trace(parsed).empty());
+}
+
+TEST(Trace, ChromeTraceShape) {
+    TraceSink sink(TraceLevel::Phase);
+    {
+        SpanScope scope(sink.main(), TraceLevel::Phase, "schedule", "nodes", 44);
+        instant(sink.main(), TraceLevel::Phase, "solution", "obj", 11);
+    }
+    std::ostringstream os;
+    sink.write_chrome_trace(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);  // track metadata
+    EXPECT_NE(doc.find("\"ph\": \"B\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\": \"E\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\": \"i\""), std::string::npos);  // chrome instant letter
+    const ParsedTrace parsed = parse_trace(doc);
+    ASSERT_EQ(parsed.tracks.size(), 1u);
+    EXPECT_EQ(parsed.tracks[0].name, "main");
+    ASSERT_EQ(parsed.tracks[0].events.size(), 3u);
+    EXPECT_TRUE(validate_trace(parsed).empty());
+}
+
+TEST(Trace, JsonlRoundTrip) {
+    TraceSink sink(TraceLevel::Node);
+    TraceBuffer* worker = sink.new_track("worker-0 (baseline)");
+    span_begin(sink.main(), TraceLevel::Phase, "search", "threads", 1);
+    instant(worker, TraceLevel::Node, "fail", "depth", 5);
+    span_end(sink.main(), TraceLevel::Phase, "search", "nodes", 9);
+
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    const ParsedTrace parsed = parse_trace(os.str());
+    ASSERT_EQ(parsed.tracks.size(), 2u);
+    // main() is always serialized first, even when registered after.
+    EXPECT_EQ(parsed.tracks[0].name, "main");
+    EXPECT_EQ(parsed.tracks[1].name, "worker-0 (baseline)");
+    const ParsedTrack* t = parsed.track("worker-0 (baseline)");
+    ASSERT_NE(t, nullptr);
+    ASSERT_EQ(t->events.size(), 1u);
+    EXPECT_EQ(t->events[0].kind, 'I');
+    EXPECT_EQ(t->events[0].name, "fail");
+    EXPECT_EQ(t->events[0].args.at("depth"), 5);
+    EXPECT_TRUE(validate_trace(parsed).empty());
+}
+
+TEST(Trace, SaveSelectsFormatByExtension) {
+    TraceSink sink(TraceLevel::Phase);
+    instant(sink.main(), TraceLevel::Phase, "solution");
+    const std::string json_path = ::testing::TempDir() + "/obs_trace.json";
+    const std::string jsonl_path = ::testing::TempDir() + "/obs_trace.jsonl";
+    sink.save(json_path);
+    sink.save(jsonl_path);
+    const ParsedTrace chrome = load_trace(json_path);
+    const ParsedTrace jsonl = load_trace(jsonl_path);
+    EXPECT_EQ(chrome.total_events(), 1u);
+    EXPECT_EQ(jsonl.total_events(), 1u);
+}
+
+TEST(TraceValidate, CatchesBrokenNesting) {
+    // Hand-written streams the serializer would never produce.
+    const ParsedTrace end_without_begin = parse_trace(
+        R"({"track":"main","seq":0,"kind":"E","name":"search","ts_us":1,"args":{}})");
+    EXPECT_FALSE(validate_trace(end_without_begin).empty());
+
+    const ParsedTrace left_open = parse_trace(
+        R"({"track":"main","seq":0,"kind":"B","name":"search","ts_us":1,"args":{}})");
+    EXPECT_FALSE(validate_trace(left_open).empty());
+
+    const ParsedTrace crossed = parse_trace(
+        R"({"track":"main","seq":0,"kind":"B","name":"a","ts_us":1,"args":{}}
+{"track":"main","seq":1,"kind":"B","name":"b","ts_us":2,"args":{}}
+{"track":"main","seq":2,"kind":"E","name":"a","ts_us":3,"args":{}}
+{"track":"main","seq":3,"kind":"E","name":"b","ts_us":4,"args":{}})");
+    EXPECT_FALSE(validate_trace(crossed).empty());
+
+    const ParsedTrace backwards = parse_trace(
+        R"({"track":"main","seq":0,"kind":"I","name":"a","ts_us":9,"args":{}}
+{"track":"main","seq":1,"kind":"I","name":"b","ts_us":3,"args":{}})");
+    EXPECT_FALSE(validate_trace(backwards).empty());
+}
+
+TEST(Trace, ConcurrentWritersOneTrackEach) {
+    // The portfolio pattern: tracks registered up front, then one writer
+    // thread per track pushing concurrently. TSan runs this test.
+    constexpr int kThreads = 4;
+    constexpr int kEvents = 5000;
+    TraceSink sink(TraceLevel::Node);
+    std::vector<TraceBuffer*> tracks;
+    for (int t = 0; t < kThreads; ++t) {
+        tracks.push_back(sink.new_track("worker-" + std::to_string(t)));
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&sink, buf = tracks[static_cast<std::size_t>(t)]] {
+            SpanScope worker(buf, TraceLevel::Phase, "worker");
+            for (int i = 0; i < kEvents; ++i) {
+                instant(buf, TraceLevel::Node, "node", "depth", i);
+            }
+            // Late registration from a worker thread must also be safe.
+            sink.new_track("late");
+            worker.result("nodes", kEvents);
+        });
+    }
+    for (std::thread& th : threads) th.join();
+
+    EXPECT_EQ(sink.num_tracks(), static_cast<std::size_t>(2 * kThreads));
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    const ParsedTrace parsed = parse_trace(os.str());
+    EXPECT_TRUE(validate_trace(parsed).empty());
+    for (int t = 0; t < kThreads; ++t) {
+        const ParsedTrack* track = parsed.track("worker-" + std::to_string(t));
+        ASSERT_NE(track, nullptr);
+        EXPECT_EQ(track->events.size(), static_cast<std::size_t>(kEvents + 2));
+    }
+}
+
+}  // namespace
+}  // namespace revec::obs

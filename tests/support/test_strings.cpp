@@ -69,5 +69,20 @@ TEST(FormatFixed, RoundsToPrecision) {
     EXPECT_EQ(format_fixed(2.0, 0), "2");
 }
 
+TEST(EditDistance, BasicOperations) {
+    EXPECT_EQ(edit_distance("", ""), 0u);
+    EXPECT_EQ(edit_distance("trace", "trace"), 0u);
+    EXPECT_EQ(edit_distance("", "abc"), 3u);
+    EXPECT_EQ(edit_distance("abc", ""), 3u);
+    EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+    EXPECT_EQ(edit_distance("--trase", "--trace"), 1u);   // substitution
+    EXPECT_EQ(edit_distance("--trce", "--trace"), 1u);    // insertion
+    EXPECT_EQ(edit_distance("--ttrace", "--trace"), 1u);  // deletion
+}
+
+TEST(EditDistance, IsSymmetric) {
+    EXPECT_EQ(edit_distance("--metrics", "--emit"), edit_distance("--emit", "--metrics"));
+}
+
 }  // namespace
 }  // namespace revec

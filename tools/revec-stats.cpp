@@ -1,0 +1,158 @@
+// revec-stats — offline reader for the traces revecc emits (--trace=F).
+// Validates the trace schema (span nesting, timestamp monotonicity) and
+// prints a phase/search-tree breakdown: where the solve spent its time,
+// how many nodes/failures each worker track contributed, and which point
+// events (solutions, bound broadcasts, restarts) fired. CI runs it over
+// the bench-smoke trace as a regression gate on the trace format.
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "revec/obs/trace_read.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/support/table.hpp"
+
+namespace {
+
+struct SpanAgg {
+    std::int64_t count = 0;
+    std::int64_t total_us = 0;
+};
+
+std::string ms(std::int64_t us) { return revec::format_fixed(us / 1000.0, 2); }
+
+int run(const std::string& path, bool validate_only, std::ostream& out) {
+    const revec::obs::ParsedTrace trace = revec::obs::load_trace(path);
+    const std::vector<std::string> problems = revec::obs::validate_trace(trace);
+    if (!problems.empty()) {
+        for (const std::string& p : problems) std::cerr << "revec-stats: " << p << "\n";
+        return 2;
+    }
+    if (validate_only) {
+        out << path << ": ok (" << trace.tracks.size() << " tracks, "
+            << trace.total_events() << " events)\n";
+        return 0;
+    }
+
+    // Aggregate spans by name (durations from matched begin/end pairs —
+    // validation above guarantees stack discipline) and count instants.
+    std::map<std::string, SpanAgg> spans;
+    std::map<std::string, std::int64_t> instants;
+    struct TrackAgg {
+        std::int64_t nodes = 0;      // "node" instants, else span-end payload
+        std::int64_t failures = 0;   // "fail" instants
+        std::int64_t solutions = 0;  // "solution" instants
+        std::int64_t max_depth = 0;
+    };
+    std::vector<TrackAgg> per_track(trace.tracks.size());
+
+    for (std::size_t t = 0; t < trace.tracks.size(); ++t) {
+        const revec::obs::ParsedTrack& track = trace.tracks[t];
+        TrackAgg& agg = per_track[t];
+        std::vector<const revec::obs::ParsedEvent*> open;
+        bool node_instants = false;
+        for (const revec::obs::ParsedEvent& e : track.events) {
+            if (e.kind == 'B') {
+                open.push_back(&e);
+            } else if (e.kind == 'E') {
+                SpanAgg& s = spans[e.name];
+                ++s.count;
+                s.total_us += e.ts_us - open.back()->ts_us;
+                open.pop_back();
+                // Phase-level traces carry the node count on the search /
+                // portfolio / worker span-end payload instead of per-node
+                // events. (canonical_replay nodes are already included in
+                // the enclosing portfolio span's payload.)
+                if (!node_instants && (e.name == "search" || e.name == "portfolio" ||
+                                       e.name == "worker")) {
+                    const auto it = e.args.find("nodes");
+                    if (it != e.args.end()) agg.nodes += it->second;
+                }
+            } else {
+                ++instants[e.name];
+                const auto depth = e.args.find("depth");
+                if (depth != e.args.end() && depth->second > agg.max_depth) {
+                    agg.max_depth = depth->second;
+                }
+                if (e.name == "node") {
+                    if (!node_instants) agg.nodes = 0;  // switch to exact counting
+                    node_instants = true;
+                    ++agg.nodes;
+                } else if (e.name == "fail") {
+                    ++agg.failures;
+                } else if (e.name == "solution") {
+                    ++agg.solutions;
+                }
+            }
+        }
+    }
+
+    out << path << ": " << trace.tracks.size() << " tracks, " << trace.total_events()
+        << " events\n\n";
+
+    revec::Table phases({"phase", "count", "total ms", "mean ms"});
+    for (const auto& [name, agg] : spans) {
+        phases.add_row({name, std::to_string(agg.count), ms(agg.total_us),
+                        ms(agg.count > 0 ? agg.total_us / agg.count : 0)});
+    }
+    if (phases.rows() > 0) {
+        phases.print(out);
+        out << "\n";
+    }
+
+    revec::Table tree({"track", "events", "nodes", "failures", "solutions", "max depth"});
+    for (std::size_t t = 0; t < trace.tracks.size(); ++t) {
+        const TrackAgg& agg = per_track[t];
+        tree.add_row({trace.tracks[t].name, std::to_string(trace.tracks[t].events.size()),
+                      std::to_string(agg.nodes), std::to_string(agg.failures),
+                      std::to_string(agg.solutions), std::to_string(agg.max_depth)});
+    }
+    tree.print(out);
+
+    if (!instants.empty()) {
+        out << "\n";
+        revec::Table events({"event", "count"});
+        for (const auto& [name, count] : instants) {
+            events.add_row({name, std::to_string(count)});
+        }
+        events.print(out);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string path;
+    bool validate_only = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: revec-stats <trace.json|trace.jsonl> [--validate-only]\n\n"
+                         "Validates a revecc --trace output and prints a phase/search-tree\n"
+                         "breakdown. Exits 2 when the trace fails schema validation.\n";
+            return 0;
+        }
+        if (arg == "--validate-only") {
+            validate_only = true;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::cerr << "revec-stats: multiple trace files given\n";
+            return 1;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "revec-stats: no trace file given (try --help)\n";
+        return 1;
+    }
+    try {
+        return run(path, validate_only, std::cout);
+    } catch (const std::exception& e) {
+        std::cerr << "revec-stats: " << e.what() << '\n';
+        return 2;
+    }
+}
