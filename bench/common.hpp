@@ -2,6 +2,8 @@
 // headers, paper-vs-measured framing, and kernel construction.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -17,10 +19,28 @@
 #include "revec/ir/passes.hpp"
 #include "revec/obs/metrics.hpp"
 #include "revec/support/assert.hpp"
+#include "revec/support/stopwatch.hpp"
 #include "revec/support/strings.hpp"
 #include "revec/support/table.hpp"
 
 namespace revec::bench {
+
+/// Median-of-3 wall-clock of `fn()` — single-shot timings swing with
+/// machine noise (frequency scaling, cache state), and three runs with the
+/// median is the cheapest damping that drops one outlier in each
+/// direction. Shared by the timing-sensitive harnesses so they all report
+/// the same statistic.
+template <typename Fn>
+double median_of_3_ms(Fn&& fn) {
+    std::array<double, 3> ms{};
+    for (double& m : ms) {
+        const Stopwatch watch;
+        fn();
+        m = watch.elapsed_ms();
+    }
+    std::sort(ms.begin(), ms.end());
+    return ms[1];
+}
 
 inline void banner(const std::string& title, const std::string& paper_context) {
     std::cout << "================================================================\n";

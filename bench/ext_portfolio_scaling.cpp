@@ -30,10 +30,12 @@ Run timed_schedule(const ir::Graph& g, const arch::ArchSpec& spec, int threads) 
     // non-trivial tree; the heuristic incumbent would collapse it (that
     // effect has its own harness, ext_warm_start).
     opts.warm_start = false;
-    const Stopwatch watch;
+    // Median-of-3 (bench::median_of_3_ms): speedup ratios amplify noise,
+    // so each cell gets the damped statistic. The schedule itself is the
+    // last run's — all three prove the same optimum or the parity check
+    // below fails anyway.
     Run r;
-    r.schedule = sched::schedule_kernel(g, opts);
-    r.wall_ms = watch.elapsed_ms();
+    r.wall_ms = bench::median_of_3_ms([&] { r.schedule = sched::schedule_kernel(g, opts); });
     return r;
 }
 

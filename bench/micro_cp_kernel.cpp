@@ -150,21 +150,16 @@ cp::SolveResult solve_hole_heavy(const cp::EngineConfig& engine) {
 }
 
 /// Median-of-3 wall-clock of a warm-started matmul schedule under the
-/// given engine (single-shot schedule timings swing with machine noise).
+/// given engine.
 double time_schedule_matmul(const cp::EngineConfig& engine) {
     const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
     sched::ScheduleOptions opts;
     opts.timeout_ms = 60000;
     opts.solver.engine = engine;
-    std::array<double, 3> ms{};
-    for (double& m : ms) {
-        const Stopwatch watch;
+    return bench::median_of_3_ms([&] {
         const sched::Schedule s = sched::schedule_kernel(g, opts);
         REVEC_EXPECTS(s.proven_optimal());
-        m = watch.elapsed_ms();
-    }
-    std::sort(ms.begin(), ms.end());
-    return ms[1];
+    });
 }
 
 void emit_engine_stats(bench::JsonWriter& json, const char* key,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
+#include <mutex>
 #include <thread>
 
 #include "revec/obs/trace.hpp"
@@ -44,13 +46,23 @@ struct WorkerSlot {
     std::exception_ptr error;
 };
 
+/// The shared incumbent *assignment* (the atomic bound carries only the
+/// objective). CP workers publish every improving solution here through the
+/// on_solution hook; LNS workers snapshot it, relax a neighbourhood, and
+/// publish accepted repairs back. Only allocated when lns_workers > 0.
+struct SharedIncumbent {
+    std::mutex mu;
+    std::vector<int> best;
+    std::int64_t objective = kNoBound;
+};
+
 /// One portfolio worker: rebuild the model, run the (possibly restarting)
 /// DFS against the shared bound, and fill `slot`.
 void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
                 const SearchOptions& base, const RestartPolicy& policy,
                 const EngineConfig& engine, bool profile, obs::TraceBuffer* trace,
                 std::atomic<bool>& stop, std::atomic<std::int64_t>& shared,
-                WorkerSlot& slot) {
+                SharedIncumbent* incumbent, WorkerSlot& slot) {
     try {
         obs::SpanScope worker_span(trace, obs::TraceLevel::Phase, "worker");
         Store store{engine};
@@ -63,6 +75,15 @@ void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
         opts.shared_bound = model.objective.valid() ? &shared : nullptr;
         opts.value_jitter_seed = cfg.jitter_seed;
         opts.trace = trace;
+        if (incumbent != nullptr && model.objective.valid()) {
+            opts.on_solution = [incumbent](const std::vector<int>& a, std::int64_t obj) {
+                const std::lock_guard<std::mutex> lock(incumbent->mu);
+                if (obj < incumbent->objective) {
+                    incumbent->objective = obj;
+                    incumbent->best = a;
+                }
+            };
+        }
 
         XorShift reseed(cfg.jitter_seed == 0 ? 0x7f4a7c15u : cfg.jitter_seed);
         std::int64_t restart_limit = cfg.restarts ? policy.initial_failures : -1;
@@ -120,6 +141,92 @@ void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
         worker_span.result("nodes", slot.report.stats.nodes, "proved",
                            slot.report.proved ? 1 : 0);
         if (slot.report.proved) stop.store(true, std::memory_order_release);
+    } catch (...) {
+        slot.error = std::current_exception();
+        stop.store(true, std::memory_order_release);
+    }
+}
+
+/// Once every CP worker has returned, this many consecutive non-improving
+/// rounds end an LNS worker — otherwise a deadline-free portfolio whose CP
+/// workers ran out of failure budget would spin forever.
+constexpr std::int64_t kLnsIdleLimit = 16;
+
+/// One LNS worker: loop { snapshot incumbent, run one lns_round, publish
+/// accepted improvements through the shared bound + incumbent }. Never sets
+/// `proved` — LNS only improves, proofs come from CP workers.
+void run_lns_worker(const LnsRoundFn& round, int lns_index, std::uint32_t seed,
+                    const SearchOptions& base, obs::TraceBuffer* trace,
+                    std::atomic<bool>& stop, std::atomic<std::int64_t>& shared,
+                    SharedIncumbent& incumbent, const std::atomic<int>& cp_active,
+                    WorkerSlot& slot) {
+    try {
+        obs::SpanScope worker_span(trace, obs::TraceLevel::Phase, "worker");
+        XorShift rng(seed);
+        std::int64_t idle = 0;
+        int round_no = 0;
+        while (!stop.load(std::memory_order_relaxed) && !base.deadline.expired()) {
+            std::vector<int> snapshot;
+            std::int64_t snapshot_obj = kNoBound;
+            {
+                const std::lock_guard<std::mutex> lock(incumbent.mu);
+                snapshot = incumbent.best;
+                snapshot_obj = incumbent.objective;
+            }
+            if (snapshot.empty()) {
+                // Cold start without a seed assignment: wait for some CP
+                // worker's first solution; give up when none can come.
+                if (cp_active.load(std::memory_order_acquire) == 0) break;
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                continue;
+            }
+            LnsRoundContext ctx;
+            ctx.incumbent = &snapshot;
+            ctx.objective = snapshot_obj;
+            ctx.seed = rng.next() | 1u;
+            ctx.worker = lns_index;
+            ctx.round = round_no++;
+            ctx.deadline = base.deadline;
+            ctx.stop = &stop;
+            ctx.trace = trace;
+            const LnsRoundResult r = round(ctx);
+            ++slot.report.lns_rounds;
+            slot.report.stats.absorb(r.stats);
+
+            bool accepted = false;
+            if (r.improved && !r.assignment.empty() && r.objective < snapshot_obj) {
+                const std::lock_guard<std::mutex> lock(incumbent.mu);
+                if (r.objective < incumbent.objective) {
+                    incumbent.objective = r.objective;
+                    incumbent.best = r.assignment;
+                    accepted = true;
+                }
+            }
+            if (accepted) {
+                ++slot.report.lns_accepted;
+                idle = 0;
+                slot.best = r.assignment;
+                slot.report.best_objective = r.objective;
+                slot.report.status = SolveStatus::SatTimeout;
+                // Publish through the shared bound so every CP worker prunes
+                // against the LNS incumbent from its next node on.
+                std::int64_t cur = shared.load(std::memory_order_relaxed);
+                while (r.objective < cur &&
+                       !shared.compare_exchange_weak(cur, r.objective,
+                                                     std::memory_order_relaxed)) {
+                }
+                obs::instant(trace, obs::TraceLevel::Phase, "bound", "obj", r.objective);
+            } else {
+                ++slot.report.lns_rejected;
+                ++idle;
+                if (cp_active.load(std::memory_order_acquire) == 0 &&
+                    idle >= kLnsIdleLimit) {
+                    break;
+                }
+            }
+        }
+        worker_span.result("rounds", slot.report.lns_rounds, "accepted",
+                           slot.report.lns_accepted);
     } catch (...) {
         slot.error = std::current_exception();
         stop.store(true, std::memory_order_release);
@@ -199,47 +306,78 @@ SolveResult PortfolioResult::to_solve_result() const {
 PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& config,
                                 const SearchOptions& options) {
     REVEC_EXPECTS(config.threads >= 1);
-    REVEC_EXPECTS(options.stop == nullptr && options.shared_bound == nullptr);
+    REVEC_EXPECTS(config.lns_workers >= 0);
+    REVEC_EXPECTS(config.lns_workers == 0 || config.lns_round != nullptr);
+    REVEC_EXPECTS(options.stop == nullptr && options.shared_bound == nullptr &&
+                  options.on_solution == nullptr);
     Stopwatch watch;
 
     const int n = config.threads;
+    const int lns = config.lns_workers;
+    const int total = n + lns;
     std::atomic<bool> stop{false};
     // Warm start: a seeded incumbent makes every worker search strictly
     // better objectives only. An exhausted search with no solution then
     // reports Unsat, which the caller reads as "the seed was optimal".
     std::atomic<std::int64_t> shared{config.initial_incumbent};
+    // CP workers still running — LNS workers stop once no CP worker is left
+    // to feed them fresh incumbents and rounds stop paying off.
+    std::atomic<int> cp_active{n};
+    SharedIncumbent incumbent;
+    if (lns > 0 && config.initial_incumbent != kNoBound &&
+        !config.lns_seed_assignment.empty()) {
+        incumbent.best = config.lns_seed_assignment;
+        incumbent.objective = config.initial_incumbent;
+    }
 
     std::vector<WorkerConfig> cfgs;
     cfgs.reserve(static_cast<std::size_t>(n));
     for (int k = 0; k < n; ++k) {
         cfgs.push_back(diversified_config(k, config.seed, config.restart_policy));
     }
-    std::vector<WorkerSlot> slots(static_cast<std::size_t>(n));
+    std::vector<WorkerSlot> slots(static_cast<std::size_t>(total));
 
     // Register one trace track per worker up front (on this thread, in
-    // worker order) so the serialized track order is deterministic whatever
-    // the thread scheduling does.
-    std::vector<obs::TraceBuffer*> tracks(static_cast<std::size_t>(n), nullptr);
+    // worker order, CP workers then LNS workers) so the serialized track
+    // order is deterministic whatever the thread scheduling does.
+    std::vector<obs::TraceBuffer*> tracks(static_cast<std::size_t>(total), nullptr);
     if (config.trace != nullptr) {
         for (int k = 0; k < n; ++k) {
             tracks[static_cast<std::size_t>(k)] =
                 config.trace->new_track("worker-" + std::to_string(k) + " (" +
                                         cfgs[static_cast<std::size_t>(k)].label + ")");
         }
+        for (int j = 0; j < lns; ++j) {
+            tracks[static_cast<std::size_t>(n + j)] =
+                config.trace->new_track("lns-" + std::to_string(j));
+        }
     }
 
-    if (n == 1) {
+    SharedIncumbent* const inc = lns > 0 ? &incumbent : nullptr;
+    if (total == 1) {
         run_worker(build, cfgs[0], options, config.restart_policy, config.engine,
-                   config.profile, tracks[0], stop, shared, slots[0]);
+                   config.profile, tracks[0], stop, shared, inc, slots[0]);
+        cp_active.store(0, std::memory_order_release);
     } else {
         std::vector<std::thread> threads;
-        threads.reserve(static_cast<std::size_t>(n));
+        threads.reserve(static_cast<std::size_t>(total));
         for (int k = 0; k < n; ++k) {
             threads.emplace_back([&, k] {
                 run_worker(build, cfgs[static_cast<std::size_t>(k)], options,
                            config.restart_policy, config.engine, config.profile,
-                           tracks[static_cast<std::size_t>(k)], stop, shared,
+                           tracks[static_cast<std::size_t>(k)], stop, shared, inc,
                            slots[static_cast<std::size_t>(k)]);
+                cp_active.fetch_sub(1, std::memory_order_release);
+            });
+        }
+        XorShift lns_seeds(config.seed ^ 0x1a5beadu);
+        for (int j = 0; j < lns; ++j) {
+            const std::uint32_t seed = lns_seeds.next() | 1u;
+            threads.emplace_back([&, j, seed] {
+                run_lns_worker(config.lns_round, j, seed, options,
+                               tracks[static_cast<std::size_t>(n + j)], stop, shared,
+                               incumbent, cp_active,
+                               slots[static_cast<std::size_t>(n + j)]);
             });
         }
         for (std::thread& t : threads) t.join();
@@ -252,10 +390,15 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
     PortfolioResult out;
     bool any_proof = false;
     std::int64_t best_obj = kNoBound;
-    for (int k = 0; k < n; ++k) {
+    for (int k = 0; k < total; ++k) {
         WorkerSlot& slot = slots[static_cast<std::size_t>(k)];
         slot.report.config_index = k;
-        slot.report.label = cfgs[static_cast<std::size_t>(k)].label;
+        if (k < n) {
+            slot.report.label = cfgs[static_cast<std::size_t>(k)].label;
+        } else {
+            slot.report.label = "lns-" + std::to_string(k - n);
+            slot.report.is_lns = true;
+        }
         out.stats.absorb(slot.report.stats);
         out.prop_stats.absorb(slot.report.prop_stats);
         absorb_prop_profiles(out.prop_profile, slot.report.prop_profile);
@@ -276,8 +419,9 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
     // Canonical replay: thread timing decides which worker first reports the
     // optimal objective, so the *assignment* above can differ run to run
     // even though the objective cannot. Re-derive it deterministically with
-    // the baseline configuration under the proven bound.
-    if (config.canonical_replay && n > 1 && out.status == SolveStatus::Optimal &&
+    // the baseline configuration under the proven bound. (LNS workers make
+    // even a 1-CP-thread portfolio timing-dependent, hence `total`.)
+    if (config.canonical_replay && total > 1 && out.status == SolveStatus::Optimal &&
         out.has_solution()) {
         obs::TraceBuffer* const main_track =
             config.trace != nullptr ? config.trace->main() : nullptr;

@@ -8,6 +8,13 @@
 // worker to exhaust its (bound-pruned) search space proves optimality for
 // the whole portfolio and cooperatively cancels the rest.
 //
+// A second worker kind (SolverConfig::lns_workers, DESIGN §5h) runs
+// large-neighbourhood search over the shared incumbent *assignment*: each
+// round relaxes a neighbourhood of the incumbent through the opaque
+// LnsRoundFn hook and publishes strictly improving repairs back through
+// the same shared bound. The portfolio stays model-agnostic — the hook is
+// built by revec::lns over the scheduling model.
+//
 // Determinism: the merged result picks the best objective, breaking ties
 // toward the lowest configuration index. Which worker *reports* the winning
 // objective can still vary with thread timing, so after a proven-optimal
@@ -41,12 +48,59 @@ struct RestartPolicy {
     double growth = 2.0;
 };
 
+/// One large-neighbourhood-search round request, handed to the LnsRoundFn
+/// hook by an LNS worker. The portfolio knows nothing about scheduling
+/// models — the hook (built by revec::lns over a KernelModel) interprets
+/// the incumbent assignment, relaxes a neighbourhood, and re-solves the
+/// frozen-rest subproblem.
+struct LnsRoundContext {
+    /// Snapshot of the best known full store assignment (indexed by
+    /// IntVar::index() against any emission of the model). Never null.
+    const std::vector<int>* incumbent = nullptr;
+    std::int64_t objective = 0;  ///< the incumbent's objective value
+    std::uint32_t seed = 0;      ///< deterministic per (worker, round)
+    int worker = 0;              ///< LNS worker index (0-based)
+    int round = 0;               ///< round number within this worker
+    Deadline deadline;           ///< the portfolio's wall-clock limit
+    const std::atomic<bool>* stop = nullptr;  ///< cooperative cancel
+    obs::TraceBuffer* trace = nullptr;        ///< this worker's track
+};
+
+/// What one LNS round produced. `improved` implies a verified assignment
+/// strictly better than the round's incumbent snapshot; the worker then
+/// publishes it through the shared bound and the shared incumbent.
+struct LnsRoundResult {
+    bool improved = false;
+    std::vector<int> assignment;  ///< full store assignment when improved
+    std::int64_t objective = 0;
+    SearchStats stats;  ///< repair-search work, absorbed into the worker's
+};
+
+/// The LNS round hook. Must be safe to invoke concurrently from several
+/// LNS worker threads (each call gets its own context and seed).
+using LnsRoundFn = std::function<LnsRoundResult(const LnsRoundContext&)>;
+
 /// Portfolio knob threaded through the scheduling layers: how many workers,
 /// how restart workers behave, and the seed feeding the jitter RNGs.
 struct SolverConfig {
     int threads = 1;
     RestartPolicy restart_policy;
     std::uint32_t seed = 0x5eedu;
+
+    /// Large-neighbourhood-search workers raced alongside the CP workers
+    /// (DESIGN §5h). Each loops: snapshot the shared incumbent assignment,
+    /// run one lns_round, publish accepted improvements through the shared
+    /// bound so every CP worker prunes against them. 0 = off. Requires
+    /// lns_round when positive.
+    int lns_workers = 0;
+
+    /// The round hook driving lns_workers; built by lns::make_portfolio_round.
+    LnsRoundFn lns_round;
+
+    /// Optional full store assignment matching initial_incumbent (e.g. the
+    /// completed heuristic schedule), so LNS workers can start relaxing
+    /// before any CP worker finds a first solution of its own.
+    std::vector<int> lns_seed_assignment;
 
     /// Propagation-engine feature toggles, applied to every worker store and
     /// to the canonical-replay store. EngineConfig::legacy() reproduces the
@@ -119,6 +173,12 @@ struct WorkerReport {
     std::vector<PropProfile> prop_profile;  ///< per-class work (profile mode)
     std::int64_t best_objective = -1;  ///< -1 = this worker found no solution
     bool proved = false;               ///< exhausted its bound-pruned tree
+
+    // LNS worker bookkeeping (zero for CP workers).
+    bool is_lns = false;
+    std::int64_t lns_rounds = 0;
+    std::int64_t lns_accepted = 0;  ///< strictly improving, verifier-clean rounds
+    std::int64_t lns_rejected = 0;
 };
 
 /// Merged portfolio outcome. `best` holds the winning assignment indexed by
@@ -141,9 +201,11 @@ struct PortfolioResult {
 
 /// Minimize the built model's objective (or find a first solution when the
 /// objective is invalid) with `config.threads` diversified workers sharing
-/// one incumbent bound. `options.deadline` and `options.max_failures` apply
-/// to every worker individually; `options.stop`/`shared_bound` must be
-/// null — the portfolio owns those.
+/// one incumbent bound, plus `config.lns_workers` LNS workers improving the
+/// shared incumbent assignment through the lns_round hook. `options.deadline`
+/// and `options.max_failures` apply to every worker individually;
+/// `options.stop`/`shared_bound`/`on_solution` must be null — the portfolio
+/// owns those.
 PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& config,
                                 const SearchOptions& options = {});
 

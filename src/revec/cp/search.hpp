@@ -69,6 +69,15 @@ struct SearchOptions {
     /// The sentinel value INT64_MAX means "no incumbent yet".
     std::atomic<std::int64_t>* shared_bound = nullptr;
 
+    /// Invoked at every improving solution with the full store assignment
+    /// (indexed by IntVar::index()) and the objective value, after the
+    /// shared bound is published. The portfolio's LNS workers use it to
+    /// obtain incumbent *assignments* (the shared bound alone carries only
+    /// the objective). Called on the searching thread; must be cheap and
+    /// thread-safe against concurrent callers on other stores. Never
+    /// invoked for satisfaction problems (invalid objective).
+    std::function<void(const std::vector<int>&, std::int64_t)> on_solution;
+
     /// Non-zero enables RNG-jittered value selection: with probability 1/4
     /// a uniformly random domain value replaces the heuristic choice.
     /// Completeness is unaffected (the right branch removes the value);

@@ -42,6 +42,12 @@ options:
   --threads=N        parallel portfolio workers sharing one incumbent bound
                      (default 1 = the sequential solver)
   --portfolio        shorthand for --threads=<hardware concurrency, max 8>
+  --lns=MODE         on races large-neighbourhood-search workers alongside
+                     the portfolio (default 2 unless --lns-workers says
+                     otherwise); off (default) disables them
+  --lns-workers=N    number of LNS workers (implies --lns=on)
+  --lns-relax-pct=P  percent of the ops each LNS round relaxes (1-100,
+                     default 30)
   --seed=N           portfolio diversification seed (default 0x5eed)
   --warm-start=MODE  on (default) seeds the exact search with a verified
                      heuristic schedule and falls back to it on timeout;
@@ -74,6 +80,7 @@ std::string closest_flag(const std::string& arg) {
         "--emit",         "--slots",     "--timeout-ms",   "--no-merge",
         "--no-memory",    "--include-reconfigs",           "--simulate",
         "--threads",      "--portfolio", "--seed",         "--warm-start",
+        "--lns",          "--lns-workers",                 "--lns-relax-pct",
         "--heuristic-only",              "--lanes",        "--arch",
         "--save-schedule",               "--dump-model",   "--trace",
         "--trace-level",  "--metrics",   "--help",
@@ -96,6 +103,8 @@ std::string closest_flag(const std::string& arg) {
 std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& out) {
     Options opts;
     bool trace_level_given = false;
+    bool lns_on = false;
+    bool lns_off = false;
     for (const std::string& arg : args) {
         if (arg == "--help" || arg == "-h") {
             out << usage();
@@ -132,6 +141,23 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
         } else if (starts_with(arg, "--threads=")) {
             opts.threads = static_cast<int>(parse_int(arg.substr(10)));
             if (opts.threads < 1) throw Error("--threads must be >= 1");
+        } else if (starts_with(arg, "--lns=")) {
+            const std::string mode = arg.substr(6);
+            if (mode == "on") {
+                lns_on = true;
+            } else if (mode == "off") {
+                lns_off = true;
+            } else {
+                throw Error("--lns must be 'on' or 'off'");
+            }
+        } else if (starts_with(arg, "--lns-workers=")) {
+            opts.lns_workers = static_cast<int>(parse_int(arg.substr(14)));
+            if (opts.lns_workers < 1) throw Error("--lns-workers must be >= 1");
+        } else if (starts_with(arg, "--lns-relax-pct=")) {
+            opts.lns_relax_pct = static_cast<int>(parse_int(arg.substr(16)));
+            if (opts.lns_relax_pct < 1 || opts.lns_relax_pct > 100) {
+                throw Error("--lns-relax-pct must be in [1, 100]");
+            }
         } else if (starts_with(arg, "--seed=")) {
             opts.seed = static_cast<std::uint32_t>(parse_int(arg.substr(7)));
         } else if (starts_with(arg, "--slots=")) {
@@ -174,6 +200,14 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
         }
     }
     if (opts.input_path.empty()) throw Error("no input file (try --help)");
+    if (lns_on && lns_off) throw Error("--lns given as both 'on' and 'off'");
+    // --lns=on without a count defaults to 2 workers; --lns=off wins over a
+    // --lns-workers count; --lns-workers=N alone implies on.
+    if (lns_off) {
+        opts.lns_workers = 0;
+    } else if (lns_on && opts.lns_workers == 0) {
+        opts.lns_workers = 2;
+    }
     // Asking for a trace file implies phase-level tracing; an explicit
     // --trace-level (any value, including off) wins.
     if (!opts.trace_path.empty() && !trace_level_given) {
@@ -284,13 +318,24 @@ obs::MetricsRegistry collect_metrics(const sched::Schedule& s) {
     m.set("solve.makespan", s.makespan);
     m.set("solve.slots_used", s.slots_used);
     m.label("solve.status", status_word(s.status));
+    std::int64_t lns_workers = 0;
     for (const cp::WorkerReport& w : s.workers) {
         const std::string prefix = "worker." + std::to_string(w.config_index) + ".";
         w.stats.export_metrics(m, prefix);
         m.set(prefix + "proved", w.proved ? 1 : 0);
         m.set(prefix + "best_objective", w.best_objective);
         m.label(prefix + "label", w.label);
+        if (w.is_lns) {
+            ++lns_workers;
+            m.set(prefix + "lns_rounds", w.lns_rounds);
+            m.set(prefix + "lns_accepted", w.lns_accepted);
+            m.set(prefix + "lns_rejected", w.lns_rejected);
+            m.add("lns.rounds", w.lns_rounds);
+            m.add("lns.accepted", w.lns_accepted);
+            m.add("lns.rejected", w.lns_rejected);
+        }
     }
+    if (lns_workers > 0) m.set("lns.workers", lns_workers);
     return m;
 }
 
@@ -344,6 +389,8 @@ int run(const Options& options, std::ostream& out) {
     sopts.timeout_ms = options.timeout_ms;
     sopts.memory_allocation = options.memory;
     sopts.solver.threads = options.threads;
+    sopts.solver.lns_workers = options.lns_workers;
+    sopts.lns.relax_pct = static_cast<double>(options.lns_relax_pct) / 100.0;
     sopts.solver.seed = options.seed;
     sopts.solver.trace = sink.get();
     sopts.solver.profile = !options.metrics_path.empty();
@@ -374,6 +421,16 @@ int run(const Options& options, std::ostream& out) {
         out << "solve:       " << s.stats.nodes << " nodes, " << s.stats.failures
             << " failures, " << format_fixed(s.stats.time_ms, 0) << " ms\n";
         for (const cp::WorkerReport& w : s.workers) {
+            if (w.is_lns) {
+                out << "  worker " << w.config_index << " [" << w.label
+                    << "]: " << w.lns_rounds << " rounds, " << w.lns_accepted
+                    << " accepted, " << w.lns_rejected << " rejected"
+                    << (w.best_objective >= 0
+                            ? ", best " + std::to_string(w.best_objective)
+                            : "")
+                    << "\n";
+                continue;
+            }
             out << "  worker " << w.config_index << " [" << w.label << "]: " << w.stats.nodes
                 << " nodes, " << w.stats.failures << " failures, " << w.stats.cutoff_prunes
                 << " bound prunes, " << w.stats.restarts << " restarts"

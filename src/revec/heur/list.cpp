@@ -167,4 +167,13 @@ ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g
     return priority_list_schedule(model::lower_ir(spec, g), options);
 }
 
+const std::vector<ListOptions>& ladder() {
+    static const std::vector<ListOptions> rungs = {
+        {true, false, false},  // packed
+        {true, true, false},   // serialize vector issue
+        {true, true, true},    // ... and spread write-backs
+    };
+    return rungs;
+}
+
 }  // namespace revec::heur

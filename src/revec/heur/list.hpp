@@ -56,4 +56,12 @@ ListResult priority_list_schedule(const model::KernelModel& m, const ListOptions
 ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g,
                                   const ListOptions& options = {});
 
+/// The allocation retry ladder: rung 0 is the packed schedule, later rungs
+/// progressively relax the simultaneous-access coupling (serialize vector
+/// issue, then additionally spread write-backs) so the greedy slot
+/// allocator faces easier access groups. sched walks it front to back for
+/// the warm start; ladder().back() is the most conservative rung — longest
+/// makespan, easiest allocation — which the LNS rescue bench seeds from.
+const std::vector<ListOptions>& ladder();
+
 }  // namespace revec::heur

@@ -1,0 +1,191 @@
+#include "revec/lns/neighbourhood.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::lns {
+
+namespace {
+
+using model::KernelModel;
+using model::ModelNode;
+using model::Unit;
+
+/// Number of ops one round relaxes before the DataProduce closure.
+int relax_count(const KernelModel& m, double relax_pct) {
+    const int ops = static_cast<int>(m.ops.size());
+    const int k = static_cast<int>(
+        std::ceil(relax_pct * static_cast<double>(ops)));
+    return std::clamp(k, 1, std::max(ops, 1));
+}
+
+/// The k ops whose incumbent issue time is nearest `anchor`, ties broken
+/// toward earlier starts then lower ids — a deterministic "time window"
+/// that adapts its width to the local op density.
+std::vector<int> nearest_ops(const KernelModel& m, const std::vector<int>& start,
+                             int anchor, int k) {
+    std::vector<int> order = m.ops;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        const int da = std::abs(start[static_cast<std::size_t>(a)] - anchor);
+        const int db = std::abs(start[static_cast<std::size_t>(b)] - anchor);
+        if (da != db) return da < db;
+        if (start[static_cast<std::size_t>(a)] != start[static_cast<std::size_t>(b)]) {
+            return start[static_cast<std::size_t>(a)] < start[static_cast<std::size_t>(b)];
+        }
+        return a < b;
+    });
+    order.resize(static_cast<std::size_t>(std::min<int>(k, static_cast<int>(order.size()))));
+    return order;
+}
+
+std::vector<int> random_slice(const KernelModel& m, int k, XorShift& rng) {
+    // Partial Fisher-Yates: the first k entries after k swap steps are a
+    // uniform sample without replacement.
+    std::vector<int> pool = m.ops;
+    const int n = static_cast<int>(pool.size());
+    for (int i = 0; i < k; ++i) {
+        const int j = i + rng.below(n - i);
+        std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+    }
+    pool.resize(static_cast<std::size_t>(k));
+    return pool;
+}
+
+std::vector<int> critical_window(const KernelModel& m, const std::vector<int>& start,
+                                 int k, XorShift& rng) {
+    // Critical sinks: nodes whose completion realizes the incumbent
+    // makespan. Shrinking the makespan requires moving at least one of
+    // them, so the window anchors on a random sink's issue time.
+    int makespan = 0;
+    for (const ModelNode& node : m.nodes) {
+        const auto i = static_cast<std::size_t>(node.id);
+        makespan = std::max(makespan, start[i] + node.latency);
+    }
+    std::vector<int> sinks;
+    for (const int op : m.ops) {
+        const ModelNode& node = m.node(op);
+        if (start[static_cast<std::size_t>(op)] + node.latency == makespan) {
+            sinks.push_back(op);
+        }
+    }
+    // Data nodes can realize the makespan too (persisting outputs); ops
+    // feeding them are one latency earlier — anchor on the latest op then.
+    int anchor;
+    if (!sinks.empty()) {
+        anchor = start[static_cast<std::size_t>(
+            sinks[static_cast<std::size_t>(rng.below(static_cast<int>(sinks.size())))])];
+    } else {
+        anchor = 0;
+        for (const int op : m.ops) {
+            anchor = std::max(anchor, start[static_cast<std::size_t>(op)]);
+        }
+    }
+    return nearest_ops(m, start, anchor, k);
+}
+
+std::vector<int> resource_hot_row(const KernelModel& m, const std::vector<int>& start,
+                                  int k, XorShift& rng) {
+    // Per-cycle usage of each unit class under the incumbent; the hot row
+    // is the (class, cycle) with the highest utilization ratio. Relaxing
+    // the ops crowding it gives the repair solve room to de-serialize the
+    // bottleneck resource.
+    int horizon = 1;
+    for (const int op : m.ops) {
+        const ModelNode& node = m.node(op);
+        horizon = std::max(horizon, start[static_cast<std::size_t>(op)] + node.duration);
+    }
+    struct Row {
+        std::vector<int> use;
+        int cap = 1;
+    };
+    Row rows[3];  // VectorCore lanes, Scalar, IndexMerge
+    rows[0].cap = std::max(m.caps.vector_lanes, 1);
+    rows[1].cap = std::max(m.caps.scalar_units, 1);
+    rows[2].cap = std::max(m.caps.index_merge_units, 1);
+    for (Row& r : rows) r.use.assign(static_cast<std::size_t>(horizon), 0);
+    for (const int op : m.ops) {
+        const ModelNode& node = m.node(op);
+        const int demand = node.lanes > 0 ? node.lanes : 1;
+        const int row = node.lanes > 0 ? 0 : (node.unit == Unit::Scalar ? 1 : 2);
+        const int s = start[static_cast<std::size_t>(op)];
+        for (int t = s; t < s + node.duration && t < horizon; ++t) {
+            rows[row].use[static_cast<std::size_t>(t)] += demand;
+        }
+    }
+    int best_row = 0;
+    double best_ratio = -1.0;
+    for (int r = 0; r < 3; ++r) {
+        for (const int u : rows[r].use) {
+            const double ratio = static_cast<double>(u) / rows[r].cap;
+            if (ratio > best_ratio) {
+                best_ratio = ratio;
+                best_row = r;
+            }
+        }
+    }
+    // All cycles achieving the hot row's peak; the RNG picks among them so
+    // successive rounds probe different congestion points.
+    std::vector<int> peaks;
+    for (int t = 0; t < horizon; ++t) {
+        const double ratio =
+            static_cast<double>(rows[best_row].use[static_cast<std::size_t>(t)]) /
+            rows[best_row].cap;
+        if (ratio == best_ratio) peaks.push_back(t);
+    }
+    const int anchor =
+        peaks.empty() ? 0
+                      : peaks[static_cast<std::size_t>(
+                            rng.below(static_cast<int>(peaks.size())))];
+    return nearest_ops(m, start, anchor, k);
+}
+
+}  // namespace
+
+const char* selector_name(Selector s) {
+    switch (s) {
+        case Selector::RandomSlice: return "random-slice";
+        case Selector::CriticalPathWindow: return "critical-path-window";
+        case Selector::ResourceHotRow: return "resource-hot-row";
+    }
+    return "unknown";
+}
+
+std::vector<int> select_neighbourhood(const model::KernelModel& m,
+                                      const std::vector<int>& start, Selector selector,
+                                      double relax_pct, XorShift& rng) {
+    REVEC_EXPECTS(start.size() == static_cast<std::size_t>(m.num_nodes()));
+    REVEC_EXPECTS(!m.ops.empty());
+    const int k = relax_count(m, relax_pct);
+
+    std::vector<int> ops;
+    switch (selector) {
+        case Selector::RandomSlice: ops = random_slice(m, k, rng); break;
+        case Selector::CriticalPathWindow: ops = critical_window(m, start, k, rng); break;
+        case Selector::ResourceHotRow: ops = resource_hot_row(m, start, k, rng); break;
+    }
+
+    // Closure under DataProduce successors: eq. 4 pins a produced data
+    // node's start to producer start + latency, so a relaxed producer must
+    // carry its outputs along. Data nodes never produce further, so one
+    // pass over the edges suffices.
+    std::vector<char> in_set(static_cast<std::size_t>(m.num_nodes()), 0);
+    for (const int op : ops) in_set[static_cast<std::size_t>(op)] = 1;
+    for (const model::ModelEdge& e : m.edges) {
+        if (e.kind == model::EdgeKind::DataProduce &&
+            in_set[static_cast<std::size_t>(e.src)] != 0) {
+            in_set[static_cast<std::size_t>(e.dst)] = 1;
+        }
+    }
+    std::vector<int> out;
+    for (int id = 0; id < m.num_nodes(); ++id) {
+        if (in_set[static_cast<std::size_t>(id)] != 0 && !m.node(id).is_input) {
+            out.push_back(id);
+        }
+    }
+    return out;
+}
+
+}  // namespace revec::lns

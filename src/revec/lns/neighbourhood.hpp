@@ -1,0 +1,39 @@
+// Neighbourhood selection for large-neighbourhood search (DESIGN §5h):
+// which subset of t_start variables one LNS round un-freezes around the
+// incumbent schedule. Three selectors — a uniform random slice, a time
+// window around a critical-path sink, and the hottest resource row — are
+// rotated by the round loop so structurally different moves get tried.
+// Selection is deterministic per (model, incumbent, RNG state), which the
+// per-seed determinism tests pin down.
+#pragma once
+
+#include <vector>
+
+#include "revec/model/kernel_model.hpp"
+#include "revec/support/rng.hpp"
+
+namespace revec::lns {
+
+/// Which neighbourhood one round relaxes.
+enum class Selector {
+    RandomSlice,         ///< uniform random subset of the op nodes
+    CriticalPathWindow,  ///< ops issuing nearest a random critical sink
+    ResourceHotRow,      ///< ops crowding the most-utilized resource cycle
+};
+
+const char* selector_name(Selector s);
+
+/// Pick the node ids whose start times one LNS round relaxes. `start` is
+/// the incumbent schedule (one entry per node). The returned set is sorted
+/// ascending and:
+///  - contains only op nodes plus their DataProduce successors (eq. 4 ties
+///    a produced data node's start to its producer's, so freezing one side
+///    while relaxing the other would make the subproblem trivially UNSAT);
+///  - never contains input nodes (their starts are pinned to 0 anyway);
+///  - relaxes ceil(relax_pct * |ops|) ops, clamped to [1, |ops|], before
+///    the DataProduce closure widens it.
+std::vector<int> select_neighbourhood(const model::KernelModel& m,
+                                      const std::vector<int>& start, Selector selector,
+                                      double relax_pct, XorShift& rng);
+
+}  // namespace revec::lns

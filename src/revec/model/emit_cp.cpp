@@ -24,7 +24,10 @@ public:
     explicit EqBoolCache(cp::Store& store) : store_(store) {}
 
     cp::BoolVar get(IntVar x, IntVar y) {
-        auto key = std::minmax(x.index(), y.index());
+        // std::minmax returns a pair of references into its argument
+        // temporaries; copy into a value pair before they die.
+        const std::pair<std::int32_t, std::int32_t> key =
+            std::minmax(x.index(), y.index());
         const auto it = cache_.find(key);
         if (it != cache_.end()) return it->second;
         const cp::BoolVar b = store_.new_bool();
@@ -69,6 +72,30 @@ VarTable emit_flat(cp::Store& store, const KernelModel& m) {
                 throw Error("fixed start " + std::to_string(m.fixed_starts[i]) +
                             " for node " + std::to_string(node.id) +
                             " conflicts with the model bounds");
+            }
+        }
+    }
+
+    // LNS repair mode: pin the frozen subset of starts to the incumbent.
+    // Plain assignments only — the variable set stays identical to the
+    // unfrozen emission, so a repair solve's assignment vector indexes any
+    // other emission of the same base model.
+    if (!m.frozen_starts.empty()) {
+        if (m.frozen_starts.size() != static_cast<std::size_t>(n)) {
+            throw Error("frozen_starts must supply one entry per node");
+        }
+        for (const ModelNode& node : m.nodes) {
+            const auto i = static_cast<std::size_t>(node.id);
+            const int v = m.frozen_starts[i];
+            if (v < 0) continue;
+            if (!store.assign(start[i], v)) {
+                // An incumbent start outside the subproblem bounds (e.g. a
+                // tightened horizon): report infeasible so the LNS round is
+                // rejected, instead of throwing like fixed_starts does.
+                VarTable out;
+                out.start = std::move(start);
+                out.infeasible = true;
+                return out;
             }
         }
     }

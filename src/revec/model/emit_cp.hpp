@@ -32,7 +32,10 @@ struct VarTable {
     cp::IntVar makespan;                ///< flat objective (eq. 5)
     cp::IntVar reconfig_count;          ///< modulo objective when minimizing R
     std::vector<cp::Phase> phases;
-    bool infeasible = false;  ///< modulo reconfig budget contradiction found
+    /// Contradiction found while posting: a modulo reconfiguration budget
+    /// below the lower bound, or a frozen_starts value outside the model
+    /// bounds (LNS repair — the round is rejected).
+    bool infeasible = false;
 };
 
 /// Post `m` into `store` and return the variable handles and search phases.

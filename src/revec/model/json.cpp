@@ -106,6 +106,11 @@ std::string to_json(const KernelModel& m) {
         append_ints(os, m.fixed_starts);
         os << ",\n";
     }
+    if (!m.frozen_starts.empty()) {
+        os << "  \"frozen_starts\": ";
+        append_ints(os, m.frozen_starts);
+        os << ",\n";
+    }
     if (m.modulo.has_value()) {
         os << "  \"modulo\": {\"ii\": " << m.modulo->ii
            << ", \"max_stage\": " << m.modulo->max_stage

@@ -9,6 +9,7 @@
 #include "revec/heur/list.hpp"
 #include "revec/ir/analysis.hpp"
 #include "revec/ir/validate.hpp"
+#include "revec/lns/lns.hpp"
 #include "revec/model/check.hpp"
 #include "revec/model/emit_cp.hpp"
 #include "revec/model/kernel_model.hpp"
@@ -98,13 +99,8 @@ std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOpt
     lo.lifetime_includes_last_read = options.lifetime_includes_last_read;
     const model::KernelModel km = model::lower_ir(options.spec, g, lo);
 
-    constexpr heur::ListOptions kLadder[] = {
-        {true, false, false},  // packed
-        {true, true, false},   // serialize vector issue
-        {true, true, true},    // ... and spread write-backs
-    };
     std::int64_t rung_index = 0;
-    for (const heur::ListOptions& rung : kLadder) {
+    for (const heur::ListOptions& rung : heur::ladder()) {
         const heur::ListResult list = heur::priority_list_schedule(km, rung);
         Schedule sched;
         sched.start = list.start;
@@ -215,10 +211,12 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
                   static_cast<std::int64_t>(store.num_vars()));
 
     Schedule sched;
-    const char* const search_span = options.solver.threads <= 1 ? "search" : "portfolio";
+    const bool sequential =
+        options.solver.threads <= 1 && options.solver.lns_workers <= 0;
+    const char* const search_span = sequential ? "search" : "portfolio";
     obs::span_begin(trace, obs::TraceLevel::Phase, search_span, "threads",
                     options.solver.threads);
-    if (options.solver.threads <= 1) {
+    if (sequential) {
         std::atomic<std::int64_t> incumbent{heuristic.has_value() ? heuristic->makespan
                                                                   : INT64_MAX};
         if (heuristic.has_value()) search_opts.shared_bound = &incumbent;
@@ -229,6 +227,22 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
     } else {
         cp::SolverConfig solver = options.solver;
         if (heuristic.has_value()) solver.initial_incumbent = heuristic->makespan;
+        if (solver.lns_workers > 0 && !km.fixed_starts.empty()) {
+            // Slot-only mode: every start is pinned, so there is no
+            // neighbourhood to relax.
+            solver.lns_workers = 0;
+        }
+        if (solver.lns_workers > 0) {
+            // Build the round hook over the same lowered model the CP
+            // workers re-emit; complete the heuristic schedule into a full
+            // store assignment so LNS rounds can start before any CP worker
+            // publishes a solution of its own.
+            solver.lns_round = lns::make_portfolio_round(km, options.lns);
+            if (heuristic.has_value()) {
+                solver.lns_seed_assignment =
+                    lns::complete_assignment(km, heuristic->start, heuristic->slot);
+            }
+        }
         const cp::PortfolioResult result = cp::solve_portfolio(
             [&](cp::Store& s) {
                 model::VarTable worker = model::emit_cp(s, km);

@@ -10,6 +10,7 @@
 #include "revec/arch/spec.hpp"
 #include "revec/cp/portfolio.hpp"
 #include "revec/ir/graph.hpp"
+#include "revec/lns/lns.hpp"
 #include "revec/sched/schedule.hpp"
 
 namespace revec::sched {
@@ -63,8 +64,15 @@ struct ScheduleOptions {
 
     /// Parallel portfolio search (§3.5 search, N diversified workers with a
     /// shared branch-and-bound incumbent). threads = 1 runs the sequential
-    /// solver unchanged; see cp/portfolio.hpp for the knobs.
+    /// solver unchanged; see cp/portfolio.hpp for the knobs. Setting
+    /// solver.lns_workers > 0 races LNS workers alongside (the lns_round
+    /// hook and seed assignment are wired here from the lowered model — the
+    /// caller only sets the count and `lns` tuning).
     cp::SolverConfig solver;
+
+    /// Tuning of the portfolio's LNS workers (relax fraction, repair
+    /// budget, selector rotation). Ignored unless solver.lns_workers > 0.
+    lns::LnsTuning lns;
 
     /// Warm start from the heuristic layer (src/revec/heur): a verified
     /// list-schedule + greedy-allocation solution seeds the branch-and-bound

@@ -1,0 +1,93 @@
+// Property suite over a 25-instance random corpus (mirrors
+// tests/heur/test_property.cpp): every incumbent improve_schedule accepts
+// is verify-clean against the base model, the incumbent trail is strictly
+// decreasing, the final schedule never regresses past the seed, and the
+// whole run is deterministic in the seed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lns_fixtures.hpp"
+#include "revec/apps/random_kernel.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/lns/lns.hpp"
+
+namespace revec::lns {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+LnsOptions small_budget_options(unsigned seed) {
+    LnsOptions opts;
+    opts.seed = 0x1000u + seed;
+    opts.max_rounds = 10;
+    opts.tuning.repair_failures = 400;
+    return opts;
+}
+
+class LnsProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LnsProperty, AcceptedIncumbentsVerifyCleanAndStrictlyImprove) {
+    apps::RandomKernelOptions kopts;
+    kopts.seed = GetParam();
+    kopts.num_ops = 14 + static_cast<int>(GetParam() % 5) * 3;
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_random_kernel(kopts));
+
+    // Seed from the most conservative ladder rung: serialized issue +
+    // spread write-backs leaves real improvement room.
+    const testing::Incumbent inc =
+        testing::ladder_incumbent(kSpec, g, heur::ladder().size() - 1);
+    ASSERT_TRUE(inc.ok) << "seed " << GetParam();
+
+    const LnsResult r = improve_schedule(inc.km, inc.start, inc.slot, inc.makespan,
+                                         small_budget_options(GetParam()));
+
+    // The final incumbent — improved or not — verifies against the base
+    // model, and slots_used reflects it.
+    EXPECT_TRUE(model::check_schedule(inc.km, r.start, r.slot, r.makespan).empty())
+        << "seed " << GetParam();
+    EXPECT_LE(r.makespan, inc.makespan) << "seed " << GetParam();
+    EXPECT_GE(r.makespan, inc.km.critical_path) << "seed " << GetParam();
+
+    // Monotone incumbent trail: one entry per accepted round, strictly
+    // decreasing, starting below the seed and ending at the final makespan.
+    EXPECT_EQ(static_cast<int>(r.incumbent_trail.size()), r.accepted);
+    EXPECT_EQ(r.accepted + r.rejected, r.rounds);
+    int prev = inc.makespan;
+    for (const int m : r.incumbent_trail) {
+        EXPECT_LT(m, prev) << "seed " << GetParam();
+        prev = m;
+    }
+    if (!r.incumbent_trail.empty()) {
+        EXPECT_TRUE(r.improved);
+        EXPECT_EQ(r.incumbent_trail.back(), r.makespan);
+    } else {
+        EXPECT_FALSE(r.improved);
+        EXPECT_EQ(r.makespan, inc.makespan);
+    }
+}
+
+TEST_P(LnsProperty, DeterministicPerSeed) {
+    apps::RandomKernelOptions kopts;
+    kopts.seed = GetParam();
+    kopts.num_ops = 14 + static_cast<int>(GetParam() % 3) * 4;
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_random_kernel(kopts));
+    const testing::Incumbent inc =
+        testing::ladder_incumbent(kSpec, g, heur::ladder().size() - 1);
+    ASSERT_TRUE(inc.ok) << "seed " << GetParam();
+
+    const LnsOptions opts = small_budget_options(GetParam());
+    const LnsResult a = improve_schedule(inc.km, inc.start, inc.slot, inc.makespan, opts);
+    const LnsResult b = improve_schedule(inc.km, inc.start, inc.slot, inc.makespan, opts);
+    EXPECT_EQ(a.incumbent_trail, b.incumbent_trail) << "seed " << GetParam();
+    EXPECT_EQ(a.start, b.start) << "seed " << GetParam();
+    EXPECT_EQ(a.slot, b.slot) << "seed " << GetParam();
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.rejected, b.rejected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus25, LnsProperty, ::testing::Range(1u, 26u));
+
+}  // namespace
+}  // namespace revec::lns

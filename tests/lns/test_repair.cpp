@@ -1,0 +1,167 @@
+// The repair half of an LNS round, pinned at the model/emitter boundary:
+// frozen_starts really freezes (assigned in the emitted store), preserves
+// var-set parity with the unfrozen emission (so repair solutions index the
+// base model's handles), marks out-of-bounds freezes infeasible instead of
+// throwing, and the strict improvement bound rejects equal-makespan
+// repairs. Plus complete_assignment, the portfolio's warm-start seed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lns_fixtures.hpp"
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/random_kernel.hpp"
+#include "revec/cp/store.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/lns/lns.hpp"
+#include "revec/lns/neighbourhood.hpp"
+#include "revec/model/emit_cp.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::lns {
+namespace {
+
+const arch::ArchSpec kSpec = arch::ArchSpec::eit();
+
+testing::Incumbent matmul_incumbent() {
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    return testing::ladder_incumbent(kSpec, g, heur::ladder().size() - 1);
+}
+
+TEST(Repair, FrozenStartsAreAssignedInTheEmittedStore) {
+    const testing::Incumbent inc = matmul_incumbent();
+    ASSERT_TRUE(inc.ok);
+
+    // Relax a fixed neighbourhood; everything else must come out of
+    // emission already assigned to the incumbent value.
+    XorShift rng(17u);
+    const std::vector<int> relaxed =
+        select_neighbourhood(inc.km, inc.start, Selector::RandomSlice, 0.3, rng);
+
+    model::KernelModel sub = inc.km;
+    sub.frozen_starts.assign(static_cast<std::size_t>(inc.km.num_nodes()), -1);
+    for (int id = 0; id < inc.km.num_nodes(); ++id) {
+        sub.frozen_starts[static_cast<std::size_t>(id)] =
+            inc.start[static_cast<std::size_t>(id)];
+    }
+    for (const int id : relaxed) sub.frozen_starts[static_cast<std::size_t>(id)] = -1;
+
+    cp::Store store;
+    const model::VarTable vt = model::emit_cp(store, sub);
+    ASSERT_FALSE(vt.infeasible);
+    for (int id = 0; id < inc.km.num_nodes(); ++id) {
+        const auto i = static_cast<std::size_t>(id);
+        if (sub.frozen_starts[i] < 0) continue;
+        EXPECT_EQ(store.min(vt.start[i]), sub.frozen_starts[i]) << "node " << id;
+        EXPECT_EQ(store.max(vt.start[i]), sub.frozen_starts[i]) << "node " << id;
+    }
+}
+
+TEST(Repair, FrozenEmissionHasVarParityWithUnfrozenEmission) {
+    const testing::Incumbent inc = matmul_incumbent();
+    ASSERT_TRUE(inc.ok);
+
+    cp::Store base_store;
+    const model::VarTable base = model::emit_cp(base_store, inc.km);
+    ASSERT_FALSE(base.infeasible);
+
+    model::KernelModel sub = inc.km;
+    sub.frozen_starts.assign(static_cast<std::size_t>(inc.km.num_nodes()), -1);
+    for (int id = 0; id < inc.km.num_nodes(); ++id) {
+        sub.frozen_starts[static_cast<std::size_t>(id)] =
+            inc.start[static_cast<std::size_t>(id)];
+    }
+    // Re-open one op so the subproblem is not fully pinned.
+    sub.frozen_starts[static_cast<std::size_t>(inc.km.ops.front())] = -1;
+
+    cp::Store sub_store;
+    const model::VarTable vt = model::emit_cp(sub_store, sub);
+    ASSERT_FALSE(vt.infeasible);
+    // Identical variable sets: same count, and every handle at the same
+    // index — the property that lets a repair solution stand in as a full
+    // assignment of the base emission.
+    EXPECT_EQ(sub_store.num_vars(), base_store.num_vars());
+    ASSERT_EQ(vt.start.size(), base.start.size());
+    for (std::size_t i = 0; i < vt.start.size(); ++i) {
+        EXPECT_EQ(vt.start[i].index(), base.start[i].index());
+    }
+    EXPECT_EQ(vt.makespan.index(), base.makespan.index());
+}
+
+TEST(Repair, OutOfBoundsFreezeMarksInfeasibleInsteadOfThrowing) {
+    const testing::Incumbent inc = matmul_incumbent();
+    ASSERT_TRUE(inc.ok);
+
+    model::KernelModel sub = inc.km;
+    sub.frozen_starts.assign(static_cast<std::size_t>(inc.km.num_nodes()), -1);
+    sub.frozen_starts[static_cast<std::size_t>(inc.km.ops.front())] = inc.km.horizon + 10;
+
+    cp::Store store;
+    const model::VarTable vt = model::emit_cp(store, sub);
+    EXPECT_TRUE(vt.infeasible);
+}
+
+TEST(Repair, MalformedFrozenStartsThrows) {
+    const testing::Incumbent inc = matmul_incumbent();
+    ASSERT_TRUE(inc.ok);
+    model::KernelModel sub = inc.km;
+    sub.frozen_starts = {0, 1};  // wrong length
+    cp::Store store;
+    EXPECT_THROW(model::emit_cp(store, sub), Error);
+}
+
+TEST(Repair, StrictBoundRejectsEqualMakespanRepairs) {
+    const testing::Incumbent inc = matmul_incumbent();
+    ASSERT_TRUE(inc.ok);
+
+    // Freeze EVERY start at the incumbent: the only reachable makespan is
+    // the incumbent's own, so the strict bound (<= makespan - 1) must make
+    // the subproblem unsatisfiable.
+    model::KernelModel sub = inc.km;
+    sub.frozen_starts.assign(inc.start.begin(), inc.start.end());
+
+    cp::Store store;
+    const model::VarTable vt = model::emit_cp(store, sub);
+    ASSERT_FALSE(vt.infeasible);
+    const bool room = store.set_max(vt.makespan, inc.makespan - 1);
+    if (room) {
+        const cp::SolveResult r = cp::solve(store, vt.phases, vt.makespan, {});
+        EXPECT_EQ(r.status, cp::SolveStatus::Unsat);
+    }
+    SUCCEED();  // bound already propagated to empty — rejected even earlier
+}
+
+TEST(Repair, CompleteAssignmentReproducesTheScheduleAtTheHandles) {
+    const testing::Incumbent inc = matmul_incumbent();
+    ASSERT_TRUE(inc.ok);
+
+    const std::vector<int> full = complete_assignment(inc.km, inc.start, inc.slot);
+    ASSERT_FALSE(full.empty());
+
+    cp::Store store;
+    const model::VarTable vt = model::emit_cp(store, inc.km);
+    ASSERT_EQ(full.size(), store.num_vars());
+    for (int id = 0; id < inc.km.num_nodes(); ++id) {
+        const auto i = static_cast<std::size_t>(id);
+        EXPECT_EQ(full[static_cast<std::size_t>(vt.start[i].index())], inc.start[i])
+            << "node " << id;
+    }
+    for (const auto& [id, var] : vt.slot_of) {
+        EXPECT_EQ(full[static_cast<std::size_t>(var.index())],
+                  inc.slot[static_cast<std::size_t>(id)])
+            << "slot of node " << id;
+    }
+    EXPECT_EQ(full[static_cast<std::size_t>(vt.makespan.index())], inc.makespan);
+}
+
+TEST(Repair, InconsistentScheduleYieldsEmptyAssignment) {
+    const testing::Incumbent inc = matmul_incumbent();
+    ASSERT_TRUE(inc.ok);
+    std::vector<int> bad = inc.start;
+    // Push one op past the horizon: assignment must fail cleanly.
+    bad[static_cast<std::size_t>(inc.km.ops.front())] = inc.km.horizon + 10;
+    EXPECT_TRUE(complete_assignment(inc.km, bad, inc.slot).empty());
+}
+
+}  // namespace
+}  // namespace revec::lns
