@@ -25,10 +25,12 @@ struct Run {
 };
 
 Run timed_schedule(const ir::Graph& g, const sched::ScheduleOptions& opts) {
-    const Stopwatch watch;
     Run r;
-    r.schedule = sched::schedule_kernel(g, opts);
-    r.wall_ms = watch.elapsed_ms();
+    // Solves are deterministic, so re-running for the median only damps
+    // wall-clock noise; the schedule of the last run is the schedule of
+    // every run.
+    r.wall_ms =
+        bench::median_of_3_ms([&] { r.schedule = sched::schedule_kernel(g, opts); });
     return r;
 }
 

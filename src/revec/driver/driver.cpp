@@ -68,15 +68,23 @@ options:
   --metrics=F        write end-of-run metrics JSON to F (search counters,
                      engine counters, per-propagator-class profile)
   --help             this text
+
+exit codes:
+  0  proven optimal (or a non-solver emit mode succeeded)
+  1  no solution exists (UNSAT), or a non-solver usage error
+  2  internal error: the schedule failed independent verification
+  3  simulation mismatch or memory-rule violation
+  4  feasible solution found, optimality unproven (solver timeout)
+  5  heuristic fallback schedule returned (exact solver found nothing)
+  6  timeout with no solution at all
 )";
 }
 
-namespace {
-
-/// "did you mean" helper: the closest known flag name within a small edit
-/// distance of the mistyped one, or empty.
-std::string closest_flag(const std::string& arg) {
-    static const char* const kFlags[] = {
+const std::vector<std::string>& known_flags() {
+    // The single flag inventory: parse_args dispatches on these, usage()
+    // must document every one (test_driver pins that), and the
+    // did-you-mean suggester searches them.
+    static const std::vector<std::string> kFlags = {
         "--emit",         "--slots",     "--timeout-ms",   "--no-merge",
         "--no-memory",    "--include-reconfigs",           "--simulate",
         "--threads",      "--portfolio", "--seed",         "--warm-start",
@@ -85,10 +93,18 @@ std::string closest_flag(const std::string& arg) {
         "--save-schedule",               "--dump-model",   "--trace",
         "--trace-level",  "--metrics",   "--help",
     };
+    return kFlags;
+}
+
+namespace {
+
+/// "did you mean" helper: the closest known flag name within a small edit
+/// distance of the mistyped one, or empty.
+std::string closest_flag(const std::string& arg) {
     const std::string name = arg.substr(0, arg.find('='));
     std::string best;
     std::size_t best_dist = 3;  // suggest only when plausibly a typo
-    for (const char* flag : kFlags) {
+    for (const std::string& flag : known_flags()) {
         const std::size_t d = edit_distance(name, flag);
         if (d < best_dist) {
             best_dist = d;
@@ -360,12 +376,15 @@ int run(const Options& options, std::ostream& out) {
     if (options.merge_pass) g = ir::merge_pipeline_ops(g);
 
     if (!options.dump_model_path.empty()) {
-        // The flat lowering with the run's knobs — exactly what the
-        // scheduling path hands to the CP emitter and the heuristics.
-        model::LowerOptions lo;
-        lo.num_slots = options.num_slots;
-        lo.memory_allocation = options.memory;
-        model::save_json(model::lower_ir(spec, g, lo), options.dump_model_path);
+        // Exactly the model the scheduling path solves — resolved
+        // num_slots AND the derived horizon — so a dump replayed through
+        // schedule_model (revecd does this) reproduces this run's
+        // schedule bit for bit.
+        sched::ScheduleOptions dump_opts;
+        dump_opts.spec = spec;
+        dump_opts.num_slots = options.num_slots;
+        dump_opts.memory_allocation = options.memory;
+        model::save_json(sched::lower_for_schedule(g, dump_opts), options.dump_model_path);
         out << "model written to " << options.dump_model_path << "\n";
     }
 

@@ -73,8 +73,14 @@ std::optional<Options> parse_args(const std::vector<std::string>& args, std::ost
 ///   6  timeout with no solution at all
 int run(const Options& options, std::ostream& out);
 
-/// Usage text.
+/// Usage text, including the exit-code table.
 std::string usage();
+
+/// Every flag parse_args understands, in usage order. The single
+/// inventory behind usage(), the did-you-mean suggester, and the
+/// help-completeness test — add a flag in one place and the test fails
+/// until usage() documents it.
+const std::vector<std::string>& known_flags();
 
 /// The metrics registry for one schedule solve: SearchStats under "solve.",
 /// engine counters under "engine.", per-propagator-class profiles under

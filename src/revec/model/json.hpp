@@ -1,10 +1,14 @@
-// Deterministic JSON serialization of a KernelModel, for --dump-model
-// debugging dumps and the golden-file tests in tests/model.
+// Deterministic JSON serialization of a KernelModel — --dump-model
+// debugging dumps, the golden-file tests in tests/model, and the wire
+// format of the revecd service protocol — plus the inverse parser and the
+// content hash the schedule cache keys on.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "revec/model/kernel_model.hpp"
+#include "revec/support/json.hpp"
 
 namespace revec::model {
 
@@ -16,5 +20,20 @@ std::string to_json(const KernelModel& m);
 /// Write to_json(m) to `path`; throws revec::Error when the file cannot be
 /// written.
 void save_json(const KernelModel& m, const std::string& path);
+
+/// Rebuild a KernelModel from the to_json shape. Field order in the input
+/// is irrelevant (lookups are by name); unknown fields are ignored so the
+/// format can grow. `is_vector_data` is not serialized — it is
+/// reconstructed from `vdata` membership. Throws revec::Error on missing
+/// or mistyped required fields. Round-trip contract:
+/// to_json(from_json(to_json(m))) == to_json(m).
+KernelModel from_json(const std::string& text);
+KernelModel from_json(const json::Value& doc);
+
+/// Stable 64-bit FNV-1a over the canonical to_json bytes. Two models hash
+/// equal iff their canonical serializations are byte-identical, so the
+/// hash is independent of the field order of any JSON a model was parsed
+/// from — the content-address the revecd schedule cache keys on.
+std::uint64_t canonical_hash(const KernelModel& m);
 
 }  // namespace revec::model

@@ -100,4 +100,16 @@ KernelModel lower_ir(const arch::ArchSpec& spec, const ir::Graph& g,
     return m;
 }
 
+KernelModel with_horizon(const KernelModel& m, int horizon) {
+    REVEC_EXPECTS(horizon >= m.critical_path);
+    KernelModel out = m;
+    const int delta = horizon - m.horizon;
+    out.horizon = horizon;
+    for (int& t : out.alap) t += delta;
+    if (out.modulo.has_value()) {
+        out.modulo->max_stage = out.horizon / out.modulo->ii + 1;
+    }
+    return out;
+}
+
 }  // namespace revec::model

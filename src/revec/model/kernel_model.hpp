@@ -158,4 +158,13 @@ struct KernelModel {
 KernelModel lower_ir(const arch::ArchSpec& spec, const ir::Graph& g,
                      const LowerOptions& options = {});
 
+/// Copy of `m` with the horizon raised (or lowered) to `horizon`. ALAP
+/// times are computed against the horizon as latest-start = horizon minus
+/// the tail path, so every entry shifts by exactly the horizon delta —
+/// the copy matches what lower_ir would have produced with this horizon,
+/// without needing the spec/graph. The modulo max_stage is recomputed the
+/// way lower_ir fills it. Requires horizon >= critical_path (ALAP would
+/// drop below ASAP otherwise).
+KernelModel with_horizon(const KernelModel& m, int horizon);
+
 }  // namespace revec::model

@@ -7,223 +7,20 @@
 #include <sstream>
 
 #include "revec/support/assert.hpp"
+#include "revec/support/json.hpp"
 
 namespace revec::obs {
 
 namespace {
 
-// -- minimal JSON value + recursive-descent parser ---------------------------
-// Only what the two trace serializations need: objects, arrays, strings,
-// numbers, booleans, null. Numbers are kept as doubles (every value the
-// sink writes fits a double exactly).
-
-struct JsonValue {
-    enum class Type { Null, Bool, Number, String, Array, Object };
-
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
-
-    const JsonValue* find(const std::string& key) const {
-        for (const auto& [k, v] : object) {
-            if (k == key) return &v;
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser {
-public:
-    explicit JsonParser(std::string_view text) : text_(text) {}
-
-    JsonValue parse_document() {
-        JsonValue v = parse_value();
-        skip_ws();
-        if (pos_ != text_.size()) fail("trailing content after JSON value");
-        return v;
-    }
-
-private:
-    [[noreturn]] void fail(const std::string& what) const {
-        throw Error("trace JSON parse error at offset " + std::to_string(pos_) + ": " +
-                    what);
-    }
-
-    void skip_ws() {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-            ++pos_;
-        }
-    }
-
-    char peek() {
-        skip_ws();
-        if (pos_ >= text_.size()) fail("unexpected end of input");
-        return text_[pos_];
-    }
-
-    void expect(char c) {
-        if (peek() != c) fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    JsonValue parse_value() {
-        switch (peek()) {
-            case '{': return parse_object();
-            case '[': return parse_array();
-            case '"': return parse_string();
-            case 't':
-            case 'f': return parse_bool();
-            case 'n': return parse_null();
-            default: return parse_number();
-        }
-    }
-
-    JsonValue parse_object() {
-        expect('{');
-        JsonValue v;
-        v.type = JsonValue::Type::Object;
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            JsonValue key = parse_string();
-            expect(':');
-            v.object.emplace_back(std::move(key.str), parse_value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    JsonValue parse_array() {
-        expect('[');
-        JsonValue v;
-        v.type = JsonValue::Type::Array;
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            v.array.push_back(parse_value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue parse_string() {
-        expect('"');
-        JsonValue v;
-        v.type = JsonValue::Type::String;
-        while (true) {
-            if (pos_ >= text_.size()) fail("unterminated string");
-            const char c = text_[pos_++];
-            if (c == '"') return v;
-            if (c != '\\') {
-                v.str.push_back(c);
-                continue;
-            }
-            if (pos_ >= text_.size()) fail("unterminated escape");
-            const char esc = text_[pos_++];
-            switch (esc) {
-                case '"': v.str.push_back('"'); break;
-                case '\\': v.str.push_back('\\'); break;
-                case '/': v.str.push_back('/'); break;
-                case 'n': v.str.push_back('\n'); break;
-                case 't': v.str.push_back('\t'); break;
-                case 'r': v.str.push_back('\r'); break;
-                case 'b': v.str.push_back('\b'); break;
-                case 'f': v.str.push_back('\f'); break;
-                case 'u': {
-                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-                    // ASCII-only traces: decode the low byte, reject the rest.
-                    int code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char h = text_[pos_++];
-                        code = code * 16;
-                        if (h >= '0' && h <= '9') {
-                            code += h - '0';
-                        } else if (h >= 'a' && h <= 'f') {
-                            code += 10 + (h - 'a');
-                        } else if (h >= 'A' && h <= 'F') {
-                            code += 10 + (h - 'A');
-                        } else {
-                            fail("bad hex digit in \\u escape");
-                        }
-                    }
-                    if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
-                    v.str.push_back(static_cast<char>(code));
-                    break;
-                }
-                default: fail("unknown escape");
-            }
-        }
-    }
-
-    JsonValue parse_bool() {
-        JsonValue v;
-        v.type = JsonValue::Type::Bool;
-        if (text_.compare(pos_, 4, "true") == 0) {
-            v.boolean = true;
-            pos_ += 4;
-        } else if (text_.compare(pos_, 5, "false") == 0) {
-            v.boolean = false;
-            pos_ += 5;
-        } else {
-            fail("bad literal");
-        }
-        return v;
-    }
-
-    JsonValue parse_null() {
-        if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
-        pos_ += 4;
-        return {};
-    }
-
-    JsonValue parse_number() {
-        const std::size_t start = pos_;
-        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-                text_[pos_] == '-' || text_[pos_] == '+')) {
-            ++pos_;
-        }
-        if (pos_ == start) fail("expected a value");
-        JsonValue v;
-        v.type = JsonValue::Type::Number;
-        try {
-            v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-        } catch (const std::exception&) {
-            fail("malformed number");
-        }
-        return v;
-    }
-
-    std::string_view text_;
-    std::size_t pos_ = 0;
-};
-
-std::int64_t as_int(const JsonValue& v) {
-    REVEC_EXPECTS(v.type == JsonValue::Type::Number);
+std::int64_t as_int(const json::Value& v) {
+    REVEC_EXPECTS(v.type == json::Value::Type::Number);
     return static_cast<std::int64_t>(std::llround(v.number));
 }
 
-const JsonValue& require(const JsonValue& obj, const std::string& key,
-                         JsonValue::Type type, const char* context) {
-    const JsonValue* v = obj.find(key);
+const json::Value& require(const json::Value& obj, const std::string& key,
+                         json::Value::Type type, const char* context) {
+    const json::Value* v = obj.find(key);
     if (v == nullptr || v->type != type) {
         throw Error(std::string("trace event missing or mistyped field '") + key + "' (" +
                     context + ")");
@@ -238,18 +35,18 @@ char parse_kind(const std::string& ph, const char* context) {
     throw Error("unknown trace event kind '" + ph + "' (" + context + ")");
 }
 
-void parse_args_into(const JsonValue& obj, ParsedEvent& event) {
-    const JsonValue* args = obj.find("args");
+void parse_args_into(const json::Value& obj, ParsedEvent& event) {
+    const json::Value* args = obj.find("args");
     if (args == nullptr) return;
-    if (args->type != JsonValue::Type::Object) throw Error("'args' must be an object");
+    if (args->type != json::Value::Type::Object) throw Error("'args' must be an object");
     for (const auto& [k, v] : args->object) {
-        if (v.type == JsonValue::Type::Number) event.args[k] = as_int(v);
+        if (v.type == json::Value::Type::Number) event.args[k] = as_int(v);
     }
 }
 
-ParsedTrace parse_chrome(const JsonValue& doc) {
-    const JsonValue& events =
-        require(doc, "traceEvents", JsonValue::Type::Array, "chrome document");
+ParsedTrace parse_chrome(const json::Value& doc) {
+    const json::Value& events =
+        require(doc, "traceEvents", json::Value::Type::Array, "chrome document");
     // tid -> track index, discovered in first-appearance order.
     ParsedTrace out;
     std::map<std::int64_t, std::size_t> track_of;
@@ -258,24 +55,24 @@ ParsedTrace parse_chrome(const JsonValue& doc) {
         if (inserted) out.tracks.push_back({"tid " + std::to_string(tid), {}});
         return out.tracks[it->second];
     };
-    for (const JsonValue& e : events.array) {
-        if (e.type != JsonValue::Type::Object) throw Error("trace event must be an object");
-        const std::string& ph = require(e, "ph", JsonValue::Type::String, "event").str;
-        const std::int64_t tid = as_int(require(e, "tid", JsonValue::Type::Number, "event"));
+    for (const json::Value& e : events.array) {
+        if (e.type != json::Value::Type::Object) throw Error("trace event must be an object");
+        const std::string& ph = require(e, "ph", json::Value::Type::String, "event").str;
+        const std::int64_t tid = as_int(require(e, "tid", json::Value::Type::Number, "event"));
         ParsedTrack& track = track_for(tid);
         if (ph == "M") {
             // thread_name metadata names the track.
-            const JsonValue* args = e.find("args");
-            const JsonValue* name = args != nullptr ? args->find("name") : nullptr;
-            if (name != nullptr && name->type == JsonValue::Type::String) {
+            const json::Value* args = e.find("args");
+            const json::Value* name = args != nullptr ? args->find("name") : nullptr;
+            if (name != nullptr && name->type == json::Value::Type::String) {
                 track.name = name->str;
             }
             continue;
         }
         ParsedEvent event;
         event.kind = parse_kind(ph, "chrome event");
-        event.name = require(e, "name", JsonValue::Type::String, "event").str;
-        event.ts_us = as_int(require(e, "ts", JsonValue::Type::Number, "event"));
+        event.name = require(e, "name", json::Value::Type::String, "event").str;
+        event.ts_us = as_int(require(e, "ts", json::Value::Type::Number, "event"));
         parse_args_into(e, event);
         track.events.push_back(std::move(event));
     }
@@ -298,25 +95,25 @@ ParsedTrace parse_jsonl(const std::string& content) {
             }
         }
         if (blank) continue;
-        JsonValue obj;
+        json::Value obj;
         try {
-            obj = JsonParser(line).parse_document();
+            obj = json::parse(line);
         } catch (const Error& e) {
             throw Error("JSONL line " + std::to_string(lineno) + ": " + e.what());
         }
-        if (obj.type != JsonValue::Type::Object) {
+        if (obj.type != json::Value::Type::Object) {
             throw Error("JSONL line " + std::to_string(lineno) + ": not an object");
         }
         const std::string& track_name =
-            require(obj, "track", JsonValue::Type::String, "jsonl event").str;
+            require(obj, "track", json::Value::Type::String, "jsonl event").str;
         const auto [it, inserted] = track_of.emplace(track_name, out.tracks.size());
         if (inserted) out.tracks.push_back({track_name, {}});
         ParsedEvent event;
         event.kind =
-            parse_kind(require(obj, "kind", JsonValue::Type::String, "jsonl event").str,
+            parse_kind(require(obj, "kind", json::Value::Type::String, "jsonl event").str,
                        "jsonl event");
-        event.name = require(obj, "name", JsonValue::Type::String, "jsonl event").str;
-        event.ts_us = as_int(require(obj, "ts_us", JsonValue::Type::Number, "jsonl event"));
+        event.name = require(obj, "name", json::Value::Type::String, "jsonl event").str;
+        event.ts_us = as_int(require(obj, "ts_us", json::Value::Type::Number, "jsonl event"));
         parse_args_into(obj, event);
         out.tracks[it->second].events.push_back(std::move(event));
     }
@@ -346,7 +143,7 @@ ParsedTrace parse_trace(const std::string& content) {
     const std::string first_line =
         first_nl == std::string::npos ? content : content.substr(0, first_nl);
     const bool chrome = first_line.find("\"traceEvents\"") != std::string::npos;
-    if (chrome) return parse_chrome(JsonParser(content).parse_document());
+    if (chrome) return parse_chrome(json::parse(content));
     return parse_jsonl(content);
 }
 

@@ -36,23 +36,10 @@ int derive_horizon(const arch::ArchSpec& spec, const ir::Graph& g) {
     return total;
 }
 
-/// Map the schedule-level options onto the model lowering. `num_slots` and
-/// `horizon` are already resolved by schedule_kernel.
-model::LowerOptions lower_options(const ScheduleOptions& options, int num_slots, int horizon) {
-    model::LowerOptions lo;
-    lo.num_slots = num_slots;
-    lo.horizon = horizon;
-    lo.memory_allocation = options.memory_allocation;
-    lo.three_phase_search = options.three_phase_search;
-    lo.enforce_port_limits = options.enforce_port_limits;
-    lo.lifetime_includes_last_read = options.lifetime_includes_last_read;
-    lo.fixed_starts = options.fixed_starts;
-    return lo;
-}
-
 /// Fill a Schedule from any solver result exposing has_solution/value_of.
 template <typename Result>
-Schedule extract_schedule(const ir::Graph& g, const model::VarTable& m, const Result& result) {
+Schedule extract_schedule(const model::KernelModel& km, const model::VarTable& m,
+                          const Result& result) {
     Schedule sched;
     sched.status = result.status;
     sched.stats = result.stats;
@@ -60,12 +47,11 @@ Schedule extract_schedule(const ir::Graph& g, const model::VarTable& m, const Re
     sched.prop_profile = result.prop_profile;
     if (!result.has_solution()) return sched;
 
-    const auto n = static_cast<std::size_t>(g.num_nodes());
+    const auto n = static_cast<std::size_t>(km.num_nodes());
     sched.start.assign(n, 0);
     sched.slot.assign(n, -1);
-    for (const ir::Node& node : g.nodes()) {
-        sched.start[static_cast<std::size_t>(node.id)] =
-            result.value_of(m.start[static_cast<std::size_t>(node.id)]);
+    for (std::size_t id = 0; id < n; ++id) {
+        sched.start[id] = result.value_of(m.start[id]);
     }
     std::set<int> used;
     for (const auto& [d, var] : m.slot_of) {
@@ -83,40 +69,41 @@ Schedule extract_schedule(const ir::Graph& g, const model::VarTable& m, const Re
 /// schedule's access groups defeat the greedy allocator. Every candidate is
 /// re-checked against the model; nullopt means no rung of the ladder
 /// produced a clean schedule (e.g. too few slots).
-std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOptions& options,
-                                           int num_slots, obs::TraceBuffer* trace) {
+///
+/// The heuristics read slack priorities (ALAP - ASAP) and ALAP order, both
+/// of which are invariant under the uniform shift a horizon change applies
+/// to every ALAP entry — so running them on `km` directly reproduces the
+/// historical critical-path-horizon lowering exactly. The port limits are
+/// always checked: the heuristics respect them by construction, and a
+/// stricter feasible schedule remains a valid incumbent for a relaxed
+/// exact model.
+std::optional<Schedule> heuristic_schedule(const model::KernelModel& km,
+                                           obs::TraceBuffer* trace) {
     obs::SpanScope span(trace, obs::TraceLevel::Phase, "heuristic");
-    // One lowering serves all rungs: the heuristics read slack priorities
-    // (ASAP/ALAP against the critical path — the default horizon) and the
-    // checker reads the lifetime/port/memory flags. The port limits are
-    // always checked here: the heuristics respect them by construction, and
-    // a stricter feasible schedule remains a valid incumbent for a relaxed
-    // exact model.
-    model::LowerOptions lo;
-    lo.num_slots = num_slots;
-    lo.memory_allocation = options.memory_allocation;
-    lo.enforce_port_limits = true;
-    lo.lifetime_includes_last_read = options.lifetime_includes_last_read;
-    const model::KernelModel km = model::lower_ir(options.spec, g, lo);
+    model::KernelModel checked = km;
+    checked.enforce_port_limits = true;
 
     std::int64_t rung_index = 0;
     for (const heur::ListOptions& rung : heur::ladder()) {
-        const heur::ListResult list = heur::priority_list_schedule(km, rung);
+        const heur::ListResult list = heur::priority_list_schedule(checked, rung);
         Schedule sched;
         sched.start = list.start;
-        sched.slot.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+        sched.slot.assign(static_cast<std::size_t>(km.num_nodes()), -1);
         sched.makespan = list.makespan;
         sched.status = cp::SolveStatus::HeuristicFallback;
         bool ok = true;
-        if (options.memory_allocation) {
-            const heur::AllocResult alloc = heur::allocate_slots(km, list.start);
+        if (km.memory_allocation) {
+            const heur::AllocResult alloc = heur::allocate_slots(checked, list.start);
             ok = alloc.ok;
             if (ok) {
                 sched.slot = alloc.slot;
                 sched.slots_used = alloc.slots_used;
             }
         }
-        if (ok) ok = model::check_schedule(km, sched.start, sched.slot, sched.makespan).empty();
+        if (ok) {
+            ok = model::check_schedule(checked, sched.start, sched.slot, sched.makespan)
+                     .empty();
+        }
         obs::instant(trace, obs::TraceLevel::Phase, "heur_rung", "rung", rung_index++,
                      "ok", ok ? 1 : 0);
         if (ok) {
@@ -129,26 +116,12 @@ std::optional<Schedule> heuristic_schedule(const ir::Graph& g, const ScheduleOpt
 
 }  // namespace
 
-Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
-    options.spec.validate();
-    ir::validate_graph(g);
+model::KernelModel lower_for_schedule(const ir::Graph& g, const ScheduleOptions& options) {
     const arch::ArchSpec& spec = options.spec;
-
-    obs::TraceBuffer* const trace =
-        options.solver.trace != nullptr ? options.solver.trace->main() : nullptr;
-    obs::SpanScope schedule_span(trace, obs::TraceLevel::Phase, "schedule", "nodes",
-                                 g.num_nodes());
-
     const int num_slots =
         options.num_slots < 0 ? spec.memory.slots() : options.num_slots;
     if (options.memory_allocation && num_slots > spec.memory.slots()) {
         throw Error("num_slots exceeds the architecture's memory");
-    }
-    if (options.memory_allocation && num_slots <= 0 &&
-        !g.nodes_of(ir::NodeCat::VectorData).empty()) {
-        Schedule infeasible;
-        infeasible.status = cp::SolveStatus::Unsat;
-        return infeasible;
     }
 
     int horizon = options.horizon > 0 ? options.horizon : derive_horizon(spec, g);
@@ -164,18 +137,53 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
         horizon = std::max(horizon, fixed_end + 2);
     }
 
+    model::LowerOptions lo;
+    lo.num_slots = num_slots;
+    lo.horizon = horizon;
+    lo.memory_allocation = options.memory_allocation;
+    lo.three_phase_search = options.three_phase_search;
+    lo.enforce_port_limits = options.enforce_port_limits;
+    lo.lifetime_includes_last_read = options.lifetime_includes_last_read;
+    lo.fixed_starts = options.fixed_starts;
+    return model::lower_ir(spec, g, lo);
+}
+
+ModelSolveOptions model_solve_options(const ScheduleOptions& options) {
+    ModelSolveOptions mo;
+    mo.timeout_ms = options.timeout_ms;
+    mo.warm_start = options.warm_start;
+    mo.heuristic_only = options.heuristic_only;
+    mo.horizon_is_cap = options.horizon > 0;
+    mo.solver = options.solver;
+    mo.lns = options.lns;
+    return mo;
+}
+
+Schedule schedule_model(const model::KernelModel& model_in, const ModelSolveOptions& options) {
+    obs::TraceBuffer* const trace =
+        options.trace != nullptr
+            ? options.trace
+            : (options.solver.trace != nullptr ? options.solver.trace->main() : nullptr);
+
+    if (model_in.memory_allocation && model_in.num_slots <= 0 && !model_in.vdata.empty()) {
+        Schedule infeasible;
+        infeasible.status = cp::SolveStatus::Unsat;
+        return infeasible;
+    }
+
     // Heuristic layer: a verified list-schedule + greedy-allocation
     // solution. Seeds the exact search's incumbent (warm start) and is the
     // anytime fallback when the exact search finds nothing in time. Not
     // used in slot-only mode (the makespan there is fixed by the caller).
     std::optional<Schedule> heuristic;
-    if ((options.warm_start || options.heuristic_only) && options.fixed_starts.empty()) {
-        heuristic = heuristic_schedule(g, options, num_slots, trace);
-        if (heuristic.has_value() && options.horizon > 0 &&
-            heuristic->makespan + 1 > options.horizon) {
-            // A user-capped horizon below the heuristic makespan: the exact
-            // search's answers are relative to that cap, so the heuristic
-            // can neither seed the bound nor stand in as a result.
+    if ((options.warm_start || options.heuristic_only) && model_in.fixed_starts.empty()) {
+        heuristic = heuristic_schedule(model_in, trace);
+        if (heuristic.has_value() && options.horizon_is_cap &&
+            heuristic->makespan + 1 > model_in.horizon) {
+            // A caller-capped horizon below the heuristic makespan: the
+            // exact search's answers are relative to that cap, so the
+            // heuristic can neither seed the bound nor stand in as a
+            // result.
             heuristic.reset();
         }
     }
@@ -185,28 +193,32 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
         none.status = cp::SolveStatus::Timeout;  // found nothing, proved nothing
         return none;
     }
-    if (heuristic.has_value()) {
-        // Let the exact search prove optimality across the whole gap: the
-        // derived horizon could in principle sit below the heuristic
-        // makespan, and Unsat must mean "nothing better anywhere".
-        horizon = std::max(horizon, heuristic->makespan + 1);
+
+    // Let the exact search prove optimality across the whole gap: the
+    // derived horizon could in principle sit below the heuristic makespan,
+    // and Unsat must mean "nothing better anywhere". The raise reproduces
+    // what re-lowering at the larger horizon would build (uniform ALAP
+    // shift, modulo max_stage recomputed).
+    const model::KernelModel* km = &model_in;
+    model::KernelModel raised;
+    if (heuristic.has_value() && !options.horizon_is_cap &&
+        heuristic->makespan + 1 > model_in.horizon) {
+        raised = model::with_horizon(
+            model_in,
+            std::max(heuristic->makespan + 1, model_in.critical_path));
+        km = &raised;
     }
 
     cp::SearchOptions search_opts;
     search_opts.deadline = Deadline::after_ms(options.timeout_ms);
 
-    // One lowering, many emissions: the reference emission supplies the
-    // variable handles for extraction and the store for the sequential
-    // path. Portfolio workers re-emit the same model into their own stores
-    // through the builder hook (emission is deterministic, so any table's
-    // handles index any worker's solution).
-    obs::span_begin(trace, obs::TraceLevel::Phase, "lower");
-    const model::KernelModel km =
-        model::lower_ir(spec, g, lower_options(options, num_slots, horizon));
-    obs::span_end(trace, obs::TraceLevel::Phase, "lower");
+    // One emission supplies the variable handles for extraction and the
+    // store for the sequential path. Portfolio workers re-emit the same
+    // model into their own stores through the builder hook (emission is
+    // deterministic, so any table's handles index any worker's solution).
     cp::Store store{options.solver.engine};
     obs::span_begin(trace, obs::TraceLevel::Phase, "emit_cp");
-    const model::VarTable m = model::emit_cp(store, km);
+    const model::VarTable m = model::emit_cp(store, *km);
     obs::span_end(trace, obs::TraceLevel::Phase, "emit_cp", "vars",
                   static_cast<std::int64_t>(store.num_vars()));
 
@@ -223,11 +235,11 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
         if (options.solver.profile) store.enable_profiling();
         search_opts.trace = trace;
         const cp::SolveResult result = cp::solve(store, m.phases, m.makespan, search_opts);
-        sched = extract_schedule(g, m, result);
+        sched = extract_schedule(*km, m, result);
     } else {
         cp::SolverConfig solver = options.solver;
         if (heuristic.has_value()) solver.initial_incumbent = heuristic->makespan;
-        if (solver.lns_workers > 0 && !km.fixed_starts.empty()) {
+        if (solver.lns_workers > 0 && !km->fixed_starts.empty()) {
             // Slot-only mode: every start is pinned, so there is no
             // neighbourhood to relax.
             solver.lns_workers = 0;
@@ -237,19 +249,20 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
             // workers re-emit; complete the heuristic schedule into a full
             // store assignment so LNS rounds can start before any CP worker
             // publishes a solution of its own.
-            solver.lns_round = lns::make_portfolio_round(km, options.lns);
+            solver.lns_round = lns::make_portfolio_round(*km, options.lns);
             if (heuristic.has_value()) {
                 solver.lns_seed_assignment =
-                    lns::complete_assignment(km, heuristic->start, heuristic->slot);
+                    lns::complete_assignment(*km, heuristic->start, heuristic->slot);
             }
         }
+        const model::KernelModel& worker_model = *km;
         const cp::PortfolioResult result = cp::solve_portfolio(
-            [&](cp::Store& s) {
-                model::VarTable worker = model::emit_cp(s, km);
+            [&worker_model](cp::Store& s) {
+                model::VarTable worker = model::emit_cp(s, worker_model);
                 return cp::PostedModel{std::move(worker.phases), worker.makespan};
             },
             solver, search_opts);
-        sched = extract_schedule(g, m, result);
+        sched = extract_schedule(*km, m, result);
         sched.workers = result.workers;
     }
     obs::span_end(trace, obs::TraceLevel::Phase, search_span, "nodes",
@@ -291,6 +304,33 @@ Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
             return *heuristic;
     }
     REVEC_UNREACHABLE("bad SolveStatus");
+}
+
+Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options) {
+    options.spec.validate();
+    ir::validate_graph(g);
+
+    obs::TraceBuffer* const trace =
+        options.solver.trace != nullptr ? options.solver.trace->main() : nullptr;
+    obs::SpanScope schedule_span(trace, obs::TraceLevel::Phase, "schedule", "nodes",
+                                 g.num_nodes());
+
+    const int num_slots =
+        options.num_slots < 0 ? options.spec.memory.slots() : options.num_slots;
+    if (options.memory_allocation && num_slots <= 0 &&
+        !g.nodes_of(ir::NodeCat::VectorData).empty()) {
+        Schedule infeasible;
+        infeasible.status = cp::SolveStatus::Unsat;
+        return infeasible;
+    }
+
+    obs::span_begin(trace, obs::TraceLevel::Phase, "lower");
+    const model::KernelModel km = lower_for_schedule(g, options);
+    obs::span_end(trace, obs::TraceLevel::Phase, "lower");
+
+    ModelSolveOptions mo = model_solve_options(options);
+    mo.trace = trace;
+    return schedule_model(km, mo);
 }
 
 }  // namespace revec::sched

@@ -11,6 +11,8 @@
 #include "revec/cp/portfolio.hpp"
 #include "revec/ir/graph.hpp"
 #include "revec/lns/lns.hpp"
+#include "revec/model/kernel_model.hpp"
+#include "revec/obs/trace.hpp"
 #include "revec/sched/schedule.hpp"
 
 namespace revec::sched {
@@ -89,10 +91,66 @@ struct ScheduleOptions {
     bool heuristic_only = false;
 };
 
+/// Options for solving an already-lowered KernelModel (schedule_model).
+/// This is the re-entrant core of schedule_kernel: everything the solve
+/// needs travels in the model or here, so concurrent callers — the revecd
+/// solver pool in particular — share nothing but the process.
+struct ModelSolveOptions {
+    /// Wall-clock budget in milliseconds; -1 = unlimited.
+    std::int64_t timeout_ms = -1;
+
+    /// Seed the exact search from the heuristic layer / return the
+    /// heuristic schedule as the anytime fallback (see ScheduleOptions).
+    bool warm_start = true;
+
+    /// Skip the exact solver and return the verified heuristic schedule.
+    bool heuristic_only = false;
+
+    /// Treat the model's horizon as a hard caller-supplied cap: a
+    /// heuristic schedule that does not complete below it is discarded
+    /// instead of the horizon being raised to cover it. Mirrors
+    /// ScheduleOptions::horizon > 0.
+    bool horizon_is_cap = false;
+
+    /// Solver configuration (threads, portfolio, LNS worker count, trace
+    /// sink) — as ScheduleOptions::solver.
+    cp::SolverConfig solver;
+
+    /// LNS tuning; ignored unless solver.lns_workers > 0.
+    lns::LnsTuning lns;
+
+    /// Trace track the schedule-level spans (heuristic/emit_cp/search) are
+    /// written to. When null, falls back to solver.trace->main().
+    /// Concurrent callers must pass distinct tracks — a TraceBuffer is
+    /// single-writer.
+    obs::TraceBuffer* trace = nullptr;
+};
+
 /// Solve the scheduling (+ memory allocation) problem for one iteration of
 /// the kernel in `g`. The IR should already be normalized with
 /// ir::merge_pipeline_ops for best results (the paper always schedules the
-/// merged graph).
+/// merged graph). Equivalent to
+/// schedule_model(lower_for_schedule(g, o), model_solve_options(o)).
 Schedule schedule_kernel(const ir::Graph& g, const ScheduleOptions& options = {});
+
+/// Lower `g` exactly as schedule_kernel does before solving: num_slots and
+/// the horizon resolved (greedy-derived default, slot-only fixed-starts
+/// extension), no heuristic-driven horizon raise — that happens inside
+/// schedule_model, which reproduces it bit-for-bit from the model alone.
+/// This is the model `revecc --dump-model` writes and the revecd
+/// differential replays.
+model::KernelModel lower_for_schedule(const ir::Graph& g,
+                                      const ScheduleOptions& options = {});
+
+/// Map the schedule-level options onto ModelSolveOptions the way
+/// schedule_kernel does (horizon_is_cap tracks options.horizon > 0).
+ModelSolveOptions model_solve_options(const ScheduleOptions& options);
+
+/// Solve an already-lowered KernelModel: verified heuristic warm start,
+/// exact CP search (sequential or portfolio with LNS workers), anytime
+/// merge — the body of schedule_kernel after lowering. Re-entrant: safe to
+/// call concurrently from many threads given distinct trace tracks.
+Schedule schedule_model(const model::KernelModel& km,
+                        const ModelSolveOptions& options = {});
 
 }  // namespace revec::sched

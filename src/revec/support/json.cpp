@@ -1,0 +1,271 @@
+#include "revec/support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::json {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing content after JSON value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_ws();
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Value parse_value() {
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return parse_string();
+            case 't':
+            case 'f': return parse_bool();
+            case 'n': return parse_null();
+            default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Value v;
+        v.type = Value::Type::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            Value key = parse_string();
+            expect(':');
+            v.object.emplace_back(std::move(key.str), parse_value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Value v;
+        v.type = Value::Type::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parse_value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Value parse_string() {
+        expect('"');
+        Value v;
+        v.type = Value::Type::String;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return v;
+            if (c != '\\') {
+                v.str.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': v.str.push_back('"'); break;
+                case '\\': v.str.push_back('\\'); break;
+                case '/': v.str.push_back('/'); break;
+                case 'n': v.str.push_back('\n'); break;
+                case 't': v.str.push_back('\t'); break;
+                case 'r': v.str.push_back('\r'); break;
+                case 'b': v.str.push_back('\b'); break;
+                case 'f': v.str.push_back('\f'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    // ASCII-only documents: decode the low byte, reject the
+                    // rest.
+                    int code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code = code * 16;
+                        if (h >= '0' && h <= '9') {
+                            code += h - '0';
+                        } else if (h >= 'a' && h <= 'f') {
+                            code += 10 + (h - 'a');
+                        } else if (h >= 'A' && h <= 'F') {
+                            code += 10 + (h - 'A');
+                        } else {
+                            fail("bad hex digit in \\u escape");
+                        }
+                    }
+                    if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+                    v.str.push_back(static_cast<char>(code));
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Value parse_bool() {
+        Value v;
+        v.type = Value::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    Value parse_null() {
+        if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+        pos_ += 4;
+        return {};
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected a value");
+        Value v;
+        v.type = Value::Type::Number;
+        try {
+            v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+        } catch (const std::exception&) {
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+/// Integers round-trip as integers; everything else keeps a shortest-ish
+/// double form. The repo's serializers only ever write integral numbers,
+/// so the integer path is the one that matters for byte-determinism.
+void append_number(std::ostream& os, double v) {
+    if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.0e18) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+void append_escaped(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            case '\r': os << "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+void write_compact(const Value& v, std::ostream& os) {
+    switch (v.type) {
+        case Value::Type::Null: os << "null"; return;
+        case Value::Type::Bool: os << (v.boolean ? "true" : "false"); return;
+        case Value::Type::Number: append_number(os, v.number); return;
+        case Value::Type::String: append_escaped(os, v.str); return;
+        case Value::Type::Array: {
+            os << '[';
+            for (std::size_t i = 0; i < v.array.size(); ++i) {
+                if (i > 0) os << ',';
+                write_compact(v.array[i], os);
+            }
+            os << ']';
+            return;
+        }
+        case Value::Type::Object: {
+            os << '{';
+            for (std::size_t i = 0; i < v.object.size(); ++i) {
+                if (i > 0) os << ',';
+                append_escaped(os, v.object[i].first);
+                os << ':';
+                write_compact(v.object[i].second, os);
+            }
+            os << '}';
+            return;
+        }
+    }
+    REVEC_UNREACHABLE("bad json::Value::Type");
+}
+
+std::string to_compact_string(const Value& v) {
+    std::ostringstream os;
+    write_compact(v, os);
+    return os.str();
+}
+
+}  // namespace revec::json

@@ -1,0 +1,56 @@
+// Minimal JSON value, recursive-descent parser, and compact writer shared
+// by the trace reader (obs/trace_read), the KernelModel deserializer
+// (model/json), and the service protocol (svc/protocol). Only what those
+// consumers need: objects, arrays, strings, numbers, booleans, null.
+// Numbers are kept as doubles (every value the repo's serializers write
+// fits a double exactly); object fields preserve insertion order so
+// round-tripping is deterministic. No third-party dependency.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace revec::json {
+
+struct Value {
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+    /// First field named `key`, or nullptr. Linear scan: the documents this
+    /// module handles have small objects.
+    const Value* find(const std::string& key) const {
+        for (const auto& [k, v] : object) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+
+    bool is(Type t) const { return type == t; }
+};
+
+/// Parse one complete JSON document. Throws revec::Error (with the byte
+/// offset) on malformed input or trailing content.
+Value parse(std::string_view text);
+
+/// Serialize `v` on a single line with no insignificant whitespace —
+/// the framing the newline-delimited service protocol requires. Field
+/// order is the stored (insertion) order, so parse -> write_compact is
+/// deterministic.
+void write_compact(const Value& v, std::ostream& os);
+std::string to_compact_string(const Value& v);
+
+/// Append `s` as a quoted, escaped JSON string literal. Shared by the
+/// hand-rolled serializers that do not build a Value tree first.
+void append_escaped(std::ostream& os, std::string_view s);
+
+}  // namespace revec::json

@@ -1,0 +1,50 @@
+#include "revec/svc/cache.hpp"
+
+namespace revec::svc {
+
+std::optional<CachedSchedule> ScheduleCache::lookup(std::uint64_t hash,
+                                                    const std::string& canonical_json) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(hash);
+    if (it == index_.end()) return std::nullopt;
+    // Same 64-bit key but a different model: a genuine FNV collision.
+    // Serving the stored schedule would be wrong, so treat it as a miss
+    // (and leave the resident entry alone — first writer wins).
+    if (it->second->canonical_json != canonical_json) return std::nullopt;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+}
+
+bool ScheduleCache::insert(std::uint64_t hash, std::string canonical_json,
+                           CachedSchedule value) {
+    if (capacity_ == 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = index_.find(hash); it != index_.end()) {
+        it->second->canonical_json = std::move(canonical_json);
+        it->second->value = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return false;
+    }
+    lru_.push_front(Entry{hash, std::move(canonical_json), std::move(value)});
+    index_[hash] = lru_.begin();
+    bool evicted = false;
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().hash);
+        lru_.pop_back();
+        ++evictions_;
+        evicted = true;
+    }
+    return evicted;
+}
+
+std::size_t ScheduleCache::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+std::int64_t ScheduleCache::evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+}  // namespace revec::svc

@@ -1,0 +1,61 @@
+// Content-addressed schedule cache (DESIGN §5i): maps
+// model::canonical_hash -> proven-optimal schedule, LRU-evicted at a fixed
+// capacity. Entries keep the full canonical JSON alongside the 64-bit key,
+// so a hash collision degrades to a miss instead of serving a wrong
+// schedule; the service additionally re-verifies every hit against the
+// requester's model with model::check_schedule before answering. Only
+// Optimal results are inserted — a timeout- or deadline-shaped answer
+// (SatTimeout, HeuristicFallback) would pin a worse-than-necessary
+// schedule for every future requester of that model.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace revec::svc {
+
+/// The cached payload: a verified optimal schedule of one exact model.
+struct CachedSchedule {
+    std::vector<int> start;
+    std::vector<int> slot;
+    int makespan = 0;
+    int slots_used = 0;
+};
+
+class ScheduleCache {
+public:
+    /// `capacity` = max entries held; 0 disables caching entirely.
+    explicit ScheduleCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Exact hit: same hash AND byte-identical canonical JSON. Refreshes
+    /// LRU recency. Thread-safe.
+    std::optional<CachedSchedule> lookup(std::uint64_t hash,
+                                         const std::string& canonical_json);
+
+    /// Insert (or refresh) an entry; evicts the least recently used entry
+    /// beyond capacity. Returns true when an eviction happened.
+    bool insert(std::uint64_t hash, std::string canonical_json, CachedSchedule value);
+
+    std::size_t size() const;
+    std::int64_t evictions() const;
+
+private:
+    struct Entry {
+        std::uint64_t hash = 0;
+        std::string canonical_json;
+        CachedSchedule value;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    std::int64_t evictions_ = 0;
+};
+
+}  // namespace revec::svc

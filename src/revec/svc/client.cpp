@@ -1,0 +1,70 @@
+#include "revec/svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::svc {
+
+Client::Client(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        throw Error("socket path too long: " + socket_path);
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw Error(std::string("socket() failed: ") + std::strerror(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw Error("connect(" + socket_path + ") failed: " + why);
+    }
+}
+
+Client::~Client() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::roundtrip_line(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            throw Error("revecd connection lost while sending");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    char chunk[4096];
+    for (;;) {
+        const std::size_t eol = buffer_.find('\n');
+        if (eol != std::string::npos) {
+            const std::string response = buffer_.substr(0, eol);
+            buffer_.erase(0, eol + 1);
+            return response;
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) throw Error("revecd closed the connection before responding");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+Response Client::roundtrip(const Request& request) {
+    return parse_response(roundtrip_line(serialize_request(request)));
+}
+
+}  // namespace revec::svc

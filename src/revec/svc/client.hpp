@@ -1,0 +1,35 @@
+// Minimal blocking client of a revecd socket: connect, write one request
+// line, read one response line. Used by revecctl, the service tests, and
+// the ext_service_throughput bench.
+#pragma once
+
+#include <string>
+
+#include "revec/svc/protocol.hpp"
+
+namespace revec::svc {
+
+class Client {
+public:
+    /// Connects to the daemon socket; throws revec::Error when the socket
+    /// cannot be reached.
+    explicit Client(const std::string& socket_path);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Send one request line (newline appended) and block for the
+    /// response line. Throws revec::Error on I/O failure or a closed
+    /// connection.
+    std::string roundtrip_line(const std::string& line);
+
+    /// Typed convenience wrapper: serialize, roundtrip, parse.
+    Response roundtrip(const Request& request);
+
+private:
+    int fd_ = -1;
+    std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace revec::svc

@@ -1,0 +1,79 @@
+#include "revec/svc/pool.hpp"
+
+#include <string>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::svc {
+
+SolverPool::SolverPool(const Config& config) : config_(config) {
+    REVEC_EXPECTS(config.workers >= 1);
+    REVEC_EXPECTS(config.max_queue >= 0);
+    const std::size_t n = static_cast<std::size_t>(config.workers);
+    tracks_.resize(n, nullptr);
+    if (config_.trace != nullptr) {
+        // Register every track before any thread exists: registration
+        // order fixes the serialized track order, and the buffer must be
+        // created by this thread, written only by its worker.
+        for (std::size_t i = 0; i < n; ++i) {
+            tracks_[i] = config_.trace->new_track("svc-worker-" + std::to_string(i));
+        }
+    }
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        threads_.emplace_back([this, i] { worker_main(i); });
+    }
+}
+
+SolverPool::~SolverPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+bool SolverPool::try_submit(Job job) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (static_cast<int>(queue_.size()) >= config_.max_queue) return false;
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+int SolverPool::queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(queue_.size());
+}
+
+std::int64_t SolverPool::completed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return completed_;
+}
+
+void SolverPool::worker_main(std::size_t index) {
+    // Note: the worker writes its track only while running a job; the
+    // job's promise/future hand-off is the synchronization edge that lets
+    // the session thread (and post-join serialization) read those events.
+    obs::TraceBuffer* track = tracks_[index];
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) break;  // stop_ set and nothing left to drain
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job(track);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++completed_;
+        }
+    }
+}
+
+}  // namespace revec::svc

@@ -1,0 +1,71 @@
+// Shared solver pool (DESIGN §5i): a fixed set of worker threads
+// multiplexing solve jobs from a bounded queue. Admission is the service's
+// overload valve — try_submit refuses (returns false) when the queue is at
+// capacity, and the service answers such requests inline with a verified
+// heuristic schedule instead of letting latency grow without bound.
+//
+// Tracing: each worker owns one pre-registered TraceBuffer track
+// ("svc-worker-K"), created before the thread spawns so track order in the
+// serialized trace is deterministic and the single-writer contract of
+// TraceBuffer holds — a job only ever writes to the track of the worker
+// that runs it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "revec/obs/trace.hpp"
+
+namespace revec::svc {
+
+class SolverPool {
+public:
+    struct Config {
+        int workers = 2;    ///< solver threads; >= 1
+        int max_queue = 8;  ///< queued (not yet running) jobs admitted
+        obs::TraceSink* trace = nullptr;  ///< optional per-worker tracks
+    };
+
+    /// A job runs on one worker thread; `track` is that worker's trace
+    /// buffer (nullptr when the pool has no sink).
+    using Job = std::function<void(obs::TraceBuffer* track)>;
+
+    explicit SolverPool(const Config& config);
+
+    /// Drains every admitted job, then stops the workers and joins.
+    ~SolverPool();
+
+    SolverPool(const SolverPool&) = delete;
+    SolverPool& operator=(const SolverPool&) = delete;
+
+    /// Admit `job` unless the queue is full. Returns false (job not
+    /// enqueued, not run) when `max_queue` jobs are already waiting.
+    bool try_submit(Job job);
+
+    /// Jobs waiting for a worker right now (excludes running jobs).
+    int queue_depth() const;
+
+    /// Jobs finished over the pool's lifetime.
+    std::int64_t completed() const;
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+private:
+    void worker_main(std::size_t index);
+
+    Config config_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Job> queue_;
+    bool stop_ = false;
+    std::int64_t completed_ = 0;
+    std::vector<obs::TraceBuffer*> tracks_;  ///< one per worker; may hold nullptr
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace revec::svc

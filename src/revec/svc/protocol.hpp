@@ -1,0 +1,94 @@
+// Wire protocol of the revecd scheduling service (DESIGN §5i): newline-
+// delimited JSON over a unix-domain socket. One request object per line,
+// one response object per line, matched by the client-chosen `id`. The
+// solve payload is the KernelModel in its canonical --dump-model shape
+// (model::to_json / model::from_json), so anything revecc can dump, revecd
+// can serve.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "revec/cp/search.hpp"
+#include "revec/model/kernel_model.hpp"
+
+namespace revec::svc {
+
+enum class RequestKind {
+    Solve,     ///< schedule the embedded model under the deadline
+    Stats,     ///< dump the service MetricsRegistry JSON
+    Ping,      ///< liveness probe
+    Shutdown,  ///< ask the daemon to drain and exit
+};
+
+/// Per-request solver knobs, mirroring revecc's flags. Defaults match a
+/// plain `revecc <ir.xml>` run so a request with no options field solves
+/// exactly like the standalone binary.
+struct SolveParams {
+    int threads = 1;
+    int lns_workers = 0;
+    int lns_relax_pct = 30;
+    std::uint32_t seed = 0x5eedu;
+    bool warm_start = true;
+    bool heuristic_only = false;
+};
+
+struct Request {
+    RequestKind kind = RequestKind::Ping;
+    std::int64_t id = 0;
+
+    /// Wall-clock budget for this request in milliseconds; -1 = none.
+    /// Admission control guarantees an anytime answer at every value,
+    /// including 0 (verified heuristic schedule).
+    std::int64_t deadline_ms = -1;
+
+    SolveParams params;
+    std::optional<model::KernelModel> model;  ///< required for Solve
+};
+
+struct Response {
+    std::int64_t id = 0;
+    bool ok = false;
+    std::string error;  ///< set when !ok
+    bool ack = false;   ///< bare acknowledgement (ping, shutdown)
+
+    // Solve results.
+    cp::SolveStatus status = cp::SolveStatus::Timeout;
+    int makespan = 0;
+    int slots_used = 0;
+    std::vector<int> start;
+    std::vector<int> slot;
+    bool cache_hit = false;  ///< served from the schedule cache, no solve
+    bool shed = false;       ///< admission shed: inline heuristic-only answer
+    double solve_ms = 0.0;   ///< service-side wall clock for this request
+    std::uint64_t model_hash = 0;  ///< canonical_hash of the solved model
+
+    // Stats results: the MetricsRegistry JSON document, verbatim.
+    std::string metrics_json;
+
+    bool has_schedule() const { return !start.empty(); }
+};
+
+/// Lower-case wire names for SolveStatus ("optimal", "unsat",
+/// "sat_timeout", "timeout", "heuristic_fallback").
+const char* status_name(cp::SolveStatus status);
+std::optional<cp::SolveStatus> status_from_name(const std::string& name);
+
+/// Parse one request line. Throws revec::Error on malformed JSON, unknown
+/// kinds, or a Solve without a model.
+Request parse_request(const std::string& line);
+
+/// Serialize a request as a single line (no trailing newline). The model
+/// is embedded as a compact JSON object.
+std::string serialize_request(const Request& request);
+
+/// Serialize a response as a single line (no trailing newline).
+std::string serialize_response(const Response& response);
+
+/// Parse one response line (the client side). Throws revec::Error on
+/// malformed input.
+Response parse_response(const std::string& line);
+
+}  // namespace revec::svc

@@ -1,0 +1,233 @@
+#include "revec/svc/service.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "revec/model/check.hpp"
+#include "revec/model/json.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::svc {
+
+Service::Service(const Config& config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(SolverPool::Config{config.pool_workers, config.max_queue, config.trace}) {}
+
+std::string Service::handle_line(const std::string& line,
+                                 obs::TraceBuffer* session_track) {
+    Request request;
+    try {
+        request = parse_request(line);
+    } catch (const Error& e) {
+        Response r;
+        r.ok = false;
+        r.error = e.what();
+        {
+            std::lock_guard<std::mutex> lock(metrics_mu_);
+            metrics_.add("svc.req.parse_errors");
+        }
+        return serialize_response(r);
+    }
+    return serialize_response(handle(request, session_track));
+}
+
+Response Service::handle(const Request& request, obs::TraceBuffer* session_track) {
+    switch (request.kind) {
+        case RequestKind::Ping: {
+            Response r;
+            r.id = request.id;
+            r.ok = true;
+            r.ack = true;
+            return r;
+        }
+        case RequestKind::Shutdown: {
+            shutdown_.store(true);
+            obs::instant(session_track, obs::TraceLevel::Phase, "svc.shutdown");
+            Response r;
+            r.id = request.id;
+            r.ok = true;
+            r.ack = true;
+            return r;
+        }
+        case RequestKind::Stats: {
+            Response r;
+            r.id = request.id;
+            r.ok = true;
+            r.metrics_json = metrics_json();
+            return r;
+        }
+        case RequestKind::Solve:
+            return handle_solve(request, session_track);
+    }
+    REVEC_UNREACHABLE("bad RequestKind");
+}
+
+Response Service::handle_solve(const Request& request, obs::TraceBuffer* session_track) {
+    const Stopwatch sw;
+    const model::KernelModel& km = *request.model;
+    const std::string canonical = model::to_json(km);
+    const std::uint64_t hash = model::canonical_hash(km);
+
+    obs::SpanScope span(session_track, obs::TraceLevel::Phase, "svc.request", "id",
+                        request.id);
+
+    if (auto cached = cache_.lookup(hash, canonical); cached.has_value()) {
+        // Belt and braces on top of the cache's exact-JSON guard: the
+        // stored schedule must verify clean against the model we were
+        // actually asked to solve before it is served.
+        if (model::check_schedule(km, cached->start, cached->slot, cached->makespan)
+                .empty()) {
+            Response r;
+            r.id = request.id;
+            r.ok = true;
+            r.status = cp::SolveStatus::Optimal;
+            r.makespan = cached->makespan;
+            r.slots_used = cached->slots_used;
+            r.start = std::move(cached->start);
+            r.slot = std::move(cached->slot);
+            r.cache_hit = true;
+            r.model_hash = hash;
+            r.solve_ms = sw.elapsed_ms();
+            span.result("hit", 1);
+            {
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                metrics_.add("svc.cache.hit");
+                metrics_.add("svc.req.count");
+                metrics_.add("svc.req.status.optimal");
+                metrics_.observe("svc.req.latency_ms", r.solve_ms);
+            }
+            return r;
+        }
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.add("svc.cache.verify_fail");
+    }
+    {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.add("svc.cache.miss");
+    }
+
+    Response r;
+    if (request.deadline_ms == 0) {
+        // A zero deadline can never fit a queue wait plus an exact solve:
+        // shed immediately with the verified heuristic answer.
+        r = solve_and_finish(request, canonical, hash, /*shed=*/true, 0, session_track,
+                             sw);
+    } else {
+        std::promise<Response> done;
+        std::future<Response> fut = done.get_future();
+        // The session thread blocks on the future, so capturing the
+        // request and stopwatch by reference is safe.
+        const bool admitted =
+            pool_.try_submit([this, &request, &canonical, hash, &done,
+                              &sw](obs::TraceBuffer* track) {
+                std::int64_t remaining = request.deadline_ms;
+                if (remaining > 0) {
+                    const auto waited = static_cast<std::int64_t>(sw.elapsed_ms());
+                    remaining = std::max<std::int64_t>(0, remaining - waited);
+                }
+                done.set_value(solve_and_finish(request, canonical, hash,
+                                                /*shed=*/false, remaining, track, sw));
+            });
+        if (admitted) {
+            {
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                metrics_.add("svc.queue.admitted");
+                metrics_.gauge("svc.queue.depth",
+                               static_cast<double>(pool_.queue_depth()));
+            }
+            r = fut.get();
+        } else {
+            r = solve_and_finish(request, canonical, hash, /*shed=*/true, 0,
+                                 session_track, sw);
+        }
+    }
+
+    span.result("hit", 0, "shed", r.shed ? 1 : 0);
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (r.shed) metrics_.add("svc.queue.shed");
+    metrics_.add("svc.req.count");
+    metrics_.observe("svc.req.latency_ms", r.solve_ms);
+    if (r.ok) {
+        metrics_.add(std::string("svc.req.status.") + status_name(r.status));
+    } else {
+        metrics_.add("svc.req.errors");
+    }
+    return r;
+}
+
+Response Service::solve_and_finish(const Request& request, const std::string& canonical,
+                                   std::uint64_t hash, bool shed,
+                                   std::int64_t timeout_ms,
+                                   obs::TraceBuffer* solve_track, const Stopwatch& sw) {
+    const model::KernelModel& km = *request.model;
+
+    sched::ModelSolveOptions mo;
+    // Shed requests take the fast anytime path: the verified heuristic
+    // schedule, computed inline, deadline-proof at any value including 0.
+    mo.timeout_ms = shed ? 0 : timeout_ms;
+    mo.warm_start = request.params.warm_start;
+    mo.heuristic_only = shed || request.params.heuristic_only;
+    // The wire model's horizon is the already-resolved lowering product
+    // (revecc --dump-model shape), not a user cap: let schedule_model
+    // raise it over the heuristic makespan exactly like a standalone run.
+    mo.horizon_is_cap = false;
+    mo.solver.threads = request.params.threads;
+    mo.solver.seed = request.params.seed;
+    mo.solver.lns_workers = request.params.lns_workers;
+    mo.lns.relax_pct = static_cast<double>(request.params.lns_relax_pct) / 100.0;
+    mo.trace = solve_track;
+
+    Response r;
+    r.id = request.id;
+    r.model_hash = hash;
+    r.shed = shed;
+    try {
+        const sched::Schedule s = sched::schedule_model(km, mo);
+        r.status = s.status;
+        if (s.feasible()) {
+            const std::vector<std::string> violations =
+                model::check_schedule(km, s.start, s.slot, s.makespan);
+            if (!violations.empty()) {
+                r.ok = false;
+                r.error = "schedule failed verification: " + violations.front();
+                r.solve_ms = sw.elapsed_ms();
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                metrics_.add("svc.req.verify_fail");
+                return r;
+            }
+            r.makespan = s.makespan;
+            r.slots_used = s.slots_used;
+            r.start = s.start;
+            r.slot = s.slot;
+        }
+        r.ok = true;
+        // Only proven-optimal, full-solve results enter the cache; a shed
+        // or deadline-shaped answer must not be replayed to later callers.
+        if (s.status == cp::SolveStatus::Optimal && !shed) {
+            if (cache_.insert(hash, canonical,
+                              CachedSchedule{s.start, s.slot, s.makespan,
+                                             s.slots_used})) {
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                metrics_.add("svc.cache.evictions");
+            }
+        }
+    } catch (const Error& e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+    r.solve_ms = sw.elapsed_ms();
+    return r;
+}
+
+std::string Service::metrics_json() const {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.gauge("svc.queue.depth", static_cast<double>(pool_.queue_depth()));
+    metrics_.gauge("svc.cache.size", static_cast<double>(cache_.size()));
+    metrics_.set("svc.pool.completed", pool_.completed());
+    return metrics_.to_json();
+}
+
+}  // namespace revec::svc

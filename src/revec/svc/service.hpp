@@ -1,0 +1,78 @@
+// The revecd request core (DESIGN §5i), transport-free: one Service object
+// takes request lines and produces response lines; the socket server and
+// the in-process tests drive the same code. Three cooperating pieces:
+//
+//  * a content-addressed ScheduleCache keyed on model::canonical_hash —
+//    exact hits (hash + canonical JSON + a check_schedule re-verification
+//    against the requester's model) are answered without touching a
+//    solver;
+//  * a bounded SolverPool multiplexing misses over a fixed set of worker
+//    threads. Admission control guarantees an anytime answer: a request
+//    whose deadline is 0, or that arrives with the queue full, is shed —
+//    answered inline with a verified heuristic-only schedule
+//    (HeuristicFallback) instead of queueing unboundedly;
+//  * a mutex-guarded MetricsRegistry (svc.cache.*, svc.queue.*, svc.req.*)
+//    dumped verbatim by the `stats` request, plus per-request obs spans on
+//    the caller's session track.
+//
+// Thread safety: handle_line / handle may be called concurrently from any
+// number of session threads; callers writing trace events must pass
+// distinct session tracks (TraceBuffer is single-writer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "revec/obs/metrics.hpp"
+#include "revec/obs/trace.hpp"
+#include "revec/support/stopwatch.hpp"
+#include "revec/svc/cache.hpp"
+#include "revec/svc/pool.hpp"
+#include "revec/svc/protocol.hpp"
+
+namespace revec::svc {
+
+class Service {
+public:
+    struct Config {
+        int pool_workers = 2;  ///< shared solver threads
+        int max_queue = 8;     ///< solve requests waiting beyond the workers
+        std::size_t cache_capacity = 128;  ///< schedule-cache entries; 0 = off
+        obs::TraceSink* trace = nullptr;   ///< worker tracks registered here
+    };
+
+    explicit Service(const Config& config);
+
+    /// Parse one request line, dispatch it, serialize the response line
+    /// (no trailing newline). Malformed requests produce an ok=false
+    /// response instead of throwing.
+    std::string handle_line(const std::string& line,
+                            obs::TraceBuffer* session_track = nullptr);
+
+    /// The typed core of handle_line.
+    Response handle(const Request& request, obs::TraceBuffer* session_track = nullptr);
+
+    /// Set once a Shutdown request was acknowledged; the server polls it.
+    bool shutdown_requested() const { return shutdown_.load(); }
+
+    /// The MetricsRegistry JSON document (with live queue-depth and
+    /// cache-size gauges refreshed at call time).
+    std::string metrics_json() const;
+
+private:
+    Response handle_solve(const Request& request, obs::TraceBuffer* session_track);
+    Response solve_and_finish(const Request& request, const std::string& canonical,
+                              std::uint64_t hash, bool shed, std::int64_t timeout_ms,
+                              obs::TraceBuffer* solve_track, const Stopwatch& sw);
+
+    Config config_;
+    ScheduleCache cache_;
+    SolverPool pool_;
+    mutable std::mutex metrics_mu_;
+    mutable obs::MetricsRegistry metrics_;  ///< guarded by metrics_mu_
+    std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace revec::svc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -521,6 +523,74 @@ TEST(Run, LaneOverrideChangesSchedule) {
     // Both run; QRD is latency-bound so the makespan stays the same.
     EXPECT_NE(out1.str().find("142"), std::string::npos);
     EXPECT_NE(out2.str().find("142"), std::string::npos);
+}
+
+// Anti-drift guards over the flag inventory: known_flags() is the single
+// source parse_args dispatches on, so --help and the README flag table
+// must both cover exactly those names — a new flag that skips either
+// surface fails here, not in a user's shell.
+
+std::string help_text() {
+    std::ostringstream out;
+    const auto opts = parse_args({"--help"}, out);
+    EXPECT_FALSE(opts.has_value());
+    return out.str();
+}
+
+TEST(Flags, UsageDocumentsEveryKnownFlag) {
+    const std::string usage = help_text();
+    for (const std::string& flag : known_flags()) {
+        EXPECT_NE(usage.find("  " + flag), std::string::npos)
+            << flag << " missing from --help";
+    }
+}
+
+TEST(Flags, UsageDocumentsEveryExitCode) {
+    const std::string usage = help_text();
+    ASSERT_NE(usage.find("exit codes:"), std::string::npos);
+    for (int code = 0; code <= 6; ++code) {
+        EXPECT_NE(usage.find("\n  " + std::to_string(code) + "  "), std::string::npos)
+            << "exit code " << code << " missing from --help";
+    }
+}
+
+TEST(Flags, ReadmeFlagTableMatchesKnownFlags) {
+    std::ifstream in(REVEC_README_PATH);
+    ASSERT_TRUE(in.good()) << REVEC_README_PATH;
+    const std::string readme((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    const std::size_t section = readme.find("## `revecc` flags");
+    ASSERT_NE(section, std::string::npos);
+    const std::size_t section_end = readme.find("\n## ", section + 1);
+    const std::string table = readme.substr(
+        section, section_end == std::string::npos ? std::string::npos
+                                                  : section_end - section);
+
+    // Every flag named in the README table must be a real flag...
+    std::size_t pos = 0;
+    int found = 0;
+    while ((pos = table.find("`--", pos)) != std::string::npos) {
+        std::size_t end = pos + 1;
+        while (end < table.size() &&
+               (std::isalnum(static_cast<unsigned char>(table[end])) != 0 ||
+                table[end] == '-')) {
+            ++end;
+        }
+        const std::string name = table.substr(pos + 1, end - pos - 1);
+        const auto& flags = known_flags();
+        EXPECT_NE(std::find(flags.begin(), flags.end(), name), flags.end())
+            << name << " in the README table is not a revecc flag";
+        ++found;
+        pos = end;
+    }
+    EXPECT_GT(found, 10);  // the table really was parsed
+
+    // ...and every real flag (minus --help) must be in the README table.
+    for (const std::string& flag : known_flags()) {
+        if (flag == "--help") continue;
+        EXPECT_NE(table.find("`" + flag), std::string::npos)
+            << flag << " missing from the README flag table";
+    }
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// schedule_model is the re-entrant core the revecd solver pool calls: it
+// must reproduce schedule_kernel bit for bit from the lowered model alone
+// — including after a JSON round trip, which is exactly the path a solve
+// request takes through the service (revecc --dump-model -> wire ->
+// from_json -> schedule_model).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "revec/apps/arf.hpp"
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/analysis.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/model/check.hpp"
+#include "revec/model/json.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/support/assert.hpp"
+
+namespace revec::sched {
+namespace {
+
+ir::Graph kernel_by_name(const std::string& name) {
+    if (name == "matmul") return ir::merge_pipeline_ops(apps::build_matmul());
+    if (name == "qrd") return ir::merge_pipeline_ops(apps::build_qrd());
+    if (name == "arf") return ir::merge_pipeline_ops(apps::build_arf());
+    throw revec::Error("unknown kernel " + name);
+}
+
+void expect_same_schedule(const Schedule& a, const Schedule& b, const std::string& what) {
+    EXPECT_EQ(a.status, b.status) << what;
+    EXPECT_EQ(a.makespan, b.makespan) << what;
+    EXPECT_EQ(a.slots_used, b.slots_used) << what;
+    EXPECT_EQ(a.start, b.start) << what;
+    EXPECT_EQ(a.slot, b.slot) << what;
+}
+
+class ScheduleModelDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScheduleModelDifferential, MatchesScheduleKernelBitForBit) {
+    const ir::Graph g = kernel_by_name(GetParam());
+    ScheduleOptions opts;
+    opts.timeout_ms = 60000;
+
+    const Schedule via_kernel = schedule_kernel(g, opts);
+    const Schedule via_model =
+        schedule_model(lower_for_schedule(g, opts), model_solve_options(opts));
+    expect_same_schedule(via_kernel, via_model, GetParam());
+    EXPECT_EQ(via_kernel.stats.nodes, via_model.stats.nodes) << GetParam();
+}
+
+TEST_P(ScheduleModelDifferential, SurvivesJsonRoundTrip) {
+    const ir::Graph g = kernel_by_name(GetParam());
+    ScheduleOptions opts;
+    opts.timeout_ms = 60000;
+
+    const model::KernelModel km = lower_for_schedule(g, opts);
+    const model::KernelModel wire = model::from_json(model::to_json(km));
+    expect_same_schedule(schedule_model(km, model_solve_options(opts)),
+                         schedule_model(wire, model_solve_options(opts)), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ScheduleModelDifferential,
+                         ::testing::Values("matmul", "qrd", "arf"));
+
+TEST(ScheduleModel, ZeroDeadlineStillVerifyClean) {
+    const model::KernelModel km =
+        lower_for_schedule(kernel_by_name("qrd"), ScheduleOptions{});
+    ModelSolveOptions mo;
+    mo.timeout_ms = 0;
+    const Schedule s = schedule_model(km, mo);
+    ASSERT_TRUE(s.feasible());
+    EXPECT_EQ(s.status, cp::SolveStatus::HeuristicFallback);
+    EXPECT_TRUE(model::check_schedule(km, s.start, s.slot, s.makespan).empty());
+}
+
+TEST(ScheduleModel, HeuristicOnlyMatchesKernelPath) {
+    const ir::Graph g = kernel_by_name("matmul");
+    ScheduleOptions opts;
+    opts.heuristic_only = true;
+    expect_same_schedule(
+        schedule_kernel(g, opts),
+        schedule_model(lower_for_schedule(g, opts), model_solve_options(opts)),
+        "heuristic-only");
+}
+
+TEST(ScheduleModel, HorizonCapMatchesKernelPath) {
+    // A user horizon below the heuristic makespan forces the capped path
+    // (heuristic discarded); both entry points must agree there too.
+    const ir::Graph g = kernel_by_name("matmul");
+    ScheduleOptions opts;
+    opts.timeout_ms = 60000;
+    opts.horizon = ir::critical_path_length(arch::ArchSpec::eit(), g) + 1;
+    const ModelSolveOptions mo = model_solve_options(opts);
+    ASSERT_TRUE(mo.horizon_is_cap);
+    expect_same_schedule(schedule_kernel(g, opts),
+                         schedule_model(lower_for_schedule(g, opts), mo), "capped");
+}
+
+TEST(ScheduleModel, ZeroSlotsWithVectorDataIsUnsat) {
+    ScheduleOptions opts;
+    opts.num_slots = 0;
+    const model::KernelModel km = lower_for_schedule(kernel_by_name("matmul"), opts);
+    const Schedule s = schedule_model(km, ModelSolveOptions{});
+    EXPECT_EQ(s.status, cp::SolveStatus::Unsat);
+}
+
+}  // namespace
+}  // namespace revec::sched

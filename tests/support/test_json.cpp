@@ -1,0 +1,68 @@
+#include "revec/support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revec/support/assert.hpp"
+
+namespace revec {
+namespace {
+
+using json::Value;
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(json::parse("null").is(Value::Type::Null));
+    EXPECT_TRUE(json::parse("true").boolean);
+    EXPECT_FALSE(json::parse("false").boolean);
+    EXPECT_DOUBLE_EQ(json::parse("-17").number, -17.0);
+    EXPECT_DOUBLE_EQ(json::parse("2.5e3").number, 2500.0);
+    EXPECT_EQ(json::parse("\"a\\nb\"").str, "a\nb");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    const Value v = json::parse(R"({"b": 1, "a": 2, "c": 3})");
+    ASSERT_EQ(v.object.size(), 3u);
+    EXPECT_EQ(v.object[0].first, "b");
+    EXPECT_EQ(v.object[1].first, "a");
+    EXPECT_EQ(v.object[2].first, "c");
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("a")->number, 2.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW(json::parse("{"), Error);
+    EXPECT_THROW(json::parse("[1, 2"), Error);
+    EXPECT_THROW(json::parse("\"unterminated"), Error);
+    EXPECT_THROW(json::parse("1 2"), Error);
+    EXPECT_THROW(json::parse("nul"), Error);
+    EXPECT_THROW(json::parse(""), Error);
+}
+
+TEST(Json, CompactRoundTripIsStable) {
+    const std::string doc =
+        R"({"name":"k","xs":[1,2,3],"flag":true,"nested":{"a":null,"b":"x\ty"}})";
+    const std::string once = json::to_compact_string(json::parse(doc));
+    EXPECT_EQ(once, doc);
+    EXPECT_EQ(json::to_compact_string(json::parse(once)), once);
+}
+
+TEST(Json, CompactWritesIntegersWithoutDecimalPoint) {
+    Value v;
+    v.type = Value::Type::Number;
+    v.number = 42.0;
+    EXPECT_EQ(json::to_compact_string(v), "42");
+    v.number = -3.0;
+    EXPECT_EQ(json::to_compact_string(v), "-3");
+    v.number = 0.5;
+    EXPECT_EQ(json::to_compact_string(v), "0.5");
+}
+
+TEST(Json, EscapesControlCharactersOnWrite) {
+    Value v;
+    v.type = Value::Type::String;
+    v.str = "a\"b\\c\nd\x01";
+    EXPECT_EQ(json::to_compact_string(v), "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+}  // namespace
+}  // namespace revec

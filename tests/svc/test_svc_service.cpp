@@ -1,0 +1,210 @@
+// Service-level behaviour: the revecd core answers every admitted request
+// with a verify-clean schedule, serves exact repeats from the cache
+// without re-solving (asserted both through svc.cache.hit and through the
+// absence of new "search" spans), matches the standalone schedule_kernel
+// result bit for bit, and sheds to the verified heuristic answer when the
+// deadline or the queue cannot fit a full solve.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/model/check.hpp"
+#include "revec/model/json.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/support/json.hpp"
+#include "revec/svc/service.hpp"
+
+namespace revec::svc {
+namespace {
+
+model::KernelModel lowered(const ir::Graph& g) {
+    return sched::lower_for_schedule(g, sched::ScheduleOptions{});
+}
+
+model::KernelModel matmul_model() {
+    return lowered(ir::merge_pipeline_ops(apps::build_matmul()));
+}
+
+Request solve_request(model::KernelModel km, std::int64_t id,
+                      std::int64_t deadline_ms = -1) {
+    Request req;
+    req.kind = RequestKind::Solve;
+    req.id = id;
+    req.deadline_ms = deadline_ms;
+    req.model = std::move(km);
+    return req;
+}
+
+std::int64_t counter(const Service& service, const std::string& name) {
+    const json::Value doc = json::parse(service.metrics_json());
+    const json::Value* counters = doc.find("counters");
+    if (counters == nullptr) return 0;
+    const json::Value* v = counters->find(name);
+    return v == nullptr ? 0 : static_cast<std::int64_t>(v->number);
+}
+
+/// Count "search" span-begin events across the sink's serialized stream —
+/// one per exact-solver invocation, zero for cache hits and shed answers.
+std::int64_t search_spans(const obs::TraceSink& sink) {
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    const std::string text = os.str();
+    std::int64_t n = 0;
+    const std::string needle = "\"name\": \"search\"";
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+void expect_verify_clean(const model::KernelModel& km, const Response& r) {
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.has_schedule());
+    EXPECT_TRUE(model::check_schedule(km, r.start, r.slot, r.makespan).empty());
+}
+
+TEST(SvcService, RepeatIsServedFromCacheWithoutResolving) {
+    obs::TraceSink sink(obs::TraceLevel::Phase);
+    Service::Config config;
+    config.trace = &sink;
+    Service service(config);
+    const model::KernelModel km = matmul_model();
+
+    const Response first = service.handle(solve_request(km, 1));
+    expect_verify_clean(km, first);
+    EXPECT_EQ(first.status, cp::SolveStatus::Optimal);
+    EXPECT_FALSE(first.cache_hit);
+    const std::int64_t spans_after_first = search_spans(sink);
+    EXPECT_GT(spans_after_first, 0);
+
+    const Response second = service.handle(solve_request(km, 2));
+    expect_verify_clean(km, second);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(second.status, cp::SolveStatus::Optimal);
+    EXPECT_EQ(second.start, first.start);
+    EXPECT_EQ(second.slot, first.slot);
+    EXPECT_EQ(second.makespan, first.makespan);
+    EXPECT_EQ(second.model_hash, first.model_hash);
+
+    // The hit never touched a solver: no new search span appeared.
+    EXPECT_EQ(search_spans(sink), spans_after_first);
+    EXPECT_EQ(counter(service, "svc.cache.hit"), 1);
+    EXPECT_EQ(counter(service, "svc.cache.miss"), 1);
+}
+
+TEST(SvcService, MatchesStandaloneSolveBitForBit) {
+    Service service(Service::Config{});
+    const ir::Graph g = ir::merge_pipeline_ops(apps::build_matmul());
+    sched::ScheduleOptions opts;
+    opts.timeout_ms = 60000;
+    const sched::Schedule standalone = sched::schedule_kernel(g, opts);
+
+    const Response served =
+        service.handle(solve_request(sched::lower_for_schedule(g, opts), 1, 60000));
+    ASSERT_TRUE(served.ok) << served.error;
+    EXPECT_EQ(served.status, standalone.status);
+    EXPECT_EQ(served.makespan, standalone.makespan);
+    EXPECT_EQ(served.slots_used, standalone.slots_used);
+    EXPECT_EQ(served.start, standalone.start);
+    EXPECT_EQ(served.slot, standalone.slot);
+}
+
+TEST(SvcService, ZeroDeadlineShedsToVerifiedHeuristic) {
+    Service service(Service::Config{});
+    const model::KernelModel km = matmul_model();
+    const Response r = service.handle(solve_request(km, 1, /*deadline_ms=*/0));
+    expect_verify_clean(km, r);
+    EXPECT_TRUE(r.shed);
+    EXPECT_EQ(r.status, cp::SolveStatus::HeuristicFallback);
+    EXPECT_EQ(counter(service, "svc.queue.shed"), 1);
+    // Shed answers must not poison the cache with a non-optimal schedule.
+    const Response again = service.handle(solve_request(km, 2, 0));
+    EXPECT_FALSE(again.cache_hit);
+}
+
+TEST(SvcService, SaturatedPoolShedsEveryRequestVerifyClean) {
+    // max_queue = 0 models a permanently saturated pool: nothing is ever
+    // admitted, so 100% of requests must still get a verify-clean
+    // HeuristicFallback answer.
+    Service::Config config;
+    config.pool_workers = 1;
+    config.max_queue = 0;
+    Service service(config);
+    const model::KernelModel km = matmul_model();
+    for (int i = 0; i < 3; ++i) {
+        const Response r = service.handle(solve_request(km, i, 500));
+        expect_verify_clean(km, r);
+        EXPECT_TRUE(r.shed);
+        EXPECT_EQ(r.status, cp::SolveStatus::HeuristicFallback);
+    }
+    EXPECT_EQ(counter(service, "svc.queue.shed"), 3);
+    EXPECT_EQ(counter(service, "svc.queue.admitted"), 0);
+}
+
+TEST(SvcService, DistinctModelsGetDistinctCacheEntries) {
+    Service service(Service::Config{});
+    const model::KernelModel mm = matmul_model();
+    const model::KernelModel qrd = lowered(ir::merge_pipeline_ops(apps::build_qrd()));
+
+    const Response r1 = service.handle(solve_request(mm, 1));
+    const Response r2 = service.handle(solve_request(qrd, 2));
+    ASSERT_TRUE(r1.ok && r2.ok);
+    EXPECT_NE(r1.model_hash, r2.model_hash);
+    EXPECT_TRUE(service.handle(solve_request(mm, 3)).cache_hit);
+    EXPECT_TRUE(service.handle(solve_request(qrd, 4)).cache_hit);
+    EXPECT_EQ(counter(service, "svc.cache.hit"), 2);
+}
+
+TEST(SvcService, StatsPingShutdownAndErrors) {
+    Service service(Service::Config{});
+    EXPECT_FALSE(service.shutdown_requested());
+
+    const std::string pong = service.handle_line("{\"kind\":\"ping\",\"id\":7}");
+    const Response ping = parse_response(pong);
+    EXPECT_TRUE(ping.ok);
+    EXPECT_TRUE(ping.ack);
+    EXPECT_EQ(ping.id, 7);
+
+    const Response bad = parse_response(service.handle_line("{\"kind\":\"solve\"}"));
+    EXPECT_FALSE(bad.ok);
+    EXPECT_FALSE(bad.error.empty());
+    const Response garbage = parse_response(service.handle_line("not json at all"));
+    EXPECT_FALSE(garbage.ok);
+
+    const Response stats =
+        parse_response(service.handle_line("{\"kind\":\"stats\",\"id\":1}"));
+    ASSERT_TRUE(stats.ok);
+    ASSERT_FALSE(stats.metrics_json.empty());
+    const json::Value doc = json::parse(stats.metrics_json);
+    ASSERT_TRUE(doc.find("counters") != nullptr);
+    EXPECT_TRUE(doc.find("counters")->find("svc.req.parse_errors") != nullptr);
+
+    const Response down =
+        parse_response(service.handle_line("{\"kind\":\"shutdown\",\"id\":2}"));
+    EXPECT_TRUE(down.ok);
+    EXPECT_TRUE(down.ack);
+    EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(SvcService, HeuristicOnlyRequestSkipsExactSearch) {
+    obs::TraceSink sink(obs::TraceLevel::Phase);
+    Service::Config config;
+    config.trace = &sink;
+    Service service(config);
+    const model::KernelModel km = matmul_model();
+    Request req = solve_request(km, 1);
+    req.params.heuristic_only = true;
+    const Response r = service.handle(req);
+    expect_verify_clean(km, r);
+    EXPECT_EQ(r.status, cp::SolveStatus::HeuristicFallback);
+    EXPECT_FALSE(r.shed);  // admitted, not shed: the caller asked for this mode
+    EXPECT_EQ(search_spans(sink), 0);
+}
+
+}  // namespace
+}  // namespace revec::svc

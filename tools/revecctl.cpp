@@ -1,0 +1,149 @@
+// revecctl — command-line client for a running revecd. Sends solve
+// requests built from revecc --dump-model files, liveness pings, stats
+// dumps of the daemon's metrics registry, and the drain-and-exit shutdown
+// request. Responses are printed verbatim, one JSON line each, so shell
+// pipelines (the CI daemon-smoke step greps them) see exactly what went
+// over the wire.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "revec/model/json.hpp"
+#include "revec/support/assert.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/svc/client.hpp"
+#include "revec/svc/protocol.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+    os << "usage: revecctl --socket=PATH <command> [options]\n\n"
+          "commands:\n"
+          "  ping                   liveness probe\n"
+          "  stats                  dump the daemon's metrics registry JSON\n"
+          "  shutdown               ask the daemon to drain and exit\n"
+          "  solve MODEL.json...    schedule each model (revecc --dump-model\n"
+          "                         shape); repeats of the same model are\n"
+          "                         served from the daemon's schedule cache\n\n"
+          "solve options:\n"
+          "  --deadline-ms=N        per-request budget; -1 none (default), 0\n"
+          "                         forces the verified heuristic answer\n"
+          "  --threads=N            solver threads per request (default 1)\n"
+          "  --lns-workers=N        LNS workers raced alongside (default 0)\n"
+          "  --lns-relax-pct=N      LNS relax percentage 1..100 (default 30)\n"
+          "  --seed=N               search seed (default 0x5eed)\n"
+          "  --no-warm-start        cold exact solve (no heuristic seed)\n"
+          "  --heuristic-only       skip the exact solver\n\n"
+          "Each response is printed as one JSON line. Exit codes: 0 = every\n"
+          "response ok, 1 = usage/connection error, 2 = a response had\n"
+          "ok=false.\n";
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw revec::Error("cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path;
+    std::string command;
+    std::vector<std::string> models;
+    revec::svc::SolveParams params;
+    std::int64_t deadline_ms = -1;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage(std::cout);
+                return 0;
+            } else if (revec::starts_with(arg, "--socket=")) {
+                socket_path = arg.substr(9);
+            } else if (revec::starts_with(arg, "--deadline-ms=")) {
+                deadline_ms = revec::parse_int(arg.substr(14));
+            } else if (revec::starts_with(arg, "--threads=")) {
+                params.threads = static_cast<int>(revec::parse_int(arg.substr(10)));
+            } else if (revec::starts_with(arg, "--lns-workers=")) {
+                params.lns_workers = static_cast<int>(revec::parse_int(arg.substr(14)));
+            } else if (revec::starts_with(arg, "--lns-relax-pct=")) {
+                params.lns_relax_pct =
+                    static_cast<int>(revec::parse_int(arg.substr(16)));
+            } else if (revec::starts_with(arg, "--seed=")) {
+                params.seed =
+                    static_cast<std::uint32_t>(revec::parse_int(arg.substr(7)));
+            } else if (arg == "--no-warm-start") {
+                params.warm_start = false;
+            } else if (arg == "--heuristic-only") {
+                params.heuristic_only = true;
+            } else if (revec::starts_with(arg, "--")) {
+                std::cerr << "revecctl: unknown flag '" << arg << "'\n";
+                usage(std::cerr);
+                return 1;
+            } else if (command.empty()) {
+                command = arg;
+            } else if (command == "solve") {
+                models.push_back(arg);
+            } else {
+                std::cerr << "revecctl: unexpected argument '" << arg << "'\n";
+                return 1;
+            }
+        }
+        if (socket_path.empty() || command.empty()) {
+            std::cerr << "revecctl: --socket=PATH and a command are required\n";
+            usage(std::cerr);
+            return 1;
+        }
+
+        revec::svc::Client client(socket_path);
+        std::vector<revec::svc::Request> requests;
+        std::int64_t next_id = 1;
+
+        if (command == "ping" || command == "stats" || command == "shutdown") {
+            revec::svc::Request req;
+            req.kind = command == "ping"    ? revec::svc::RequestKind::Ping
+                       : command == "stats" ? revec::svc::RequestKind::Stats
+                                            : revec::svc::RequestKind::Shutdown;
+            req.id = next_id++;
+            requests.push_back(std::move(req));
+        } else if (command == "solve") {
+            if (models.empty()) {
+                std::cerr << "revecctl: solve needs at least one MODEL.json\n";
+                return 1;
+            }
+            for (const std::string& path : models) {
+                revec::svc::Request req;
+                req.kind = revec::svc::RequestKind::Solve;
+                req.id = next_id++;
+                req.deadline_ms = deadline_ms;
+                req.params = params;
+                req.model = revec::model::from_json(read_file(path));
+                requests.push_back(std::move(req));
+            }
+        } else {
+            std::cerr << "revecctl: unknown command '" << command << "'\n";
+            usage(std::cerr);
+            return 1;
+        }
+
+        bool all_ok = true;
+        for (const revec::svc::Request& req : requests) {
+            const std::string line =
+                client.roundtrip_line(revec::svc::serialize_request(req));
+            std::cout << line << '\n';
+            const revec::svc::Response resp = revec::svc::parse_response(line);
+            all_ok = all_ok && resp.ok;
+        }
+        return all_ok ? 0 : 2;
+    } catch (const std::exception& e) {
+        std::cerr << "revecctl: " << e.what() << '\n';
+        return 1;
+    }
+}

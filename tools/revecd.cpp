@@ -1,0 +1,134 @@
+// revecd — the scheduling service daemon (DESIGN §5i). Listens on a
+// unix-domain socket for newline-delimited JSON solve requests (the
+// KernelModel shape revecc --dump-model writes), serves exact repeats from
+// a content-addressed schedule cache, multiplexes misses over a bounded
+// shared solver pool, and answers every admitted request with a verified
+// schedule — shedding to the heuristic anytime answer when the deadline or
+// the queue cannot fit a full solve. SIGTERM/SIGINT (or a protocol
+// shutdown request, see revecctl) drains and exits cleanly, optionally
+// saving the service trace and metrics.
+#include <csignal>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "revec/obs/metrics.hpp"
+#include "revec/obs/trace.hpp"
+#include "revec/support/strings.hpp"
+#include "revec/svc/server.hpp"
+#include "revec/svc/service.hpp"
+
+namespace {
+
+revec::svc::Server* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+    if (g_server != nullptr) g_server->request_stop_from_signal();
+}
+
+void usage(std::ostream& os) {
+    os << "usage: revecd --socket=PATH [options]\n\n"
+          "options:\n"
+          "  --socket=PATH          unix socket to listen on (required)\n"
+          "  --workers=N            solver pool threads (default 2)\n"
+          "  --max-queue=N          queued solves beyond the workers (default 8)\n"
+          "  --cache-capacity=N     schedule-cache entries, 0 disables (default 128)\n"
+          "  --trace=FILE           save the service trace on shutdown\n"
+          "                         (.jsonl = JSONL stream, else Chrome JSON)\n"
+          "  --trace-level=LEVEL    off | phase | node (default phase)\n"
+          "  --metrics=FILE         save the metrics registry JSON on shutdown\n"
+          "  --help                 this text\n\n"
+          "exit codes:\n"
+          "  0  clean shutdown (signal or protocol shutdown request)\n"
+          "  1  usage error or failure to bind the socket\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path;
+    std::string trace_path;
+    std::string metrics_path;
+    revec::obs::TraceLevel trace_level = revec::obs::TraceLevel::Phase;
+    revec::svc::Service::Config config;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage(std::cout);
+                return 0;
+            } else if (revec::starts_with(arg, "--socket=")) {
+                socket_path = arg.substr(9);
+            } else if (revec::starts_with(arg, "--workers=")) {
+                config.pool_workers = static_cast<int>(revec::parse_int(arg.substr(10)));
+            } else if (revec::starts_with(arg, "--max-queue=")) {
+                config.max_queue = static_cast<int>(revec::parse_int(arg.substr(12)));
+            } else if (revec::starts_with(arg, "--cache-capacity=")) {
+                config.cache_capacity =
+                    static_cast<std::size_t>(revec::parse_int(arg.substr(17)));
+            } else if (revec::starts_with(arg, "--trace=")) {
+                trace_path = arg.substr(8);
+            } else if (revec::starts_with(arg, "--trace-level=")) {
+                const auto parsed = revec::obs::parse_trace_level(arg.substr(14));
+                if (!parsed.has_value()) {
+                    std::cerr << "revecd: bad --trace-level (off|phase|node)\n";
+                    return 1;
+                }
+                trace_level = *parsed;
+            } else if (revec::starts_with(arg, "--metrics=")) {
+                metrics_path = arg.substr(10);
+            } else {
+                std::cerr << "revecd: unknown flag '" << arg << "'\n";
+                usage(std::cerr);
+                return 1;
+            }
+        }
+        if (socket_path.empty()) {
+            std::cerr << "revecd: --socket=PATH is required\n";
+            usage(std::cerr);
+            return 1;
+        }
+        if (config.pool_workers < 1 || config.max_queue < 0) {
+            std::cerr << "revecd: --workers must be >= 1, --max-queue >= 0\n";
+            return 1;
+        }
+
+        std::unique_ptr<revec::obs::TraceSink> sink;
+        if (!trace_path.empty() && trace_level != revec::obs::TraceLevel::Off) {
+            sink = std::make_unique<revec::obs::TraceSink>(trace_level);
+        }
+        config.trace = sink.get();
+
+        revec::svc::Service service(config);
+        revec::svc::Server server(socket_path, service, sink.get());
+        g_server = &server;
+        std::signal(SIGTERM, handle_signal);
+        std::signal(SIGINT, handle_signal);
+
+        std::cerr << "revecd: listening on " << socket_path << " ("
+                  << config.pool_workers << " workers, queue " << config.max_queue
+                  << ", cache " << config.cache_capacity << ")\n";
+        server.run();
+        g_server = nullptr;
+
+        if (!metrics_path.empty()) {
+            // metrics_json() refreshes the live queue/cache gauges.
+            std::ofstream out(metrics_path);
+            out << service.metrics_json() << '\n';
+            if (!out) {
+                std::cerr << "revecd: cannot write " << metrics_path << "\n";
+                return 1;
+            }
+        }
+        if (sink != nullptr) sink->save(trace_path);
+        std::cerr << "revecd: shut down cleanly\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "revecd: " << e.what() << '\n';
+        return 1;
+    }
+}
