@@ -30,11 +30,13 @@ int main() {
             sched::ScheduleOptions opts;
             opts.spec = spec;
             opts.timeout_ms = 15000;
-            const sched::Schedule s = sched::schedule_kernel(g, opts);
+            sched::Schedule s;
+            const double med_ms =
+                bench::median_of_3_ms([&] { s = sched::schedule_kernel(g, opts); });
             t1.add_row({k.name, merged ? "merged" : "unmerged",
                         std::to_string(g.num_nodes()),
                         s.feasible() ? std::to_string(s.makespan) : "-",
-                        std::to_string(s.stats.nodes), format_fixed(s.stats.time_ms, 0)});
+                        std::to_string(s.stats.nodes), format_fixed(med_ms, 0)});
         }
     }
     t1.print(std::cout);
@@ -72,13 +74,15 @@ int main() {
         sched::ScheduleOptions opts;
         opts.spec = spec;
         opts.timeout_ms = 15000;
-        const sched::Schedule s = sched::schedule_kernel(*g, opts);
+        sched::Schedule s;
+        const double med_ms =
+            bench::median_of_3_ms([&] { s = sched::schedule_kernel(*g, opts); });
         const ir::GraphStats st = ir::graph_stats(spec, *g);
         t2.add_row({g == &matrix_form ? "matrix ops" : "lowered",
                     std::to_string(st.num_nodes), std::to_string(st.num_vector_ops),
                     std::to_string(st.num_matrix_ops),
                     s.feasible() ? std::to_string(s.makespan) : "-",
-                    format_fixed(s.stats.time_ms, 0)});
+                    format_fixed(med_ms, 0)});
     }
     t2.print(std::cout);
 
@@ -91,11 +95,13 @@ int main() {
         opts.spec = spec;
         opts.memory_allocation = memory;
         opts.timeout_ms = 15000;
-        const sched::Schedule s = sched::schedule_kernel(qrd, opts);
+        sched::Schedule s;
+        const double med_ms =
+            bench::median_of_3_ms([&] { s = sched::schedule_kernel(qrd, opts); });
         t3.add_row({memory ? "with memory (paper)" : "scheduling only",
                     s.feasible() ? std::to_string(s.makespan) : "-",
                     std::to_string(s.slots_used), std::to_string(s.stats.nodes),
-                    format_fixed(s.stats.time_ms, 0)});
+                    format_fixed(med_ms, 0)});
     }
     t3.print(std::cout);
     bench::note("Table 1's conclusion in ablation form: the memory constraints do not "

@@ -26,7 +26,9 @@ int main() {
     sched::ScheduleOptions sopts;
     sopts.spec = spec;
     sopts.timeout_ms = 20000;
-    const sched::Schedule single = sched::schedule_kernel(g, sopts);
+    sched::Schedule single;
+    const double single_ms =
+        bench::median_of_3_ms([&] { single = sched::schedule_kernel(g, sopts); });
     if (!single.feasible()) {
         std::cout << "single-iteration scheduling failed\n";
         return 1;
@@ -37,7 +39,9 @@ int main() {
     mopts.spec = spec;
     mopts.include_reconfigs = true;
     mopts.timeout_ms = 30000;
-    const pipeline::ModuloResult mod = pipeline::modulo_schedule(g, mopts);
+    pipeline::ModuloResult mod;
+    const double modulo_ms =
+        bench::median_of_3_ms([&] { mod = pipeline::modulo_schedule(g, mopts); });
 
     Table t({"M", "back-to-back (iter/cc)", "overlapped (iter/cc)", "overlap stalls",
              "modulo steady-state (iter/cc)"});
@@ -56,7 +60,10 @@ int main() {
     }
     t.print(std::cout);
 
-    std::cout << "\npipeline depth = " << spec.pipeline_stages
+    std::cout << "\nsolve wall-clock (median of 3): single-iteration "
+              << format_fixed(single_ms, 0) << " ms, modulo " << format_fixed(modulo_ms, 0)
+              << " ms\n";
+    std::cout << "pipeline depth = " << spec.pipeline_stages
               << ": overlapping stops inserting stalls once M reaches it; modulo's "
                  "steady-state rate is 1/"
               << mod.actual_ii << " = " << format_fixed(1.0 / mod.actual_ii, 4) << "\n";

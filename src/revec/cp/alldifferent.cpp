@@ -28,12 +28,20 @@ public:
 
         // 2. Hall intervals over the bounds: if the variables whose domains
         //    lie inside [a, b] saturate it, no other variable may use it;
-        //    if they overflow it, fail. `bounds_` is member scratch — this
-        //    propagator is hot enough that per-run allocation shows up.
+        //    if they overflow it, fail. All scratch is member state — this
+        //    propagator is hot enough that per-run allocation shows up, and
+        //    the O(|bounds|² · n) scan runs over locally cached bounds
+        //    (refreshed after every mutation, so the pruning sequence is
+        //    identical to re-reading the store each probe).
+        const std::size_t n = vars_.size();
+        mins_.resize(n);
+        maxs_.resize(n);
         bounds_.clear();
-        for (const IntVar x : vars_) {
-            bounds_.push_back(s.min(x));
-            bounds_.push_back(s.max(x));
+        for (std::size_t i = 0; i < n; ++i) {
+            mins_[i] = s.min(vars_[i]);
+            maxs_[i] = s.max(vars_[i]);
+            bounds_.push_back(mins_[i]);
+            bounds_.push_back(maxs_[i]);
         }
         std::sort(bounds_.begin(), bounds_.end());
         bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
@@ -43,16 +51,21 @@ public:
                 const int a = bounds_[ai];
                 const int b = bounds_[bi];
                 const std::int64_t width = static_cast<std::int64_t>(b) - a + 1;
+                // n variables can neither overflow nor saturate a wider
+                // interval, and widths only grow with bi (bounds_ sorted).
+                if (width > static_cast<std::int64_t>(n)) break;
                 int inside = 0;
-                for (const IntVar x : vars_) {
-                    if (s.min(x) >= a && s.max(x) <= b) ++inside;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (mins_[i] >= a && maxs_[i] <= b) ++inside;
                 }
                 if (inside > width) return false;
                 if (inside == width) {
                     // Hall set: remove [a, b] from every variable outside it.
-                    for (const IntVar x : vars_) {
-                        if (s.min(x) >= a && s.max(x) <= b) continue;
-                        if (!s.remove_range(x, a, b)) return false;
+                    for (std::size_t i = 0; i < n; ++i) {
+                        if (mins_[i] >= a && maxs_[i] <= b) continue;
+                        if (!s.remove_range(vars_[i], a, b)) return false;
+                        mins_[i] = s.min(vars_[i]);
+                        maxs_[i] = s.max(vars_[i]);
                     }
                 }
             }
@@ -73,6 +86,8 @@ public:
 private:
     std::vector<IntVar> vars_;
     std::vector<int> bounds_;  ///< per-run scratch
+    std::vector<int> mins_;    ///< per-run scratch: cached SoA bounds
+    std::vector<int> maxs_;    ///< per-run scratch: cached SoA bounds
 };
 
 }  // namespace

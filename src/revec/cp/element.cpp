@@ -25,23 +25,36 @@ public:
         if (!s.set_max(index_, static_cast<int>(array_.size()) - 1)) return false;
 
         // Prune index values whose entry cannot equal the result, and
-        // accumulate the hull of the surviving candidates.
+        // accumulate the hull of the surviving candidates. Dead indices
+        // coalesce into maximal runs (merging across holes already absent
+        // from the domain) so each run is one batched remove_range instead
+        // of a per-value remove.
         std::int64_t lo = INT64_MAX;
         std::int64_t hi = INT64_MIN;
-        std::vector<int> dead;
-        s.dom(index_).for_each([&](int i) {
-            const IntVar entry = array_[static_cast<std::size_t>(i)];
-            const bool compatible =
-                s.min(entry) <= s.max(result_) && s.min(result_) <= s.max(entry);
-            if (!compatible) {
-                dead.push_back(i);
-                return;
+        std::vector<Interval> dead;
+        bool prev_dead = false;
+        s.dom(index_).for_each_run([&](int rlo, int rhi) {
+            for (int i = rlo;; ++i) {
+                const IntVar entry = array_[static_cast<std::size_t>(i)];
+                const bool compatible =
+                    s.min(entry) <= s.max(result_) && s.min(result_) <= s.max(entry);
+                if (!compatible) {
+                    if (prev_dead) {
+                        dead.back().hi = i;
+                    } else {
+                        dead.push_back({i, i});
+                    }
+                    prev_dead = true;
+                } else {
+                    prev_dead = false;
+                    lo = std::min<std::int64_t>(lo, s.min(entry));
+                    hi = std::max<std::int64_t>(hi, s.max(entry));
+                }
+                if (i == rhi) break;
             }
-            lo = std::min<std::int64_t>(lo, s.min(entry));
-            hi = std::max<std::int64_t>(hi, s.max(entry));
         });
-        for (const int i : dead) {
-            if (!s.remove(index_, i)) return false;
+        for (const Interval& r : dead) {
+            if (!s.remove_range(index_, r.lo, r.hi)) return false;
         }
         if (lo > hi) return false;  // no candidate left
         if (!s.set_min(result_, lo) || !s.set_max(result_, hi)) return false;

@@ -22,7 +22,7 @@ IntVar pick_var(const Store& s, const Phase& phase) {
         if (s.fixed(x)) continue;
         if (phase.var_select == VarSelect::InputOrder) return x;
         const std::int64_t key =
-            phase.var_select == VarSelect::SmallestMin ? s.min(x) : s.dom(x).size();
+            phase.var_select == VarSelect::SmallestMin ? s.min(x) : s.size(x);
         if (!best.valid() || key < best_key) {
             best = x;
             best_key = key;
@@ -31,14 +31,20 @@ IntVar pick_var(const Store& s, const Phase& phase) {
     return best;
 }
 
-/// The `target`-th smallest value of a domain.
+/// The `target`-th smallest value of a domain: skips whole runs by their
+/// length instead of stepping value by value.
 int nth_value(const Domain& d, std::int64_t target) {
-    std::int64_t i = 0;
-    int found = d.min();
-    d.for_each([&](int v) {
-        if (i++ == target) found = v;
-    });
-    return found;
+    Interval r{};
+    const int last = d.max();
+    std::int64_t from = d.min();
+    std::int64_t remaining = target;
+    while (from <= last && d.next_run(static_cast<int>(from), r)) {
+        const std::int64_t len = static_cast<std::int64_t>(r.hi) - r.lo + 1;
+        if (remaining < len) return static_cast<int>(r.lo + remaining);
+        remaining -= len;
+        from = static_cast<std::int64_t>(r.hi) + 1;
+    }
+    return d.min();  // target >= size(): same fallback as the linear walk
 }
 
 int pick_value(const Store& s, const Phase& phase, IntVar x, XorShift* jitter) {

@@ -24,8 +24,11 @@ int clamp_value(std::int64_t v) {
 }
 
 /// Approximate trailed payload bytes of a full domain snapshot: the record
-/// header plus any heap-resident interval storage.
+/// header plus any heap-resident interval or bitmap storage.
 std::int64_t snapshot_bytes(const Domain& d) {
+    if (d.packed()) {
+        return 16 + static_cast<std::int64_t>(d.packed_words().size()) * 8;
+    }
     const auto n = static_cast<std::int64_t>(d.num_intervals());
     return 16 + (n > static_cast<std::int64_t>(Domain::kInlineIvs) ? n * 8 : 0);
 }
@@ -46,7 +49,9 @@ void PropagationStats::absorb(const PropagationStats& o) {
     max_queue_depth = std::max(max_queue_depth, o.max_queue_depth);
     trail_saves += o.trail_saves;
     trail_snapshots += o.trail_snapshots;
+    trail_word_diffs += o.trail_word_diffs;
     trail_bytes += o.trail_bytes;
+    packed_converts += o.packed_converts;
 }
 
 void PropagationStats::export_metrics(obs::MetricsRegistry& m,
@@ -73,7 +78,9 @@ void PropagationStats::export_metrics(obs::MetricsRegistry& m,
     m.set(depth, std::max(m.counter(depth), max_queue_depth));
     m.add(prefix + "trail_saves", trail_saves);
     m.add(prefix + "trail_snapshots", trail_snapshots);
+    m.add(prefix + "trail_word_diffs", trail_word_diffs);
     m.add(prefix + "trail_bytes", trail_bytes);
+    m.add(prefix + "packed_converts", packed_converts);
 }
 
 void absorb_prop_profiles(std::vector<PropProfile>& into,
@@ -115,29 +122,70 @@ IntVar Store::new_var(Domain dom, std::string name) {
     REVEC_EXPECTS(!dom.empty());
     REVEC_EXPECTS(level_ == 0);  // variables are created before search starts
     const auto idx = static_cast<std::int32_t>(doms_.size());
+    if (engine_.packed_domains) dom.enable_packing();
     doms_.push_back(std::move(dom));
     if (name.empty()) name = "_v" + std::to_string(idx);
     names_.push_back(std::move(name));
     last_saved_level_.push_back(-1);
     watchers_.emplace_back();
+    meta_min_.push_back(0);
+    meta_max_.push_back(0);
+    meta_size_.push_back(0);
+    meta_tag_.push_back(0);
+    sync_meta(static_cast<std::size_t>(idx));
     return IntVar(idx);
 }
 
 BoolVar Store::new_bool(std::string name) { return new_var(0, 1, std::move(name)); }
 
-std::size_t Store::check(IntVar x) const {
-    REVEC_EXPECTS(x.valid() && static_cast<std::size_t>(x.index()) < doms_.size());
-    return static_cast<std::size_t>(x.index());
+void Store::pre_mutate(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip) {
+    if (level_ == 0) return;  // root-level changes are permanent
+    if (last_saved_level_[idx] == level_) return;  // full restore trailed
+    const Domain& d = doms_[idx];
+    if (d.packed() && engine_.delta_trail) {
+        record_trail_words(idx, d.packed_words());
+        return;
+    }
+    record_trail_interval(idx, pure_lo_clip, pure_hi_clip);
 }
 
-void Store::record_trail(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip) {
-    if (level_ == 0) return;  // root-level changes are permanent
-    if (last_saved_level_[idx] == level_) return;  // full restore already trailed
+void Store::record_trail_words(std::size_t idx,
+                               std::span<const std::uint64_t> words) {
+    // Word trailing is a batch capture at first touch per level: one
+    // 16-byte record per *nonzero* word of the level-entry bitmap, after
+    // which the variable is fully saved for the level and every further
+    // mutation trails nothing. (Zero words need no record: mutations only
+    // clear bits, so a word that is zero at level entry stays zero.)
+    const auto var = static_cast<std::int32_t>(idx);
+    for (std::size_t k = 0; k < words.size(); ++k) {
+        if (words[k] == 0) continue;
+        trail_.push_back({TrailEntry::Kind::Word, var, static_cast<int>(k), 0,
+                          last_saved_level_[idx], Domain(), words[k]});
+        ++stats_.trail_word_diffs;
+        stats_.trail_bytes += 16;
+    }
+    ++stats_.trail_saves;
+    last_saved_level_[idx] = level_;
+}
+
+void Store::sync_meta(std::size_t idx) {
+    const Domain& d = doms_[idx];
+    const std::int64_t n = d.size();
+    meta_size_[idx] = n;
+    meta_tag_[idx] = static_cast<std::uint8_t>(d.rep());
+    if (n > 0) {
+        meta_min_[idx] = d.min();
+        meta_max_[idx] = d.max();
+    }
+}
+
+void Store::record_trail_interval(std::size_t idx, bool pure_lo_clip,
+                                  bool pure_hi_clip) {
     const Domain& d = doms_[idx];
     const auto var = static_cast<std::int32_t>(idx);
     ++stats_.trail_saves;
 
-    if (engine_.delta_trail && d.is_range()) {
+    if (engine_.delta_trail && !d.packed() && d.is_range()) {
         // Hole-free pre-state: a 16-byte record reinstates it wholesale,
         // whatever the mutation does — this is the dominant case and it
         // also marks the variable fully saved for this level.
@@ -147,7 +195,7 @@ void Store::record_trail(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip) 
         stats_.trail_bytes += 12;
         return;
     }
-    if (engine_.delta_trail && (pure_lo_clip || pure_hi_clip)) {
+    if (engine_.delta_trail && !d.packed() && (pure_lo_clip || pure_hi_clip)) {
         // Bound clip of a hole-carrying domain: the clipped end interval
         // survives, so restoring its old bound undoes the mutation.
         const auto kind = pure_lo_clip ? TrailEntry::Kind::Min : TrailEntry::Kind::Max;
@@ -161,7 +209,8 @@ void Store::record_trail(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip) 
         stats_.trail_bytes += 8;
         return;
     }
-    // Hole structure changes (or legacy mode): full snapshot.
+    // Hole structure changes (or legacy mode, including packed domains when
+    // the delta trail is off): full snapshot.
     trail_.push_back({TrailEntry::Kind::Snapshot, var, 0, 0, last_saved_level_[idx], d});
     last_saved_level_[idx] = level_;
     ++stats_.trail_snapshots;
@@ -171,6 +220,11 @@ void Store::record_trail(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip) 
 void Store::on_change(std::size_t idx, int old_min, int old_max, bool was_fixed) {
     ++stats_.domain_changes;
     const Domain& d = doms_[idx];
+    if (d.packed() &&
+        meta_tag_[idx] != static_cast<std::uint8_t>(Domain::Rep::Packed)) {
+        ++stats_.packed_converts;
+    }
+    sync_meta(idx);
     if (d.empty()) {
         failed_ = true;
         return;
@@ -274,8 +328,10 @@ bool Store::set_min(IntVar x, std::int64_t v) {
     const int old_min = d.min();
     const int old_max = d.max();
     const bool was_fixed = d.is_fixed();
-    // Pure clip iff the first interval survives (keeps some value >= vv).
-    record_trail(i, /*pure_lo_clip=*/vv <= d.intervals()[0].hi, false);
+    // Pure clip iff the first interval survives (keeps some value >= vv);
+    // irrelevant for packed domains, which trail word records instead.
+    const bool pure_lo = !d.packed() && vv <= d.intervals()[0].hi;
+    pre_mutate(i, pure_lo, false);
     d.remove_below(vv);
     on_change(i, old_min, old_max, was_fixed);
     return !failed_;
@@ -295,8 +351,8 @@ bool Store::set_max(IntVar x, std::int64_t v) {
     const int old_min = d.min();
     const int old_max = d.max();
     const bool was_fixed = d.is_fixed();
-    const std::size_t last = d.num_intervals() - 1;
-    record_trail(i, false, /*pure_hi_clip=*/vv >= d.intervals()[last].lo);
+    const bool pure_hi = !d.packed() && vv >= d.intervals()[d.num_intervals() - 1].lo;
+    pre_mutate(i, false, pure_hi);
     d.remove_above(vv);
     on_change(i, old_min, old_max, was_fixed);
     return !failed_;
@@ -313,7 +369,7 @@ bool Store::assign(IntVar x, std::int64_t v) {
     if (d.is_fixed()) return true;
     const int old_min = d.min();
     const int old_max = d.max();
-    record_trail(i, false, false);
+    pre_mutate(i, false, false);
     d.assign(static_cast<int>(v));
     on_change(i, old_min, old_max, /*was_fixed=*/false);
     return !failed_;
@@ -336,7 +392,14 @@ bool Store::remove_range(IntVar x, std::int64_t lo, std::int64_t hi) {
     const int old_min = d.min();
     const int old_max = d.max();
     const bool was_fixed = d.is_fixed();
-    record_trail(i, false, false);
+    // Edge-touching removals are pure clips (Domain routes them through
+    // remove_below/remove_above), so interval domains keep compact records.
+    const bool pure_lo = !d.packed() && l <= old_min && h < old_max &&
+                         h >= d.intervals()[0].lo && h < d.intervals()[0].hi;
+    const bool pure_hi = !d.packed() && h >= old_max && l > old_min &&
+                         l <= d.intervals()[d.num_intervals() - 1].hi &&
+                         l > d.intervals()[d.num_intervals() - 1].lo;
+    pre_mutate(i, pure_lo, pure_hi);
     d.remove_range(l, h);
     on_change(i, old_min, old_max, was_fixed);
     return !failed_;
@@ -346,12 +409,30 @@ bool Store::intersect(IntVar x, const Domain& nd) {
     if (failed_) return false;
     const std::size_t i = check(x);
     Domain& d = doms_[i];
+    if (d.packed() && engine_.delta_trail) {
+        // In-place path: no pre-mutation Domain copy. Whether the intersect
+        // changes anything is only known afterwards, so the bitmap is
+        // captured into scratch first and trailed only on change — a no-op
+        // intersect leaves the trail untouched.
+        const int old_min = d.min();
+        const int old_max = d.max();
+        const bool was_fixed = d.is_fixed();
+        const bool save = level_ > 0 && last_saved_level_[i] != level_;
+        if (save) {
+            const auto words = d.packed_words();
+            scratch_words_.assign(words.begin(), words.end());
+        }
+        if (!d.intersect_with(nd)) return true;
+        if (save) record_trail_words(i, scratch_words_);
+        on_change(i, old_min, old_max, was_fixed);
+        return !failed_;
+    }
     Domain tmp = d;
     if (!tmp.intersect_with(nd)) return true;
     const int old_min = d.min();
     const int old_max = d.max();
     const bool was_fixed = d.is_fixed();
-    record_trail(i, false, false);  // must see the pre-mutation state
+    pre_mutate(i, false, false);  // must see the pre-mutation state
     d = std::move(tmp);
     on_change(i, old_min, old_max, was_fixed);
     return !failed_;
@@ -485,7 +566,12 @@ void Store::pop_level() {
                 doms_[idx] = std::move(e.saved);
                 last_saved_level_[idx] = e.prev_saved_level;
                 break;
+            case TrailEntry::Kind::Word:
+                doms_[idx].restore_word(static_cast<std::uint32_t>(e.a), e.w);
+                last_saved_level_[idx] = e.prev_saved_level;
+                break;
         }
+        sync_meta(idx);
         trail_.pop_back();
     }
     --level_;

@@ -17,12 +17,14 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "revec/cp/domain.hpp"
 #include "revec/cp/propagator.hpp"
 #include "revec/cp/var.hpp"
+#include "revec/support/assert.hpp"
 
 namespace revec::obs {
 class TraceBuffer;
@@ -39,6 +41,7 @@ struct EngineConfig {
     bool priority_queue = true;   ///< bucket the queue by Propagator::priority()
     bool idempotence = true;      ///< suppress self-wakeups of idempotent props
     bool delta_trail = true;      ///< trail bound deltas instead of snapshots
+    bool packed_domains = true;   ///< word-packed bitmaps for hole-rich domains
 
     /// Starvation bound for chain-creep propagation episodes. Ordinarily
     /// an episode (one propagate() call) drains in strict priority order —
@@ -62,7 +65,7 @@ struct EngineConfig {
 
     static EngineConfig legacy() {
         return {.event_masks = false, .priority_queue = false, .idempotence = false,
-                .delta_trail = false};
+                .delta_trail = false, .packed_domains = false};
     }
 };
 
@@ -86,8 +89,10 @@ struct PropagationStats {
 
     std::int64_t trail_saves = 0;      ///< trail records pushed (any kind)
     std::int64_t trail_snapshots = 0;  ///< full Domain snapshots among them
+    std::int64_t trail_word_diffs = 0; ///< packed-domain word-diff records among them
     std::int64_t trail_bytes = 0;      ///< payload bytes trailed (snapshots
                                        ///< count their interval storage)
+    std::int64_t packed_converts = 0;  ///< interval-to-bitmap representation switches
 
     /// Accumulate another store's counters (portfolio merge).
     void absorb(const PropagationStats& o);
@@ -135,10 +140,19 @@ public:
     const Domain& dom(IntVar x) const { return doms_[check(x)]; }
     const std::string& name(IntVar x) const { return names_[check(x)]; }
 
-    int min(IntVar x) const { return dom(x).min(); }
-    int max(IntVar x) const { return dom(x).max(); }
-    bool fixed(IntVar x) const { return dom(x).is_fixed(); }
-    int value(IntVar x) const { return dom(x).value(); }
+    // Bounds/size/fixedness reads come from parallel SoA metadata arrays —
+    // one cache line serves the bound queries of many adjacent variables,
+    // and no query ever touches the Domain object's representation. The
+    // arrays are synced on every domain change and on every trail restore.
+    int min(IntVar x) const { return meta_min_[check(x)]; }
+    int max(IntVar x) const { return meta_max_[check(x)]; }
+    bool fixed(IntVar x) const { return meta_size_[check(x)] == 1; }
+    int value(IntVar x) const {
+        const std::size_t i = check(x);
+        REVEC_EXPECTS(meta_size_[i] == 1);
+        return meta_min_[i];
+    }
+    std::int64_t size(IntVar x) const { return meta_size_[check(x)]; }
 
     // -- domain modification (propagator + search API) -----------------------
     // Each returns false iff the domain became empty (failure). All record
@@ -196,29 +210,50 @@ public:
     std::string dump() const;
 
 private:
-    std::size_t check(IntVar x) const;
-    void record_trail(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip);
+    /// Bounds-checked index of x. Inline: this sits under every accessor
+    /// propagators touch (hundreds of millions of calls per solve), so an
+    /// out-of-line definition shows up in profiles.
+    std::size_t check(IntVar x) const {
+        REVEC_EXPECTS(x.valid() && static_cast<std::size_t>(x.index()) < doms_.size());
+        return static_cast<std::size_t>(x.index());
+    }
+    /// Trail whatever is needed to restore doms_[idx] before mutating it:
+    /// Word records for a packed domain under the delta trail, interval
+    /// records (Bounds/Min/Max/Snapshot) otherwise. A no-op once the
+    /// variable is fully saved for the current level.
+    void pre_mutate(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip);
+    void record_trail_interval(std::size_t idx, bool pure_lo_clip, bool pure_hi_clip);
+    /// Push one Word record per nonzero bitmap word and mark the variable
+    /// fully saved for the level.
+    void record_trail_words(std::size_t idx, std::span<const std::uint64_t> words);
+    /// Refresh the SoA metadata of one variable from its domain.
+    void sync_meta(std::size_t idx);
     void on_change(std::size_t idx, int old_min, int old_max, bool was_fixed);
     void schedule(int prop_id);
     int pop_runnable();  ///< next queued propagator id, or -1
     void clear_queue();
 
-    /// One trail record. Bound deltas are 16-byte payloads; Snapshot
-    /// carries a full pre-mutation Domain (taken only when a hole-carrying
-    /// domain changes shape, or in legacy mode).
+    /// One trail record. Bound deltas and word diffs are 16-byte payloads;
+    /// Snapshot carries a full pre-mutation Domain (taken only when an
+    /// interval-represented domain changes hole structure, or in legacy
+    /// mode). Packed domains never take the Min/Max/Bounds paths: their
+    /// per-level record stream is word diffs only, so reverse replay never
+    /// mixes bitmap restores with interval-storage restores.
     struct TrailEntry {
         enum class Kind : std::uint8_t {
             Min,       ///< undo a pure lower-bound clip; a = old min
             Max,       ///< undo a pure upper-bound clip; a = old max
             Bounds,    ///< reinstate hole-free pre-state [a, b] wholesale
             Snapshot,  ///< reinstate `saved`
+            Word,      ///< reinstate bitmap word a to w (packed domains)
         };
         Kind kind;
         std::int32_t var;
         int a = 0;
         int b = 0;
-        std::int32_t prev_saved_level = -1;  ///< Bounds/Snapshot: old marker
+        std::int32_t prev_saved_level = -1;  ///< Bounds/Snapshot/Word: old marker
         Domain saved;                        ///< Snapshot only
+        std::uint64_t w = 0;                 ///< Word only: pre-mutation word
     };
 
     /// One watcher subscription on a variable.
@@ -253,9 +288,20 @@ private:
 
     std::vector<Domain> doms_;
     std::vector<std::string> names_;
-    /// Level of the last trail record that restores the variable's full
-    /// pre-level state (Bounds or Snapshot); further records at that level
-    /// are redundant. -1 = none.
+    // SoA mirrors of the per-variable metadata propagators read hottest:
+    // bounds, size, and representation tag (Domain::Rep), kept in sync with
+    // doms_ by sync_meta().
+    std::vector<int> meta_min_;
+    std::vector<int> meta_max_;
+    std::vector<std::int64_t> meta_size_;
+    std::vector<std::uint8_t> meta_tag_;
+    /// Pre-mutation bitmap capture for intersect's in-place packed path
+    /// (the only mutation whose change is known after the fact; mutations
+    /// never nest, so one scratch buffer suffices).
+    std::vector<std::uint64_t> scratch_words_;
+    /// Level of the last trail record batch that restores the variable's
+    /// full pre-level state (Bounds, Snapshot, or Word batch); further
+    /// records at that level are redundant. -1 = none.
     std::vector<std::int32_t> last_saved_level_;
     std::vector<std::vector<Watcher>> watchers_;
 

@@ -163,6 +163,19 @@ TEST_P(EngineDifferential, EventEngineMatchesLegacyNodeForNode) {
     expect_parity(legacy, event, seed, "full event engine");
 }
 
+// The domain representation is pure data layout: the packed-bitmap engine
+// must traverse the identical tree as the interval-representation event
+// engine (and, transitively, the legacy engine above).
+TEST_P(EngineDifferential, PackedRepresentationMatchesIntervalNodeForNode) {
+    const unsigned seed = GetParam();
+    const Builder build = make_builder(seed);
+    EngineConfig interval;
+    interval.packed_domains = false;
+    const SolveResult iv = run(build, interval);
+    const SolveResult packed = run(build, EngineConfig{});
+    expect_parity(iv, packed, seed, "packed vs interval representation");
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomCsps, EngineDifferential, ::testing::Range(0u, 80u));
 
 class EngineFeatureDifferential : public ::testing::TestWithParam<unsigned> {};
@@ -186,6 +199,11 @@ TEST_P(EngineFeatureDifferential, EachFeatureAlonePreservesTheTree) {
                   seed, "idempotence");
     expect_parity(legacy, run(build, with([](EngineConfig& e) { e.delta_trail = true; })),
                   seed, "delta_trail");
+    // packed_domains alone exercises snapshot-trailed bitmap domains (the
+    // delta trail is still off in this configuration).
+    expect_parity(legacy,
+                  run(build, with([](EngineConfig& e) { e.packed_domains = true; })),
+                  seed, "packed_domains");
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomCsps, EngineFeatureDifferential, ::testing::Range(0u, 25u));

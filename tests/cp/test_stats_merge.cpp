@@ -44,6 +44,7 @@ TEST(StatsMerge, PropagationStatsAbsorbAddsAndMaxMerges) {
     a.queue_pushes[0] = 3;
     a.max_queue_depth = 40;
     a.trail_bytes = 100;
+    a.trail_word_diffs = 6;
 
     PropagationStats b;
     b.propagations = 6;
@@ -54,6 +55,8 @@ TEST(StatsMerge, PropagationStatsAbsorbAddsAndMaxMerges) {
     b.queue_pushes[0] = 4;
     b.max_queue_depth = 25;  // smaller: the high-water mark must not shrink
     b.trail_saves = 9;
+    b.trail_word_diffs = 4;
+    b.packed_converts = 3;
 
     a.absorb(b);
     EXPECT_EQ(a.propagations, 11);
@@ -66,6 +69,8 @@ TEST(StatsMerge, PropagationStatsAbsorbAddsAndMaxMerges) {
     EXPECT_EQ(a.max_queue_depth, 40);
     EXPECT_EQ(a.trail_saves, 9);
     EXPECT_EQ(a.trail_bytes, 100);
+    EXPECT_EQ(a.trail_word_diffs, 10);
+    EXPECT_EQ(a.packed_converts, 3);
 }
 
 TEST(StatsMerge, SearchStatsExportSumsLikeAbsorb) {
@@ -91,6 +96,8 @@ TEST(StatsMerge, PropagationStatsExportSumsAndMaxMerges) {
     PropagationStats b;
     b.propagations = 7;
     b.max_queue_depth = 25;
+    b.trail_word_diffs = 5;
+    b.packed_converts = 2;
 
     obs::MetricsRegistry m;
     a.export_metrics(m, "engine.");
@@ -100,6 +107,8 @@ TEST(StatsMerge, PropagationStatsExportSumsAndMaxMerges) {
     EXPECT_EQ(m.counter("engine.queue_pushes.global"), 3);
     // The high-water mark max-merges across exports, like absorb().
     EXPECT_EQ(m.counter("engine.max_queue_depth"), 40);
+    EXPECT_EQ(m.counter("engine.trail_word_diffs"), 5);
+    EXPECT_EQ(m.counter("engine.packed_converts"), 2);
 }
 
 TEST(StatsMerge, PropProfilesMergeByClassAndStaySorted) {

@@ -1,9 +1,10 @@
 // Trail stress test: deeply nested push/pop with randomized mixed
 // mutations (bound clips, hole punches, assignments, intersections) must
-// restore every domain bit-exactly at every level, under both the delta
-// trail and the legacy full-snapshot trail. The two engines are also run
-// in lockstep on the same mutation sequence and must agree on every
-// intermediate domain and on every mutation's success flag.
+// restore every domain bit-exactly at every level, under the word-diff
+// trail over packed domains, the delta trail over interval domains, and
+// the legacy full-snapshot trail. The three engines are run in lockstep on
+// the same mutation sequence and must agree on every intermediate domain
+// and on every mutation's success flag.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -47,8 +48,14 @@ TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
         return lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
     };
 
-    // Two stores driven in lockstep: delta trail vs legacy snapshots.
-    Store delta;                          // default engine
+    // Three stores driven in lockstep: word-diff trail over packed domains
+    // (default engine), delta trail over interval domains, and legacy full
+    // snapshots. Domain comparisons are semantic, so the packed store is
+    // checked value-for-value against the interval checkpoints.
+    Store delta;  // default engine: packed domains + word-diff trail
+    EngineConfig icfg;
+    icfg.packed_domains = false;
+    Store interval{icfg};
     Store legacy{EngineConfig::legacy()};
     std::vector<IntVar> xs;
     for (int i = 0; i < kNumVars; ++i) {
@@ -56,12 +63,14 @@ TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
             const int lo = pick(kLo, kHi);
             const int hi = pick(lo, kHi);
             xs.push_back(delta.new_var(lo, hi));
+            interval.new_var(lo, hi);
             legacy.new_var(lo, hi);
         } else {
             std::vector<int> values;
             const int n = pick(1, 20);
             for (int k = 0; k < n; ++k) values.push_back(pick(kLo, kHi));
             xs.push_back(delta.new_var(Domain::of_values(values)));
+            interval.new_var(Domain::of_values(values));
             legacy.new_var(Domain::of_values(values));
         }
     }
@@ -73,16 +82,19 @@ TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
     for (int step = 0; step < 300; ++step) {
         const unsigned action = rng() % 10;
         if (action < 4 && depth < 40) {  // push
-            checkpoints.push_back(snapshot(delta));
+            checkpoints.push_back(snapshot(interval));
             delta.push_level();
+            interval.push_level();
             legacy.push_level();
             ++depth;
         } else if (action < 6 && depth > 0) {  // pop (sometimes several)
             const int pops = pick(1, depth);
             for (int k = 0; k < pops; ++k) {
                 delta.pop_level();
+                interval.pop_level();
                 legacy.pop_level();
                 expect_equal(delta, checkpoints.back(), seed);
+                expect_equal(interval, checkpoints.back(), seed);
                 expect_equal(legacy, checkpoints.back(), seed);
                 checkpoints.pop_back();
                 --depth;
@@ -91,23 +103,27 @@ TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
             const IntVar x = xs[static_cast<std::size_t>(pick(0, kNumVars - 1))];
             if (delta.dom(x).empty()) continue;  // a failed mutation emptied it
             bool ok_delta = true;
+            bool ok_interval = true;
             bool ok_legacy = true;
             switch (rng() % 5) {
                 case 0: {
                     const int v = pick(kLo - 1, kHi + 1);
                     ok_delta = delta.set_min(x, v);
+                    ok_interval = interval.set_min(x, v);
                     ok_legacy = legacy.set_min(x, v);
                     break;
                 }
                 case 1: {
                     const int v = pick(kLo - 1, kHi + 1);
                     ok_delta = delta.set_max(x, v);
+                    ok_interval = interval.set_max(x, v);
                     ok_legacy = legacy.set_max(x, v);
                     break;
                 }
                 case 2: {
                     const int v = pick(kLo, kHi);
                     ok_delta = delta.remove(x, v);
+                    ok_interval = interval.remove(x, v);
                     ok_legacy = legacy.remove(x, v);
                     break;
                 }
@@ -115,6 +131,7 @@ TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
                     const int lo = pick(kLo, kHi);
                     const int hi = pick(lo, kHi);
                     ok_delta = delta.remove_range(x, lo, hi);
+                    ok_interval = interval.remove_range(x, lo, hi);
                     ok_legacy = legacy.remove_range(x, lo, hi);
                     break;
                 }
@@ -123,19 +140,24 @@ TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
                     const int v = pick(d.min(), d.max());
                     if (!d.contains(v)) continue;
                     ok_delta = delta.assign(x, v);
+                    ok_interval = interval.assign(x, v);
                     ok_legacy = legacy.assign(x, v);
                     break;
                 }
             }
             ASSERT_EQ(ok_delta, ok_legacy) << "seed " << seed << " step " << step;
-            expect_equal(legacy, snapshot(delta), seed);
+            ASSERT_EQ(ok_delta, ok_interval) << "seed " << seed << " step " << step;
+            expect_equal(legacy, snapshot(interval), seed);
+            expect_equal(delta, snapshot(interval), seed);
             if (!ok_delta) {
                 // A failure poisons the store until the level unwinds; pop
                 // everything and verify the full restore, then stop.
                 while (depth > 0) {
                     delta.pop_level();
+                    interval.pop_level();
                     legacy.pop_level();
                     expect_equal(delta, checkpoints.back(), seed);
+                    expect_equal(interval, checkpoints.back(), seed);
                     expect_equal(legacy, checkpoints.back(), seed);
                     checkpoints.pop_back();
                     --depth;
@@ -148,8 +170,10 @@ TEST_P(TrailStress, BitExactRestoreAcrossEngines) {
     // Unwind whatever is left.
     while (depth > 0) {
         delta.pop_level();
+        interval.pop_level();
         legacy.pop_level();
         expect_equal(delta, checkpoints.back(), seed);
+        expect_equal(interval, checkpoints.back(), seed);
         expect_equal(legacy, checkpoints.back(), seed);
         checkpoints.pop_back();
         --depth;
