@@ -343,9 +343,11 @@ bool Domain::remove_below(int v) {
         data()[0].lo = v;
     }
     nvals_ -= removed;
-    // A clip can shrink the span into the packed budget for a domain that
-    // was previously too wide to pack.
-    if (n_ > 1) maybe_pack();
+    // No repack here even if the clip shrank the span into the packed
+    // budget: pure clips may be trailed as compact Min/Max records whose
+    // restore writes into interval storage, so representation conversion
+    // is reserved for the rebuild paths (interior remove_range,
+    // intersect_with), which are always trailed as full-restore records.
     return true;
 }
 
@@ -383,7 +385,7 @@ bool Domain::remove_above(int v) {
         data()[n_ - 1].hi = v;
     }
     nvals_ -= removed;
-    if (n_ > 1) maybe_pack();
+    // See remove_below: clips never repack.
     return true;
 }
 

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "revec/support/assert.hpp"
+
 namespace revec::cp {
 
 class Store;
@@ -207,12 +209,18 @@ private:
     // Each undoes exactly one recorded mutation; preconditions are
     // guaranteed by the store's trailing discipline, not re-checked here.
     /// Undo a pure lower-bound clip: reinstate the first interval's lo.
+    /// The domain must still be interval-represented: mutations recorded as
+    /// Min/Max never convert (clips don't repack), and conversions between
+    /// the record and its replay are undone first by a later full-restore
+    /// record on the LIFO trail.
     void restore_lo(int lo) {
+        REVEC_ASSERT(!packed_);
         nvals_ += data()[0].lo - static_cast<std::int64_t>(lo);
         data()[0].lo = lo;
     }
     /// Undo a pure upper-bound clip: reinstate the last interval's hi.
     void restore_hi(int hi) {
+        REVEC_ASSERT(!packed_);
         nvals_ += static_cast<std::int64_t>(hi) - data()[n_ - 1].hi;
         data()[n_ - 1].hi = hi;
     }

@@ -144,8 +144,18 @@ public:
     // one cache line serves the bound queries of many adjacent variables,
     // and no query ever touches the Domain object's representation. The
     // arrays are synced on every domain change and on every trail restore.
-    int min(IntVar x) const { return meta_min_[check(x)]; }
-    int max(IntVar x) const { return meta_max_[check(x)]; }
+    // Bounds of a failed (empty) variable are stale, so min/max keep the
+    // non-empty precondition Domain::min()/max() always enforced.
+    int min(IntVar x) const {
+        const std::size_t i = check(x);
+        REVEC_EXPECTS(meta_size_[i] > 0);
+        return meta_min_[i];
+    }
+    int max(IntVar x) const {
+        const std::size_t i = check(x);
+        REVEC_EXPECTS(meta_size_[i] > 0);
+        return meta_max_[i];
+    }
     bool fixed(IntVar x) const { return meta_size_[check(x)] == 1; }
     int value(IntVar x) const {
         const std::size_t i = check(x);
