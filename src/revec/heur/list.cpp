@@ -35,12 +35,17 @@ ListResult priority_list_schedule(const model::KernelModel& m, const ListOptions
 
     // Priority: least slack first (ALAP - ASAP against the critical-path
     // horizon), then earliest ALAP, then input order. Critical-path
-    // operations have zero slack and always go first.
+    // operations have zero slack and always go first. An external
+    // priority_hint (donor-schedule order from the adaptation layer)
+    // precedes the slack key when supplied.
     const std::vector<int>& asap = m.asap;
     const std::vector<int>& alap = m.alap;
+    const std::vector<int>& hint = options.priority_hint;
+    REVEC_EXPECTS(hint.empty() || hint.size() == static_cast<std::size_t>(n));
     const auto priority_before = [&](int a, int b) {
         const auto ia = static_cast<std::size_t>(a);
         const auto ib = static_cast<std::size_t>(b);
+        if (!hint.empty() && hint[ia] != hint[ib]) return hint[ia] < hint[ib];
         const int slack_a = alap[ia] - asap[ia];
         const int slack_b = alap[ib] - asap[ib];
         if (slack_a != slack_b) return slack_a < slack_b;
@@ -169,9 +174,9 @@ ListResult priority_list_schedule(const arch::ArchSpec& spec, const ir::Graph& g
 
 const std::vector<ListOptions>& ladder() {
     static const std::vector<ListOptions> rungs = {
-        {true, false, false},  // packed
-        {true, true, false},   // serialize vector issue
-        {true, true, true},    // ... and spread write-backs
+        {true, false, false, {}},  // packed
+        {true, true, false, {}},   // serialize vector issue
+        {true, true, true, {}},    // ... and spread write-backs
     };
     return rungs;
 }

@@ -39,6 +39,13 @@ struct ListOptions {
     /// most one operation's outputs land per cycle), collapsing eq. 9
     /// groups to single writers. Last rung of the allocation retry ladder.
     bool spread_writes = false;
+
+    /// Optional externally supplied priority key, one entry per node id
+    /// (ops are issued in ascending key order once ready). Empty = the
+    /// default slack priorities. The adaptation layer (adapt.hpp) passes a
+    /// donor schedule's start times here so the greedy issue order tracks
+    /// the donor's shape; slack/ALAP/id order break ties.
+    std::vector<int> priority_hint;
 };
 
 struct ListResult {

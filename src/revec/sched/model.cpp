@@ -194,6 +194,37 @@ Schedule schedule_model(const model::KernelModel& model_in, const ModelSolveOpti
         return none;
     }
 
+    // An externally supplied incumbent (DESIGN §5k: an adapted near-cache
+    // donor) may replace the heuristic as the warm seed — but only after
+    // it re-verifies clean against *this* model with the port limits
+    // enforced, and only when it is strictly better. Everything downstream
+    // (horizon raise, shared bound, anytime merge) then treats it exactly
+    // like a heuristic schedule.
+    if (options.incumbent.has_value() && options.warm_start &&
+        model_in.fixed_starts.empty()) {
+        const IncumbentSeed& seed = *options.incumbent;
+        bool adopted = false;
+        if (static_cast<int>(seed.start.size()) == model_in.num_nodes() &&
+            !(options.horizon_is_cap && seed.makespan + 1 > model_in.horizon) &&
+            (!heuristic.has_value() || seed.makespan < heuristic->makespan)) {
+            model::KernelModel checked = model_in;
+            checked.enforce_port_limits = true;
+            if (model::check_schedule(checked, seed.start, seed.slot, seed.makespan)
+                    .empty()) {
+                Schedule s;
+                s.start = seed.start;
+                s.slot = seed.slot;
+                s.makespan = seed.makespan;
+                s.slots_used = seed.slots_used;
+                s.status = cp::SolveStatus::HeuristicFallback;
+                heuristic = std::move(s);
+                adopted = true;
+            }
+        }
+        obs::instant(trace, obs::TraceLevel::Phase, "incumbent_seed", "adopted",
+                     adopted ? 1 : 0, "makespan", seed.makespan);
+    }
+
     // Let the exact search prove optimality across the whole gap: the
     // derived horizon could in principle sit below the heuristic makespan,
     // and Unsat must mean "nothing better anywhere". The raise reproduces

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "revec/arch/spec.hpp"
@@ -91,6 +92,19 @@ struct ScheduleOptions {
     bool heuristic_only = false;
 };
 
+/// An externally produced candidate schedule offered as a warm incumbent
+/// (DESIGN §5k): the svc reuse layer passes the adapted donor schedule
+/// here. schedule_model re-verifies it against the model being solved
+/// (model::check_schedule, port limits enforced) and adopts it only when
+/// clean and strictly better than its own heuristic — a rejected or
+/// inferior seed is silently dropped, never trusted.
+struct IncumbentSeed {
+    std::vector<int> start;
+    std::vector<int> slot;
+    int makespan = 0;
+    int slots_used = 0;
+};
+
 /// Options for solving an already-lowered KernelModel (schedule_model).
 /// This is the re-entrant core of schedule_kernel: everything the solve
 /// needs travels in the model or here, so concurrent callers — the revecd
@@ -118,6 +132,11 @@ struct ModelSolveOptions {
 
     /// LNS tuning; ignored unless solver.lns_workers > 0.
     lns::LnsTuning lns;
+
+    /// Optional externally supplied incumbent (see IncumbentSeed). Only
+    /// consulted on warm-started full solves of models without
+    /// fixed_starts; ignored (with a trace instant) otherwise.
+    std::optional<IncumbentSeed> incumbent;
 
     /// Trace track the schedule-level spans (heuristic/emit_cp/search) are
     /// written to. When null, falls back to solver.trace->main().

@@ -1,5 +1,7 @@
 #include "revec/svc/cache.hpp"
 
+#include <utility>
+
 namespace revec::svc {
 
 std::optional<CachedSchedule> ScheduleCache::lookup(std::uint64_t hash,
@@ -37,14 +39,75 @@ bool ScheduleCache::insert(std::uint64_t hash, std::string canonical_json,
     return evicted;
 }
 
+std::vector<std::shared_ptr<const NearEntry>> ScheduleCache::lookup_near(
+    std::uint64_t fingerprint) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<const NearEntry>> out;
+    const auto range = near_index_.equal_range(fingerprint);
+    for (auto it = range.first; it != range.second; ++it) {
+        // Splicing keeps list iterators valid, so the index stays intact.
+        near_lru_.splice(near_lru_.begin(), near_lru_, it->second);
+        out.push_back(*it->second);
+    }
+    return out;
+}
+
+void ScheduleCache::erase_near_index(NearList::iterator it) {
+    const auto range = near_index_.equal_range((*it)->fingerprint);
+    for (auto idx = range.first; idx != range.second; ++idx) {
+        if (idx->second == it) {
+            near_index_.erase(idx);
+            return;
+        }
+    }
+}
+
+bool ScheduleCache::insert_near(std::uint64_t fingerprint, std::uint64_t hash,
+                                model::KernelModel model, CachedSchedule value) {
+    if (near_capacity_ == 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto entry = std::make_shared<const NearEntry>(
+        NearEntry{hash, fingerprint, std::move(model), std::move(value)});
+    // Same exact model already resident: publish the fresh snapshot in its
+    // place (readers holding the old shared_ptr keep a consistent view).
+    const auto range = near_index_.equal_range(fingerprint);
+    for (auto it = range.first; it != range.second; ++it) {
+        if ((*it->second)->hash == hash) {
+            *it->second = std::move(entry);
+            near_lru_.splice(near_lru_.begin(), near_lru_, it->second);
+            return false;
+        }
+    }
+    near_lru_.push_front(std::move(entry));
+    near_index_.emplace(fingerprint, near_lru_.begin());
+    bool evicted = false;
+    while (near_lru_.size() > near_capacity_) {
+        erase_near_index(std::prev(near_lru_.end()));
+        near_lru_.pop_back();
+        ++near_evictions_;
+        evicted = true;
+    }
+    return evicted;
+}
+
 std::size_t ScheduleCache::size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return lru_.size();
 }
 
+std::size_t ScheduleCache::near_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return near_lru_.size();
+}
+
 std::int64_t ScheduleCache::evictions() const {
     std::lock_guard<std::mutex> lock(mu_);
     return evictions_;
+}
+
+std::int64_t ScheduleCache::near_evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return near_evictions_;
 }
 
 }  // namespace revec::svc

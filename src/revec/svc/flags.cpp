@@ -1,0 +1,75 @@
+#include "revec/svc/flags.hpp"
+
+namespace revec::svc {
+
+const std::vector<std::string>& revecd_known_flags() {
+    static const std::vector<std::string> kFlags = {
+        "--socket",      "--workers",
+        "--max-queue",   "--cache-capacity",
+        "--cache-near-capacity",
+        "--trace",       "--trace-level",
+        "--metrics",     "--help",
+    };
+    return kFlags;
+}
+
+const std::vector<std::string>& revecctl_known_flags() {
+    static const std::vector<std::string> kFlags = {
+        "--socket",       "--deadline-ms",
+        "--threads",      "--lns-workers",
+        "--lns-relax-pct", "--seed",
+        "--no-warm-start", "--heuristic-only",
+        "--reuse",        "--help",
+    };
+    return kFlags;
+}
+
+void revecd_usage(std::ostream& os) {
+    os << "usage: revecd --socket=PATH [options]\n\n"
+          "options:\n"
+          "  --socket=PATH          unix socket to listen on (required)\n"
+          "  --workers=N            solver pool threads (default 2)\n"
+          "  --max-queue=N          queued solves beyond the workers (default 8)\n"
+          "  --cache-capacity=N     exact schedule-cache entries, 0 disables\n"
+          "                         (default 128)\n"
+          "  --cache-near-capacity=N  structural near-cache donor entries used\n"
+          "                         to warm-start edited models, 0 disables\n"
+          "                         (default 128)\n"
+          "  --trace=FILE           save the service trace on shutdown\n"
+          "                         (.jsonl = JSONL stream, else Chrome JSON)\n"
+          "  --trace-level=LEVEL    off | phase | node (default phase)\n"
+          "  --metrics=FILE         save the metrics registry JSON on shutdown\n"
+          "  --help                 this text\n\n"
+          "exit codes:\n"
+          "  0  clean shutdown (signal or protocol shutdown request)\n"
+          "  1  usage error or failure to bind the socket\n";
+}
+
+void revecctl_usage(std::ostream& os) {
+    os << "usage: revecctl --socket=PATH <command> [options]\n\n"
+          "commands:\n"
+          "  ping                   liveness probe\n"
+          "  stats                  dump the daemon's metrics registry JSON\n"
+          "  shutdown               ask the daemon to drain and exit\n"
+          "  solve MODEL.json...    schedule each model (revecc --dump-model\n"
+          "                         shape); repeats of the same model are\n"
+          "                         served from the daemon's schedule cache\n\n"
+          "solve options:\n"
+          "  --deadline-ms=N        per-request budget; -1 none (default), 0\n"
+          "                         forces the verified heuristic answer\n"
+          "  --threads=N            solver threads per request (default 1)\n"
+          "  --lns-workers=N        LNS workers raced alongside (default 0)\n"
+          "  --lns-relax-pct=N      LNS relax percentage 1..100 (default 30)\n"
+          "  --seed=N               search seed (default 0x5eed)\n"
+          "  --no-warm-start        cold exact solve (no heuristic seed)\n"
+          "  --heuristic-only       skip the exact solver\n"
+          "  --reuse=MODE           off | exact | near (default near): how far\n"
+          "                         the daemon may reuse cached schedules —\n"
+          "                         exact-hash hits only, or additionally\n"
+          "                         warm-start from an adapted near donor\n\n"
+          "Each response is printed as one JSON line. Exit codes: 0 = every\n"
+          "response ok, 1 = usage/connection error, 2 = a response had\n"
+          "ok=false.\n";
+}
+
+}  // namespace revec::svc

@@ -1,0 +1,23 @@
+// Flag inventories and usage texts of the service tools (revecd, revecctl),
+// factored out of tools/ so the anti-drift tests can pin them the same way
+// driver::known_flags pins revecc: each inventory is the single list its
+// tool dispatches on, the usage text must document every entry, and the
+// README service section may only name flags that exist.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace revec::svc {
+
+/// Every flag revecd accepts (including --help).
+const std::vector<std::string>& revecd_known_flags();
+
+/// Every flag revecctl accepts (including --help).
+const std::vector<std::string>& revecctl_known_flags();
+
+void revecd_usage(std::ostream& os);
+void revecctl_usage(std::ostream& os);
+
+}  // namespace revec::svc

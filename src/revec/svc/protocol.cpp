@@ -110,6 +110,22 @@ std::optional<cp::SolveStatus> status_from_name(const std::string& name) {
     return std::nullopt;
 }
 
+const char* reuse_name(ReuseMode mode) {
+    switch (mode) {
+        case ReuseMode::Off: return "off";
+        case ReuseMode::Exact: return "exact";
+        case ReuseMode::Near: return "near";
+    }
+    REVEC_UNREACHABLE("bad ReuseMode");
+}
+
+std::optional<ReuseMode> reuse_from_name(const std::string& name) {
+    if (name == "off") return ReuseMode::Off;
+    if (name == "exact") return ReuseMode::Exact;
+    if (name == "near") return ReuseMode::Near;
+    return std::nullopt;
+}
+
 Request parse_request(const std::string& line) {
     const Value doc = json::parse(line);
     if (!doc.is(Value::Type::Object)) throw Error("request must be a JSON object");
@@ -147,6 +163,16 @@ Request parse_request(const std::string& line) {
         req.params.warm_start = get_bool(*options, "warm_start", req.params.warm_start);
         req.params.heuristic_only =
             get_bool(*options, "heuristic_only", req.params.heuristic_only);
+        if (const Value* reuse = options->find("reuse"); reuse != nullptr) {
+            if (!reuse->is(Value::Type::String)) {
+                throw Error("options.reuse must be a string");
+            }
+            const auto mode = reuse_from_name(reuse->str);
+            if (!mode.has_value()) {
+                throw Error("options.reuse must be one of off|exact|near");
+            }
+            req.params.reuse = *mode;
+        }
         if (req.params.threads < 1) throw Error("options.threads must be >= 1");
         if (req.params.lns_workers < 0) throw Error("options.lns_workers must be >= 0");
         if (req.params.lns_relax_pct < 1 || req.params.lns_relax_pct > 100) {
@@ -174,7 +200,7 @@ std::string serialize_request(const Request& request) {
        << ",\"seed\":" << request.params.seed
        << ",\"warm_start\":" << (request.params.warm_start ? "true" : "false")
        << ",\"heuristic_only\":" << (request.params.heuristic_only ? "true" : "false")
-       << "}";
+       << ",\"reuse\":\"" << reuse_name(request.params.reuse) << "\"}";
     if (request.model.has_value()) {
         // Re-serialize the canonical pretty form onto one line.
         os << ",\"model\":"
@@ -212,7 +238,8 @@ std::string serialize_response(const Response& response) {
         append_int_array(arrays, "slot", response.slot);
         os << arrays.str();
     }
-    os << ",\"cache\":\"" << (response.cache_hit ? "hit" : "miss") << "\""
+    os << ",\"cache\":\""
+       << (response.cache_hit ? "hit" : (response.near_hit ? "near" : "miss")) << "\""
        << ",\"shed\":" << (response.shed ? "true" : "false") << ",\"solve_ms\":"
        << static_cast<std::int64_t>(response.solve_ms) << ",\"hash\":\""
        << hash_hex(response.model_hash) << "\"}";
@@ -257,6 +284,7 @@ Response parse_response(const std::string& line) {
     if (const Value* cache = doc.find("cache");
         cache != nullptr && cache->is(Value::Type::String)) {
         r.cache_hit = cache->str == "hit";
+        r.near_hit = cache->str == "near";
     }
     r.shed = get_bool(doc, "shed", false);
     r.solve_ms = static_cast<double>(get_int(doc, "solve_ms", 0));

@@ -23,6 +23,17 @@ enum class RequestKind {
     Shutdown,  ///< ask the daemon to drain and exit
 };
 
+/// How far the service may go to reuse cached schedules for this request
+/// (DESIGN §5k). Off = always solve cold (results are still inserted for
+/// other clients); Exact = tier-1 byte-exact hits only (the pre-§5k
+/// behavior); Near = additionally adapt a structurally similar donor into
+/// a warm incumbent on an exact miss.
+enum class ReuseMode {
+    Off,
+    Exact,
+    Near,
+};
+
 /// Per-request solver knobs, mirroring revecc's flags. Defaults match a
 /// plain `revecc <ir.xml>` run so a request with no options field solves
 /// exactly like the standalone binary.
@@ -33,6 +44,7 @@ struct SolveParams {
     std::uint32_t seed = 0x5eedu;
     bool warm_start = true;
     bool heuristic_only = false;
+    ReuseMode reuse = ReuseMode::Near;
 };
 
 struct Request {
@@ -61,6 +73,7 @@ struct Response {
     std::vector<int> start;
     std::vector<int> slot;
     bool cache_hit = false;  ///< served from the schedule cache, no solve
+    bool near_hit = false;   ///< solved warm from an adapted tier-2 donor
     bool shed = false;       ///< admission shed: inline heuristic-only answer
     double solve_ms = 0.0;   ///< service-side wall clock for this request
     std::uint64_t model_hash = 0;  ///< canonical_hash of the solved model
@@ -75,6 +88,10 @@ struct Response {
 /// "sat_timeout", "timeout", "heuristic_fallback").
 const char* status_name(cp::SolveStatus status);
 std::optional<cp::SolveStatus> status_from_name(const std::string& name);
+
+/// Wire names for ReuseMode ("off", "exact", "near").
+const char* reuse_name(ReuseMode mode);
+std::optional<ReuseMode> reuse_from_name(const std::string& name);
 
 /// Parse one request line. Throws revec::Error on malformed JSON, unknown
 /// kinds, or a Solve without a model.

@@ -4,7 +4,9 @@
 #include <future>
 #include <utility>
 
+#include "revec/heur/adapt.hpp"
 #include "revec/model/check.hpp"
+#include "revec/model/fingerprint.hpp"
 #include "revec/model/json.hpp"
 #include "revec/sched/model.hpp"
 #include "revec/support/assert.hpp"
@@ -13,7 +15,7 @@ namespace revec::svc {
 
 Service::Service(const Config& config)
     : config_(config),
-      cache_(config.cache_capacity),
+      cache_(config.cache_capacity, config.cache_near_capacity),
       pool_(SolverPool::Config{config.pool_workers, config.max_queue, config.trace}) {}
 
 std::string Service::handle_line(const std::string& line,
@@ -70,11 +72,17 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
     const model::KernelModel& km = *request.model;
     const std::string canonical = model::to_json(km);
     const std::uint64_t hash = model::canonical_hash(km);
+    const std::uint64_t fingerprint = model::structural_fingerprint(km);
+    const bool reuse_exact = request.params.reuse != ReuseMode::Off;
+    const bool reuse_near = request.params.reuse == ReuseMode::Near;
 
     obs::SpanScope span(session_track, obs::TraceLevel::Phase, "svc.request", "id",
                         request.id);
 
-    if (auto cached = cache_.lookup(hash, canonical); cached.has_value()) {
+    bool verify_failed = false;
+    if (auto cached = reuse_exact ? cache_.lookup(hash, canonical)
+                                  : std::optional<CachedSchedule>{};
+        cached.has_value()) {
         // Belt and braces on top of the cache's exact-JSON guard: the
         // stored schedule must verify clean against the model we were
         // actually asked to solve before it is served.
@@ -101,35 +109,47 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
             }
             return r;
         }
-        std::lock_guard<std::mutex> lock(metrics_mu_);
-        metrics_.add("svc.cache.verify_fail");
+        verify_failed = true;
     }
+    // The exact-tier counters partition the non-hit outcomes: a failed
+    // re-verify is its own bucket, every other fall-through is a plain
+    // miss (a later near hit still counts here — tier 1 did miss).
     {
         std::lock_guard<std::mutex> lock(metrics_mu_);
-        metrics_.add("svc.cache.miss");
+        metrics_.add(verify_failed ? "svc.cache.verify_fail" : "svc.cache.miss");
+    }
+
+    // Tier 2: adapt the nearest structurally similar donor into a warm
+    // incumbent. Computed inline on the session thread (greedy repair is
+    // cheap) so a pool worker starts with the seed in hand. Heuristic-only
+    // requests skip it — their answer may never come from a donor.
+    std::optional<sched::IncumbentSeed> seed;
+    if (reuse_near && !request.params.heuristic_only) {
+        seed = near_seed(km, fingerprint, session_track);
     }
 
     Response r;
     if (request.deadline_ms == 0) {
         // A zero deadline can never fit a queue wait plus an exact solve:
         // shed immediately with the verified heuristic answer.
-        r = solve_and_finish(request, canonical, hash, /*shed=*/true, 0, session_track,
-                             sw);
+        r = solve_and_finish(request, canonical, hash, fingerprint, seed,
+                             /*shed=*/true, 0, session_track, sw);
     } else {
         std::promise<Response> done;
         std::future<Response> fut = done.get_future();
         // The session thread blocks on the future, so capturing the
-        // request and stopwatch by reference is safe.
+        // request, seed, and stopwatch by reference is safe.
         const bool admitted =
-            pool_.try_submit([this, &request, &canonical, hash, &done,
-                              &sw](obs::TraceBuffer* track) {
+            pool_.try_submit([this, &request, &canonical, hash, fingerprint, &seed,
+                              &done, &sw](obs::TraceBuffer* track) {
                 std::int64_t remaining = request.deadline_ms;
                 if (remaining > 0) {
                     const auto waited = static_cast<std::int64_t>(sw.elapsed_ms());
                     remaining = std::max<std::int64_t>(0, remaining - waited);
                 }
-                done.set_value(solve_and_finish(request, canonical, hash,
-                                                /*shed=*/false, remaining, track, sw));
+                done.set_value(solve_and_finish(request, canonical, hash, fingerprint,
+                                                seed, /*shed=*/false, remaining, track,
+                                                sw));
             });
         if (admitted) {
             {
@@ -140,8 +160,8 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
             }
             r = fut.get();
         } else {
-            r = solve_and_finish(request, canonical, hash, /*shed=*/true, 0,
-                                 session_track, sw);
+            r = solve_and_finish(request, canonical, hash, fingerprint, seed,
+                                 /*shed=*/true, 0, session_track, sw);
         }
     }
 
@@ -158,9 +178,62 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
     return r;
 }
 
+std::optional<sched::IncumbentSeed> Service::near_seed(const model::KernelModel& km,
+                                                       std::uint64_t fingerprint,
+                                                       obs::TraceBuffer* session_track) {
+    const std::vector<std::shared_ptr<const NearEntry>> candidates =
+        cache_.lookup_near(fingerprint);
+    if (candidates.empty()) return std::nullopt;
+
+    obs::SpanScope span(session_track, obs::TraceLevel::Phase, "svc.adapt",
+                        "candidates", static_cast<std::int64_t>(candidates.size()));
+
+    // Nearest compatible donor by ModelDelta distance. A donor with the
+    // request's own exact hash is legal (tier 1 may have evicted it) and
+    // naturally wins at distance 0.
+    const NearEntry* best = nullptr;
+    model::ModelDelta best_delta;
+    for (const std::shared_ptr<const NearEntry>& cand : candidates) {
+        model::ModelDelta delta = model::diff(cand->model, km);
+        if (!delta.compatible()) continue;
+        if (best == nullptr || delta.distance() < best_delta.distance()) {
+            best = cand.get();
+            best_delta = std::move(delta);
+        }
+    }
+    if (best == nullptr) {
+        span.result("ok", 0);
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.add("svc.reuse.no_donor");
+        return std::nullopt;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.add("svc.cache.near_hit");
+    }
+
+    const heur::AdaptResult adapted =
+        heur::adapt_schedule(best->value.start, best_delta, km);
+    span.result("ok", adapted.ok ? 1 : 0, "distance", best_delta.distance());
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (!adapted.ok) {
+        metrics_.add("svc.reuse.adapt_rejected");
+        return std::nullopt;
+    }
+    metrics_.add("svc.reuse.adapted");
+    sched::IncumbentSeed seed;
+    seed.start = adapted.start;
+    seed.slot = adapted.slot;
+    seed.makespan = adapted.makespan;
+    seed.slots_used = adapted.slots_used;
+    return seed;
+}
+
 Response Service::solve_and_finish(const Request& request, const std::string& canonical,
-                                   std::uint64_t hash, bool shed,
-                                   std::int64_t timeout_ms,
+                                   std::uint64_t hash, std::uint64_t fingerprint,
+                                   const std::optional<sched::IncumbentSeed>& seed,
+                                   bool shed, std::int64_t timeout_ms,
                                    obs::TraceBuffer* solve_track, const Stopwatch& sw) {
     const model::KernelModel& km = *request.model;
 
@@ -179,10 +252,16 @@ Response Service::solve_and_finish(const Request& request, const std::string& ca
     mo.solver.lns_workers = request.params.lns_workers;
     mo.lns.relax_pct = static_cast<double>(request.params.lns_relax_pct) / 100.0;
     mo.trace = solve_track;
+    // The adapted donor seed rides the warm-start plumbing; shed requests
+    // answer heuristic-only, where a donor-derived schedule must never
+    // stand in for the heuristic answer.
+    const bool seeded = seed.has_value() && !shed && !mo.heuristic_only;
+    if (seeded) mo.incumbent = seed;
 
     Response r;
     r.id = request.id;
     r.model_hash = hash;
+    r.near_hit = seeded;
     r.shed = shed;
     try {
         const sched::Schedule s = sched::schedule_model(km, mo);
@@ -204,14 +283,21 @@ Response Service::solve_and_finish(const Request& request, const std::string& ca
             r.slot = s.slot;
         }
         r.ok = true;
-        // Only proven-optimal, full-solve results enter the cache; a shed
-        // or deadline-shaped answer must not be replayed to later callers.
+        // Only proven-optimal, full-solve results enter the cache (both
+        // tiers); a shed or deadline-shaped answer must not be replayed to
+        // later callers nor donate its shape.
         if (s.status == cp::SolveStatus::Optimal && !shed) {
             if (cache_.insert(hash, canonical,
                               CachedSchedule{s.start, s.slot, s.makespan,
                                              s.slots_used})) {
                 std::lock_guard<std::mutex> lock(metrics_mu_);
                 metrics_.add("svc.cache.evictions");
+            }
+            if (cache_.insert_near(fingerprint, hash, km,
+                                   CachedSchedule{s.start, s.slot, s.makespan,
+                                                  s.slots_used})) {
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                metrics_.add("svc.cache.near_evictions");
             }
         }
     } catch (const Error& e) {
@@ -226,6 +312,7 @@ std::string Service::metrics_json() const {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     metrics_.gauge("svc.queue.depth", static_cast<double>(pool_.queue_depth()));
     metrics_.gauge("svc.cache.size", static_cast<double>(cache_.size()));
+    metrics_.gauge("svc.cache.near_size", static_cast<double>(cache_.near_size()));
     metrics_.set("svc.pool.completed", pool_.completed());
     return metrics_.to_json();
 }

@@ -23,10 +23,12 @@
 #include <atomic>
 #include <cstddef>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "revec/obs/metrics.hpp"
 #include "revec/obs/trace.hpp"
+#include "revec/sched/model.hpp"
 #include "revec/support/stopwatch.hpp"
 #include "revec/svc/cache.hpp"
 #include "revec/svc/pool.hpp"
@@ -39,7 +41,8 @@ public:
     struct Config {
         int pool_workers = 2;  ///< shared solver threads
         int max_queue = 8;     ///< solve requests waiting beyond the workers
-        std::size_t cache_capacity = 128;  ///< schedule-cache entries; 0 = off
+        std::size_t cache_capacity = 128;  ///< tier-1 exact entries; 0 = off
+        std::size_t cache_near_capacity = 128;  ///< tier-2 donor entries; 0 = off
         obs::TraceSink* trace = nullptr;   ///< worker tracks registered here
     };
 
@@ -64,8 +67,17 @@ public:
 private:
     Response handle_solve(const Request& request, obs::TraceBuffer* session_track);
     Response solve_and_finish(const Request& request, const std::string& canonical,
-                              std::uint64_t hash, bool shed, std::int64_t timeout_ms,
-                              obs::TraceBuffer* solve_track, const Stopwatch& sw);
+                              std::uint64_t hash, std::uint64_t fingerprint,
+                              const std::optional<sched::IncumbentSeed>& seed, bool shed,
+                              std::int64_t timeout_ms, obs::TraceBuffer* solve_track,
+                              const Stopwatch& sw);
+
+    /// Tier-2 pipeline on an exact miss: fetch fingerprint candidates,
+    /// diff, adapt the nearest compatible donor, return the verified warm
+    /// seed (nullopt when no donor survives). Updates the reuse metrics.
+    std::optional<sched::IncumbentSeed> near_seed(const model::KernelModel& km,
+                                                  std::uint64_t fingerprint,
+                                                  obs::TraceBuffer* session_track);
 
     Config config_;
     ScheduleCache cache_;

@@ -54,8 +54,8 @@ TEST(ListScheduler, AppKernelsVerifyClean) {
 
 TEST(ListScheduler, LadderRungsVerifyClean) {
     for (const ir::Graph& g : app_kernels()) {
-        for (const ListOptions rung : {ListOptions{true, true, false},
-                                       ListOptions{true, true, true}}) {
+        for (const ListOptions& rung : {ListOptions{true, true, false, {}},
+                                        ListOptions{true, true, true, {}}}) {
             const ListResult r = priority_list_schedule(kSpec, g, rung);
             expect_timing_valid(g, r);
         }
@@ -105,8 +105,9 @@ TEST(ListScheduler, RandomKernelsVerifyClean) {
         apps::RandomKernelOptions opts;
         opts.seed = seed;
         const ir::Graph g = ir::merge_pipeline_ops(apps::build_random_kernel(opts));
-        for (const ListOptions rung :
-             {ListOptions{}, ListOptions{true, true, false}, ListOptions{true, true, true}}) {
+        for (const ListOptions& rung :
+             {ListOptions{}, ListOptions{true, true, false, {}},
+              ListOptions{true, true, true, {}}}) {
             const ListResult r = priority_list_schedule(kSpec, g, rung);
             expect_timing_valid(g, r);
         }

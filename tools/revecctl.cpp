@@ -15,32 +15,12 @@
 #include "revec/support/assert.hpp"
 #include "revec/support/strings.hpp"
 #include "revec/svc/client.hpp"
+#include "revec/svc/flags.hpp"
 #include "revec/svc/protocol.hpp"
 
 namespace {
 
-void usage(std::ostream& os) {
-    os << "usage: revecctl --socket=PATH <command> [options]\n\n"
-          "commands:\n"
-          "  ping                   liveness probe\n"
-          "  stats                  dump the daemon's metrics registry JSON\n"
-          "  shutdown               ask the daemon to drain and exit\n"
-          "  solve MODEL.json...    schedule each model (revecc --dump-model\n"
-          "                         shape); repeats of the same model are\n"
-          "                         served from the daemon's schedule cache\n\n"
-          "solve options:\n"
-          "  --deadline-ms=N        per-request budget; -1 none (default), 0\n"
-          "                         forces the verified heuristic answer\n"
-          "  --threads=N            solver threads per request (default 1)\n"
-          "  --lns-workers=N        LNS workers raced alongside (default 0)\n"
-          "  --lns-relax-pct=N      LNS relax percentage 1..100 (default 30)\n"
-          "  --seed=N               search seed (default 0x5eed)\n"
-          "  --no-warm-start        cold exact solve (no heuristic seed)\n"
-          "  --heuristic-only       skip the exact solver\n\n"
-          "Each response is printed as one JSON line. Exit codes: 0 = every\n"
-          "response ok, 1 = usage/connection error, 2 = a response had\n"
-          "ok=false.\n";
-}
+void usage(std::ostream& os) { revec::svc::revecctl_usage(os); }
 
 std::string read_file(const std::string& path) {
     std::ifstream in(path);
@@ -83,6 +63,13 @@ int main(int argc, char** argv) {
                 params.warm_start = false;
             } else if (arg == "--heuristic-only") {
                 params.heuristic_only = true;
+            } else if (revec::starts_with(arg, "--reuse=")) {
+                const auto mode = revec::svc::reuse_from_name(arg.substr(8));
+                if (!mode.has_value()) {
+                    std::cerr << "revecctl: bad --reuse (off|exact|near)\n";
+                    return 1;
+                }
+                params.reuse = *mode;
             } else if (revec::starts_with(arg, "--")) {
                 std::cerr << "revecctl: unknown flag '" << arg << "'\n";
                 usage(std::cerr);

@@ -18,6 +18,7 @@
 #include "revec/obs/metrics.hpp"
 #include "revec/obs/trace.hpp"
 #include "revec/support/strings.hpp"
+#include "revec/svc/flags.hpp"
 #include "revec/svc/server.hpp"
 #include "revec/svc/service.hpp"
 
@@ -29,22 +30,7 @@ extern "C" void handle_signal(int) {
     if (g_server != nullptr) g_server->request_stop_from_signal();
 }
 
-void usage(std::ostream& os) {
-    os << "usage: revecd --socket=PATH [options]\n\n"
-          "options:\n"
-          "  --socket=PATH          unix socket to listen on (required)\n"
-          "  --workers=N            solver pool threads (default 2)\n"
-          "  --max-queue=N          queued solves beyond the workers (default 8)\n"
-          "  --cache-capacity=N     schedule-cache entries, 0 disables (default 128)\n"
-          "  --trace=FILE           save the service trace on shutdown\n"
-          "                         (.jsonl = JSONL stream, else Chrome JSON)\n"
-          "  --trace-level=LEVEL    off | phase | node (default phase)\n"
-          "  --metrics=FILE         save the metrics registry JSON on shutdown\n"
-          "  --help                 this text\n\n"
-          "exit codes:\n"
-          "  0  clean shutdown (signal or protocol shutdown request)\n"
-          "  1  usage error or failure to bind the socket\n";
-}
+void usage(std::ostream& os) { revec::svc::revecd_usage(os); }
 
 }  // namespace
 
@@ -70,6 +56,9 @@ int main(int argc, char** argv) {
             } else if (revec::starts_with(arg, "--cache-capacity=")) {
                 config.cache_capacity =
                     static_cast<std::size_t>(revec::parse_int(arg.substr(17)));
+            } else if (revec::starts_with(arg, "--cache-near-capacity=")) {
+                config.cache_near_capacity =
+                    static_cast<std::size_t>(revec::parse_int(arg.substr(22)));
             } else if (revec::starts_with(arg, "--trace=")) {
                 trace_path = arg.substr(8);
             } else if (revec::starts_with(arg, "--trace-level=")) {
@@ -111,7 +100,8 @@ int main(int argc, char** argv) {
 
         std::cerr << "revecd: listening on " << socket_path << " ("
                   << config.pool_workers << " workers, queue " << config.max_queue
-                  << ", cache " << config.cache_capacity << ")\n";
+                  << ", cache " << config.cache_capacity << "+"
+                  << config.cache_near_capacity << " near)\n";
         server.run();
         g_server = nullptr;
 
