@@ -61,10 +61,14 @@ struct SharedIncumbent {
 void run_worker(const ModelBuilder& build, const WorkerConfig& cfg,
                 const SearchOptions& base, const RestartPolicy& policy,
                 const EngineConfig& engine, bool profile, obs::TraceBuffer* trace,
-                std::atomic<bool>& stop, std::atomic<std::int64_t>& shared,
-                SharedIncumbent* incumbent, WorkerSlot& slot) {
+                std::int64_t trace_rid, std::atomic<bool>& stop,
+                std::atomic<std::int64_t>& shared, SharedIncumbent* incumbent,
+                WorkerSlot& slot) {
     try {
-        obs::SpanScope worker_span(trace, obs::TraceLevel::Phase, "worker");
+        // The rid payload only appears for service-correlated solves, so
+        // standalone traces stay byte-identical with rid plumbing in place.
+        obs::SpanScope worker_span(trace, obs::TraceLevel::Phase, "worker",
+                                   trace_rid != 0 ? "rid" : nullptr, trace_rid);
         Store store{engine};
         if (profile) store.enable_profiling();
         const PostedModel model = build(store);
@@ -157,11 +161,12 @@ constexpr std::int64_t kLnsIdleLimit = 16;
 /// `proved` — LNS only improves, proofs come from CP workers.
 void run_lns_worker(const LnsRoundFn& round, int lns_index, std::uint32_t seed,
                     const SearchOptions& base, obs::TraceBuffer* trace,
-                    std::atomic<bool>& stop, std::atomic<std::int64_t>& shared,
-                    SharedIncumbent& incumbent, const std::atomic<int>& cp_active,
-                    WorkerSlot& slot) {
+                    std::int64_t trace_rid, std::atomic<bool>& stop,
+                    std::atomic<std::int64_t>& shared, SharedIncumbent& incumbent,
+                    const std::atomic<int>& cp_active, WorkerSlot& slot) {
     try {
-        obs::SpanScope worker_span(trace, obs::TraceLevel::Phase, "worker");
+        obs::SpanScope worker_span(trace, obs::TraceLevel::Phase, "worker",
+                                   trace_rid != 0 ? "rid" : nullptr, trace_rid);
         XorShift rng(seed);
         std::int64_t idle = 0;
         int round_no = 0;
@@ -189,6 +194,7 @@ void run_lns_worker(const LnsRoundFn& round, int lns_index, std::uint32_t seed,
             ctx.deadline = base.deadline;
             ctx.stop = &stop;
             ctx.trace = trace;
+            ctx.trace_rid = trace_rid;
             const LnsRoundResult r = round(ctx);
             ++slot.report.lns_rounds;
             slot.report.stats.absorb(r.stats);
@@ -356,7 +362,8 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
     SharedIncumbent* const inc = lns > 0 ? &incumbent : nullptr;
     if (total == 1) {
         run_worker(build, cfgs[0], options, config.restart_policy, config.engine,
-                   config.profile, tracks[0], stop, shared, inc, slots[0]);
+                   config.profile, tracks[0], config.trace_rid, stop, shared, inc,
+                   slots[0]);
         cp_active.store(0, std::memory_order_release);
     } else {
         std::vector<std::thread> threads;
@@ -365,8 +372,8 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
             threads.emplace_back([&, k] {
                 run_worker(build, cfgs[static_cast<std::size_t>(k)], options,
                            config.restart_policy, config.engine, config.profile,
-                           tracks[static_cast<std::size_t>(k)], stop, shared, inc,
-                           slots[static_cast<std::size_t>(k)]);
+                           tracks[static_cast<std::size_t>(k)], config.trace_rid, stop,
+                           shared, inc, slots[static_cast<std::size_t>(k)]);
                 cp_active.fetch_sub(1, std::memory_order_release);
             });
         }
@@ -375,8 +382,8 @@ PortfolioResult solve_portfolio(const ModelBuilder& build, const SolverConfig& c
             const std::uint32_t seed = lns_seeds.next() | 1u;
             threads.emplace_back([&, j, seed] {
                 run_lns_worker(config.lns_round, j, seed, options,
-                               tracks[static_cast<std::size_t>(n + j)], stop, shared,
-                               incumbent, cp_active,
+                               tracks[static_cast<std::size_t>(n + j)], config.trace_rid,
+                               stop, shared, incumbent, cp_active,
                                slots[static_cast<std::size_t>(n + j)]);
             });
         }

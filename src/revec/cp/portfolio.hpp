@@ -64,6 +64,7 @@ struct LnsRoundContext {
     Deadline deadline;           ///< the portfolio's wall-clock limit
     const std::atomic<bool>* stop = nullptr;  ///< cooperative cancel
     obs::TraceBuffer* trace = nullptr;        ///< this worker's track
+    std::int64_t trace_rid = 0;  ///< request id stamped on round spans; 0 = none
 };
 
 /// What one LNS round produced. `improved` implies a verified assignment
@@ -126,6 +127,12 @@ struct SolverConfig {
     /// deterministic); the sequential layers write into the sink's main
     /// track.
     obs::TraceSink* trace = nullptr;
+
+    /// Service request id stamped onto worker span begins (and LNS round
+    /// contexts) so one request's story is filterable across tracks in
+    /// revec-stats. 0 = no request association; spans then carry no rid
+    /// payload, keeping standalone traces byte-identical to before.
+    std::int64_t trace_rid = 0;
 
     /// Attribute propagation work (runs, time, domain changes, failures) to
     /// propagator classes on every worker store; results surface as

@@ -31,10 +31,14 @@ struct RoundOutcome {
 RoundOutcome run_round(const model::KernelModel& base, const std::vector<int>& inc_start,
                        int inc_makespan, Selector selector, const LnsTuning& tuning,
                        XorShift& rng, const Deadline& deadline,
-                       const std::atomic<bool>* stop, obs::TraceBuffer* trace) {
+                       const std::atomic<bool>* stop, obs::TraceBuffer* trace,
+                       std::int64_t trace_rid) {
     RoundOutcome out;
     const int n = base.num_nodes();
-    obs::SpanScope round_span(trace, obs::TraceLevel::Phase, "lns_round");
+    // Rounds on a service request's behalf carry its rid; standalone runs
+    // (rid 0) emit the payload-free span as before.
+    obs::SpanScope round_span(trace, obs::TraceLevel::Phase, "lns_round",
+                              trace_rid != 0 ? "rid" : nullptr, trace_rid);
 
     std::vector<int> relaxed;
     {
@@ -134,7 +138,8 @@ LnsResult improve_schedule(const model::KernelModel& m, const std::vector<int>& 
         const Selector sel =
             sels[static_cast<std::size_t>(res.rounds) % sels.size()];
         RoundOutcome out = run_round(m, res.start, res.makespan, sel, options.tuning, rng,
-                                     options.deadline, options.stop, options.trace);
+                                     options.deadline, options.stop, options.trace,
+                                     /*trace_rid=*/0);
         ++res.rounds;
         res.stats.absorb(out.stats);
         if (out.accepted) {
@@ -199,7 +204,7 @@ cp::LnsRoundFn make_portfolio_round(const model::KernelModel& m, const LnsTuning
         const std::vector<Selector>& sels = state->tuning.selectors;
         const Selector sel = sels[static_cast<std::size_t>(ctx.round) % sels.size()];
         RoundOutcome r = run_round(state->m, inc_start, inc_makespan, sel, state->tuning,
-                                   rng, ctx.deadline, ctx.stop, ctx.trace);
+                                   rng, ctx.deadline, ctx.stop, ctx.trace, ctx.trace_rid);
         out.stats = r.stats;
         if (r.accepted) {
             out.improved = true;

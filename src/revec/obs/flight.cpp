@@ -1,0 +1,155 @@
+#include "revec/obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "revec/support/assert.hpp"
+
+namespace revec::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string rid_hex(std::uint64_t rid) {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[rid & 0xf];
+        rid >>= 4;
+    }
+    return out;
+}
+
+}  // namespace
+
+const char* flight_reason_name(FlightReason reason) {
+    switch (reason) {
+        case FlightReason::None: return "none";
+        case FlightReason::Slo: return "slo";
+        case FlightReason::Shed: return "shed";
+        case FlightReason::Error: return "error";
+        case FlightReason::VerifyFail: return "verify_fail";
+        case FlightReason::AdaptRejected: return "adapt_rejected";
+    }
+    REVEC_UNREACHABLE("bad FlightReason");
+}
+
+FlightRecording::FlightRecording(std::uint64_t rid, std::size_t ring_events)
+    : rid_(rid), sink_(TraceLevel::Phase, ring_events) {
+    track_ = sink_.new_track("flight");
+    // The opening instant makes the rid greppable in the dump even if the
+    // request's own spans were dropped by a full ring.
+    instant(track_, TraceLevel::Phase, "flight_begin", "rid",
+            static_cast<std::int64_t>(rid_));
+}
+
+FlightRecorder::FlightRecorder(FlightConfig config) : config_(std::move(config)) {
+    if (!enabled()) return;
+    if (config_.keep < 1) config_.keep = 1;
+    if (config_.ring_events == 0) config_.ring_events = 1;
+    std::error_code ec;
+    fs::create_directories(config_.dir, ec);
+    // Resume retention over dumps left by a previous daemon: count them
+    // into the keep budget and continue the sequence past the newest.
+    for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() < 7 || name.compare(0, 7, "flight-") != 0) continue;
+        if (name.size() < 6 || name.compare(name.size() - 6, 6, ".jsonl") != 0) continue;
+        retained_.push_back(name);
+        // flight-<8-digit seq>-<16-hex rid>.jsonl
+        if (name.size() > 15) {
+            std::uint64_t s = 0;
+            bool ok = true;
+            for (int i = 7; i < 15; ++i) {
+                const char c = name[static_cast<std::size_t>(i)];
+                if (c < '0' || c > '9') {
+                    ok = false;
+                    break;
+                }
+                s = s * 10 + static_cast<std::uint64_t>(c - '0');
+            }
+            if (ok) seq_ = std::max(seq_, s + 1);
+        }
+    }
+    std::sort(retained_.begin(), retained_.end());
+}
+
+std::unique_ptr<FlightRecording> FlightRecorder::begin(std::uint64_t rid) {
+    if (!enabled()) return nullptr;
+    return std::unique_ptr<FlightRecording>(
+        new FlightRecording(rid, config_.ring_events));
+}
+
+std::string FlightRecorder::dump_path_locked(std::uint64_t rid) {
+    char seq_buf[16];
+    std::snprintf(seq_buf, sizeof seq_buf, "%08llu",
+                  static_cast<unsigned long long>(seq_++));
+    return std::string("flight-") + seq_buf + "-" + rid_hex(rid) + ".jsonl";
+}
+
+int FlightRecorder::prune_locked() {
+    int pruned = 0;
+    while (retained_.size() > static_cast<std::size_t>(config_.keep)) {
+        std::error_code ec;
+        fs::remove(fs::path(config_.dir) / retained_.front(), ec);
+        retained_.erase(retained_.begin());
+        ++pruned;
+    }
+    return pruned;
+}
+
+FlightOutcome FlightRecorder::finish(std::unique_ptr<FlightRecording> recording,
+                                     double latency_ms) {
+    FlightOutcome out;
+    if (recording == nullptr) return out;
+    out.reason = recording->reason();
+    if (out.reason == FlightReason::None && config_.slo_ms >= 0 &&
+        latency_ms > static_cast<double>(config_.slo_ms)) {
+        out.reason = FlightReason::Slo;
+    }
+    if (out.reason == FlightReason::None) return out;  // uninteresting: drop
+
+    // Closing instant: reason + total latency, pushed by the finishing
+    // thread after all other writers are done (the request is complete).
+    std::int64_t reason_idx = static_cast<std::int64_t>(out.reason);
+    instant(recording->track(), TraceLevel::Phase, "flight_dump", "reason", reason_idx,
+            "latency_ms", static_cast<std::int64_t>(latency_ms));
+
+    std::string name;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        name = dump_path_locked(recording->rid());
+    }
+    const fs::path final_path = fs::path(config_.dir) / name;
+    const fs::path tmp_path = fs::path(config_.dir) / (name + ".tmp");
+    {
+        std::ofstream os(tmp_path);
+        if (os.good()) recording->sink_.write_jsonl(os);
+        if (!os.good()) {
+            os.close();
+            std::error_code rm_ec;
+            fs::remove(tmp_path, rm_ec);
+            return out;  // dump I/O failure never fails the request
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return out;
+    }
+    out.dumped = true;
+    out.path = final_path.string();
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        retained_.push_back(name);
+        out.pruned = prune_locked();
+    }
+    return out;
+}
+
+}  // namespace revec::obs

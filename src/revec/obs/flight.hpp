@@ -1,0 +1,112 @@
+// Flight recorder (DESIGN §5l): always-on, request-scoped tail sampling
+// for the scheduling service. Every request gets a small private ring
+// (one TraceBuffer track at Phase level) that records its phase story —
+// admission, cache outcome, adaptation, solve — even when the daemon's
+// own tracing is `--trace-level=off`. On completion the ring is dropped
+// unless the request was *interesting* (over the latency SLO, shed,
+// errored, verify-failed, or near-hit-adapt-rejected), in which case it
+// is dumped as JSONL into a bounded retention directory where
+// `revec-stats` can render it. The cost of the always-on path is one
+// ~512-event ring per in-flight request and the same single-branch push
+// sites as ordinary tracing; dump I/O only happens for the interesting
+// tail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "revec/obs/trace.hpp"
+
+namespace revec::obs {
+
+/// Why a request's ring was worth keeping. Listed in escalation order;
+/// note() keeps the first non-None reason (the root cause fired first),
+/// and Slo is only applied by finish() when nothing else did.
+enum class FlightReason : std::uint8_t {
+    None = 0,       ///< uninteresting: ring dropped
+    Slo,            ///< latency exceeded FlightConfig::slo_ms
+    Shed,           ///< admission control shed the request
+    Error,          ///< request failed (parse error, solve error)
+    VerifyFail,     ///< a schedule failed the verifier gate
+    AdaptRejected,  ///< near hit found a donor but adaptation was rejected
+};
+
+const char* flight_reason_name(FlightReason reason);
+
+struct FlightConfig {
+    std::string dir;           ///< dump directory; empty disables the recorder
+    int keep = 32;             ///< max dumps retained (oldest pruned first)
+    std::int64_t slo_ms = -1;  ///< latency SLO; -1 = latency alone never dumps
+    std::size_t ring_events = 512;  ///< per-request ring capacity
+};
+
+/// One request's private ring. Created by FlightRecorder::begin(); the
+/// track() buffer is handed to everything working on the request's behalf
+/// (session thread, pool worker) — sequential writers only, ordered by the
+/// request's own hand-off edges (the pool's promise/future).
+class FlightRecording {
+public:
+    FlightRecording(const FlightRecording&) = delete;
+    FlightRecording& operator=(const FlightRecording&) = delete;
+
+    TraceBuffer* track() { return track_; }
+    std::uint64_t rid() const { return rid_; }
+
+    /// Mark the request interesting. First non-None reason wins — callers
+    /// note the root cause as it happens (shed at admission, verify-fail
+    /// at completion) and later notes do not overwrite it.
+    void note(FlightReason reason) {
+        if (reason_ == FlightReason::None) reason_ = reason;
+    }
+    FlightReason reason() const { return reason_; }
+
+private:
+    friend class FlightRecorder;
+    FlightRecording(std::uint64_t rid, std::size_t ring_events);
+
+    std::uint64_t rid_;
+    FlightReason reason_ = FlightReason::None;
+    TraceSink sink_;  ///< private per-request sink, always at Phase level
+    TraceBuffer* track_;
+};
+
+/// What finish() did with a recording.
+struct FlightOutcome {
+    bool dumped = false;
+    FlightReason reason = FlightReason::None;
+    std::string path;  ///< dump file path when dumped
+    int pruned = 0;    ///< older dumps deleted by retention this call
+};
+
+/// Owner of the dump directory and retention policy. Thread-safe: session
+/// threads call begin()/finish() concurrently.
+class FlightRecorder {
+public:
+    explicit FlightRecorder(FlightConfig config);
+
+    bool enabled() const { return !config_.dir.empty(); }
+    const FlightConfig& config() const { return config_; }
+
+    /// Start recording one request. Returns nullptr when disabled (all
+    /// recording call sites tolerate a null ring).
+    std::unique_ptr<FlightRecording> begin(std::uint64_t rid);
+
+    /// Close out a request: decide interestingness (an explicit note() or
+    /// latency over the SLO), dump the ring as JSONL under the retention
+    /// cap, or drop it. Safe to call with nullptr (no-op outcome).
+    FlightOutcome finish(std::unique_ptr<FlightRecording> recording, double latency_ms);
+
+private:
+    std::string dump_path_locked(std::uint64_t rid);
+    int prune_locked();
+
+    FlightConfig config_;
+    std::mutex mu_;  ///< guards seq_ and retained_
+    std::uint64_t seq_ = 0;
+    std::vector<std::string> retained_;  ///< dump file names, oldest first
+};
+
+}  // namespace revec::obs

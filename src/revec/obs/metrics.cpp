@@ -51,6 +51,47 @@ void Histogram::observe(double v) {
     ++buckets[static_cast<std::size_t>(bucket)];
 }
 
+namespace {
+
+/// Shared estimator: walk buckets to the one holding the q-th sample, then
+/// interpolate within its [lo, hi) value range by the sample's rank inside
+/// the bucket. Bucket 0 spans [0, 2); bucket k>0 spans [2^k, 2^(k+1)).
+double quantile_from_buckets(const std::int64_t* buckets, std::size_t num_buckets,
+                             std::int64_t total, double q) {
+    if (total <= 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample, 1-based; q=0 hits the first sample.
+    const double rank = 1.0 + q * static_cast<double>(total - 1);
+    std::int64_t seen = 0;
+    for (std::size_t k = 0; k < num_buckets; ++k) {
+        const std::int64_t in_bucket = buckets[k];
+        if (in_bucket == 0) continue;
+        if (static_cast<double>(seen + in_bucket) >= rank) {
+            const double lo = k == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(k));
+            const double hi = std::ldexp(1.0, static_cast<int>(k) + 1);
+            const double frac =
+                (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+            return lo + frac * (hi - lo);
+        }
+        seen += in_bucket;
+    }
+    return std::ldexp(1.0, static_cast<int>(num_buckets));
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+    if (count == 0) return 0.0;
+    const double est = quantile_from_buckets(buckets.data(), buckets.size(), count, q);
+    return std::clamp(est, min, max);
+}
+
+double histogram_quantile(const std::vector<std::int64_t>& buckets, double q) {
+    std::int64_t total = 0;
+    for (const std::int64_t b : buckets) total += b;
+    return quantile_from_buckets(buckets.data(), buckets.size(), total, q);
+}
+
 void Histogram::absorb(const Histogram& other) {
     if (other.count == 0) return;
     if (count == 0) {

@@ -19,6 +19,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace revec::obs {
 
@@ -37,7 +38,17 @@ struct Histogram {
     void observe(double v);
     void absorb(const Histogram& other);
     double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+    /// Approximate quantile (q in [0,1]) from the log2 buckets: finds the
+    /// bucket holding the q-th sample and interpolates linearly inside its
+    /// [2^k, 2^(k+1)) range, clamped to the observed min/max. 0 when empty.
+    double quantile(double q) const;
 };
+
+/// Quantile over an externally-held bucket vector (e.g. parsed back from
+/// metrics JSON, where trailing zero buckets are elided). Same estimator
+/// as Histogram::quantile but without min/max clamping.
+double histogram_quantile(const std::vector<std::int64_t>& buckets, double q);
 
 class MetricsRegistry {
 public:

@@ -1,6 +1,5 @@
 #include "revec/obs/trace.hpp"
 
-#include <algorithm>
 #include <fstream>
 #include <ostream>
 
@@ -71,20 +70,40 @@ std::optional<TraceLevel> parse_trace_level(std::string_view s) {
 
 TraceBuffer::TraceBuffer(const TraceSink* sink, std::string track, TraceLevel level,
                          std::size_t capacity)
-    : sink_(sink), track_(std::move(track)), level_(level), capacity_(capacity) {
-    // Reserve a modest prefix so phase-level traces never reallocate
-    // mid-solve; node-level traces grow toward the cap as needed.
-    events_.reserve(std::min<std::size_t>(capacity_, 1024));
-}
+    : sink_(sink), track_(std::move(track)), level_(level), capacity_(capacity) {}
 
 void TraceBuffer::push(TraceLevel level, EventKind kind, const char* name, const char* akey,
                        std::int64_t a, const char* bkey, std::int64_t b) {
     if (!enabled(level)) return;
-    if (events_.size() >= capacity_) {
-        ++dropped_;
+    const std::size_t n = size_.load(std::memory_order_relaxed);
+    if (n >= capacity_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
-    events_.push_back({kind, name, akey, bkey, a, b, sink_->now_us()});
+    const std::size_t off = n % kChunk;
+    if (off == 0) {
+        // New chunk. The lock only orders the chunk-vector append against
+        // concurrent snapshot() readers; the writer itself is single.
+        auto chunk = std::make_unique<TraceEvent[]>(kChunk);
+        TraceEvent* raw = chunk.get();
+        const std::lock_guard<std::mutex> lock(chunks_mu_);
+        chunks_.push_back(std::move(chunk));
+        write_chunk_ = raw;
+    }
+    write_chunk_[off] = {kind, name, akey, bkey, a, b, sink_->now_us()};
+    // Publish after the slot is fully written; snapshot() acquires.
+    size_.store(n + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+    const std::size_t n = size_.load(std::memory_order_acquire);
+    std::vector<TraceEvent> out;
+    out.reserve(n);
+    const std::lock_guard<std::mutex> lock(chunks_mu_);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(chunks_[i / kChunk][i % kChunk]);
+    }
+    return out;
 }
 
 TraceSink::TraceSink(TraceLevel level, std::size_t events_per_track)
@@ -136,7 +155,7 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
            << R"(, "name": "thread_name", "args": {"name": )";
         append_escaped(os, t.track());
         os << "}}";
-        for (const TraceEvent& e : t.events()) {
+        for (const TraceEvent& e : t.snapshot()) {
             sep();
             os << "{\"ph\": \"" << chrome_ph(e.kind) << "\", \"pid\": 1, \"tid\": " << tid
                << ", \"ts\": " << e.ts_us << ", \"name\": ";
@@ -162,7 +181,7 @@ void TraceSink::write_jsonl(std::ostream& os) const {
     for (const auto& track : tracks_) {
         const TraceBuffer& t = *track;
         std::uint64_t seq = 0;
-        for (const TraceEvent& e : t.events()) {
+        for (const TraceEvent& e : t.snapshot()) {
             os << "{\"track\": ";
             append_escaped(os, t.track());
             os << ", \"seq\": " << seq++ << ", \"kind\": \"" << kind_letter(e.kind)

@@ -11,13 +11,22 @@
 // is a single branch on a nullptr buffer (`if (buf == nullptr) return;`);
 // levels refine that — Phase events (solve phases, solutions, bound
 // broadcasts, worker lifecycles) are rare, Node events (search nodes,
-// failures, engine escalations) are per-node. Writers are lock-free: each
-// TraceBuffer has exactly one writer thread, and the only synchronized
-// operation is track registration on the sink. When a ring fills, new
+// failures, engine escalations) are per-node. Writers are lock-free on the
+// hot path: each TraceBuffer has exactly one writer thread at a time, and
+// the only synchronized operations are track registration on the sink and
+// the (rare) append of a fresh storage chunk. When a ring fills, new
 // events are dropped and counted (the serializers emit the drop count), so
 // a runaway solve can never grow memory without bound.
+//
+// Live reads: events live in fixed-size chunks that never move once
+// allocated, and the writer publishes the event count with a release
+// store after filling the slot. Readers snapshot up to an acquire-loaded
+// size, so the serializers can run while writers are still pushing — a
+// running daemon can dump its trace mid-solve and at worst misses the
+// newest few events.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -65,9 +74,11 @@ struct TraceEvent {
 
 class TraceSink;
 
-/// One track: a bounded ring of events with a single writer thread.
-/// Obtain via TraceSink::main() or TraceSink::new_track(); never shared
-/// between concurrently-writing threads.
+/// One track: a bounded ring of events with a single writer thread at a
+/// time. Obtain via TraceSink::main() or TraceSink::new_track(); never
+/// shared between concurrently-writing threads (sequential hand-off
+/// between threads is fine when an external happens-before edge — e.g. a
+/// promise/future — orders the writes).
 class TraceBuffer {
 public:
     TraceBuffer(const TraceBuffer&) = delete;
@@ -82,26 +93,39 @@ public:
               std::int64_t b = 0);
 
     const std::string& track() const { return track_; }
-    std::uint64_t dropped() const { return dropped_; }
-    std::size_t size() const { return events_.size(); }
-    const std::vector<TraceEvent>& events() const { return events_; }
+    std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+    std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+    /// Copy of all events published so far. Safe to call while the writer
+    /// thread is still pushing: events up to the acquire-loaded size are
+    /// fully written, newer ones are simply not seen yet.
+    std::vector<TraceEvent> snapshot() const;
 
 private:
     friend class TraceSink;
     TraceBuffer(const TraceSink* sink, std::string track, TraceLevel level,
                 std::size_t capacity);
 
+    /// Events per storage chunk. Chunks never move or shrink once
+    /// allocated, so a reader holding an index can copy the slot without
+    /// blocking the writer.
+    static constexpr std::size_t kChunk = 1024;
+
     const TraceSink* sink_;
     std::string track_;
     TraceLevel level_;
     std::size_t capacity_;
-    std::vector<TraceEvent> events_;
-    std::uint64_t dropped_ = 0;
+    std::atomic<std::size_t> size_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    TraceEvent* write_chunk_ = nullptr;  ///< writer-only cache of the tail chunk
+    mutable std::mutex chunks_mu_;       ///< guards the chunk *vector*, not the slots
+    std::vector<std::unique_ptr<TraceEvent[]>> chunks_;
 };
 
 /// Owner of all tracks of one traced solve. Thread-safe for track
-/// registration; serialization must not run concurrently with writers
-/// (call it after the solve / after worker joins).
+/// registration, and serialization may run while writers are active (it
+/// snapshots each track up to its published size) — a long-lived daemon
+/// can write periodic trace snapshots without pausing its workers.
 class TraceSink {
 public:
     explicit TraceSink(TraceLevel level, std::size_t events_per_track = 1u << 17);
@@ -176,11 +200,14 @@ inline void span_end(TraceBuffer* buf, TraceLevel level, const char* name,
 class SpanScope {
 public:
     SpanScope(TraceBuffer* buf, TraceLevel level, const char* name,
-              const char* akey = nullptr, std::int64_t a = 0)
+              const char* akey = nullptr, std::int64_t a = 0,
+              const char* bkey = nullptr, std::int64_t b = 0)
         : buf_(buf != nullptr && buf->enabled(level) ? buf : nullptr),
           level_(level),
           name_(name) {
-        if (buf_ != nullptr) buf_->push(level_, EventKind::SpanBegin, name_, akey, a);
+        if (buf_ != nullptr) {
+            buf_->push(level_, EventKind::SpanBegin, name_, akey, a, bkey, b);
+        }
     }
     SpanScope(const SpanScope&) = delete;
     SpanScope& operator=(const SpanScope&) = delete;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "revec/support/assert.hpp"
 #include "revec/support/json.hpp"
@@ -82,40 +83,57 @@ ParsedTrace parse_chrome(const json::Value& doc) {
 ParsedTrace parse_jsonl(const std::string& content) {
     ParsedTrace out;
     std::map<std::string, std::size_t> track_of;
-    std::istringstream in(content);
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        bool blank = true;
-        for (const char c : line) {
-            if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-                blank = false;
-                break;
+    // Collect non-blank lines up front so the final line is identifiable:
+    // a torn final line (crashed writer, reader racing a live snapshot) is
+    // a warning, while corruption anywhere else stays a hard error.
+    std::vector<std::pair<int, std::string>> lines;
+    {
+        std::istringstream in(content);
+        std::string line;
+        int lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            bool blank = true;
+            for (const char c : line) {
+                if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+                    blank = false;
+                    break;
+                }
             }
+            if (!blank) lines.emplace_back(lineno, line);
         }
-        if (blank) continue;
-        json::Value obj;
+    }
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const int lineno = lines[i].first;
+        const std::string& line = lines[i].second;
         try {
-            obj = json::parse(line);
+            json::Value obj;
+            try {
+                obj = json::parse(line);
+            } catch (const Error& e) {
+                throw Error("JSONL line " + std::to_string(lineno) + ": " + e.what());
+            }
+            if (obj.type != json::Value::Type::Object) {
+                throw Error("JSONL line " + std::to_string(lineno) + ": not an object");
+            }
+            const std::string& track_name =
+                require(obj, "track", json::Value::Type::String, "jsonl event").str;
+            ParsedEvent event;
+            event.kind = parse_kind(
+                require(obj, "kind", json::Value::Type::String, "jsonl event").str,
+                "jsonl event");
+            event.name = require(obj, "name", json::Value::Type::String, "jsonl event").str;
+            event.ts_us =
+                as_int(require(obj, "ts_us", json::Value::Type::Number, "jsonl event"));
+            parse_args_into(obj, event);
+            const auto [it, inserted] = track_of.emplace(track_name, out.tracks.size());
+            if (inserted) out.tracks.push_back({track_name, {}});
+            out.tracks[it->second].events.push_back(std::move(event));
         } catch (const Error& e) {
-            throw Error("JSONL line " + std::to_string(lineno) + ": " + e.what());
+            if (i + 1 != lines.size()) throw;
+            out.warnings.push_back("JSONL line " + std::to_string(lineno) +
+                                   ": truncated final line skipped (" + e.what() + ")");
         }
-        if (obj.type != json::Value::Type::Object) {
-            throw Error("JSONL line " + std::to_string(lineno) + ": not an object");
-        }
-        const std::string& track_name =
-            require(obj, "track", json::Value::Type::String, "jsonl event").str;
-        const auto [it, inserted] = track_of.emplace(track_name, out.tracks.size());
-        if (inserted) out.tracks.push_back({track_name, {}});
-        ParsedEvent event;
-        event.kind =
-            parse_kind(require(obj, "kind", json::Value::Type::String, "jsonl event").str,
-                       "jsonl event");
-        event.name = require(obj, "name", json::Value::Type::String, "jsonl event").str;
-        event.ts_us = as_int(require(obj, "ts_us", json::Value::Type::Number, "jsonl event"));
-        parse_args_into(obj, event);
-        out.tracks[it->second].events.push_back(std::move(event));
     }
     return out;
 }

@@ -29,6 +29,10 @@ struct ParsedTrack {
 
 struct ParsedTrace {
     std::vector<ParsedTrack> tracks;
+    /// Non-fatal parse diagnostics — currently only a torn final JSONL
+    /// line (a reader racing the writer, or a crash mid-write). The torn
+    /// tail is skipped, not an error; callers decide whether to surface it.
+    std::vector<std::string> warnings;
 
     const ParsedTrack* track(const std::string& name) const;
     std::size_t total_events() const;
@@ -38,7 +42,9 @@ struct ParsedTrace {
 /// starting with '{' whose first object carries "traceEvents" is Chrome
 /// trace JSON, otherwise every non-empty line must be one JSONL event
 /// object. Throws revec::Error with a line/position diagnostic on
-/// malformed input.
+/// malformed input — except a truncated FINAL JSONL line, which is
+/// tolerated and reported via ParsedTrace::warnings (live snapshots and
+/// crashed writers legitimately tear their last line).
 ParsedTrace parse_trace(const std::string& content);
 
 /// Load and parse a trace file. Throws revec::Error when the file cannot

@@ -165,6 +165,12 @@ Schedule schedule_model(const model::KernelModel& model_in, const ModelSolveOpti
             ? options.trace
             : (options.solver.trace != nullptr ? options.solver.trace->main() : nullptr);
 
+    // Service-correlated solves open with the request id so a pool worker's
+    // shared track is filterable per request; standalone runs (rid 0) emit
+    // nothing extra and stay byte-identical.
+    const std::int64_t rid = options.solver.trace_rid;
+    if (rid != 0) obs::instant(trace, obs::TraceLevel::Phase, "rid", "rid", rid);
+
     if (model_in.memory_allocation && model_in.num_slots <= 0 && !model_in.vdata.empty()) {
         Schedule infeasible;
         infeasible.status = cp::SolveStatus::Unsat;
@@ -258,7 +264,7 @@ Schedule schedule_model(const model::KernelModel& model_in, const ModelSolveOpti
         options.solver.threads <= 1 && options.solver.lns_workers <= 0;
     const char* const search_span = sequential ? "search" : "portfolio";
     obs::span_begin(trace, obs::TraceLevel::Phase, search_span, "threads",
-                    options.solver.threads);
+                    options.solver.threads, rid != 0 ? "rid" : nullptr, rid);
     if (sequential) {
         std::atomic<std::int64_t> incumbent{heuristic.has_value() ? heuristic->makespan
                                                                   : INT64_MAX};

@@ -35,6 +35,10 @@ bool starts_with(std::string_view s, std::string_view prefix) {
     return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
 long long parse_int(std::string_view s) {
     s = trim(s);
     long long value = 0;
@@ -81,6 +85,31 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
         }
     }
     return row[b.size()];
+}
+
+bool glob_match(std::string_view pattern, std::string_view s) {
+    // Iterative matcher with single-star backtracking: on mismatch, retry
+    // from the most recent '*' consuming one more character.
+    std::size_t p = 0;
+    std::size_t i = 0;
+    std::size_t star = std::string_view::npos;  // position after the last '*'
+    std::size_t mark = 0;                       // s position the star resumed at
+    while (i < s.size()) {
+        if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == s[i])) {
+            ++p;
+            ++i;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = ++p;
+            mark = i;
+        } else if (star != std::string_view::npos) {
+            p = star;
+            i = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*') ++p;
+    return p == pattern.size();
 }
 
 }  // namespace revec

@@ -17,6 +17,9 @@ std::string_view trim(std::string_view s);
 /// True if `s` starts with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
 /// Parse a decimal integer; throws revec::Error on malformed input.
 long long parse_int(std::string_view s);
 
@@ -29,5 +32,10 @@ std::string format_fixed(double v, int prec);
 /// Levenshtein edit distance (insertions, deletions, substitutions). Used
 /// for "did you mean" suggestions on mistyped command-line flags.
 std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// Shell-style glob match: '*' matches any run of characters (including
+/// empty), '?' matches exactly one; everything else is literal. Used for
+/// metric-name patterns in revec-stats diff tolerance rules.
+bool glob_match(std::string_view pattern, std::string_view s);
 
 }  // namespace revec

@@ -149,6 +149,10 @@ Request parse_request(const std::string& line) {
 
     req.id = get_int(doc, "id", 0);
     req.deadline_ms = get_int(doc, "deadline_ms", -1);
+    if (const Value* rid = doc.find("rid"); rid != nullptr) {
+        if (!rid->is(Value::Type::String)) throw Error("request 'rid' must be a string");
+        req.rid = hash_from_hex(rid->str);
+    }
 
     if (const Value* options = doc.find("options"); options != nullptr) {
         if (!options->is(Value::Type::Object)) throw Error("'options' must be an object");
@@ -194,6 +198,7 @@ std::string serialize_request(const Request& request) {
     std::ostringstream os;
     os << "{\"kind\":\"" << kind_name(request.kind) << "\",\"id\":" << request.id
        << ",\"deadline_ms\":" << request.deadline_ms;
+    if (request.rid != 0) os << ",\"rid\":\"" << hash_hex(request.rid) << "\"";
     os << ",\"options\":{\"threads\":" << request.params.threads
        << ",\"lns_workers\":" << request.params.lns_workers
        << ",\"lns_relax_pct\":" << request.params.lns_relax_pct
@@ -212,7 +217,9 @@ std::string serialize_request(const Request& request) {
 
 std::string serialize_response(const Response& response) {
     std::ostringstream os;
-    os << "{\"id\":" << response.id << ",\"ok\":" << (response.ok ? "true" : "false");
+    os << "{\"id\":" << response.id;
+    if (response.rid != 0) os << ",\"rid\":\"" << hash_hex(response.rid) << "\"";
+    os << ",\"ok\":" << (response.ok ? "true" : "false");
     if (!response.ok) {
         os << ",\"error\":";
         json::append_escaped(os, response.error);
@@ -242,7 +249,12 @@ std::string serialize_response(const Response& response) {
        << (response.cache_hit ? "hit" : (response.near_hit ? "near" : "miss")) << "\""
        << ",\"shed\":" << (response.shed ? "true" : "false") << ",\"solve_ms\":"
        << static_cast<std::int64_t>(response.solve_ms) << ",\"hash\":\""
-       << hash_hex(response.model_hash) << "\"}";
+       << hash_hex(response.model_hash) << "\"";
+    if (!response.flight.empty()) {
+        os << ",\"flight\":";
+        json::append_escaped(os, response.flight);
+    }
+    os << "}";
     return os.str();
 }
 
@@ -251,6 +263,10 @@ Response parse_response(const std::string& line) {
     if (!doc.is(Value::Type::Object)) throw Error("response must be a JSON object");
     Response r;
     r.id = get_int(doc, "id", 0);
+    if (const Value* rid = doc.find("rid");
+        rid != nullptr && rid->is(Value::Type::String)) {
+        r.rid = hash_from_hex(rid->str);
+    }
     const Value* ok = doc.find("ok");
     if (ok == nullptr || !ok->is(Value::Type::Bool)) {
         throw Error("response needs a boolean 'ok'");
@@ -291,6 +307,10 @@ Response parse_response(const std::string& line) {
     if (const Value* hash = doc.find("hash");
         hash != nullptr && hash->is(Value::Type::String)) {
         r.model_hash = hash_from_hex(hash->str);
+    }
+    if (const Value* flight = doc.find("flight");
+        flight != nullptr && flight->is(Value::Type::String)) {
+        r.flight = flight->str;
     }
     return r;
 }

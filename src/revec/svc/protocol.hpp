@@ -51,6 +51,13 @@ struct Request {
     RequestKind kind = RequestKind::Ping;
     std::int64_t id = 0;
 
+    /// Request id for telemetry correlation (DESIGN §5l): chosen by the
+    /// client, carried as 16 hex digits on the wire, stamped into every
+    /// span/instant emitted on the request's behalf (session track, pool
+    /// worker, LNS rounds, flight recorder) and echoed in the response.
+    /// 0 = unset; the service assigns one so every request is correlated.
+    std::uint64_t rid = 0;
+
     /// Wall-clock budget for this request in milliseconds; -1 = none.
     /// Admission control guarantees an anytime answer at every value,
     /// including 0 (verified heuristic schedule).
@@ -62,6 +69,7 @@ struct Request {
 
 struct Response {
     std::int64_t id = 0;
+    std::uint64_t rid = 0;  ///< echo of the request's (possibly assigned) rid
     bool ok = false;
     std::string error;  ///< set when !ok
     bool ack = false;   ///< bare acknowledgement (ping, shutdown)
@@ -77,6 +85,7 @@ struct Response {
     bool shed = false;       ///< admission shed: inline heuristic-only answer
     double solve_ms = 0.0;   ///< service-side wall clock for this request
     std::uint64_t model_hash = 0;  ///< canonical_hash of the solved model
+    std::string flight;  ///< flight-recorder dump path, when the request dumped
 
     // Stats results: the MetricsRegistry JSON document, verbatim.
     std::string metrics_json;

@@ -16,7 +16,8 @@ namespace revec::svc {
 Service::Service(const Config& config)
     : config_(config),
       cache_(config.cache_capacity, config.cache_near_capacity),
-      pool_(SolverPool::Config{config.pool_workers, config.max_queue, config.trace}) {}
+      pool_(SolverPool::Config{config.pool_workers, config.max_queue, config.trace}),
+      flight_(config.flight) {}
 
 std::string Service::handle_line(const std::string& line,
                                  obs::TraceBuffer* session_track) {
@@ -41,6 +42,7 @@ Response Service::handle(const Request& request, obs::TraceBuffer* session_track
         case RequestKind::Ping: {
             Response r;
             r.id = request.id;
+            r.rid = request.rid;
             r.ok = true;
             r.ack = true;
             return r;
@@ -50,6 +52,7 @@ Response Service::handle(const Request& request, obs::TraceBuffer* session_track
             obs::instant(session_track, obs::TraceLevel::Phase, "svc.shutdown");
             Response r;
             r.id = request.id;
+            r.rid = request.rid;
             r.ok = true;
             r.ack = true;
             return r;
@@ -57,6 +60,7 @@ Response Service::handle(const Request& request, obs::TraceBuffer* session_track
         case RequestKind::Stats: {
             Response r;
             r.id = request.id;
+            r.rid = request.rid;
             r.ok = true;
             r.metrics_json = metrics_json();
             return r;
@@ -69,6 +73,12 @@ Response Service::handle(const Request& request, obs::TraceBuffer* session_track
 
 Response Service::handle_solve(const Request& request, obs::TraceBuffer* session_track) {
     const Stopwatch sw;
+    // Correlation id (DESIGN §5l): client-chosen when present, assigned
+    // here otherwise, stamped on every span emitted for this request.
+    const std::uint64_t rid = request.rid != 0
+                                  ? request.rid
+                                  : next_rid_.fetch_add(1, std::memory_order_relaxed);
+    const auto rid_i = static_cast<std::int64_t>(rid);
     const model::KernelModel& km = *request.model;
     const std::string canonical = model::to_json(km);
     const std::uint64_t hash = model::canonical_hash(km);
@@ -77,7 +87,37 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
     const bool reuse_near = request.params.reuse == ReuseMode::Near;
 
     obs::SpanScope span(session_track, obs::TraceLevel::Phase, "svc.request", "id",
-                        request.id);
+                        request.id, "rid", rid_i);
+
+    // Flight recorder: the always-on per-request ring, independent of the
+    // daemon's --trace-level. The ring is single-writer at any moment —
+    // session thread before submit and after the future resolves, pool
+    // worker in between, ordered by the promise/future hand-off.
+    std::unique_ptr<obs::FlightRecording> rec = flight_.begin(rid);
+    obs::FlightRecording* const fl = rec.get();
+    obs::TraceBuffer* const fr = fl != nullptr ? fl->track() : nullptr;
+    obs::span_begin(fr, obs::TraceLevel::Phase, "svc.request", "id", request.id, "rid",
+                    rid_i);
+
+    // Close out the recording: end the request span, tail-sample (dump or
+    // drop), and account for it. Called exactly once on every return path.
+    const auto close_flight = [&](Response& r) {
+        if (fl == nullptr) return;
+        obs::span_end(fr, obs::TraceLevel::Phase, "svc.request", "shed",
+                      r.shed ? 1 : 0, "ok", r.ok ? 1 : 0);
+        const obs::FlightOutcome fo = flight_.finish(std::move(rec), r.solve_ms);
+        if (fo.dumped) r.flight = fo.path;
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.add("svc.flight.recorded");
+        if (fo.dumped) {
+            metrics_.add("svc.flight.dump");
+            metrics_.add(std::string("svc.flight.reason.") +
+                         obs::flight_reason_name(fo.reason));
+            if (fo.pruned > 0) metrics_.add("svc.flight.prune", fo.pruned);
+        } else {
+            metrics_.add("svc.flight.drop");
+        }
+    };
 
     bool verify_failed = false;
     if (auto cached = reuse_exact ? cache_.lookup(hash, canonical)
@@ -90,6 +130,7 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
                 .empty()) {
             Response r;
             r.id = request.id;
+            r.rid = rid;
             r.ok = true;
             r.status = cp::SolveStatus::Optimal;
             r.makespan = cached->makespan;
@@ -100,13 +141,17 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
             r.model_hash = hash;
             r.solve_ms = sw.elapsed_ms();
             span.result("hit", 1);
+            obs::instant(fr, obs::TraceLevel::Phase, "svc.cache_hit", "makespan",
+                         r.makespan);
             {
                 std::lock_guard<std::mutex> lock(metrics_mu_);
                 metrics_.add("svc.cache.hit");
                 metrics_.add("svc.req.count");
                 metrics_.add("svc.req.status.optimal");
                 metrics_.observe("svc.req.latency_ms", r.solve_ms);
+                metrics_.observe("svc.phase.lookup_ms", sw.elapsed_ms());
             }
+            close_flight(r);
             return r;
         }
         verify_failed = true;
@@ -117,6 +162,13 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
     {
         std::lock_guard<std::mutex> lock(metrics_mu_);
         metrics_.add(verify_failed ? "svc.cache.verify_fail" : "svc.cache.miss");
+        metrics_.observe("svc.phase.lookup_ms", sw.elapsed_ms());
+    }
+    if (verify_failed) {
+        if (fl != nullptr) fl->note(obs::FlightReason::VerifyFail);
+        obs::instant(fr, obs::TraceLevel::Phase, "svc.cache_verify_fail");
+    } else {
+        obs::instant(fr, obs::TraceLevel::Phase, "svc.cache_miss");
     }
 
     // Tier 2: adapt the nearest structurally similar donor into a warm
@@ -125,31 +177,48 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
     // requests skip it — their answer may never come from a donor.
     std::optional<sched::IncumbentSeed> seed;
     if (reuse_near && !request.params.heuristic_only) {
-        seed = near_seed(km, fingerprint, session_track);
+        const Stopwatch adapt_sw;
+        seed = near_seed(km, fingerprint, session_track, fl);
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.observe("svc.phase.adapt_ms", adapt_sw.elapsed_ms());
     }
 
     Response r;
     if (request.deadline_ms == 0) {
         // A zero deadline can never fit a queue wait plus an exact solve:
         // shed immediately with the verified heuristic answer.
-        r = solve_and_finish(request, canonical, hash, fingerprint, seed,
-                             /*shed=*/true, 0, session_track, sw);
+        if (fl != nullptr) fl->note(obs::FlightReason::Shed);
+        obs::instant(fr, obs::TraceLevel::Phase, "svc.shed", "deadline_ms", 0);
+        r = solve_and_finish(request, rid, canonical, hash, fingerprint, seed,
+                             /*shed=*/true, 0, session_track, fl, sw);
     } else {
         std::promise<Response> done;
         std::future<Response> fut = done.get_future();
         // The session thread blocks on the future, so capturing the
-        // request, seed, and stopwatch by reference is safe.
+        // request, seed, and stopwatch by reference is safe. The flight
+        // ring hands over with the job: between a successful try_submit and
+        // fut.get() only the pool worker may write it (the promise/future
+        // pair is the ordering edge), so the session thread must not touch
+        // fr inside this window.
+        const Stopwatch queue_sw;
         const bool admitted =
-            pool_.try_submit([this, &request, &canonical, hash, fingerprint, &seed,
-                              &done, &sw](obs::TraceBuffer* track) {
+            pool_.try_submit([this, &request, rid, &canonical, hash, fingerprint, &seed,
+                              &done, fl, fr, &queue_sw, &sw](obs::TraceBuffer* track) {
+                const double waited_ms = queue_sw.elapsed_ms();
+                obs::instant(fr, obs::TraceLevel::Phase, "svc.pool_pickup", "wait_ms",
+                             static_cast<std::int64_t>(waited_ms));
+                {
+                    std::lock_guard<std::mutex> lock(metrics_mu_);
+                    metrics_.observe("svc.phase.queue_wait_ms", waited_ms);
+                }
                 std::int64_t remaining = request.deadline_ms;
                 if (remaining > 0) {
                     const auto waited = static_cast<std::int64_t>(sw.elapsed_ms());
                     remaining = std::max<std::int64_t>(0, remaining - waited);
                 }
-                done.set_value(solve_and_finish(request, canonical, hash, fingerprint,
-                                                seed, /*shed=*/false, remaining, track,
-                                                sw));
+                done.set_value(solve_and_finish(request, rid, canonical, hash,
+                                                fingerprint, seed, /*shed=*/false,
+                                                remaining, track, fl, sw));
             });
         if (admitted) {
             {
@@ -160,27 +229,34 @@ Response Service::handle_solve(const Request& request, obs::TraceBuffer* session
             }
             r = fut.get();
         } else {
-            r = solve_and_finish(request, canonical, hash, fingerprint, seed,
-                                 /*shed=*/true, 0, session_track, sw);
+            if (fl != nullptr) fl->note(obs::FlightReason::Shed);
+            obs::instant(fr, obs::TraceLevel::Phase, "svc.shed", "queue_full", 1);
+            r = solve_and_finish(request, rid, canonical, hash, fingerprint, seed,
+                                 /*shed=*/true, 0, session_track, fl, sw);
         }
     }
 
     span.result("hit", 0, "shed", r.shed ? 1 : 0);
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    if (r.shed) metrics_.add("svc.queue.shed");
-    metrics_.add("svc.req.count");
-    metrics_.observe("svc.req.latency_ms", r.solve_ms);
-    if (r.ok) {
-        metrics_.add(std::string("svc.req.status.") + status_name(r.status));
-    } else {
-        metrics_.add("svc.req.errors");
+    {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        if (r.shed) metrics_.add("svc.queue.shed");
+        metrics_.add("svc.req.count");
+        metrics_.observe("svc.req.latency_ms", r.solve_ms);
+        if (r.ok) {
+            metrics_.add(std::string("svc.req.status.") + status_name(r.status));
+        } else {
+            metrics_.add("svc.req.errors");
+        }
     }
+    close_flight(r);
     return r;
 }
 
 std::optional<sched::IncumbentSeed> Service::near_seed(const model::KernelModel& km,
                                                        std::uint64_t fingerprint,
-                                                       obs::TraceBuffer* session_track) {
+                                                       obs::TraceBuffer* session_track,
+                                                       obs::FlightRecording* flight) {
+    obs::TraceBuffer* const fr = flight != nullptr ? flight->track() : nullptr;
     const std::vector<std::shared_ptr<const NearEntry>> candidates =
         cache_.lookup_near(fingerprint);
     if (candidates.empty()) return std::nullopt;
@@ -203,6 +279,8 @@ std::optional<sched::IncumbentSeed> Service::near_seed(const model::KernelModel&
     }
     if (best == nullptr) {
         span.result("ok", 0);
+        obs::instant(fr, obs::TraceLevel::Phase, "svc.no_donor", "candidates",
+                     static_cast<std::int64_t>(candidates.size()));
         std::lock_guard<std::mutex> lock(metrics_mu_);
         metrics_.add("svc.reuse.no_donor");
         return std::nullopt;
@@ -218,9 +296,17 @@ std::optional<sched::IncumbentSeed> Service::near_seed(const model::KernelModel&
     span.result("ok", adapted.ok ? 1 : 0, "distance", best_delta.distance());
     std::lock_guard<std::mutex> lock(metrics_mu_);
     if (!adapted.ok) {
+        // A near hit that the repair pass could not make feasible is a
+        // tail-sampling trigger: the cache was close but the adaptation
+        // machinery lost the win.
+        if (flight != nullptr) flight->note(obs::FlightReason::AdaptRejected);
+        obs::instant(fr, obs::TraceLevel::Phase, "svc.adapt_rejected", "distance",
+                     best_delta.distance());
         metrics_.add("svc.reuse.adapt_rejected");
         return std::nullopt;
     }
+    obs::instant(fr, obs::TraceLevel::Phase, "svc.adapted", "distance",
+                 best_delta.distance(), "makespan", adapted.makespan);
     metrics_.add("svc.reuse.adapted");
     sched::IncumbentSeed seed;
     seed.start = adapted.start;
@@ -230,12 +316,19 @@ std::optional<sched::IncumbentSeed> Service::near_seed(const model::KernelModel&
     return seed;
 }
 
-Response Service::solve_and_finish(const Request& request, const std::string& canonical,
-                                   std::uint64_t hash, std::uint64_t fingerprint,
+Response Service::solve_and_finish(const Request& request, std::uint64_t rid,
+                                   const std::string& canonical, std::uint64_t hash,
+                                   std::uint64_t fingerprint,
                                    const std::optional<sched::IncumbentSeed>& seed,
                                    bool shed, std::int64_t timeout_ms,
-                                   obs::TraceBuffer* solve_track, const Stopwatch& sw) {
+                                   obs::TraceBuffer* solve_track,
+                                   obs::FlightRecording* flight, const Stopwatch& sw) {
     const model::KernelModel& km = *request.model;
+    const auto rid_i = static_cast<std::int64_t>(rid);
+    obs::TraceBuffer* const fr = flight != nullptr ? flight->track() : nullptr;
+    obs::SpanScope fspan(fr, obs::TraceLevel::Phase, "svc.solve", "rid", rid_i, "shed",
+                         shed ? 1 : 0);
+    const Stopwatch solve_sw;
 
     sched::ModelSolveOptions mo;
     // Shed requests take the fast anytime path: the verified heuristic
@@ -252,6 +345,7 @@ Response Service::solve_and_finish(const Request& request, const std::string& ca
     mo.solver.lns_workers = request.params.lns_workers;
     mo.lns.relax_pct = static_cast<double>(request.params.lns_relax_pct) / 100.0;
     mo.trace = solve_track;
+    mo.solver.trace_rid = rid_i;
     // The adapted donor seed rides the warm-start plumbing; shed requests
     // answer heuristic-only, where a donor-derived schedule must never
     // stand in for the heuristic answer.
@@ -260,6 +354,7 @@ Response Service::solve_and_finish(const Request& request, const std::string& ca
 
     Response r;
     r.id = request.id;
+    r.rid = rid;
     r.model_hash = hash;
     r.near_hit = seeded;
     r.shed = shed;
@@ -273,8 +368,12 @@ Response Service::solve_and_finish(const Request& request, const std::string& ca
                 r.ok = false;
                 r.error = "schedule failed verification: " + violations.front();
                 r.solve_ms = sw.elapsed_ms();
+                if (flight != nullptr) flight->note(obs::FlightReason::VerifyFail);
+                obs::instant(fr, obs::TraceLevel::Phase, "svc.verify_fail");
+                fspan.result("ok", 0);
                 std::lock_guard<std::mutex> lock(metrics_mu_);
                 metrics_.add("svc.req.verify_fail");
+                metrics_.observe("svc.phase.solve_ms", solve_sw.elapsed_ms());
                 return r;
             }
             r.makespan = s.makespan;
@@ -303,8 +402,15 @@ Response Service::solve_and_finish(const Request& request, const std::string& ca
     } catch (const Error& e) {
         r.ok = false;
         r.error = e.what();
+        if (flight != nullptr) flight->note(obs::FlightReason::Error);
+        obs::instant(fr, obs::TraceLevel::Phase, "svc.error");
     }
     r.solve_ms = sw.elapsed_ms();
+    fspan.result("ok", r.ok ? 1 : 0, "makespan", r.makespan);
+    {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        metrics_.observe("svc.phase.solve_ms", solve_sw.elapsed_ms());
+    }
     return r;
 }
 

@@ -22,10 +22,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
 
+#include "revec/obs/flight.hpp"
 #include "revec/obs/metrics.hpp"
 #include "revec/obs/trace.hpp"
 #include "revec/sched/model.hpp"
@@ -44,6 +46,11 @@ public:
         std::size_t cache_capacity = 128;  ///< tier-1 exact entries; 0 = off
         std::size_t cache_near_capacity = 128;  ///< tier-2 donor entries; 0 = off
         obs::TraceSink* trace = nullptr;   ///< worker tracks registered here
+
+        /// Flight recorder (DESIGN §5l): per-request rings recorded even
+        /// when trace is null, dumped on interesting completions. An empty
+        /// flight.dir disables it.
+        obs::FlightConfig flight;
     };
 
     explicit Service(const Config& config);
@@ -66,25 +73,31 @@ public:
 
 private:
     Response handle_solve(const Request& request, obs::TraceBuffer* session_track);
-    Response solve_and_finish(const Request& request, const std::string& canonical,
-                              std::uint64_t hash, std::uint64_t fingerprint,
+    Response solve_and_finish(const Request& request, std::uint64_t rid,
+                              const std::string& canonical, std::uint64_t hash,
+                              std::uint64_t fingerprint,
                               const std::optional<sched::IncumbentSeed>& seed, bool shed,
                               std::int64_t timeout_ms, obs::TraceBuffer* solve_track,
-                              const Stopwatch& sw);
+                              obs::FlightRecording* flight, const Stopwatch& sw);
 
     /// Tier-2 pipeline on an exact miss: fetch fingerprint candidates,
     /// diff, adapt the nearest compatible donor, return the verified warm
     /// seed (nullopt when no donor survives). Updates the reuse metrics.
     std::optional<sched::IncumbentSeed> near_seed(const model::KernelModel& km,
                                                   std::uint64_t fingerprint,
-                                                  obs::TraceBuffer* session_track);
+                                                  obs::TraceBuffer* session_track,
+                                                  obs::FlightRecording* flight);
 
     Config config_;
     ScheduleCache cache_;
     SolverPool pool_;
+    obs::FlightRecorder flight_;
     mutable std::mutex metrics_mu_;
     mutable obs::MetricsRegistry metrics_;  ///< guarded by metrics_mu_
     std::atomic<bool> shutdown_{false};
+    /// Fallback rid source for requests that arrive without one, so every
+    /// request is correlatable. Daemon-unique, not globally unique.
+    std::atomic<std::uint64_t> next_rid_{1};
 };
 
 }  // namespace revec::svc

@@ -1,0 +1,172 @@
+// Flight recorder (DESIGN §5l): tail sampling keeps only interesting
+// request rings (explicit note or over-SLO latency), dumps are valid
+// JSONL traces carrying the rid, retention prunes oldest-first, and a
+// restarted recorder resumes its dump sequence without colliding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "revec/obs/flight.hpp"
+#include "revec/obs/trace.hpp"
+#include "revec/obs/trace_read.hpp"
+
+namespace revec::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FlightTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("revec_flight_" +
+                std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    FlightConfig config(int keep = 32, std::int64_t slo_ms = -1) {
+        FlightConfig c;
+        c.dir = dir_.string();
+        c.keep = keep;
+        c.slo_ms = slo_ms;
+        return c;
+    }
+
+    std::vector<std::string> dump_files() const {
+        std::vector<std::string> names;
+        if (!fs::exists(dir_)) return names;
+        for (const auto& entry : fs::directory_iterator(dir_)) {
+            names.push_back(entry.path().filename().string());
+        }
+        std::sort(names.begin(), names.end());
+        return names;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(FlightTest, DisabledRecorderReturnsNullAndNoopOutcome) {
+    FlightRecorder recorder(FlightConfig{});  // empty dir = disabled
+    EXPECT_FALSE(recorder.enabled());
+    EXPECT_EQ(recorder.begin(1), nullptr);
+    const FlightOutcome outcome = recorder.finish(nullptr, 1000.0);
+    EXPECT_FALSE(outcome.dumped);
+    EXPECT_EQ(outcome.reason, FlightReason::None);
+}
+
+TEST_F(FlightTest, UninterestingRequestIsDropped) {
+    FlightRecorder recorder(config());
+    auto rec = recorder.begin(42);
+    ASSERT_NE(rec, nullptr);
+    instant(rec->track(), TraceLevel::Phase, "svc.cache_hit");
+    const FlightOutcome outcome = recorder.finish(std::move(rec), 1.0);
+    EXPECT_FALSE(outcome.dumped);
+    EXPECT_TRUE(dump_files().empty());
+}
+
+TEST_F(FlightTest, NotedRequestDumpsAValidTraceCarryingTheRid) {
+    FlightRecorder recorder(config());
+    const std::uint64_t rid = 0x1234abcdu;
+    auto rec = recorder.begin(rid);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->rid(), rid);
+    span_begin(rec->track(), TraceLevel::Phase, "svc.request", "rid",
+               static_cast<std::int64_t>(rid));
+    rec->note(FlightReason::Shed);
+    instant(rec->track(), TraceLevel::Phase, "svc.shed");
+    span_end(rec->track(), TraceLevel::Phase, "svc.request");
+    const FlightOutcome outcome = recorder.finish(std::move(rec), 3.0);
+
+    ASSERT_TRUE(outcome.dumped);
+    EXPECT_EQ(outcome.reason, FlightReason::Shed);
+    ASSERT_TRUE(fs::exists(outcome.path));
+    // File name carries the zero-padded sequence and the 16-hex rid.
+    EXPECT_NE(outcome.path.find("00000000-000000001234abcd.jsonl"),
+              std::string::npos);
+
+    const ParsedTrace trace = load_trace(outcome.path);
+    EXPECT_TRUE(validate_trace(trace).empty());
+    ASSERT_EQ(trace.tracks.size(), 1u);
+    EXPECT_EQ(trace.tracks[0].name, "flight");
+    // flight_begin stamps the rid, the shed instant and the dump marker
+    // with its reason index are all present.
+    bool saw_rid = false;
+    bool saw_dump = false;
+    for (const ParsedEvent& e : trace.tracks[0].events) {
+        if (e.name == "flight_begin") {
+            const auto it = e.args.find("rid");
+            saw_rid = it != e.args.end() &&
+                      it->second == static_cast<std::int64_t>(rid);
+        }
+        if (e.name == "flight_dump") saw_dump = true;
+    }
+    EXPECT_TRUE(saw_rid);
+    EXPECT_TRUE(saw_dump);
+}
+
+TEST_F(FlightTest, FirstNoteWinsAndSloOnlyAppliesWhenNothingNoted) {
+    FlightRecorder recorder(config(/*keep=*/32, /*slo_ms=*/0));
+
+    auto noted = recorder.begin(1);
+    noted->note(FlightReason::VerifyFail);
+    noted->note(FlightReason::Error);  // must not overwrite the root cause
+    const FlightOutcome first = recorder.finish(std::move(noted), 100.0);
+    ASSERT_TRUE(first.dumped);
+    EXPECT_EQ(first.reason, FlightReason::VerifyFail);
+
+    // Nothing noted: latency over the SLO (0 ms) dumps with reason Slo.
+    auto slow = recorder.begin(2);
+    const FlightOutcome second = recorder.finish(std::move(slow), 5.0);
+    ASSERT_TRUE(second.dumped);
+    EXPECT_EQ(second.reason, FlightReason::Slo);
+}
+
+TEST_F(FlightTest, NegativeSloNeverDumpsOnLatencyAlone) {
+    FlightRecorder recorder(config(/*keep=*/32, /*slo_ms=*/-1));
+    auto rec = recorder.begin(3);
+    const FlightOutcome outcome = recorder.finish(std::move(rec), 1e9);
+    EXPECT_FALSE(outcome.dumped);
+}
+
+TEST_F(FlightTest, RetentionPrunesOldestFirst) {
+    FlightRecorder recorder(config(/*keep=*/2, /*slo_ms=*/0));
+    for (std::uint64_t rid = 1; rid <= 4; ++rid) {
+        auto rec = recorder.begin(rid);
+        const FlightOutcome outcome = recorder.finish(std::move(rec), 10.0);
+        ASSERT_TRUE(outcome.dumped);
+    }
+    const std::vector<std::string> files = dump_files();
+    ASSERT_EQ(files.size(), 2u);
+    // Sequences 0 and 1 were pruned; 2 and 3 survive.
+    EXPECT_EQ(files[0], "flight-00000002-0000000000000003.jsonl");
+    EXPECT_EQ(files[1], "flight-00000003-0000000000000004.jsonl");
+}
+
+TEST_F(FlightTest, RestartResumesSequenceAndRetention) {
+    {
+        FlightRecorder recorder(config(/*keep=*/4, /*slo_ms=*/0));
+        for (std::uint64_t rid = 1; rid <= 2; ++rid) {
+            auto rec = recorder.begin(rid);
+            ASSERT_TRUE(recorder.finish(std::move(rec), 10.0).dumped);
+        }
+    }
+    // A fresh recorder over the same directory must not overwrite the
+    // existing dumps: the sequence continues past the scanned maximum.
+    FlightRecorder recorder(config(/*keep=*/4, /*slo_ms=*/0));
+    auto rec = recorder.begin(9);
+    const FlightOutcome outcome = recorder.finish(std::move(rec), 10.0);
+    ASSERT_TRUE(outcome.dumped);
+    EXPECT_NE(outcome.path.find("flight-00000002-"), std::string::npos);
+    EXPECT_EQ(dump_files().size(), 3u);
+}
+
+}  // namespace
+}  // namespace revec::obs

@@ -101,5 +101,40 @@ TEST(Metrics, SaveJsonWritesTheDocument) {
     EXPECT_NE(content.str().find("\"solve.nodes\": 99"), std::string::npos);
 }
 
+TEST(Metrics, HistogramQuantiles) {
+    Histogram h;
+    EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+    // 100 samples of exactly 10 ms: every quantile is clamped into the
+    // observed [min, max] even though the bucket spans [8, 16).
+    for (int i = 0; i < 100; ++i) h.observe(10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Metrics, HistogramQuantileOrdering) {
+    Histogram h;
+    for (int i = 0; i < 90; ++i) h.observe(2.0);    // bucket [2,4)
+    for (int i = 0; i < 10; ++i) h.observe(100.0);  // bucket [64,128)
+    const double p50 = h.quantile(0.50);
+    const double p95 = h.quantile(0.95);
+    const double p99 = h.quantile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LT(p50, 4.0);    // median stays in the low bucket
+    EXPECT_GE(p95, 64.0);   // the tail reaches the high bucket
+    EXPECT_LE(p99, 100.0);  // clamped to the observed max
+}
+
+TEST(Metrics, FreeHistogramQuantileMatchesMemberOnBuckets) {
+    Histogram h;
+    for (int i = 1; i <= 64; ++i) h.observe(static_cast<double>(i));
+    const std::vector<std::int64_t> buckets(h.buckets.begin(), h.buckets.end());
+    // The free function has no min/max to clamp against, but interior
+    // quantiles agree with the member version.
+    EXPECT_DOUBLE_EQ(histogram_quantile(buckets, 0.5), h.quantile(0.5));
+    EXPECT_EQ(histogram_quantile(std::vector<std::int64_t>{}, 0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace revec::obs

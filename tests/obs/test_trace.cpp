@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "revec/obs/trace_read.hpp"
+#include "revec/support/assert.hpp"
 
 namespace revec::obs {
 namespace {
@@ -34,8 +36,8 @@ TEST(Trace, LevelFiltersAtThePushSite) {
     instant(buf, TraceLevel::Phase, "solution", "obj", 11);
     instant(buf, TraceLevel::Node, "node", "depth", 3);  // dropped: sink is Phase
     EXPECT_EQ(buf->size(), 1u);
-    EXPECT_STREQ(buf->events()[0].name, "solution");
-    EXPECT_EQ(buf->events()[0].a, 11);
+    EXPECT_STREQ(buf->snapshot()[0].name, "solution");
+    EXPECT_EQ(buf->snapshot()[0].a, 11);
 }
 
 TEST(Trace, SpanScopeAttachesResultToTheEndEvent) {
@@ -44,7 +46,7 @@ TEST(Trace, SpanScopeAttachesResultToTheEndEvent) {
         SpanScope scope(sink.main(), TraceLevel::Phase, "search", "threads", 4);
         scope.result("nodes", 260, "makespan", 11);
     }
-    const auto& events = sink.main()->events();
+    const std::vector<TraceEvent> events = sink.main()->snapshot();
     ASSERT_EQ(events.size(), 2u);
     EXPECT_EQ(events[0].kind, EventKind::SpanBegin);
     EXPECT_EQ(events[0].a, 4);
@@ -62,7 +64,7 @@ TEST(Trace, RingDropsNewEventsWhenFull) {
     EXPECT_EQ(buf->dropped(), 12u);
     EXPECT_EQ(sink.total_dropped(), 12u);
     // Drop-newest: the retained prefix is the first 8 events.
-    EXPECT_EQ(buf->events().back().a, 7);
+    EXPECT_EQ(buf->snapshot().back().a, 7);
 
     // Both serializations surface the drop, and the reader still validates
     // (the dropped tail exempts the track from the open-span check).
@@ -187,6 +189,79 @@ TEST(Trace, ConcurrentWritersOneTrackEach) {
         ASSERT_NE(track, nullptr);
         EXPECT_EQ(track->events.size(), static_cast<std::size_t>(kEvents + 2));
     }
+}
+
+TEST(Trace, SerializeWhileWriterStillPushing) {
+    // A live daemon dumps its trace mid-solve: serialization runs against
+    // a track whose writer thread is still appending. Every snapshot must
+    // parse and validate, and the observed event count must be monotone.
+    TraceSink sink(TraceLevel::Node);
+    TraceBuffer* worker = sink.new_track("worker-live");
+    std::atomic<bool> stop{false};
+    std::thread writer([worker, &stop] {
+        SpanScope span(worker, TraceLevel::Phase, "worker");
+        // Capped so snapshot cost stays bounded: each serialize+parse round
+        // below walks the whole buffer, and an unthrottled writer makes
+        // that quadratic in wall time.
+        for (std::int64_t i = 0; i < 50000; ++i) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            instant(worker, TraceLevel::Node, "node", "depth", i);
+        }
+    });
+    std::size_t last_events = 0;
+    for (int i = 0; i < 12; ++i) {
+        std::ostringstream os;
+        sink.write_jsonl(os);
+        const ParsedTrace parsed = parse_trace(os.str());
+        const ParsedTrack* track = parsed.track("worker-live");
+        if (track != nullptr) {
+            EXPECT_GE(track->events.size(), last_events);
+            last_events = track->events.size();
+        }
+        // The open "worker" span is legitimate mid-run; nesting and
+        // timestamp order must still hold for everything snapshotted.
+        for (const std::string& problem : validate_trace(parsed)) {
+            EXPECT_NE(problem.find("never closed"), std::string::npos) << problem;
+        }
+    }
+    stop.store(true);
+    writer.join();
+}
+
+TEST(TraceRead, TornFinalJsonlLineIsAWarningNotAnError) {
+    const std::string torn =
+        "{\"track\": \"main\", \"seq\": 0, \"kind\": \"I\", \"name\": \"a\", "
+        "\"ts_us\": 1, \"args\": {}}\n"
+        "{\"track\": \"main\", \"seq\": 1, \"kind\": \"I\", \"name\": \"b\", "
+        "\"ts_us\": 2, \"args\": {}}\n"
+        "{\"track\": \"main\", \"seq\": 2, \"kind\": \"I\", \"na";
+    const ParsedTrace parsed = parse_trace(torn);
+    ASSERT_EQ(parsed.tracks.size(), 1u);
+    EXPECT_EQ(parsed.tracks[0].events.size(), 2u);
+    ASSERT_EQ(parsed.warnings.size(), 1u);
+    EXPECT_NE(parsed.warnings[0].find("truncated final line"), std::string::npos);
+    EXPECT_TRUE(validate_trace(parsed).empty());
+}
+
+TEST(TraceRead, TornLineNamingANewTrackLeavesNoEmptyTrack) {
+    // The torn tail names a track nothing else mentions: tolerating it
+    // must not register a spurious empty track.
+    const std::string torn =
+        "{\"track\": \"main\", \"seq\": 0, \"kind\": \"I\", \"name\": \"a\", "
+        "\"ts_us\": 1, \"args\": {}}\n"
+        "{\"track\": \"other\", \"seq\": 0, \"kind\": \"I\", \"name\"";
+    const ParsedTrace parsed = parse_trace(torn);
+    ASSERT_EQ(parsed.tracks.size(), 1u);
+    EXPECT_EQ(parsed.tracks[0].name, "main");
+    EXPECT_EQ(parsed.warnings.size(), 1u);
+}
+
+TEST(TraceRead, TornMidFileLineStillThrows) {
+    const std::string torn =
+        "{\"track\": \"main\", \"seq\": 0, \"kind\": \"I\", \"na\n"
+        "{\"track\": \"main\", \"seq\": 1, \"kind\": \"I\", \"name\": \"b\", "
+        "\"ts_us\": 2, \"args\": {}}";
+    EXPECT_THROW(parse_trace(torn), Error);
 }
 
 }  // namespace

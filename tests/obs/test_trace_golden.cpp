@@ -99,7 +99,7 @@ TEST(TraceGolden, NodeLevelCountsMatchSolverStats) {
     std::int64_t nodes = 0;
     std::int64_t fails = 0;
     std::int64_t solutions = 0;
-    for (const TraceEvent& e : sink.main()->events()) {
+    for (const TraceEvent& e : sink.main()->snapshot()) {
         if (e.kind != EventKind::Instant) continue;
         const std::string name = e.name;
         if (name == "node") ++nodes;

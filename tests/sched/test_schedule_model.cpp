@@ -5,6 +5,7 @@
 // from_json -> schedule_model).
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "revec/apps/arf.hpp"
@@ -14,6 +15,8 @@
 #include "revec/ir/passes.hpp"
 #include "revec/model/check.hpp"
 #include "revec/model/json.hpp"
+#include "revec/obs/trace.hpp"
+#include "revec/obs/trace_read.hpp"
 #include "revec/sched/model.hpp"
 #include "revec/support/assert.hpp"
 
@@ -103,6 +106,63 @@ TEST(ScheduleModel, ZeroSlotsWithVectorDataIsUnsat) {
     const model::KernelModel km = lower_for_schedule(kernel_by_name("matmul"), opts);
     const Schedule s = schedule_model(km, ModelSolveOptions{});
     EXPECT_EQ(s.status, cp::SolveStatus::Unsat);
+}
+
+TEST(ScheduleModel, TraceRidReachesPortfolioWorkerSpans) {
+    // A service-correlated solve (solver.trace_rid != 0) must stamp the
+    // rid end to end: the rid instant and the portfolio span payload on
+    // the driver track, and a "rid" arg on every worker span begin.
+    ScheduleOptions opts;
+    opts.timeout_ms = 60000;
+    const model::KernelModel km = lower_for_schedule(kernel_by_name("matmul"), opts);
+
+    obs::TraceSink sink(obs::TraceLevel::Phase);
+    ModelSolveOptions mo = model_solve_options(opts);
+    mo.solver.threads = 2;
+    mo.solver.trace = &sink;
+    mo.solver.trace_rid = 4242;
+    const Schedule s = schedule_model(km, mo);
+    ASSERT_TRUE(s.feasible());
+
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    const obs::ParsedTrace trace = obs::parse_trace(os.str());
+    bool saw_rid_instant = false;
+    std::int64_t worker_spans_with_rid = 0;
+    for (const obs::ParsedTrack& track : trace.tracks) {
+        for (const obs::ParsedEvent& e : track.events) {
+            if (e.kind == 'I' && e.name == "rid" && e.args.count("rid") > 0 &&
+                e.args.at("rid") == 4242) {
+                saw_rid_instant = true;
+            }
+            if (e.kind == 'B' && e.name == "worker" && e.args.count("rid") > 0 &&
+                e.args.at("rid") == 4242) {
+                ++worker_spans_with_rid;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_rid_instant);
+    EXPECT_EQ(worker_spans_with_rid, 2);
+}
+
+TEST(ScheduleModel, NoRidKeepsSpanPayloadsUnchanged) {
+    // trace_rid == 0 (the standalone revecc path) must not leak a "rid"
+    // arg anywhere — the golden-trace tests depend on byte-identical
+    // output, this guards the conditional-payload contract directly.
+    ScheduleOptions opts;
+    opts.timeout_ms = 60000;
+    const model::KernelModel km = lower_for_schedule(kernel_by_name("matmul"), opts);
+
+    obs::TraceSink sink(obs::TraceLevel::Phase);
+    ModelSolveOptions mo = model_solve_options(opts);
+    mo.solver.threads = 2;
+    mo.solver.trace = &sink;
+    const Schedule s = schedule_model(km, mo);
+    ASSERT_TRUE(s.feasible());
+
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    EXPECT_EQ(os.str().find("\"rid\""), std::string::npos);
 }
 
 }  // namespace

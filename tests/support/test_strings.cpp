@@ -84,5 +84,35 @@ TEST(EditDistance, IsSymmetric) {
     EXPECT_EQ(edit_distance("--metrics", "--emit"), edit_distance("--emit", "--metrics"));
 }
 
+TEST(EndsWith, Matches) {
+    EXPECT_TRUE(ends_with("trace.jsonl", ".jsonl"));
+    EXPECT_TRUE(ends_with("x", ""));
+    EXPECT_FALSE(ends_with("trace.json", ".jsonl"));
+    EXPECT_FALSE(ends_with("l", ".jsonl"));
+}
+
+TEST(GlobMatch, LiteralAndWildcards) {
+    EXPECT_TRUE(glob_match("svc.cache.hit", "svc.cache.hit"));
+    EXPECT_FALSE(glob_match("svc.cache.hit", "svc.cache.miss"));
+    EXPECT_TRUE(glob_match("svc.*", "svc.cache.hit"));
+    EXPECT_TRUE(glob_match("*.hit", "svc.cache.hit"));
+    EXPECT_TRUE(glob_match("svc.*.hit", "svc.cache.hit"));
+    EXPECT_FALSE(glob_match("svc.*.hit", "svc.cache.miss"));
+    EXPECT_TRUE(glob_match("*", ""));
+    EXPECT_TRUE(glob_match("*", "anything"));
+    EXPECT_FALSE(glob_match("", "x"));
+    EXPECT_TRUE(glob_match("", ""));
+}
+
+TEST(GlobMatch, QuestionMarkAndBacktracking) {
+    EXPECT_TRUE(glob_match("a?c", "abc"));
+    EXPECT_FALSE(glob_match("a?c", "ac"));
+    // Single-star backtracking: the first '*' must be able to re-expand.
+    EXPECT_TRUE(glob_match("*ab", "aab"));
+    EXPECT_TRUE(glob_match("a*b*c", "axxbyyc"));
+    EXPECT_FALSE(glob_match("a*b*c", "axxbyy"));
+    EXPECT_TRUE(glob_match("svc.phase.*_ms", "svc.phase.queue_wait_ms"));
+}
+
 }  // namespace
 }  // namespace revec

@@ -1,0 +1,132 @@
+// Live-snapshot coverage for the revecd core — the `stats` verb and the
+// trace serializers racing in-flight solves. A reader thread hammers
+// metrics_json() (the same call a `revecctl top --watch` loop lands on)
+// while client threads solve: every snapshot must parse as complete JSON
+// (no torn documents), the counters it reports must be monotone between
+// snapshots, and write_jsonl over the live sink must always produce a
+// parseable stream. TSan runs this suite via the svc label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "revec/apps/matmul.hpp"
+#include "revec/apps/qrd.hpp"
+#include "revec/ir/passes.hpp"
+#include "revec/obs/trace.hpp"
+#include "revec/obs/trace_read.hpp"
+#include "revec/sched/model.hpp"
+#include "revec/support/json.hpp"
+#include "revec/svc/service.hpp"
+
+namespace revec::svc {
+namespace {
+
+model::KernelModel lowered(const ir::Graph& g) {
+    return sched::lower_for_schedule(ir::merge_pipeline_ops(g),
+                                     sched::ScheduleOptions{});
+}
+
+Request solve_request(const model::KernelModel& km, std::int64_t id) {
+    Request req;
+    req.kind = RequestKind::Solve;
+    req.id = id;
+    req.model = km;
+    return req;
+}
+
+/// Counters a live snapshot reports. A torn document throws out of
+/// json::parse and aborts the run — exactly the failure being hunted.
+std::map<std::string, std::int64_t> parse_counters(const std::string& doc_text) {
+    const json::Value doc = json::parse(doc_text);
+    std::map<std::string, std::int64_t> out;
+    if (const json::Value* counters = doc.find("counters"); counters != nullptr) {
+        for (const auto& [name, v] : counters->object) {
+            out[name] = static_cast<std::int64_t>(v.number);
+        }
+    }
+    return out;
+}
+
+std::int64_t req_count(const Service& service) {
+    const json::Value doc = json::parse(service.metrics_json());
+    const json::Value* counters = doc.find("counters");
+    if (counters == nullptr) return 0;
+    const json::Value* v = counters->find("svc.req.count");
+    return v == nullptr ? 0 : static_cast<std::int64_t>(v->number);
+}
+
+TEST(SvcLiveStats, SnapshotsAreUntornAndMonotoneDuringConcurrentSolves) {
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 6;
+
+    obs::TraceSink sink(obs::TraceLevel::Phase);
+    Service::Config config;
+    config.pool_workers = 2;
+    config.max_queue = 64;
+    config.trace = &sink;
+    Service service(config);
+
+    const model::KernelModel mm = lowered(apps::build_matmul());
+    const model::KernelModel qrd = lowered(apps::build_qrd());
+
+    std::vector<obs::TraceBuffer*> session_tracks;
+    for (int c = 0; c < kClients; ++c) {
+        session_tracks.push_back(sink.new_track("session-" + std::to_string(c)));
+    }
+
+    std::atomic<bool> done{false};
+    std::thread reader([&service, &sink, &done] {
+        std::map<std::string, std::int64_t> last;
+        std::size_t snapshots = 0;
+        while (!done.load(std::memory_order_acquire) || snapshots == 0) {
+            // The stats verb: a complete, parseable document every time.
+            const std::map<std::string, std::int64_t> counters =
+                parse_counters(service.metrics_json());
+            ++snapshots;
+            // Counters only ever accumulate: a snapshot may lag but must
+            // never run backwards.
+            for (const auto& [name, value] : last) {
+                const auto it = counters.find(name);
+                ASSERT_NE(it, counters.end()) << name << " vanished mid-run";
+                EXPECT_GE(it->second, value) << name << " went backwards";
+            }
+            last = counters;
+
+            // The live trace stream parses too (flights and --trace
+            // snapshots read it while workers are mid-solve).
+            std::ostringstream os;
+            sink.write_jsonl(os);
+            EXPECT_NO_THROW(obs::parse_trace(os.str()));
+        }
+    });
+
+    std::vector<std::thread> clients;
+    std::atomic<int> failures{0};
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            obs::TraceBuffer* track = session_tracks[static_cast<std::size_t>(c)];
+            for (int i = 0; i < kPerClient; ++i) {
+                const model::KernelModel& km = (c + i) % 2 == 0 ? mm : qrd;
+                Request req = solve_request(km, c * kPerClient + i);
+                req.rid = static_cast<std::uint64_t>(c * kPerClient + i + 1);
+                const Response r = service.handle(req, track);
+                if (!r.ok || r.rid != req.rid) failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& t : clients) t.join();
+    done.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(req_count(service), kClients * kPerClient);
+}
+
+}  // namespace
+}  // namespace revec::svc

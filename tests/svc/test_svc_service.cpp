@@ -6,6 +6,7 @@
 // deadline or the queue cannot fit a full solve.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,7 @@
 #include "revec/ir/passes.hpp"
 #include "revec/model/check.hpp"
 #include "revec/model/json.hpp"
+#include "revec/obs/trace_read.hpp"
 #include "revec/sched/model.hpp"
 #include "revec/support/json.hpp"
 #include "revec/svc/service.hpp"
@@ -189,6 +191,119 @@ TEST(SvcService, StatsPingShutdownAndErrors) {
     EXPECT_TRUE(down.ok);
     EXPECT_TRUE(down.ack);
     EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(SvcService, RidIsEchoedAndAssignedWhenAbsent) {
+    Service service(Service::Config{});
+    const model::KernelModel km = matmul_model();
+
+    Request with_rid = solve_request(km, 1);
+    with_rid.rid = 0xabcdefull;
+    EXPECT_EQ(service.handle(with_rid).rid, 0xabcdefull);
+
+    // No client rid: the service assigns one so the request is still
+    // correlatable end to end.
+    const Response assigned = service.handle(solve_request(km, 2));
+    EXPECT_NE(assigned.rid, 0u);
+
+    // Control requests echo without assigning.
+    Request ping;
+    ping.kind = RequestKind::Ping;
+    ping.id = 3;
+    EXPECT_EQ(service.handle(ping).rid, 0u);
+}
+
+TEST(SvcService, ShedRequestDumpsFlightRecordingEvenWithTracingOff) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(::testing::TempDir()) / "svc_flight_shed";
+    fs::remove_all(dir);
+
+    Service::Config config;  // config.trace stays null: --trace-level=off
+    config.flight.dir = dir.string();
+    Service service(config);
+    const model::KernelModel km = matmul_model();
+
+    Request req = solve_request(km, 1, /*deadline_ms=*/0);
+    req.rid = 0x5eedf00dull;
+    const Response r = service.handle(req);
+    expect_verify_clean(km, r);
+    ASSERT_TRUE(r.shed);
+
+    // The shed made the request interesting: its ring was dumped and the
+    // response points at the file.
+    ASSERT_FALSE(r.flight.empty()) << "shed request should dump a flight recording";
+    ASSERT_TRUE(fs::exists(r.flight));
+    EXPECT_EQ(counter(service, "svc.flight.recorded"), 1);
+    EXPECT_EQ(counter(service, "svc.flight.dump"), 1);
+    EXPECT_EQ(counter(service, "svc.flight.reason.shed"), 1);
+
+    // The dump is a valid trace and carries the rid end to end: on the
+    // request span, the solve span, and the flight_begin stamp.
+    const obs::ParsedTrace trace = obs::load_trace(r.flight);
+    EXPECT_TRUE(obs::validate_trace(trace).empty());
+    bool request_span_rid = false;
+    bool solve_span_rid = false;
+    bool shed_instant = false;
+    for (const obs::ParsedTrack& track : trace.tracks) {
+        for (const obs::ParsedEvent& e : track.events) {
+            const auto rid = e.args.find("rid");
+            const bool has_rid =
+                rid != e.args.end() && rid->second == 0x5eedf00d;
+            if (e.kind == 'B' && e.name == "svc.request" && has_rid) {
+                request_span_rid = true;
+            }
+            if (e.kind == 'B' && e.name == "svc.solve" && has_rid) {
+                solve_span_rid = true;
+            }
+            if (e.kind == 'I' && e.name == "svc.shed") shed_instant = true;
+        }
+    }
+    EXPECT_TRUE(request_span_rid);
+    EXPECT_TRUE(solve_span_rid);
+    EXPECT_TRUE(shed_instant);
+    fs::remove_all(dir);
+}
+
+TEST(SvcService, UninterestingRequestsAreRecordedButNotDumped) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(::testing::TempDir()) / "svc_flight_drop";
+    fs::remove_all(dir);
+
+    Service::Config config;
+    config.flight.dir = dir.string();  // slo_ms = -1: latency never dumps
+    Service service(config);
+    const model::KernelModel km = matmul_model();
+
+    const Response miss = service.handle(solve_request(km, 1));
+    const Response hit = service.handle(solve_request(km, 2));
+    ASSERT_TRUE(miss.ok && hit.ok);
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_TRUE(miss.flight.empty());
+    EXPECT_TRUE(hit.flight.empty());
+    EXPECT_EQ(counter(service, "svc.flight.recorded"), 2);
+    EXPECT_EQ(counter(service, "svc.flight.drop"), 2);
+    EXPECT_EQ(counter(service, "svc.flight.dump"), 0);
+    fs::remove_all(dir);
+}
+
+TEST(SvcService, ZeroSloDumpsEveryRequestWithLatencyReason) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(::testing::TempDir()) / "svc_flight_slo";
+    fs::remove_all(dir);
+
+    Service::Config config;
+    config.flight.dir = dir.string();
+    config.flight.slo_ms = 0;  // everything is over-SLO
+    Service service(config);
+    const model::KernelModel km = matmul_model();
+
+    const Response r = service.handle(solve_request(km, 1));
+    ASSERT_TRUE(r.ok);
+    ASSERT_FALSE(r.flight.empty());
+    EXPECT_EQ(counter(service, "svc.flight.reason.slo"), 1);
+    const obs::ParsedTrace trace = obs::load_trace(r.flight);
+    EXPECT_TRUE(obs::validate_trace(trace).empty());
+    fs::remove_all(dir);
 }
 
 TEST(SvcService, HeuristicOnlyRequestSkipsExactSearch) {

@@ -121,6 +121,43 @@ TEST(SvcProtocol, RejectsMalformedRequests) {
         Error);
 }
 
+TEST(SvcProtocol, RidRoundTripsAsSixteenHexDigits) {
+    Request req;
+    req.kind = RequestKind::Ping;
+    req.id = 1;
+    req.rid = 0x1234abcd5678ef09ull;
+    const std::string wire = serialize_request(req);
+    EXPECT_NE(wire.find("\"rid\":\"1234abcd5678ef09\""), std::string::npos);
+    EXPECT_EQ(parse_request(wire).rid, req.rid);
+
+    // Unset rid stays off the wire entirely — old clients and old daemons
+    // keep interoperating byte for byte.
+    req.rid = 0;
+    EXPECT_EQ(serialize_request(req).find("\"rid\""), std::string::npos);
+    EXPECT_EQ(parse_request(serialize_request(req)).rid, 0u);
+
+    EXPECT_THROW(parse_request("{\"kind\":\"ping\",\"rid\":42}"), Error);
+    EXPECT_THROW(parse_request("{\"kind\":\"ping\",\"rid\":\"xyz\"}"), Error);
+}
+
+TEST(SvcProtocol, ResponseCarriesRidAndFlightPath) {
+    Response r;
+    r.id = 3;
+    r.rid = 0xfeedbeefull;
+    r.ok = true;
+    r.status = cp::SolveStatus::Optimal;
+    r.flight = "/tmp/flight/flight-00000001-00000000feedbeef.jsonl";
+    const Response back = parse_response(serialize_response(r));
+    EXPECT_EQ(back.rid, r.rid);
+    EXPECT_EQ(back.flight, r.flight);
+
+    r.rid = 0;
+    r.flight.clear();
+    const std::string wire = serialize_response(r);
+    EXPECT_EQ(wire.find("\"rid\""), std::string::npos);
+    EXPECT_EQ(wire.find("\"flight\""), std::string::npos);
+}
+
 TEST(SvcCache, MissThenHitThenExactMatchGuard) {
     ScheduleCache cache(4);
     const CachedSchedule value{{0, 1}, {0, -1}, 2, 1};

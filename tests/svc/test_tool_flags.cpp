@@ -73,8 +73,9 @@ TEST(ToolFlags, ReadmeServiceSectionMatchesInventories) {
 
     // ...and every backticked flag in the section must be a real flag of
     // one of the tools (--dump-model is revecc's, referenced for the model
-    // files revecctl consumes).
-    const std::vector<std::string> allowed_foreign = {"--dump-model"};
+    // files revecctl consumes; --rid and --rule are revec-stats's,
+    // referenced for trace filtering and the telemetry diff gate).
+    const std::vector<std::string> allowed_foreign = {"--dump-model", "--rule"};
     std::size_t pos = 0;
     int found = 0;
     while ((pos = text.find("`--", pos)) != std::string::npos) {
